@@ -1,0 +1,42 @@
+# drbac — build, test, and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz sim examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core
+
+# Regenerate every experiment table in EXPERIMENTS.md.
+sim:
+	$(GO) run ./cmd/coalition-sim -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attributes
+	$(GO) run ./examples/coalition
+	$(GO) run ./examples/monitoring
+	$(GO) run ./examples/resource-server
+
+clean:
+	$(GO) clean ./...

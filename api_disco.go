@@ -1,0 +1,33 @@
+package drbac
+
+import (
+	"drbac/internal/disco"
+)
+
+// DisCo-layer re-exports: the application-facing access-control surface the
+// paper's §1 "Project Context" describes — protected-resource registration
+// and monitored sessions with modulated service levels.
+type (
+	// Guard regulates access to registered resources.
+	Guard = disco.Guard
+	// GuardConfig parameterizes a Guard.
+	GuardConfig = disco.Config
+	// ProtectedResource describes a dRBAC-guarded capability.
+	ProtectedResource = disco.Resource
+	// Session is one principal's monitored access to one resource.
+	Session = disco.Session
+	// SessionEvent notifies the application of session changes.
+	SessionEvent = disco.SessionEvent
+	// SessionEventKind classifies session events.
+	SessionEventKind = disco.SessionEventKind
+)
+
+// Session event kinds.
+const (
+	SessionReauthorized = disco.SessionReauthorized
+	SessionTerminated   = disco.SessionTerminated
+)
+
+// NewGuard builds a resource guard over a wallet (and optional discovery
+// agent).
+func NewGuard(cfg GuardConfig) (*Guard, error) { return disco.NewGuard(cfg) }

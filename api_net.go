@@ -1,0 +1,90 @@
+package drbac
+
+import (
+	"drbac/internal/discovery"
+	"drbac/internal/proxy"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+)
+
+// Network-layer re-exports: the authenticated transport (the Switchboard
+// stand-in), remote wallet serving, and distributed discovery (§4.2).
+type (
+	// Conn is an authenticated framed message channel.
+	Conn = transport.Conn
+	// Listener accepts authenticated connections.
+	Listener = transport.Listener
+	// Dialer opens authenticated connections.
+	Dialer = transport.Dialer
+	// MemNetwork is an in-process network with traffic accounting.
+	MemNetwork = transport.MemNetwork
+	// NetStats snapshots network traffic counters.
+	NetStats = transport.NetStats
+	// TCPDialer dials real TCP wallets.
+	TCPDialer = transport.TCPDialer
+	// WalletServer exposes a wallet over a listener.
+	WalletServer = remote.Server
+	// WalletClient is a connection to a remote wallet.
+	WalletClient = remote.Client
+	// DiscoveryAgent performs distributed chain discovery (§4.2.1).
+	DiscoveryAgent = discovery.Agent
+	// DiscoveryConfig parameterizes a discovery agent.
+	DiscoveryConfig = discovery.Config
+	// DiscoveryMode selects the cross-wallet search direction.
+	DiscoveryMode = discovery.Mode
+	// DiscoveryStats accumulates discovery effort.
+	DiscoveryStats = discovery.Stats
+	// WalletProxy is a pull-through, subscription-coherent wallet cache
+	// (the §6 hierarchical validation caches).
+	WalletProxy = proxy.Proxy
+	// WalletProxyConfig parameterizes a WalletProxy.
+	WalletProxyConfig = proxy.Config
+)
+
+// Discovery modes.
+const (
+	DiscoverAuto        = discovery.Auto
+	DiscoverForwardOnly = discovery.ForwardOnly
+	DiscoverReverseOnly = discovery.ReverseOnly
+)
+
+// Transport errors.
+var (
+	// ErrTransportClosed reports use of a closed connection or listener.
+	ErrTransportClosed = transport.ErrClosed
+	// ErrHandshake reports failed peer authentication.
+	ErrHandshake = transport.ErrHandshake
+)
+
+// NewMemNetwork builds an in-process network for tests and simulations.
+func NewMemNetwork() *MemNetwork { return transport.NewMemNetwork() }
+
+// ListenTCP starts an authenticated TCP listener as identity id.
+func ListenTCP(addr string, id *Identity) (Listener, error) {
+	return transport.ListenTCP(addr, id)
+}
+
+// ServeWallet exposes w on ln until the returned server is closed.
+func ServeWallet(w *Wallet, ln Listener) *WalletServer { return remote.Serve(w, ln) }
+
+// DialWallet connects to a remote wallet at addr.
+func DialWallet(d Dialer, addr string) (*WalletClient, error) { return remote.Dial(d, addr) }
+
+// NewDiscoveryAgent builds a distributed discovery agent over a local
+// wallet.
+func NewDiscoveryAgent(cfg DiscoveryConfig) *DiscoveryAgent { return discovery.NewAgent(cfg) }
+
+// Discover is a convenience one-shot discovery: it builds a transient
+// agent, registers the given tags, and finds a proof for q.
+func Discover(local *Wallet, d Dialer, q Query, tags map[Subject]DiscoveryTag) (*Proof, error) {
+	agent := discovery.NewAgent(discovery.Config{Local: local, Dialer: d})
+	defer agent.Close()
+	for node, tag := range tags {
+		agent.RegisterTag(node, tag)
+	}
+	return agent.Discover(q, discovery.Auto, nil)
+}
+
+// NewWalletProxy builds a hierarchical caching proxy over a local cache
+// wallet and an upstream wallet connection.
+func NewWalletProxy(cfg WalletProxyConfig) (*WalletProxy, error) { return proxy.New(cfg) }

@@ -1,0 +1,61 @@
+package drbac
+
+import (
+	"drbac/internal/clock"
+	"drbac/internal/graph"
+	"drbac/internal/subs"
+	"drbac/internal/wallet"
+)
+
+// Wallet-layer re-exports: the credential repository (§4.1), proof
+// monitors (§4.2.2), and the subscription event model.
+type (
+	// Wallet is a dRBAC credential repository.
+	Wallet = wallet.Wallet
+	// WalletConfig parameterizes a wallet.
+	WalletConfig = wallet.Config
+	// Query is an authorization question against a wallet.
+	Query = wallet.Query
+	// Monitor continuously tracks a proof's validity.
+	Monitor = wallet.Monitor
+	// MonitorEvent reports a monitored relationship changing.
+	MonitorEvent = wallet.MonitorEvent
+	// MonitorEventKind classifies monitor events.
+	MonitorEventKind = wallet.MonitorEventKind
+	// Event is a delegation status update.
+	Event = subs.Event
+	// EventKind classifies delegation status updates.
+	EventKind = subs.EventKind
+	// Clock is the injectable time source wallets run on.
+	Clock = clock.Clock
+	// FakeClock is a manually advanced clock for tests and simulations.
+	FakeClock = clock.Fake
+	// SearchDirection selects forward, reverse, or bidirectional search.
+	SearchDirection = graph.Direction
+	// SearchStats accumulates search effort counters.
+	SearchStats = graph.Stats
+)
+
+// Monitor and event constants.
+const (
+	MonitorReproved    = wallet.MonitorReproved
+	MonitorInvalidated = wallet.MonitorInvalidated
+
+	EventRevoked = subs.Revoked
+	EventExpired = subs.Expired
+	EventRenewed = subs.Renewed
+	EventStale   = subs.Stale
+
+	SearchForward       = graph.Forward
+	SearchReverse       = graph.Reverse
+	SearchBidirectional = graph.Bidirectional
+)
+
+// NewWallet constructs an empty wallet.
+func NewWallet(cfg WalletConfig) *Wallet { return wallet.New(cfg) }
+
+// SystemClock returns the real wall clock.
+func SystemClock() Clock { return clock.System{} }
+
+// NewFakeClock returns a manually advanced clock pinned at start.
+var NewFakeClock = clock.NewFake

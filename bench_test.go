@@ -1,0 +1,390 @@
+package drbac_test
+
+// Benchmark harness: one benchmark per paper artifact.
+//
+//	Table 1   -> BenchmarkTable1BaseProof
+//	Table 2   -> BenchmarkTable2AttributeAggregation
+//	Table 3   -> BenchmarkTable3CaseStudyProof
+//	Figure 1  -> BenchmarkFigure1WalletOps
+//	Figure 2  -> BenchmarkFigure2DistributedProof
+//	§4.2.3    -> BenchmarkSearchDirectionality, BenchmarkAttributePruning
+//	§6        -> BenchmarkRevocationSchemes
+//	§3.1.3    -> BenchmarkSeparability
+//
+// plus micro-benchmarks for the credential primitives. Run with
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"drbac"
+	"drbac/internal/baseline"
+	"drbac/internal/revocation"
+	"drbac/internal/sim"
+)
+
+// benchWorld holds the Table 1 principals for the micro and table benches.
+type benchWorld struct {
+	ids map[string]*drbac.Identity
+	dir *drbac.MemDirectory
+	now time.Time
+}
+
+func newBenchWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	w := &benchWorld{
+		ids: make(map[string]*drbac.Identity),
+		dir: drbac.NewDirectory(),
+		now: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+	}
+	for i, name := range []string{"BigISP", "AirNet", "Mark", "Sheila", "Maria"} {
+		seed := make([]byte, 32)
+		seed[0] = byte(i + 1)
+		id, err := drbac.IdentityFromSeed(name, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.ids[name] = id
+		w.dir.Add(id.Entity())
+	}
+	return w
+}
+
+func (w *benchWorld) issue(b *testing.B, text string) *drbac.Delegation {
+	b.Helper()
+	parsed, err := drbac.ParseDelegation(text, w.dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var issuer *drbac.Identity
+	for _, id := range w.ids {
+		if id.ID() == parsed.Issuer.ID() {
+			issuer = id
+		}
+	}
+	d, err := drbac.Issue(issuer, parsed.Template, w.now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkTable1BaseProof measures assembling and validating the Table 1
+// proof Maria => BigISP.member (one third-party delegation plus its
+// two-step support proof).
+func BenchmarkTable1BaseProof(b *testing.B) {
+	w := newBenchWorld(b)
+	d1 := w.issue(b, "[Mark -> BigISP.memberServices] BigISP")
+	d2 := w.issue(b, "[BigISP.memberServices -> BigISP.member'] BigISP")
+	d3 := w.issue(b, "[Maria -> BigISP.member] Mark")
+	sup, err := drbac.NewProof(drbac.ProofStep{Delegation: d1}, drbac.ProofStep{Delegation: d2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := drbac.NewProof(drbac.ProofStep{Delegation: d3, Support: []*drbac.Proof{sup}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := proof.Validate(drbac.ValidateOptions{At: w.now}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2AttributeAggregation measures aggregating the Table 2
+// valued-attribute chain and checking a constraint against it.
+func BenchmarkTable2AttributeAggregation(b *testing.B) {
+	w := newBenchWorld(b)
+	dA := w.issue(b, "[Maria -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] AirNet")
+	dB := w.issue(b, "[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet")
+	pA, _ := drbac.NewProof(drbac.ProofStep{Delegation: dA})
+	pB, _ := drbac.NewProof(drbac.ProofStep{Delegation: dB})
+	proof, err := pA.Concat(pB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := drbac.AttributeRef{Namespace: w.ids["AirNet"].ID(), Name: "BW"}
+	cons := []drbac.Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 50}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag, err := proof.Aggregate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cons[0].Satisfied(ag) {
+			b.Fatal("constraint should hold")
+		}
+		if ag.Value(bw, math.Inf(1)) != 100 {
+			b.Fatal("wrong aggregation")
+		}
+	}
+}
+
+// BenchmarkTable3CaseStudyProof measures the full §5 authorization against
+// a single wallet already holding all six delegations: the server-side
+// cost of Maria's access decision once credentials are local.
+func BenchmarkTable3CaseStudyProof(b *testing.B) {
+	w := newBenchWorld(b)
+	wal := drbac.NewWallet(drbac.WalletConfig{Directory: w.dir})
+	d3 := w.issue(b, "[Sheila -> AirNet.mktg] AirNet")
+	d4 := w.issue(b, "[AirNet.mktg -> AirNet.member'] AirNet")
+	sup, _ := drbac.NewProof(drbac.ProofStep{Delegation: d3}, drbac.ProofStep{Delegation: d4})
+	for _, d := range []*drbac.Delegation{
+		w.issue(b, "[Maria -> BigISP.member] BigISP"),
+		w.issue(b, "[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet"),
+	} {
+		if err := wal.Publish(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d2 := w.issue(b, "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila")
+	if err := wal.Publish(d2, sup); err != nil {
+		b.Fatal(err)
+	}
+	q := drbac.Query{
+		Subject: drbac.SubjectEntity(w.ids["Maria"].ID()),
+		Object:  drbac.NewRole(w.ids["AirNet"].ID(), "access"),
+	}
+	bw := drbac.AttributeRef{Namespace: w.ids["AirNet"].ID(), Name: "BW"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := wal.QueryDirect(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ag, err := proof.Aggregate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ag.Value(bw, math.Inf(1)) != 100 {
+			b.Fatal("wrong outcome")
+		}
+	}
+}
+
+// BenchmarkFigure1WalletOps measures the three wallet primitives of
+// Figure 1 against the two-delegation A => C.c wallet.
+func BenchmarkFigure1WalletOps(b *testing.B) {
+	w := newBenchWorld(b)
+	// Reuse principals: BigISP as A's namespace holder etc. Build the
+	// figure's two-delegation wallet.
+	dAB := w.issue(b, "[Maria -> BigISP.b] BigISP")
+	dBC := w.issue(b, "[BigISP.b -> AirNet.c] AirNet")
+	subject := drbac.SubjectEntity(w.ids["Maria"].ID())
+	object := drbac.NewRole(w.ids["AirNet"].ID(), "c")
+
+	b.Run("publish", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wal := drbac.NewWallet(drbac.WalletConfig{Directory: w.dir})
+			if err := wal.Publish(dAB); err != nil {
+				b.Fatal(err)
+			}
+			if err := wal.Publish(dBC); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wal := drbac.NewWallet(drbac.WalletConfig{Directory: w.dir})
+	if err := wal.Publish(dAB); err != nil {
+		b.Fatal(err)
+	}
+	if err := wal.Publish(dBC); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("query-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wal.QueryDirect(drbac.Query{Subject: subject, Object: object}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-subject", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := wal.QuerySubject(subject, nil); len(got) != 2 {
+				b.Fatal("wrong result count")
+			}
+		}
+	})
+	b.Run("query-object", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := wal.QueryObject(object, nil); len(got) != 2 {
+				b.Fatal("wrong result count")
+			}
+		}
+	})
+	b.Run("monitor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mon, err := wal.Monitor(drbac.Query{Subject: subject, Object: object}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon.Close()
+		}
+	})
+}
+
+// BenchmarkFigure2DistributedProof measures the end-to-end §5 flow: three
+// wallets, discovery across them, proof assembly, attribute aggregation.
+func BenchmarkFigure2DistributedProof(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunCaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BW != 100 || res.Storage != 30 || res.Hours != 18 {
+			b.Fatal("wrong case-study outcome")
+		}
+	}
+}
+
+// BenchmarkSearchDirectionality sweeps EXP-S1: search effort by direction
+// on the adversarial out-tree (b=3).
+func BenchmarkSearchDirectionality(b *testing.B) {
+	for _, depth := range []int{3, 4, 5} {
+		b.Run(fmt.Sprintf("b3/d%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := sim.RunDirectionality(3, depth)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := points[0]
+				b.ReportMetric(float64(out.Forward.EdgesExplored), "fwd-edges")
+				b.ReportMetric(float64(out.Reverse.EdgesExplored), "rev-edges")
+				b.ReportMetric(float64(out.Bidi.EdgesExplored), "bidi-edges")
+			}
+		})
+	}
+}
+
+// BenchmarkAttributePruning sweeps EXP-S2: pruned vs unpruned search effort.
+func BenchmarkAttributePruning(b *testing.B) {
+	for _, width := range []int{10, 20} {
+		b.Run(fmt.Sprintf("w%d/d8", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := sim.RunPruning(width, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pt.PrunedEdges), "pruned-edges")
+				b.ReportMetric(float64(pt.UnprunedEdges), "unpruned-edges")
+			}
+		})
+	}
+}
+
+// BenchmarkRevocationSchemes runs EXP-S3 per scheme over a long session.
+func BenchmarkRevocationSchemes(b *testing.B) {
+	params := revocation.Params{
+		Clients: 4, Credentials: 8, Steps: 500, PollEvery: 5, CRLEvery: 10,
+		RevokeAt: []int{103},
+	}
+	for _, scheme := range []revocation.Scheme{revocation.OCSP, revocation.CRL, revocation.Subscription} {
+		b.Run(string(scheme), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := revocation.Run(scheme, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Messages), "messages")
+				b.ReportMetric(float64(res.Bytes), "bytes")
+			}
+		})
+	}
+}
+
+// BenchmarkHierarchicalCache runs EXP-S5: home-wallet traffic flat vs
+// behind a caching proxy.
+func BenchmarkHierarchicalCache(b *testing.B) {
+	for _, clients := range []int{4, 16} {
+		b.Run(fmt.Sprintf("clients%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := sim.RunProxyExperiment(clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(pt.FlatHomeMessages), "flat-msgs")
+				b.ReportMetric(float64(pt.HierHomeMessages), "hier-msgs")
+			}
+		})
+	}
+}
+
+// BenchmarkSeparability runs EXP-S4 per idiom.
+func BenchmarkSeparability(b *testing.B) {
+	s := baseline.Scenario{Partners: 4, Privileges: 4, MembersPerPartner: 2}
+	b.Run("drbac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := baseline.DRBAC(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(out.RolesCreated), "roles")
+		}
+	})
+	b.Run("phantom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := baseline.PhantomRole(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(out.RolesCreated), "roles")
+		}
+	})
+}
+
+// --- credential primitive micro-benchmarks --------------------------------
+
+func BenchmarkIssueDelegation(b *testing.B) {
+	w := newBenchWorld(b)
+	parsed, err := drbac.ParseDelegation("[Maria -> BigISP.member] BigISP", w.dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	issuer := w.ids["BigISP"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drbac.Issue(issuer, parsed.Template, w.now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyDelegation(b *testing.B) {
+	w := newBenchWorld(b)
+	d := w.issue(b, "[Maria -> BigISP.member] BigISP")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseDelegation(b *testing.B) {
+	w := newBenchWorld(b)
+	const text = "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drbac.ParseDelegation(text, w.dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderDelegation(b *testing.B) {
+	w := newBenchWorld(b)
+	d := w.issue(b, "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila")
+	pr := drbac.Printer{Dir: w.dir}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := pr.Delegation(d); out == "" {
+			b.Fatal("empty rendering")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import "testing"
+
+// The runners are exercised in depth through internal/sim; these tests pin
+// the CLI wiring: flag handling and that each fast experiment completes.
+func TestRunFlagHandling(t *testing.T) {
+	if err := run([]string{"-exp", "no-such-experiment"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCaseStudyExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "casestudy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeparabilityExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "separability"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProxyExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "proxy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChainExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "chain"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSearchExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search sweep is slow")
+	}
+	if err := run([]string{"-exp", "search"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPruningExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "pruning"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRevocationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("revocation sweep is slow")
+	}
+	if err := run([]string{"-exp", "revocation"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Command drbac is the dRBAC command-line tool: key generation, delegation
+// issuance in the paper's concrete syntax, local verification, and remote
+// wallet operations (publish, query, revoke) over the authenticated TCP
+// transport.
+//
+// Usage:
+//
+//	drbac keygen   -name Alice -out alice.key
+//	drbac export   -key alice.key            # directory entry JSON on stdout
+//	drbac delegate -key bigisp.key -entities dir.json \
+//	               -text "[Maria -> BigISP.member] BigISP" -out member.json
+//	drbac show     -entities dir.json -in member.json
+//	drbac verify   -entities dir.json -in member.json [-strict]
+//	drbac publish  -key maria.key -addr host:port -in member.json [-ttl 30]
+//	drbac query    -key maria.key -addr host:port -entities dir.json \
+//	               -subject Maria -object BigISP.member
+//	drbac revoke   -key bigisp.key -addr host:port -id <delegation-id>
+//	drbac monitor  -key maria.key -addr host:port -id <delegation-id> [-count 1] [-wait 30s]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/keyfile"
+	"drbac/internal/remote"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "drbac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "keygen":
+		return cmdKeygen(rest)
+	case "export":
+		return cmdExport(rest)
+	case "delegate":
+		return cmdDelegate(rest)
+	case "show":
+		return cmdShow(rest)
+	case "verify":
+		return cmdVerify(rest)
+	case "publish":
+		return cmdPublish(rest)
+	case "query":
+		return cmdQuery(rest)
+	case "revoke":
+		return cmdRevoke(rest)
+	case "monitor":
+		return cmdMonitor(rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	name := fs.String("name", "", "entity display name")
+	out := fs.String("out", "", "identity file to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *out == "" {
+		return errors.New("keygen: -name and -out are required")
+	}
+	f, err := keyfile.GenerateIdentity(*name)
+	if err != nil {
+		return err
+	}
+	if err := keyfile.WriteIdentity(*out, f); err != nil {
+		return err
+	}
+	id, err := f.Identity()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created %s: %s (fingerprint %s)\n", *out, id.Name(), id.ID().Short())
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id, err := loadIdentity(*key)
+	if err != nil {
+		return err
+	}
+	entry := keyfile.DirectoryEntry{Name: id.Name(), Key: id.Entity().Key}
+	data, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+func cmdDelegate(args []string) error {
+	fs := flag.NewFlagSet("delegate", flag.ContinueOnError)
+	key := fs.String("key", "", "issuer identity file")
+	entities := fs.String("entities", "", "directory file")
+	text := fs.String("text", "", "delegation in paper syntax")
+	out := fs.String("out", "", "bundle file to write")
+	supportFiles := fs.String("support", "", "comma-free list: repeat -support is unsupported; pass one bundle path whose proof supports this delegation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *entities == "" || *text == "" || *out == "" {
+		return errors.New("delegate: -key, -entities, -text, -out are required")
+	}
+	issuer, err := loadIdentity(*key)
+	if err != nil {
+		return err
+	}
+	dir, _, err := keyfile.ReadDirectory(*entities)
+	if err != nil {
+		return err
+	}
+	parsed, err := core.ParseDelegation(*text, dir)
+	if err != nil {
+		return err
+	}
+	if parsed.Issuer.ID() != issuer.ID() {
+		return fmt.Errorf("delegation names issuer %s but key file is %s", parsed.Issuer.Name, issuer.Name())
+	}
+	d, err := core.Issue(issuer, parsed.Template, time.Now())
+	if err != nil {
+		return err
+	}
+	bundle := keyfile.Bundle{Delegation: d}
+	if *supportFiles != "" {
+		sb, err := keyfile.ReadBundle(*supportFiles)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewProof(core.ProofStep{Delegation: sb.Delegation, Support: sb.Support})
+		if err != nil {
+			return err
+		}
+		bundle.Support = append(bundle.Support, p)
+	}
+	if err := keyfile.WriteBundle(*out, bundle); err != nil {
+		return err
+	}
+	fmt.Printf("issued %s (%s)\n", d.ID().Short(), d.Kind())
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	entities := fs.String("entities", "", "directory file (optional)")
+	in := fs.String("in", "", "bundle file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("show: -in is required")
+	}
+	var dir core.Directory
+	if *entities != "" {
+		d, _, err := keyfile.ReadDirectory(*entities)
+		if err != nil {
+			return err
+		}
+		dir = d
+	}
+	b, err := keyfile.ReadBundle(*in)
+	if err != nil {
+		return err
+	}
+	pr := core.Printer{Dir: dir}
+	fmt.Printf("id:   %s\nkind: %s\ntext: %s\n", b.Delegation.ID(), b.Delegation.Kind(), pr.Delegation(b.Delegation))
+	for i, sp := range b.Support {
+		fmt.Printf("support %d: %s => %s\n", i+1, pr.Subject(sp.Subject), pr.Role(sp.Object))
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	in := fs.String("in", "", "bundle file")
+	strict := fs.Bool("strict", false, "require attribute-assignment rights")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("verify: -in is required")
+	}
+	b, err := keyfile.ReadBundle(*in)
+	if err != nil {
+		return err
+	}
+	// A throwaway wallet performs full publication-grade validation.
+	w := wallet.New(wallet.Config{StrictAttributes: *strict})
+	if err := w.Publish(b.Delegation, b.Support...); err != nil {
+		return fmt.Errorf("INVALID: %w", err)
+	}
+	fmt.Printf("OK: %s verifies (%s)\n", b.Delegation.ID().Short(), b.Delegation.Kind())
+	return nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file for transport auth")
+	addr := fs.String("addr", "", "wallet address host:port")
+	in := fs.String("in", "", "bundle file")
+	ttl := fs.Int("ttl", 0, "cache TTL seconds (0 = permanent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *addr == "" || *in == "" {
+		return errors.New("publish: -key, -addr, -in are required")
+	}
+	b, err := keyfile.ReadBundle(*in)
+	if err != nil {
+		return err
+	}
+	client, err := dial(*key, *addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := client.Publish(b.Delegation, b.Support, time.Duration(*ttl)*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("published %s to %s\n", b.Delegation.ID().Short(), *addr)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file for transport auth")
+	addr := fs.String("addr", "", "wallet address host:port")
+	entities := fs.String("entities", "", "directory file")
+	subject := fs.String("subject", "", "entity name or role")
+	object := fs.String("object", "", "role")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *addr == "" || *entities == "" || *subject == "" || *object == "" {
+		return errors.New("query: -key, -addr, -entities, -subject, -object are required")
+	}
+	dir, _, err := keyfile.ReadDirectory(*entities)
+	if err != nil {
+		return err
+	}
+	subj, err := core.ParseSubject(*subject, dir)
+	if err != nil {
+		return err
+	}
+	obj, err := core.ParseRole(*object, dir)
+	if err != nil {
+		return err
+	}
+	client, err := dial(*key, *addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	proof, err := client.QueryDirect(subj, obj, nil, 0)
+	if err != nil {
+		return err
+	}
+	if err := proof.Validate(core.ValidateOptions{At: time.Now()}); err != nil {
+		return fmt.Errorf("returned proof does not validate: %w", err)
+	}
+	fmt.Print(core.Printer{Dir: dir}.Proof(proof))
+	return nil
+}
+
+func cmdRevoke(args []string) error {
+	fs := flag.NewFlagSet("revoke", flag.ContinueOnError)
+	key := fs.String("key", "", "issuer identity file")
+	addr := fs.String("addr", "", "wallet address host:port")
+	id := fs.String("id", "", "delegation ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *addr == "" || *id == "" {
+		return errors.New("revoke: -key, -addr, -id are required")
+	}
+	client, err := dial(*key, *addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := client.Revoke(core.DelegationID(*id)); err != nil {
+		return err
+	}
+	fmt.Printf("revoked %s at %s\n", core.DelegationID(*id).Short(), *addr)
+	return nil
+}
+
+func loadIdentity(path string) (*core.Identity, error) {
+	if path == "" {
+		return nil, errors.New("missing -key")
+	}
+	f, err := keyfile.ReadIdentity(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Identity()
+}
+
+func dial(keyPath, addr string) (*remote.Client, error) {
+	id, err := loadIdentity(keyPath)
+	if err != nil {
+		return nil, err
+	}
+	return remote.Dial(&transport.TCPDialer{Identity: id}, addr)
+}
+
+// cmdMonitor subscribes to a delegation's status at a remote wallet
+// (§4.2.2) and prints pushed updates until count events arrive or the wait
+// deadline passes.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file for transport auth")
+	addr := fs.String("addr", "", "wallet address host:port")
+	id := fs.String("id", "", "delegation ID")
+	count := fs.Int("count", 1, "exit after this many status events")
+	wait := fs.Duration("wait", 30*time.Second, "maximum time to wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *addr == "" || *id == "" {
+		return errors.New("monitor: -key, -addr, -id are required")
+	}
+	client, err := dial(*key, *addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	events := make(chan subs.Event, 16)
+	cancel, err := client.Subscribe(core.DelegationID(*id), func(ev subs.Event) {
+		events <- ev
+	})
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	fmt.Printf("monitoring %s at %s (%d event(s), up to %v)\n",
+		core.DelegationID(*id).Short(), *addr, *count, *wait)
+
+	deadline := time.After(*wait)
+	for seen := 0; seen < *count; {
+		select {
+		case ev := <-events:
+			seen++
+			fmt.Printf("%s delegation %s: %s\n",
+				ev.At.Format(time.RFC3339), ev.Delegation.Short(), ev.Kind)
+		case <-deadline:
+			return fmt.Errorf("monitor: timed out after %v with %d event(s)", *wait, seen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/keyfile"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// cliEnv drives the CLI's run() function against temp files and an
+// in-process TCP wallet server.
+type cliEnv struct {
+	t   *testing.T
+	dir string
+}
+
+func newCLIEnv(t *testing.T) *cliEnv {
+	t.Helper()
+	return &cliEnv{t: t, dir: t.TempDir()}
+}
+
+func (e *cliEnv) path(name string) string { return filepath.Join(e.dir, name) }
+
+func (e *cliEnv) run(args ...string) error { return run(args) }
+
+func (e *cliEnv) must(args ...string) {
+	e.t.Helper()
+	if err := e.run(args...); err != nil {
+		e.t.Fatalf("drbac %v: %v", args, err)
+	}
+}
+
+// keygenAll creates identities and a shared directory file.
+func (e *cliEnv) keygenAll(names ...string) {
+	e.t.Helper()
+	var entries []keyfile.DirectoryEntry
+	for _, name := range names {
+		key := e.path(name + ".key")
+		e.must("keygen", "-name", name, "-out", key)
+		f, err := keyfile.ReadIdentity(key)
+		if err != nil {
+			e.t.Fatal(err)
+		}
+		id, err := f.Identity()
+		if err != nil {
+			e.t.Fatal(err)
+		}
+		entries = append(entries, keyfile.DirectoryEntry{Name: name, Key: id.Entity().Key})
+	}
+	if err := keyfile.WriteDirectory(e.path("dir.json"), entries); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+func (e *cliEnv) identity(name string) *core.Identity {
+	e.t.Helper()
+	f, err := keyfile.ReadIdentity(e.path(name + ".key"))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	id, err := f.Identity()
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return id
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	e := newCLIEnv(t)
+	if err := e.run(); err == nil {
+		t.Fatal("no-arg run accepted")
+	}
+	if err := e.run("frobnicate"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := e.run("keygen"); err == nil {
+		t.Fatal("keygen without flags accepted")
+	}
+	if err := e.run("delegate", "-key", e.path("nope.key")); err == nil {
+		t.Fatal("delegate without flags accepted")
+	}
+	if err := e.run("verify"); err == nil {
+		t.Fatal("verify without -in accepted")
+	}
+}
+
+func TestCLIDelegateShowVerify(t *testing.T) {
+	e := newCLIEnv(t)
+	e.keygenAll("BigISP", "Mark", "Maria")
+
+	e.must("delegate",
+		"-key", e.path("BigISP.key"),
+		"-entities", e.path("dir.json"),
+		"-text", "[Mark -> BigISP.memberServices] BigISP",
+		"-out", e.path("ms.json"))
+	e.must("show", "-entities", e.path("dir.json"), "-in", e.path("ms.json"))
+	e.must("verify", "-in", e.path("ms.json"))
+
+	// A delegation whose named issuer doesn't match the key is rejected.
+	if err := e.run("delegate",
+		"-key", e.path("Mark.key"),
+		"-entities", e.path("dir.json"),
+		"-text", "[Maria -> BigISP.member] BigISP",
+		"-out", e.path("bad.json")); err == nil {
+		t.Fatal("issuer/key mismatch accepted")
+	}
+
+	// Verifying a tampered bundle fails.
+	raw, err := os.ReadFile(e.path("ms.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b map[string]any
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	deleg, ok := b["delegation"].(map[string]any)
+	if !ok {
+		t.Fatal("bundle shape unexpected")
+	}
+	obj, ok := deleg["object"].(map[string]any)
+	if !ok {
+		t.Fatal("bundle object shape unexpected")
+	}
+	obj["Name"] = "admin"
+	tampered, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(e.path("tampered.json"), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.run("verify", "-in", e.path("tampered.json")); err == nil {
+		t.Fatal("tampered bundle verified")
+	}
+}
+
+func TestCLIRemoteFlow(t *testing.T) {
+	e := newCLIEnv(t)
+	e.keygenAll("BigISP", "Mark", "Maria")
+
+	// Issue the support chain and the third-party membership.
+	e.must("delegate", "-key", e.path("BigISP.key"), "-entities", e.path("dir.json"),
+		"-text", "[Mark -> BigISP.memberServices] BigISP", "-out", e.path("01.json"))
+	e.must("delegate", "-key", e.path("BigISP.key"), "-entities", e.path("dir.json"),
+		"-text", "[BigISP.memberServices -> BigISP.member'] BigISP", "-out", e.path("02.json"))
+	e.must("delegate", "-key", e.path("Mark.key"), "-entities", e.path("dir.json"),
+		"-text", "[Maria -> BigISP.member] Mark", "-out", e.path("03.json"))
+
+	// Serve BigISP's wallet in-process on a real TCP port.
+	owner := e.identity("BigISP")
+	w := wallet.New(wallet.Config{Owner: owner})
+	ln, err := transport.ListenTCP("127.0.0.1:0", owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.Serve(w, ln)
+	defer srv.Close()
+	addr := ln.Addr()
+
+	// Publish support first (self-certified), then the third-party grant:
+	// the server wallet derives its support chain.
+	e.must("publish", "-key", e.path("BigISP.key"), "-addr", addr, "-in", e.path("01.json"))
+	e.must("publish", "-key", e.path("BigISP.key"), "-addr", addr, "-in", e.path("02.json"))
+	e.must("publish", "-key", e.path("Mark.key"), "-addr", addr, "-in", e.path("03.json"))
+
+	e.must("query", "-key", e.path("Maria.key"), "-addr", addr,
+		"-entities", e.path("dir.json"), "-subject", "Maria", "-object", "BigISP.member")
+
+	// Mark revokes his delegation; the query then fails.
+	bundle, err := keyfile.ReadBundle(e.path("03.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.must("revoke", "-key", e.path("Mark.key"), "-addr", addr,
+		"-id", string(bundle.Delegation.ID()))
+	if err := e.run("query", "-key", e.path("Maria.key"), "-addr", addr,
+		"-entities", e.path("dir.json"), "-subject", "Maria", "-object", "BigISP.member"); err == nil {
+		t.Fatal("query succeeded after revocation")
+	}
+}
+
+func TestCLIMonitor(t *testing.T) {
+	e := newCLIEnv(t)
+	e.keygenAll("BigISP", "Maria")
+	e.must("delegate", "-key", e.path("BigISP.key"), "-entities", e.path("dir.json"),
+		"-text", "[Maria -> BigISP.member] BigISP", "-out", e.path("d.json"))
+
+	owner := e.identity("BigISP")
+	w := wallet.New(wallet.Config{Owner: owner})
+	ln, err := transport.ListenTCP("127.0.0.1:0", owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.Serve(w, ln)
+	defer srv.Close()
+	e.must("publish", "-key", e.path("BigISP.key"), "-addr", ln.Addr(), "-in", e.path("d.json"))
+
+	b, err := keyfile.ReadBundle(e.path("d.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revoke shortly after the monitor attaches.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		_ = w.Revoke(b.Delegation.ID(), owner.ID())
+	}()
+	e.must("monitor", "-key", e.path("Maria.key"), "-addr", ln.Addr(),
+		"-id", string(b.Delegation.ID()), "-count", "1", "-wait", "5s")
+
+	// Timeout path: nothing will happen to an unknown delegation.
+	if err := e.run("monitor", "-key", e.path("Maria.key"), "-addr", ln.Addr(),
+		"-id", "deadbeef", "-count", "1", "-wait", "200ms"); err == nil {
+		t.Fatal("monitor without events should time out")
+	}
+}

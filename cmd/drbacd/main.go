@@ -1,0 +1,139 @@
+// Command drbacd runs a dRBAC wallet server: a credential repository
+// answering publication, query, subscription, and revocation requests over
+// the authenticated TCP transport (§4).
+//
+// Usage:
+//
+//	drbacd -key bigisp.key -listen 127.0.0.1:7100 [-load bundles/] [-strict]
+//
+// The -load directory may contain delegation bundle files (as written by
+// `drbac delegate`) that are published into the wallet at startup, in
+// filename order, so support proofs can precede their dependents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"drbac/internal/keyfile"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "drbacd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("drbacd", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "wallet operator identity file")
+	listen := fs.String("listen", "127.0.0.1:7100", "listen address")
+	load := fs.String("load", "", "directory of delegation bundles to publish at startup")
+	state := fs.String("state", "", "wallet state file: restored at startup, saved on shutdown and every sweep")
+	strict := fs.Bool("strict", false, "require attribute-assignment rights")
+	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" {
+		return fmt.Errorf("-key is required")
+	}
+	f, err := keyfile.ReadIdentity(*keyPath)
+	if err != nil {
+		return err
+	}
+	owner, err := f.Identity()
+	if err != nil {
+		return err
+	}
+
+	w := wallet.New(wallet.Config{Owner: owner, StrictAttributes: *strict})
+	if *state != "" {
+		if n, err := keyfile.LoadWallet(*state, w); err == nil {
+			fmt.Printf("restored %d delegations from %s\n", n, *state)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if *load != "" {
+		n, err := loadBundles(w, *load)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d delegations from %s\n", n, *load)
+	}
+
+	ln, err := transport.ListenTCP(*listen, owner)
+	if err != nil {
+		return err
+	}
+	srv := remote.Serve(w, ln)
+	defer srv.Close()
+	fmt.Printf("drbacd: wallet of %s (%s) serving on %s\n", owner.Name(), owner.ID().Short(), ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*sweep)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if n := w.SweepExpired(); n > 0 {
+				fmt.Printf("swept %d expired delegations\n", n)
+			}
+			if n := w.SweepStaleCache(); n > 0 {
+				fmt.Printf("swept %d stale cached delegations\n", n)
+			}
+			if *state != "" {
+				if err := keyfile.SaveWallet(*state, w); err != nil {
+					fmt.Fprintf(os.Stderr, "drbacd: save state: %v\n", err)
+				}
+			}
+		case <-stop:
+			if *state != "" {
+				if err := keyfile.SaveWallet(*state, w); err != nil {
+					fmt.Fprintf(os.Stderr, "drbacd: save state: %v\n", err)
+				}
+			}
+			fmt.Println("shutting down")
+			return nil
+		}
+	}
+}
+
+func loadBundles(w *wallet.Wallet, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	n := 0
+	for _, name := range names {
+		b, err := keyfile.ReadBundle(filepath.Join(dir, name))
+		if err != nil {
+			return n, fmt.Errorf("load %s: %w", name, err)
+		}
+		if err := w.Publish(b.Delegation, b.Support...); err != nil {
+			return n, fmt.Errorf("publish %s: %w", name, err)
+		}
+		n++
+	}
+	return n, nil
+}

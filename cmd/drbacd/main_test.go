@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/keyfile"
+	"drbac/internal/wallet"
+)
+
+func writeBundles(t *testing.T, dir string) (first, second core.DelegationID) {
+	t.Helper()
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewIdentity("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entDir := core.NewDirectory(org.Entity(), user.Entity())
+	issue := func(text string) *core.Delegation {
+		parsed, err := core.ParseDelegation(text, entDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Issue(org, parsed.Template, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1 := issue("[User -> Org.member] Org")
+	d2 := issue("[Org.member -> Org.reader] Org")
+	if err := keyfile.WriteBundle(filepath.Join(dir, "01_member.json"), keyfile.Bundle{Delegation: d1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := keyfile.WriteBundle(filepath.Join(dir, "02_reader.json"), keyfile.Bundle{Delegation: d2}); err != nil {
+		t.Fatal(err)
+	}
+	// A non-JSON file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return d1.ID(), d2.ID()
+}
+
+func TestLoadBundles(t *testing.T) {
+	dir := t.TempDir()
+	id1, id2 := writeBundles(t, dir)
+	w := wallet.New(wallet.Config{})
+	n, err := loadBundles(w, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d, want 2", n)
+	}
+	if !w.Contains(id1) || !w.Contains(id2) {
+		t.Fatal("bundles not published")
+	}
+}
+
+func TestLoadBundlesErrors(t *testing.T) {
+	w := wallet.New(wallet.Config{})
+	if _, err := loadBundles(w, filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBundles(w, dir); err == nil {
+		t.Fatal("malformed bundle accepted")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("missing -key accepted")
+	}
+	if err := run([]string{"-key", filepath.Join(t.TempDir(), "missing.key")}); err == nil {
+		t.Fatal("missing key file accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package drbac is a Go implementation of dRBAC — Distributed Role-Based
+// Access Control for Dynamic Coalition Environments (Freudenthal, Pesin,
+// Port, Keenan, Karamcheti; ICDCS 2002).
+//
+// dRBAC is a decentralized trust-management and access-control system for
+// coalitions spanning multiple administrative domains. Entities are PKI
+// identities defining namespaces; roles are names in a namespace;
+// delegations are signed certificates [Subject → Object] Issuer that grant
+// the subject the permissions of the object role. Its three distinguishing
+// features, all implemented here:
+//
+//   - Third-party delegation: an authorized entity delegates roles from
+//     another entity's namespace, backed by an explicit, recursively
+//     validated right-of-assignment support proof.
+//   - Valued attributes: scalar modulation of access rights along
+//     delegation chains with monotone operators (-=, *=, <=).
+//   - Continuous monitoring: proof monitors backed by delegation
+//     subscriptions push credential status changes to relying parties over
+//     long-lived interactions.
+//
+// The package also provides wallets (credential repositories answering
+// direct, subject, and object queries with proofs), an authenticated
+// transport, remote wallet serving, and distributed delegation-chain
+// discovery driven by discovery tags.
+//
+// # Quick start
+//
+//	bigISP, _ := drbac.NewIdentity("BigISP")
+//	maria, _ := drbac.NewIdentity("Maria")
+//	dir := drbac.NewDirectory(bigISP.Entity(), maria.Entity())
+//
+//	parsed, _ := drbac.ParseDelegation("[Maria -> BigISP.member] BigISP", dir)
+//	d, _ := drbac.Issue(bigISP, parsed.Template, time.Now())
+//
+//	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+//	_ = w.Publish(d)
+//	proof, _ := w.QueryDirect(drbac.Query{
+//		Subject: drbac.SubjectEntity(maria.ID()),
+//		Object:  drbac.NewRole(bigISP.ID(), "member"),
+//	})
+//	fmt.Println(drbac.Printer{Dir: dir}.Proof(proof))
+//
+// See examples/ for runnable programs covering the paper's Table 1/2
+// delegation forms, the §5 coalition case study over real TCP wallets, and
+// continuous monitoring with revocation push.
+package drbac
+
+import (
+	"time"
+
+	"drbac/internal/core"
+)
+
+// Core model re-exports. These aliases are the stable public names for the
+// dRBAC model types; see the internal/core documentation for semantics.
+type (
+	// Entity is a principal or resource: a public key plus a display name.
+	Entity = core.Entity
+	// EntityID is an entity's key fingerprint.
+	EntityID = core.EntityID
+	// Identity is an entity with its private key; it can issue delegations.
+	Identity = core.Identity
+	// Role is a name in an entity's namespace; ticks mark assignment rights.
+	Role = core.Role
+	// Subject is a delegation grantee: an entity or a role.
+	Subject = core.Subject
+	// Delegation is a signed certificate [Subject → Object] Issuer.
+	Delegation = core.Delegation
+	// DelegationID is a delegation's content hash.
+	DelegationID = core.DelegationID
+	// Template carries caller-controlled fields for Issue.
+	Template = core.Template
+	// Parsed is the result of parsing the concrete delegation syntax.
+	Parsed = core.Parsed
+	// Kind classifies delegations as self-certified or third-party.
+	Kind = core.Kind
+	// Proof is a delegation chain with recursive support proofs.
+	Proof = core.Proof
+	// ProofStep is one delegation plus its support proofs.
+	ProofStep = core.ProofStep
+	// ValidateOptions parameterizes proof validation.
+	ValidateOptions = core.ValidateOptions
+	// Operator is a valued-attribute operator (-=, *=, <=).
+	Operator = core.Operator
+	// AttributeRef names a valued attribute in a namespace.
+	AttributeRef = core.AttributeRef
+	// AttributeSetting is one "with" clause of a delegation.
+	AttributeSetting = core.AttributeSetting
+	// Modifier is one attribute's accumulated chain effect.
+	Modifier = core.Modifier
+	// Aggregate maps attributes to accumulated modifiers along a chain.
+	Aggregate = core.Aggregate
+	// Constraint is a valued-attribute requirement on a query.
+	Constraint = core.Constraint
+	// DiscoveryTag locates a name's home wallet and search flags.
+	DiscoveryTag = core.DiscoveryTag
+	// SubjectFlag is a tag's ternary subject-discovery flag.
+	SubjectFlag = core.SubjectFlag
+	// ObjectFlag is a tag's ternary object-discovery flag.
+	ObjectFlag = core.ObjectFlag
+	// Directory resolves entity names for parsing and display.
+	Directory = core.Directory
+	// MemDirectory is an in-memory Directory.
+	MemDirectory = core.MemDirectory
+	// Printer renders model objects with names resolved.
+	Printer = core.Printer
+)
+
+// Operator, kind, and discovery-flag constants.
+const (
+	OpSubtract = core.OpSubtract
+	OpMultiply = core.OpMultiply
+	OpMinimum  = core.OpMinimum
+
+	KindSelfCertified = core.KindSelfCertified
+	KindThirdParty    = core.KindThirdParty
+
+	SubjectNone   = core.SubjectNone
+	SubjectStore  = core.SubjectStore
+	SubjectSearch = core.SubjectSearch
+	ObjectNone    = core.ObjectNone
+	ObjectStore   = core.ObjectStore
+	ObjectSearch  = core.ObjectSearch
+)
+
+// Sentinel errors.
+var (
+	// ErrNoProof reports that no authorizing proof exists.
+	ErrNoProof = core.ErrNoProof
+	// ErrRevoked reports a revoked delegation in a proof.
+	ErrRevoked = core.ErrRevoked
+	// ErrProofDepth reports support-proof recursion beyond the limit.
+	ErrProofDepth = core.ErrProofDepth
+)
+
+// NewIdentity generates a fresh identity with a display name.
+func NewIdentity(name string) (*Identity, error) { return core.NewIdentity(name) }
+
+// IdentityFromSeed derives a deterministic identity from a 32-byte seed.
+func IdentityFromSeed(name string, seed []byte) (*Identity, error) {
+	return core.IdentityFromSeed(name, seed)
+}
+
+// NewDirectory builds an in-memory name directory.
+func NewDirectory(entities ...Entity) *MemDirectory { return core.NewDirectory(entities...) }
+
+// NewRole builds the role ns.name.
+func NewRole(ns EntityID, name string) Role { return core.NewRole(ns, name) }
+
+// SubjectEntity builds an entity subject.
+func SubjectEntity(id EntityID) Subject { return core.SubjectEntity(id) }
+
+// SubjectRole builds a role subject.
+func SubjectRole(r Role) Subject { return core.SubjectRole(r) }
+
+// Issue creates and signs a delegation.
+func Issue(issuer *Identity, tmpl Template, now time.Time) (*Delegation, error) {
+	return core.Issue(issuer, tmpl, now)
+}
+
+// ParseDelegation parses the paper's concrete syntax, e.g.
+// "[Maria -> BigISP.member] Mark".
+func ParseDelegation(text string, dir Directory) (*Parsed, error) {
+	return core.ParseDelegation(text, dir)
+}
+
+// ParseRole parses "Entity.name", "Entity.name'", or
+// "Entity.attr <op>= '".
+func ParseRole(text string, dir Directory) (Role, error) { return core.ParseRole(text, dir) }
+
+// ParseSubject parses an entity name or role.
+func ParseSubject(text string, dir Directory) (Subject, error) {
+	return core.ParseSubject(text, dir)
+}
+
+// NewProof assembles a proof from ordered steps.
+func NewProof(steps ...ProofStep) (*Proof, error) { return core.NewProof(steps...) }
+
+// NewAggregate returns an empty attribute aggregate.
+func NewAggregate() Aggregate { return core.NewAggregate() }
+
+// DisplayID renders an entity ID through a directory.
+func DisplayID(dir Directory, id EntityID) string { return core.DisplayID(dir, id) }

@@ -1,0 +1,195 @@
+package drbac_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"drbac"
+)
+
+// newCoalition builds the paper's principals through the public API only.
+func newCoalition(t *testing.T) (ids map[string]*drbac.Identity, dir *drbac.MemDirectory) {
+	t.Helper()
+	ids = make(map[string]*drbac.Identity)
+	dir = drbac.NewDirectory()
+	for _, name := range []string{"BigISP", "AirNet", "Mark", "Sheila", "Maria"} {
+		id, err := drbac.NewIdentity(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+		dir.Add(id.Entity())
+	}
+	return ids, dir
+}
+
+func issue(t *testing.T, ids map[string]*drbac.Identity, dir drbac.Directory, text string) *drbac.Delegation {
+	t.Helper()
+	parsed, err := drbac.ParseDelegation(text, dir)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	var issuer *drbac.Identity
+	for _, id := range ids {
+		if id.ID() == parsed.Issuer.ID() {
+			issuer = id
+		}
+	}
+	if issuer == nil {
+		t.Fatalf("no identity for issuer of %q", text)
+	}
+	d, err := drbac.Issue(issuer, parsed.Template, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPublicAPITable1Flow(t *testing.T) {
+	ids, dir := newCoalition(t)
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+
+	for _, text := range []string{
+		"[Mark -> BigISP.memberServices] BigISP",
+		"[BigISP.memberServices -> BigISP.member'] BigISP",
+		"[Maria -> BigISP.member] Mark",
+	} {
+		if err := w.Publish(issue(t, ids, dir, text)); err != nil {
+			t.Fatalf("publish %q: %v", text, err)
+		}
+	}
+	proof, err := w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["BigISP"].ID(), "member"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := (drbac.Printer{Dir: dir}).Proof(proof); out == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestPublicAPIDistributedCoalitionOverTCP(t *testing.T) {
+	ids, dir := newCoalition(t)
+	now := time.Now()
+	clk := drbac.SystemClock()
+	_ = clk
+
+	// AirNet's home wallet over real TCP.
+	airNetWallet := drbac.NewWallet(drbac.WalletConfig{Owner: ids["AirNet"], Directory: dir})
+	ln, err := drbac.ListenTCP("127.0.0.1:0", ids["AirNet"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := drbac.ServeWallet(airNetWallet, ln)
+	defer srv.Close()
+
+	if err := airNetWallet.Publish(issue(t, ids, dir, "[BigISP.member -> AirNet.access with AirNet.BW <= 100] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The relying server holds Maria's membership locally and discovers
+	// the rest via the tag book.
+	local := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+	if err := local.Publish(issue(t, ids, dir, "[Maria -> BigISP.member] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	memberRole := drbac.NewRole(ids["BigISP"].ID(), "member")
+	bw := drbac.AttributeRef{Namespace: ids["AirNet"].ID(), Name: "BW"}
+
+	proof, err := drbac.Discover(local, &drbac.TCPDialer{Identity: ids["Maria"]}, drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["AirNet"].ID(), "access"),
+		Constraints: []drbac.Constraint{
+			{Attr: bw, Base: math.Inf(1), Minimum: 50},
+		},
+	}, map[drbac.Subject]drbac.DiscoveryTag{
+		drbac.SubjectRole(memberRole): {
+			Home:    ln.Addr(),
+			TTL:     30 * time.Second,
+			Subject: drbac.SubjectSearch,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Validate(drbac.ValidateOptions{At: now}); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := proof.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Value(bw, math.Inf(1)); got != 100 {
+		t.Fatalf("BW = %v", got)
+	}
+}
+
+func TestPublicAPIMonitoring(t *testing.T) {
+	ids, dir := newCoalition(t)
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+	d := issue(t, ids, dir, "[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan drbac.MonitorEvent, 1)
+	mon, err := w.Monitor(drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["BigISP"].ID(), "member"),
+	}, func(ev drbac.MonitorEvent) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if err := w.Revoke(d.ID(), ids["BigISP"].ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != drbac.MonitorInvalidated {
+			t.Fatalf("event = %v", ev.Kind)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no monitor event")
+	}
+	_, err = w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["BigISP"].ID(), "member"),
+	})
+	if !errors.Is(err, drbac.ErrNoProof) {
+		t.Fatalf("want ErrNoProof, got %v", err)
+	}
+}
+
+func TestPublicAPIFakeClockExpiry(t *testing.T) {
+	ids, dir := newCoalition(t)
+	start := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	clk := drbac.NewFakeClock(start)
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir, Clock: clk})
+
+	parsed, err := drbac.ParseDelegation("[Maria -> BigISP.member] BigISP <expiry:2026-07-06T13:00:00Z>", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := drbac.Issue(ids["BigISP"], parsed.Template, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	q := drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["BigISP"].ID(), "member"),
+	}
+	if _, err := w.QueryDirect(q); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	if _, err := w.QueryDirect(q); !errors.Is(err, drbac.ErrNoProof) {
+		t.Fatalf("expired credential still proves: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Command attributes demonstrates the paper's Table 2 extensions: valued
+// attributes that modulate access levels monotonically along delegation
+// chains, and delegation of the right to set an attribute.
+//
+//	go run ./examples/attributes
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"drbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	airNet, err := drbac.NewIdentity("AirNet")
+	if err != nil {
+		return err
+	}
+	bigISP, err := drbac.NewIdentity("BigISP")
+	if err != nil {
+		return err
+	}
+	sheila, err := drbac.NewIdentity("Sheila")
+	if err != nil {
+		return err
+	}
+	maria, err := drbac.NewIdentity("Maria")
+	if err != nil {
+		return err
+	}
+	dir := drbac.NewDirectory(airNet.Entity(), bigISP.Entity(), sheila.Entity(), maria.Entity())
+	pr := drbac.Printer{Dir: dir}
+	now := time.Now()
+
+	issue := func(issuer *drbac.Identity, text string) (*drbac.Delegation, error) {
+		parsed, err := drbac.ParseDelegation(text, dir)
+		if err != nil {
+			return nil, err
+		}
+		return drbac.Issue(issuer, parsed.Template, now)
+	}
+
+	// A strict wallet enforces that only entities holding an attribute's
+	// assignment right may set it (Table 2, "Delegation of Assignment for
+	// Valued Attributes").
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir, StrictAttributes: true})
+
+	// AirNet builds Sheila's authority: the marketing role, the member
+	// assignment right, and the rights to set each valued attribute.
+	for _, text := range []string{
+		"[Sheila -> AirNet.mktg] AirNet",
+		"[AirNet.mktg -> AirNet.member'] AirNet",
+		"[AirNet.mktg -> AirNet.BW <= '] AirNet",      // Table 2 example (5) pattern
+		"[AirNet.mktg -> AirNet.storage -= '] AirNet", // Table 2 example (5)
+		"[AirNet.mktg -> AirNet.hours *= '] AirNet",
+	} {
+		d, err := issue(airNet, text)
+		if err != nil {
+			return err
+		}
+		if err := w.Publish(d); err != nil {
+			return fmt.Errorf("publish %q: %w", text, err)
+		}
+		fmt.Println(pr.Delegation(d))
+	}
+
+	// Table 2 example (4): Sheila modulates the coalition's access level.
+	d4, err := issue(sheila,
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila")
+	if err != nil {
+		return err
+	}
+	if err := w.Publish(d4); err != nil {
+		return fmt.Errorf("publish coalition: %w", err)
+	}
+	fmt.Println(pr.Delegation(d4))
+
+	// AirNet's resource policy and Maria's membership.
+	for issuer, text := range map[*drbac.Identity]string{
+		airNet: "[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet",
+		bigISP: "[Maria -> BigISP.member] BigISP",
+	} {
+		d, err := issue(issuer, text)
+		if err != nil {
+			return err
+		}
+		if err := w.Publish(d); err != nil {
+			return err
+		}
+		fmt.Println(pr.Delegation(d))
+	}
+
+	// Query with a bandwidth floor; aggregate the chain's modifiers.
+	bw := drbac.AttributeRef{Namespace: airNet.ID(), Name: "BW"}
+	storage := drbac.AttributeRef{Namespace: airNet.ID(), Name: "storage"}
+	hours := drbac.AttributeRef{Namespace: airNet.ID(), Name: "hours"}
+
+	proof, err := w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(maria.ID()),
+		Object:  drbac.NewRole(airNet.ID(), "access"),
+		Constraints: []drbac.Constraint{
+			{Attr: bw, Base: math.Inf(1), Minimum: 50},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	ag, err := proof.Aggregate()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nMaria's modulated access (§5 outcomes):")
+	fmt.Printf("  bandwidth: %v units  (min of 100 and 200)\n", ag.Value(bw, math.Inf(1)))
+	fmt.Printf("  storage:   %v units  (base 50 - 20)\n", ag.Value(storage, 50))
+	fmt.Printf("  hours:     %v /month (base 60 * 0.3)\n", ag.Value(hours, 60))
+
+	// Monotonicity means no chain extension can raise values: a query
+	// demanding more bandwidth than the chain allows finds no proof.
+	_, err = w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(maria.ID()),
+		Object:  drbac.NewRole(airNet.ID(), "access"),
+		Constraints: []drbac.Constraint{
+			{Attr: bw, Base: math.Inf(1), Minimum: 150},
+		},
+	})
+	fmt.Printf("\nquery demanding BW >= 150: %v\n", err)
+	return nil
+}

@@ -1,0 +1,199 @@
+// Command coalition runs the paper's §5 case study end to end over real
+// TCP: BigISP's and AirNet's home wallets as servers, an AirNet access
+// server with a local wallet and discovery agent, distributed proof
+// construction (Figure 2 steps 1-6), continuous monitoring, and a live
+// revocation that tears the session down.
+//
+//	go run ./examples/coalition
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"drbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ids := make(map[string]*drbac.Identity)
+	dir := drbac.NewDirectory()
+	for _, name := range []string{"BigISP", "AirNet", "Sheila", "Maria"} {
+		id, err := drbac.NewIdentity(name)
+		if err != nil {
+			return err
+		}
+		ids[name] = id
+		dir.Add(id.Entity())
+	}
+	pr := drbac.Printer{Dir: dir}
+	now := time.Now()
+
+	issue := func(issuer string, text string, objTag *drbac.DiscoveryTag) (*drbac.Delegation, error) {
+		parsed, err := drbac.ParseDelegation(text, dir)
+		if err != nil {
+			return nil, err
+		}
+		parsed.Template.ObjectTag = objTag
+		return drbac.Issue(ids[issuer], parsed.Template, now)
+	}
+
+	// --- Home wallets as real TCP servers --------------------------------
+	bigISPWallet := drbac.NewWallet(drbac.WalletConfig{Owner: ids["BigISP"], Directory: dir})
+	bigISPLn, err := drbac.ListenTCP("127.0.0.1:0", ids["BigISP"])
+	if err != nil {
+		return err
+	}
+	defer drbac.ServeWallet(bigISPWallet, bigISPLn).Close()
+
+	airNetWallet := drbac.NewWallet(drbac.WalletConfig{Owner: ids["AirNet"], Directory: dir})
+	airNetLn, err := drbac.ListenTCP("127.0.0.1:0", ids["AirNet"])
+	if err != nil {
+		return err
+	}
+	defer drbac.ServeWallet(airNetWallet, airNetLn).Close()
+
+	fmt.Printf("BigISP home wallet: %s\nAirNet home wallet: %s\n\n", bigISPLn.Addr(), airNetLn.Addr())
+
+	memberTag := &drbac.DiscoveryTag{
+		Home: bigISPLn.Addr(), TTL: 30 * time.Second, Subject: drbac.SubjectSearch,
+	}
+	airMemberTag := &drbac.DiscoveryTag{
+		Home: airNetLn.Addr(), TTL: 30 * time.Second, Subject: drbac.SubjectSearch,
+	}
+
+	// --- Table 3 delegations in their home wallets ------------------------
+	// (1) Maria's membership, carried by her laptop.
+	d1, err := issue("BigISP", "[Maria -> BigISP.member] BigISP", memberTag)
+	if err != nil {
+		return err
+	}
+	// (3),(4): Sheila's authority — the support proof for (2).
+	d3, err := issue("AirNet", "[Sheila -> AirNet.mktg] AirNet", nil)
+	if err != nil {
+		return err
+	}
+	d4, err := issue("AirNet", "[AirNet.mktg -> AirNet.member'] AirNet", nil)
+	if err != nil {
+		return err
+	}
+	sup, err := drbac.NewProof(drbac.ProofStep{Delegation: d3}, drbac.ProofStep{Delegation: d4})
+	if err != nil {
+		return err
+	}
+	// (2) the coalition, stored in BigISP's wallet with its support proof.
+	parsed, err := drbac.ParseDelegation(
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila", dir)
+	if err != nil {
+		return err
+	}
+	parsed.Template.SubjectTag = memberTag
+	parsed.Template.ObjectTag = airMemberTag
+	d2, err := drbac.Issue(ids["Sheila"], parsed.Template, now)
+	if err != nil {
+		return err
+	}
+	if err := bigISPWallet.Publish(d2, sup); err != nil {
+		return fmt.Errorf("publish (2): %w", err)
+	}
+	// (5) AirNet's access policy, in AirNet's wallet.
+	parsed, err = drbac.ParseDelegation("[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet", dir)
+	if err != nil {
+		return err
+	}
+	parsed.Template.SubjectTag = airMemberTag
+	d5, err := drbac.Issue(ids["AirNet"], parsed.Template, now)
+	if err != nil {
+		return err
+	}
+	if err := airNetWallet.Publish(d5); err != nil {
+		return fmt.Errorf("publish (5): %w", err)
+	}
+
+	// --- The AirNet access server -----------------------------------------
+	serverID, err := drbac.NewIdentity("AirNetServer")
+	if err != nil {
+		return err
+	}
+	dir.Add(serverID.Entity())
+	serverWallet := drbac.NewWallet(drbac.WalletConfig{Owner: serverID, Directory: dir})
+	agent := drbac.NewDiscoveryAgent(drbac.DiscoveryConfig{
+		Local:  serverWallet,
+		Dialer: &drbac.TCPDialer{Identity: serverID},
+	})
+	defer agent.Close()
+
+	// Step 1: Maria's laptop authenticates and presents delegation (1).
+	if err := serverWallet.Publish(d1); err != nil {
+		return fmt.Errorf("accept (1): %w", err)
+	}
+	agent.Learn(d1)
+	fmt.Println("step 1: received", pr.Delegation(d1))
+
+	// Steps 2-5: distributed proof construction.
+	bw := drbac.AttributeRef{Namespace: ids["AirNet"].ID(), Name: "BW"}
+	storage := drbac.AttributeRef{Namespace: ids["AirNet"].ID(), Name: "storage"}
+	hours := drbac.AttributeRef{Namespace: ids["AirNet"].ID(), Name: "hours"}
+	query := drbac.Query{
+		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
+		Object:  drbac.NewRole(ids["AirNet"].ID(), "access"),
+		Constraints: []drbac.Constraint{
+			{Attr: bw, Base: math.Inf(1), Minimum: 50},
+		},
+	}
+	var stats drbac.DiscoveryStats
+	proof, err := agent.Discover(query, drbac.DiscoverAuto, &stats)
+	if err != nil {
+		return fmt.Errorf("discovery: %w", err)
+	}
+	for _, ev := range stats.Trace {
+		fmt.Printf("step 3/4: round %d, %s query at %s for %s -> %d proof(s)\n",
+			ev.Round, ev.Kind, ev.Wallet, ev.Node, ev.Results)
+	}
+	fmt.Println("step 5: proof assembled locally:")
+	fmt.Print(pr.Proof(proof))
+
+	ag, err := proof.Aggregate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("granting access: BW=%v (<=200), storage=%v (=50-20), hours=%v (=60*0.3)\n\n",
+		ag.Value(bw, math.Inf(1)), ag.Value(storage, 50), ag.Value(hours, 60))
+
+	// Step 6: wrap in a proof monitor and bridge home-wallet subscriptions.
+	sessionDown := make(chan drbac.MonitorEvent, 1)
+	mon, err := serverWallet.MonitorProof(query, proof, func(ev drbac.MonitorEvent) {
+		sessionDown <- ev
+	})
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	cancel, err := agent.Bridge(proof)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	fmt.Println("step 6: session up, monitoring", len(proof.Delegations()), "delegations")
+
+	// The partnership ends: Sheila revokes (2) at BigISP's home wallet.
+	fmt.Println("\nSheila revokes the coalition delegation (2)...")
+	if err := bigISPWallet.Revoke(d2.ID(), ids["Sheila"].ID()); err != nil {
+		return err
+	}
+	select {
+	case ev := <-sessionDown:
+		fmt.Printf("monitor: %v (cause: delegation %s %s) — disconnecting Maria\n",
+			ev.Kind, ev.Cause.Delegation.Short(), ev.Cause.Kind)
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("revocation never reached the access server")
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command quickstart walks through the paper's Table 1: the three base
+// delegation forms (self-certified, assignment, third-party) and the proof
+// that Maria holds BigISP.member.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"drbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Entities are key pairs; names are informational.
+	bigISP, err := drbac.NewIdentity("BigISP")
+	if err != nil {
+		return err
+	}
+	mark, err := drbac.NewIdentity("Mark")
+	if err != nil {
+		return err
+	}
+	maria, err := drbac.NewIdentity("Maria")
+	if err != nil {
+		return err
+	}
+	dir := drbac.NewDirectory(bigISP.Entity(), mark.Entity(), maria.Entity())
+	pr := drbac.Printer{Dir: dir}
+	now := time.Now()
+
+	issue := func(issuer *drbac.Identity, text string) (*drbac.Delegation, error) {
+		parsed, err := drbac.ParseDelegation(text, dir)
+		if err != nil {
+			return nil, err
+		}
+		return drbac.Issue(issuer, parsed.Template, now)
+	}
+
+	// Table 1 delegation (1): self-certified — BigISP grants Mark the
+	// memberServices role from its own namespace.
+	d1, err := issue(bigISP, "[Mark -> BigISP.memberServices] BigISP")
+	if err != nil {
+		return err
+	}
+	// Table 1 delegation (2): assignment — memberServices holders receive
+	// the right to hand out BigISP.member (note the tick).
+	d2, err := issue(bigISP, "[BigISP.memberServices -> BigISP.member'] BigISP")
+	if err != nil {
+		return err
+	}
+	// Table 1 delegation (3): third-party — Mark, not BigISP, signs
+	// Maria's membership; (1)+(2) form his support proof.
+	d3, err := issue(mark, "[Maria -> BigISP.member] Mark")
+	if err != nil {
+		return err
+	}
+	for i, d := range []*drbac.Delegation{d1, d2, d3} {
+		fmt.Printf("(%d) %-14s %s\n", i+1, d.Kind().String()+":", pr.Delegation(d))
+	}
+
+	// A wallet validates third-party publications against support proofs;
+	// here it derives Mark => BigISP.member' from (1) and (2) itself.
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+	for _, d := range []*drbac.Delegation{d1, d2, d3} {
+		if err := w.Publish(d); err != nil {
+			return fmt.Errorf("publish: %w", err)
+		}
+	}
+
+	// The key question (§2): does principal Maria have the permissions of
+	// role BigISP.member?
+	proof, err := w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(maria.ID()),
+		Object:  drbac.NewRole(bigISP.ID(), "member"),
+	})
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	fmt.Println("\nproof that Maria => BigISP.member:")
+	fmt.Print(pr.Proof(proof))
+
+	// Revoking the support chain invalidates the relationship.
+	if err := w.Revoke(d1.ID(), bigISP.ID()); err != nil {
+		return err
+	}
+	_, err = w.QueryDirect(drbac.Query{
+		Subject: drbac.SubjectEntity(maria.ID()),
+		Object:  drbac.NewRole(bigISP.ID(), "member"),
+	})
+	fmt.Printf("\nafter revoking (1): %v\n", err)
+	return nil
+}

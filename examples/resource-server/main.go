@@ -1,0 +1,139 @@
+// Command resource-server shows the DisCo application layer (§1 "Project
+// Context"): a service registers a protected resource with base service
+// levels, authorizes principals into monitored sessions with modulated
+// allocations, throttles work by the session's bandwidth level, and cuts
+// the session the moment its authorization is revoked.
+//
+//	go run ./examples/resource-server
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"drbac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	airNet, err := drbac.NewIdentity("AirNet")
+	if err != nil {
+		return err
+	}
+	sheila, err := drbac.NewIdentity("Sheila")
+	if err != nil {
+		return err
+	}
+	bigISP, err := drbac.NewIdentity("BigISP")
+	if err != nil {
+		return err
+	}
+	maria, err := drbac.NewIdentity("Maria")
+	if err != nil {
+		return err
+	}
+	dir := drbac.NewDirectory(airNet.Entity(), sheila.Entity(), bigISP.Entity(), maria.Entity())
+	now := time.Now()
+	issue := func(issuer *drbac.Identity, text string) (*drbac.Delegation, error) {
+		parsed, err := drbac.ParseDelegation(text, dir)
+		if err != nil {
+			return nil, err
+		}
+		return drbac.Issue(issuer, parsed.Template, now)
+	}
+
+	// The server's trusted wallet, loaded with the coalition credentials.
+	w := drbac.NewWallet(drbac.WalletConfig{Directory: dir})
+	for issuer, texts := range map[*drbac.Identity][]string{
+		bigISP: {"[Maria -> BigISP.member] BigISP"},
+		airNet: {
+			"[Sheila -> AirNet.mktg] AirNet",
+			"[AirNet.mktg -> AirNet.member'] AirNet",
+			"[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet",
+		},
+	} {
+		for _, text := range texts {
+			d, err := issue(issuer, text)
+			if err != nil {
+				return err
+			}
+			if err := w.Publish(d); err != nil {
+				return err
+			}
+		}
+	}
+	coalition, err := issue(sheila,
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila")
+	if err != nil {
+		return err
+	}
+	if err := w.Publish(coalition); err != nil {
+		return err
+	}
+
+	// Register the protected resource: access requires AirNet.access, at
+	// least 50 units of bandwidth, evaluated against AirNet's baselines.
+	bw := drbac.AttributeRef{Namespace: airNet.ID(), Name: "BW"}
+	storage := drbac.AttributeRef{Namespace: airNet.ID(), Name: "storage"}
+	hours := drbac.AttributeRef{Namespace: airNet.ID(), Name: "hours"}
+
+	guard, err := drbac.NewGuard(drbac.GuardConfig{Wallet: w})
+	if err != nil {
+		return err
+	}
+	defer guard.Close()
+	if err := guard.Register(drbac.ProtectedResource{
+		Name:     "wifi",
+		Role:     drbac.NewRole(airNet.ID(), "access"),
+		Bases:    map[drbac.AttributeRef]float64{storage: 50, hours: 60},
+		Minimums: map[drbac.AttributeRef]float64{bw: 50},
+	}); err != nil {
+		return err
+	}
+
+	// Maria connects; the guard runs the dRBAC pipeline and opens a
+	// monitored session with her modulated allocation.
+	down := make(chan drbac.SessionEvent, 1)
+	session, err := guard.Authorize(maria.ID(), "wifi", func(ev drbac.SessionEvent) {
+		if ev.Kind == drbac.SessionTerminated {
+			down <- ev
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("authorize: %w", err)
+	}
+	defer session.Close()
+	fmt.Printf("session for Maria on %q:\n", session.ResourceName())
+	fmt.Printf("  bandwidth: %v units\n", session.Level(bw))
+	fmt.Printf("  storage:   %v units\n", session.Level(storage))
+	fmt.Printf("  hours:     %v per month\n", session.Level(hours))
+
+	// Serve "traffic" paced by her bandwidth level until the coalition is
+	// torn down.
+	served := 0
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	revokeAt := time.After(100 * time.Millisecond)
+	for session.Active() {
+		select {
+		case <-ticker.C:
+			served += int(session.Level(bw))
+			fmt.Printf("  served %d units so far\n", served)
+		case <-revokeAt:
+			fmt.Println("Sheila dissolves the partnership...")
+			if err := w.Revoke(coalition.ID(), sheila.ID()); err != nil {
+				return err
+			}
+		case <-down:
+			fmt.Println("session terminated by monitor — disconnecting Maria")
+		}
+	}
+	fmt.Printf("final: served %d units; active sessions: %d\n", served, guard.ActiveSessions())
+	return nil
+}

@@ -1,0 +1,3 @@
+module drbac
+
+go 1.22

@@ -1,0 +1,268 @@
+// Package baseline implements the expressiveness comparison behind §3.1.3:
+// dRBAC's third-party delegation versus the SDSI/SPKI/RT0-style workaround
+// in which a partner must mint a "phantom" local role mirroring each
+// foreign privilege it wants to hand out.
+//
+// Both idioms are constructed with real signed delegations and checked by
+// proving every member's access through a wallet, so the experiment
+// (EXP-S4) counts what each approach actually had to create rather than
+// evaluating a formula.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/wallet"
+)
+
+// Scenario shapes one coalition: a resource owner controlling Privileges
+// roles, Partners partner organizations, and MembersPerPartner members per
+// partner who must each receive every privilege.
+type Scenario struct {
+	Partners          int
+	Privileges        int
+	MembersPerPartner int
+}
+
+// Validate checks scenario sanity.
+func (s Scenario) Validate() error {
+	if s.Partners <= 0 || s.Privileges <= 0 || s.MembersPerPartner <= 0 {
+		return fmt.Errorf("baseline: all scenario dimensions must be positive")
+	}
+	return nil
+}
+
+// Outcome reports what one idiom had to create.
+type Outcome struct {
+	// RolesCreated counts distinct role names minted across all
+	// namespaces, the paper's "namespace pollution" metric.
+	RolesCreated int
+	// PhantomRoles counts minted roles that merely mirror a foreign
+	// privilege (zero for dRBAC).
+	PhantomRoles int
+	// Delegations counts signed certificates issued.
+	Delegations int
+	// ProofsVerified counts member-access proofs that validated (must be
+	// Partners × MembersPerPartner × Privileges for both idioms).
+	ProofsVerified int
+	// Separable reports whether a partner admin can delegate an individual
+	// privilege without receiving or re-aggregating the others (§3.1.3's
+	// separability property).
+	Separable bool
+}
+
+// world is the set of identities for a scenario.
+type world struct {
+	owner    *core.Identity
+	partners []*core.Identity // partner admin entities
+	members  [][]*core.Identity
+	now      time.Time
+}
+
+func buildWorld(s Scenario) (*world, error) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	w := &world{now: now}
+	var err error
+	if w.owner, err = core.NewIdentity("owner"); err != nil {
+		return nil, err
+	}
+	for p := 0; p < s.Partners; p++ {
+		admin, err := core.NewIdentity(fmt.Sprintf("partner%d", p))
+		if err != nil {
+			return nil, err
+		}
+		w.partners = append(w.partners, admin)
+		var ms []*core.Identity
+		for m := 0; m < s.MembersPerPartner; m++ {
+			member, err := core.NewIdentity(fmt.Sprintf("p%dm%d", p, m))
+			if err != nil {
+				return nil, err
+			}
+			ms = append(ms, member)
+		}
+		w.members = append(w.members, ms)
+	}
+	return w, nil
+}
+
+// DRBAC builds the coalition with third-party delegation (§3.1.2): the
+// owner mints one admin role per partner and grants it the
+// right-of-assignment for each privilege; partner admins then delegate the
+// owner's privileges directly, with support proofs, minting no roles of
+// their own.
+func DRBAC(s Scenario) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	w, err := buildWorld(s)
+	if err != nil {
+		return Outcome{}, err
+	}
+	store := wallet.New(wallet.Config{})
+	out := Outcome{Separable: true}
+	roles := make(map[core.Role]bool)
+
+	privileges := make([]core.Role, s.Privileges)
+	for k := range privileges {
+		privileges[k] = core.NewRole(w.owner.ID(), fmt.Sprintf("priv%d", k))
+		roles[privileges[k]] = true
+	}
+
+	for p, admin := range w.partners {
+		adminRole := core.NewRole(w.owner.ID(), fmt.Sprintf("admin%d", p))
+		roles[adminRole] = true
+		// [admin -> owner.adminP] owner
+		d, err := core.Issue(w.owner, core.Template{
+			Subject:       core.SubjectEntity(admin.ID()),
+			SubjectEntity: entityPtr(admin.Entity()),
+			Object:        adminRole,
+		}, w.now)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if err := store.Publish(d); err != nil {
+			return Outcome{}, err
+		}
+		out.Delegations++
+
+		for _, priv := range privileges {
+			// [owner.adminP -> owner.privK'] owner — the grouped
+			// assignment rights that make the admin role separable.
+			d, err := core.Issue(w.owner, core.Template{
+				Subject: core.SubjectRole(adminRole),
+				Object:  priv.Assignment(),
+			}, w.now)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if err := store.Publish(d); err != nil {
+				return Outcome{}, err
+			}
+			out.Delegations++
+		}
+
+		for _, member := range w.members[p] {
+			for _, priv := range privileges {
+				// Third-party: [member -> owner.privK] admin, supported by
+				// the wallet-derivable chain admin => owner.privK'.
+				d, err := core.Issue(admin, core.Template{
+					Subject:       core.SubjectEntity(member.ID()),
+					SubjectEntity: entityPtr(member.Entity()),
+					Object:        priv,
+				}, w.now)
+				if err != nil {
+					return Outcome{}, err
+				}
+				if err := store.Publish(d); err != nil {
+					return Outcome{}, err
+				}
+				out.Delegations++
+			}
+		}
+	}
+
+	if err := verifyAccess(store, w, privileges, &out); err != nil {
+		return Outcome{}, err
+	}
+	out.RolesCreated = len(roles)
+	out.PhantomRoles = 0
+	return out, nil
+}
+
+// PhantomRole builds the same coalition the SDSI/SPKI/RT0 way: the owner
+// cannot hand out a right-of-assignment on its own roles, so for every
+// partner × privilege pair the partner mints a local phantom role
+// mirroring the privilege, the owner grants the owner-privilege to that
+// phantom role, and the partner (who controls its own namespace) delegates
+// the phantom role to members.
+func PhantomRole(s Scenario) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	w, err := buildWorld(s)
+	if err != nil {
+		return Outcome{}, err
+	}
+	store := wallet.New(wallet.Config{})
+	// A catch-all phantom role aggregating several privileges would not be
+	// decomposable per privilege — the §3.1.3 separability loss — so a
+	// faithful baseline needs one phantom per privilege.
+	out := Outcome{Separable: false}
+	roles := make(map[core.Role]bool)
+
+	privileges := make([]core.Role, s.Privileges)
+	for k := range privileges {
+		privileges[k] = core.NewRole(w.owner.ID(), fmt.Sprintf("priv%d", k))
+		roles[privileges[k]] = true
+	}
+
+	for p, admin := range w.partners {
+		for k, priv := range privileges {
+			phantom := core.NewRole(admin.ID(), fmt.Sprintf("owner_priv%d", k))
+			roles[phantom] = true
+			out.PhantomRoles++
+			// [partner.owner_privK -> owner.privK] owner (self-certified
+			// by the owner: the object is in the owner's namespace).
+			d, err := core.Issue(w.owner, core.Template{
+				Subject: core.SubjectRole(phantom),
+				Object:  priv,
+			}, w.now)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if err := store.Publish(d); err != nil {
+				return Outcome{}, err
+			}
+			out.Delegations++
+
+			for _, member := range w.members[p] {
+				// [member -> partner.owner_privK] partner (self-certified
+				// in the partner's own namespace).
+				d, err := core.Issue(admin, core.Template{
+					Subject:       core.SubjectEntity(member.ID()),
+					SubjectEntity: entityPtr(member.Entity()),
+					Object:        phantom,
+				}, w.now)
+				if err != nil {
+					return Outcome{}, err
+				}
+				if err := store.Publish(d); err != nil {
+					return Outcome{}, err
+				}
+				out.Delegations++
+			}
+		}
+	}
+
+	if err := verifyAccess(store, w, privileges, &out); err != nil {
+		return Outcome{}, err
+	}
+	out.RolesCreated = len(roles)
+	return out, nil
+}
+
+// verifyAccess proves every member holds every privilege.
+func verifyAccess(store *wallet.Wallet, w *world, privileges []core.Role, out *Outcome) error {
+	for p := range w.partners {
+		for _, member := range w.members[p] {
+			for _, priv := range privileges {
+				proof, err := store.QueryDirect(wallet.Query{
+					Subject: core.SubjectEntity(member.ID()),
+					Object:  priv,
+				})
+				if err != nil {
+					return fmt.Errorf("member %s lacks %s: %w", member.Name(), priv, err)
+				}
+				if err := proof.Validate(core.ValidateOptions{At: w.now}); err != nil {
+					return err
+				}
+				out.ProofsVerified++
+			}
+		}
+	}
+	return nil
+}
+
+func entityPtr(e core.Entity) *core.Entity { return &e }

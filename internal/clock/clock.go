@@ -1,0 +1,110 @@
+// Package clock provides an injectable time source so that TTL caching,
+// credential expiry, and polling loops can be tested deterministically.
+//
+// Production code uses System; tests use a Fake clock that only advances
+// when told to.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout dRBAC. It mirrors the subset of
+// the time package the system needs: reading the current instant and
+// scheduling wakeups.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time once
+	// at least d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// System is the real wall clock.
+type System struct{}
+
+var _ Clock = System{}
+
+// Now implements Clock using time.Now.
+func (System) Now() time.Time { return time.Now() }
+
+// After implements Clock using time.After.
+func (System) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Fake is a manually advanced clock for tests. The zero value is not usable;
+// construct with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+var _ Clock = (*Fake)(nil)
+
+// NewFake returns a Fake clock pinned at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now returns the fake current instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel that fires when the fake clock has been advanced
+// past d from now.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := f.now.Add(d)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the fake clock forward by d, firing any timers whose
+// deadline has been reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var remaining []fakeWaiter
+	var fired []fakeWaiter
+	for _, w := range f.waiters {
+		if !w.at.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Set jumps the fake clock to t (which must not be earlier than the current
+// fake time), firing due timers.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	delta := t.Sub(f.now)
+	f.mu.Unlock()
+	if delta < 0 {
+		return
+	}
+	f.Advance(delta)
+}

@@ -1,0 +1,115 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func TestSystemClock(t *testing.T) {
+	var c Clock = System{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System.Now() = %v outside [%v, %v]", got, before, after)
+	}
+	select {
+	case <-c.After(time.Nanosecond):
+	case <-time.After(time.Second):
+		t.Fatal("System.After never fired")
+	}
+}
+
+func TestFakeNowAndAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	if !f.Now().Equal(epoch) {
+		t.Fatalf("Now = %v", f.Now())
+	}
+	f.Advance(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	f.Advance(30 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired at half time")
+	default:
+	}
+	f.Advance(30 * time.Second)
+	select {
+	case got := <-ch:
+		if !got.Equal(epoch.Add(time.Minute)) {
+			t.Fatalf("fired with %v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(epoch)
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) should be ready")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should be ready")
+	}
+}
+
+func TestFakeMultipleWaiters(t *testing.T) {
+	f := NewFake(epoch)
+	short := f.After(10 * time.Second)
+	long := f.After(100 * time.Second)
+	f.Advance(20 * time.Second)
+	select {
+	case <-short:
+	default:
+		t.Fatal("short timer should have fired")
+	}
+	select {
+	case <-long:
+		t.Fatal("long timer fired early")
+	default:
+	}
+	f.Advance(100 * time.Second)
+	select {
+	case <-long:
+	default:
+		t.Fatal("long timer should have fired")
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(time.Hour)
+	f.Set(epoch.Add(2 * time.Hour))
+	if want := epoch.Add(2 * time.Hour); !f.Now().Equal(want) {
+		t.Fatalf("Now = %v", f.Now())
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set past deadline should fire timer")
+	}
+	// Setting backwards is ignored.
+	f.Set(epoch)
+	if want := epoch.Add(2 * time.Hour); !f.Now().Equal(want) {
+		t.Fatalf("backward Set changed time: %v", f.Now())
+	}
+}

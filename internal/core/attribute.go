@@ -1,0 +1,428 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Operator is one of the three monotone valued-attribute operators (§3.2.1).
+// Every attribute is bound to exactly one operator; the restriction of each
+// operator's operand range guarantees that values only decrease along a
+// delegation chain, which in turn guarantees search termination and enables
+// pruning (§4.2.3).
+type Operator int
+
+const (
+	// OpSubtract ("-=") subtracts a positive quantity; the accumulated
+	// default is zero.
+	OpSubtract Operator = iota + 1
+	// OpMultiply ("*=") multiplies by a quantity in (0, 1]; the accumulated
+	// default is one.
+	OpMultiply
+	// OpMinimum ("<=") collects the minimum of the values along the chain;
+	// the accumulated default is +Inf.
+	OpMinimum
+)
+
+// Valid reports whether op is a known operator.
+func (op Operator) Valid() bool {
+	return op == OpSubtract || op == OpMultiply || op == OpMinimum
+}
+
+// String renders the operator's symbol without the trailing '='.
+func (op Operator) String() string {
+	switch op {
+	case OpSubtract:
+		return "-"
+	case OpMultiply:
+		return "*"
+	case OpMinimum:
+		return "<"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// CheckOperand validates v against the operator's legal range.
+func (op Operator) CheckOperand(v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("attribute operand is NaN")
+	}
+	switch op {
+	case OpSubtract:
+		if v < 0 {
+			return fmt.Errorf("-= operand must be non-negative, got %v", v)
+		}
+	case OpMultiply:
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("*= operand must be in (0, 1], got %v", v)
+		}
+	case OpMinimum:
+		if v < 0 {
+			return fmt.Errorf("<= operand must be non-negative, got %v", v)
+		}
+	default:
+		return fmt.Errorf("unknown operator %d", int(op))
+	}
+	return nil
+}
+
+// AttributeRef names a valued attribute inside an entity's namespace. The
+// attribute namespace is disjoint from the role namespace (§3.2.1).
+type AttributeRef struct {
+	Namespace EntityID
+	Name      string
+}
+
+// Validate checks structural well-formedness.
+func (a AttributeRef) Validate() error {
+	if !a.Namespace.Valid() {
+		return fmt.Errorf("attribute %q: invalid namespace %q", a.Name, a.Namespace)
+	}
+	if a.Name == "" {
+		return fmt.Errorf("attribute in namespace %s: empty name", a.Namespace.Short())
+	}
+	if strings.ContainsAny(a.Name, " .[]<>'\n\t") {
+		return fmt.Errorf("attribute name %q contains reserved characters", a.Name)
+	}
+	return nil
+}
+
+// String renders the reference with an abbreviated namespace.
+func (a AttributeRef) String() string {
+	return a.Namespace.Short() + "." + a.Name
+}
+
+// AssignmentRole returns the role that represents the right to set this
+// attribute with the given operator (Table 2: "while the Valued Attribute is
+// not a Role, the right to set it is").
+func (a AttributeRef) AssignmentRole(op Operator) Role {
+	return Role{Namespace: a.Namespace, Name: a.Name, Tick: 1, Attr: true, Op: op}
+}
+
+// AttributeSetting is one clause of a delegation's "with" list: it applies
+// Op with operand Value to attribute Attr.
+type AttributeSetting struct {
+	Attr  AttributeRef
+	Op    Operator
+	Value float64
+}
+
+// Validate checks structural well-formedness and operand range.
+func (s AttributeSetting) Validate() error {
+	if err := s.Attr.Validate(); err != nil {
+		return err
+	}
+	if !s.Op.Valid() {
+		return fmt.Errorf("attribute %s: invalid operator", s.Attr)
+	}
+	if err := s.Op.CheckOperand(s.Value); err != nil {
+		return fmt.Errorf("attribute %s: %w", s.Attr, err)
+	}
+	return nil
+}
+
+// String renders the setting, e.g. "a1b2c3d4.BW <= 100".
+func (s AttributeSetting) String() string {
+	return fmt.Sprintf("%s %s= %s", s.Attr, s.Op, formatFloat(s.Value))
+}
+
+// Modifier is the accumulated effect of one attribute's settings along a
+// delegation chain. The zero Modifier is not valid; use NewModifier.
+type Modifier struct {
+	Op Operator
+	// Sub is the total subtracted (OpSubtract).
+	Sub float64
+	// Mul is the accumulated product (OpMultiply).
+	Mul float64
+	// Min is the collected minimum (OpMinimum).
+	Min float64
+}
+
+// NewModifier returns the identity modifier for op (the §3.2.1 defaults:
+// zero, one, +Inf).
+func NewModifier(op Operator) Modifier {
+	return Modifier{Op: op, Sub: 0, Mul: 1, Min: math.Inf(1)}
+}
+
+// Combine folds one more setting into the modifier. The setting's operator
+// must match m.Op.
+func (m Modifier) Combine(v float64) Modifier {
+	switch m.Op {
+	case OpSubtract:
+		m.Sub += v
+	case OpMultiply:
+		m.Mul *= v
+	case OpMinimum:
+		m.Min = math.Min(m.Min, v)
+	}
+	return m
+}
+
+// Merge combines two accumulated modifiers for the same attribute (used when
+// concatenating chain segments). Both must share the operator.
+func (m Modifier) Merge(other Modifier) Modifier {
+	switch m.Op {
+	case OpSubtract:
+		m.Sub += other.Sub
+	case OpMultiply:
+		m.Mul *= other.Mul
+	case OpMinimum:
+		m.Min = math.Min(m.Min, other.Min)
+	}
+	return m
+}
+
+// Apply evaluates the modified value given the resource's base allocation.
+// For OpMinimum the base participates in the minimum (an unset base should
+// be passed as +Inf).
+func (m Modifier) Apply(base float64) float64 {
+	switch m.Op {
+	case OpSubtract:
+		return base - m.Sub
+	case OpMultiply:
+		return base * m.Mul
+	case OpMinimum:
+		return math.Min(base, m.Min)
+	default:
+		return base
+	}
+}
+
+// IsIdentity reports whether the modifier leaves every base unchanged.
+func (m Modifier) IsIdentity() bool {
+	switch m.Op {
+	case OpSubtract:
+		return m.Sub == 0
+	case OpMultiply:
+		return m.Mul == 1
+	case OpMinimum:
+		return math.IsInf(m.Min, 1)
+	default:
+		return true
+	}
+}
+
+// Aggregate maps each attribute touched along a chain to its accumulated
+// modifier. The zero value is ready to use via Add (nil maps are handled by
+// NewAggregate / clone-on-write helpers below).
+type Aggregate map[AttributeRef]Modifier
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() Aggregate { return make(Aggregate) }
+
+// Add folds an attribute setting into the aggregate, returning an error if
+// the attribute was previously bound to a different operator (§3.2.1:
+// "associating each valued attribute with a single operator").
+func (ag Aggregate) Add(s AttributeSetting) error {
+	m, ok := ag[s.Attr]
+	if !ok {
+		m = NewModifier(s.Op)
+	} else if m.Op != s.Op {
+		return &OperatorConflictError{Attr: s.Attr, Bound: m.Op, Got: s.Op}
+	}
+	ag[s.Attr] = m.Combine(s.Value)
+	return nil
+}
+
+// AddAll folds every setting of a delegation into the aggregate.
+func (ag Aggregate) AddAll(settings []AttributeSetting) error {
+	for _, s := range settings {
+		if err := ag.Add(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds another aggregate into this one.
+func (ag Aggregate) Merge(other Aggregate) error {
+	for attr, om := range other {
+		m, ok := ag[attr]
+		if !ok {
+			ag[attr] = om
+			continue
+		}
+		if m.Op != om.Op {
+			return &OperatorConflictError{Attr: attr, Bound: m.Op, Got: om.Op}
+		}
+		ag[attr] = m.Merge(om)
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (ag Aggregate) Clone() Aggregate {
+	out := make(Aggregate, len(ag))
+	for k, v := range ag {
+		out[k] = v
+	}
+	return out
+}
+
+// Value evaluates one attribute against a base allocation; attributes the
+// chain never touched evaluate to the base itself.
+func (ag Aggregate) Value(attr AttributeRef, base float64) float64 {
+	m, ok := ag[attr]
+	if !ok {
+		return base
+	}
+	return m.Apply(base)
+}
+
+// Attrs returns the touched attributes in deterministic order.
+func (ag Aggregate) Attrs() []AttributeRef {
+	out := make([]AttributeRef, 0, len(ag))
+	for attr := range ag {
+		out = append(out, attr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Namespace != out[j].Namespace {
+			return out[i].Namespace < out[j].Namespace
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// OperatorConflictError reports an attribute re-bound to a different
+// operator along a chain.
+type OperatorConflictError struct {
+	Attr  AttributeRef
+	Bound Operator
+	Got   Operator
+}
+
+func (e *OperatorConflictError) Error() string {
+	return fmt.Sprintf("attribute %s bound to operator %s= but set with %s=", e.Attr, e.Bound, e.Got)
+}
+
+// Constraint is one valued-attribute requirement attached to a query (§4.1):
+// the evaluated value of Attr, starting from Base, must be at least Minimum.
+// Monotonicity of the operators means a chain that violates a constraint can
+// be pruned: no extension can raise the value again (§4.2.3).
+type Constraint struct {
+	Attr AttributeRef
+	// Base is the resource's baseline allocation for the attribute. Use
+	// +Inf for purely min-collected attributes.
+	Base float64
+	// Minimum is the least acceptable evaluated value.
+	Minimum float64
+}
+
+// Satisfied reports whether the aggregate meets the constraint.
+func (c Constraint) Satisfied(ag Aggregate) bool {
+	return ag.Value(c.Attr, c.Base) >= c.Minimum
+}
+
+// constraintJSON is the wire form of Constraint: base and minimum travel as
+// strings because encoding/json rejects non-finite floats, and +Inf is the
+// designed default base for min-collected attributes.
+type constraintJSON struct {
+	Attr    AttributeRef `json:"attr"`
+	Base    string       `json:"base"`
+	Minimum string       `json:"minimum"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c Constraint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(constraintJSON{
+		Attr:    c.Attr,
+		Base:    encodeFloat(c.Base),
+		Minimum: encodeFloat(c.Minimum),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Constraint) UnmarshalJSON(data []byte) error {
+	var raw constraintJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	base, err := decodeFloat(raw.Base)
+	if err != nil {
+		return fmt.Errorf("constraint base: %w", err)
+	}
+	minimum, err := decodeFloat(raw.Minimum)
+	if err != nil {
+		return fmt.Errorf("constraint minimum: %w", err)
+	}
+	c.Attr = raw.Attr
+	c.Base = base
+	c.Minimum = minimum
+	return nil
+}
+
+func encodeFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func decodeFloat(s string) (float64, error) {
+	switch s {
+	case "+inf", "inf":
+		return math.Inf(1), nil
+	case "-inf":
+		return math.Inf(-1), nil
+	case "":
+		return 0, nil
+	default:
+		return strconv.ParseFloat(s, 64)
+	}
+}
+
+// AdjustConstraints rewrites query constraints for the *remainder* of a
+// chain whose prefix has already accumulated the given modifiers — the
+// §4.2.3 "modulated attribute ranges" optimization for distributed path
+// augmentation: the remote wallet can prune continuations that cannot
+// satisfy the query once the prefix's consumption is accounted for.
+//
+// The rewrite folds the prefix into each constraint's base: a subtracted
+// amount shrinks the base, a multiplier scales it, and a collected minimum
+// caps it. Because operators are monotone, the adjusted constraint is
+// exactly the requirement on the remaining chain.
+func AdjustConstraints(constraints []Constraint, prefix Aggregate) []Constraint {
+	if len(constraints) == 0 || len(prefix) == 0 {
+		return constraints
+	}
+	out := make([]Constraint, len(constraints))
+	copy(out, constraints)
+	for i, c := range out {
+		m, ok := prefix[c.Attr]
+		if !ok {
+			continue
+		}
+		out[i].Base = m.Apply(c.Base)
+	}
+	return out
+}
+
+// SatisfiedAll reports whether the aggregate meets every constraint.
+func SatisfiedAll(constraints []Constraint, ag Aggregate) bool {
+	for _, c := range constraints {
+		if !c.Satisfied(ag) {
+			return false
+		}
+	}
+	return true
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testAttr(name string) AttributeRef {
+	return AttributeRef{
+		Namespace: EntityID(strings.Repeat("ab", 32)),
+		Name:      name,
+	}
+}
+
+func TestOperatorCheckOperand(t *testing.T) {
+	tests := []struct {
+		name    string
+		op      Operator
+		give    float64
+		wantErr bool
+	}{
+		{"subtract zero ok", OpSubtract, 0, false},
+		{"subtract positive ok", OpSubtract, 20, false},
+		{"subtract negative bad", OpSubtract, -1, true},
+		{"multiply one ok", OpMultiply, 1, false},
+		{"multiply half ok", OpMultiply, 0.5, false},
+		{"multiply zero bad", OpMultiply, 0, true},
+		{"multiply above one bad", OpMultiply, 1.5, true},
+		{"multiply negative bad", OpMultiply, -0.5, true},
+		{"minimum ok", OpMinimum, 100, false},
+		{"minimum negative bad", OpMinimum, -5, true},
+		{"nan bad", OpMinimum, math.NaN(), true},
+		{"unknown op", Operator(99), 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.op.CheckOperand(tt.give)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("CheckOperand(%v) err = %v, wantErr %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestModifierDefaultsAreIdentity(t *testing.T) {
+	for _, op := range []Operator{OpSubtract, OpMultiply, OpMinimum} {
+		m := NewModifier(op)
+		if !m.IsIdentity() {
+			t.Errorf("NewModifier(%s) is not identity", op)
+		}
+		if got := m.Apply(42); got != 42 {
+			t.Errorf("identity %s modifier: Apply(42) = %v", op, got)
+		}
+	}
+}
+
+func TestAggregateCaseStudyValues(t *testing.T) {
+	// The §5 case study: BW = min(100, 200) = 100, storage = 50-20 = 30,
+	// hours = 60*0.3 = 18.
+	bw, storage, hours := testAttr("BW"), testAttr("storage"), testAttr("hours")
+	ag := NewAggregate()
+	settings := []AttributeSetting{
+		{Attr: bw, Op: OpMinimum, Value: 100},
+		{Attr: storage, Op: OpSubtract, Value: 20},
+		{Attr: hours, Op: OpMultiply, Value: 0.3},
+		{Attr: bw, Op: OpMinimum, Value: 200},
+	}
+	if err := ag.AddAll(settings); err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Value(bw, math.Inf(1)); got != 100 {
+		t.Errorf("BW = %v, want 100", got)
+	}
+	if got := ag.Value(storage, 50); got != 30 {
+		t.Errorf("storage = %v, want 30", got)
+	}
+	if got := ag.Value(hours, 60); got != 18 {
+		t.Errorf("hours = %v, want 18", got)
+	}
+}
+
+func TestAggregateOperatorConflict(t *testing.T) {
+	a := testAttr("x")
+	ag := NewAggregate()
+	if err := ag.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := ag.Add(AttributeSetting{Attr: a, Op: OpMultiply, Value: 0.5})
+	var conflict *OperatorConflictError
+	if err == nil {
+		t.Fatal("want operator conflict error")
+	}
+	if !errors.As(err, &conflict) {
+		t.Fatalf("want OperatorConflictError, got %T: %v", err, err)
+	}
+	if conflict.Bound != OpSubtract || conflict.Got != OpMultiply {
+		t.Fatalf("conflict = %+v", conflict)
+	}
+}
+
+func TestAggregateUntouchedAttributeReturnsBase(t *testing.T) {
+	ag := NewAggregate()
+	if got := ag.Value(testAttr("unused"), 77); got != 77 {
+		t.Fatalf("untouched attribute = %v, want base 77", got)
+	}
+}
+
+func TestAggregateMerge(t *testing.T) {
+	a, b := testAttr("a"), testAttr("b")
+	left, right := NewAggregate(), NewAggregate()
+	if err := left.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Add(AttributeSetting{Attr: b, Op: OpMinimum, Value: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if got := left.Value(a, 100); got != 88 {
+		t.Errorf("a = %v, want 88", got)
+	}
+	if got := left.Value(b, math.Inf(1)); got != 9 {
+		t.Errorf("b = %v, want 9", got)
+	}
+}
+
+func TestAggregateMergeConflict(t *testing.T) {
+	a := testAttr("a")
+	left, right := NewAggregate(), NewAggregate()
+	if err := left.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Add(AttributeSetting{Attr: a, Op: OpMinimum, Value: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(right); err == nil {
+		t.Fatal("want conflict on merge")
+	}
+}
+
+func TestAggregateCloneIndependent(t *testing.T) {
+	a := testAttr("a")
+	ag := NewAggregate()
+	if err := ag.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	cl := ag.Clone()
+	if err := cl.Add(AttributeSetting{Attr: a, Op: OpSubtract, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Value(a, 100); got != 95 {
+		t.Fatalf("original aggregate mutated: %v", got)
+	}
+	if got := cl.Value(a, 100); got != 90 {
+		t.Fatalf("clone = %v, want 90", got)
+	}
+}
+
+func TestAggregateAttrsSorted(t *testing.T) {
+	ag := NewAggregate()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := ag.Add(AttributeSetting{Attr: testAttr(name), Op: OpSubtract, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attrs := ag.Attrs()
+	if len(attrs) != 3 || attrs[0].Name != "alpha" || attrs[1].Name != "mid" || attrs[2].Name != "zeta" {
+		t.Fatalf("Attrs() = %v", attrs)
+	}
+}
+
+func TestConstraintSatisfied(t *testing.T) {
+	bw := testAttr("BW")
+	ag := NewAggregate()
+	if err := ag.Add(AttributeSetting{Attr: bw, Op: OpMinimum, Value: 100}); err != nil {
+		t.Fatal(err)
+	}
+	c := Constraint{Attr: bw, Base: math.Inf(1), Minimum: 50}
+	if !c.Satisfied(ag) {
+		t.Fatal("BW=100 should satisfy minimum 50")
+	}
+	c.Minimum = 150
+	if c.Satisfied(ag) {
+		t.Fatal("BW=100 should not satisfy minimum 150")
+	}
+	if !SatisfiedAll(nil, ag) {
+		t.Fatal("no constraints is always satisfied")
+	}
+	if SatisfiedAll([]Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 150}}, ag) {
+		t.Fatal("violated constraint in SatisfiedAll")
+	}
+}
+
+// Property (§3.2.1/§4.2.3): attribute values are monotone non-increasing as
+// more settings accumulate, for every operator and every legal operand.
+func TestModifierMonotonicityProperty(t *testing.T) {
+	clampOperand := func(op Operator, raw float64) float64 {
+		v := math.Abs(raw)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 1
+		}
+		if op == OpMultiply {
+			v = math.Mod(v, 1)
+			if v == 0 {
+				v = 1 // operand range is (0, 1]
+			}
+		}
+		return v
+	}
+	for _, op := range []Operator{OpSubtract, OpMultiply, OpMinimum} {
+		op := op
+		prop := func(rawOperands []float64, rawBase float64) bool {
+			base := math.Abs(rawBase)
+			if math.IsNaN(base) || math.IsInf(base, 0) {
+				base = 1000
+			}
+			m := NewModifier(op)
+			prev := m.Apply(base)
+			for _, raw := range rawOperands {
+				v := clampOperand(op, raw)
+				if err := op.CheckOperand(v); err != nil {
+					return false
+				}
+				m = m.Combine(v)
+				cur := m.Apply(base)
+				if cur > prev {
+					return false
+				}
+				prev = cur
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("monotonicity violated for %s: %v", op, err)
+		}
+	}
+}
+
+// Property: Merge is equivalent to folding the settings sequentially.
+func TestAggregateMergeEquivalenceProperty(t *testing.T) {
+	attr := testAttr("p")
+	prop := func(raws []float64) bool {
+		var vals []float64
+		for _, r := range raws {
+			v := math.Abs(r)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep operands in a range where float addition is exact, so
+			// the property tests semantics rather than float associativity.
+			vals = append(vals, math.Trunc(math.Mod(v, 1e6)))
+		}
+		seq := NewAggregate()
+		for _, v := range vals {
+			if err := seq.Add(AttributeSetting{Attr: attr, Op: OpSubtract, Value: v}); err != nil {
+				return false
+			}
+		}
+		half := len(vals) / 2
+		left, right := NewAggregate(), NewAggregate()
+		for _, v := range vals[:half] {
+			if err := left.Add(AttributeSetting{Attr: attr, Op: OpSubtract, Value: v}); err != nil {
+				return false
+			}
+		}
+		for _, v := range vals[half:] {
+			if err := right.Add(AttributeSetting{Attr: attr, Op: OpSubtract, Value: v}); err != nil {
+				return false
+			}
+		}
+		if err := left.Merge(right); err != nil {
+			return false
+		}
+		return left.Value(attr, 1e9) == seq.Value(attr, 1e9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{100, "100"},
+		{0.3, "0.3"},
+		{math.Inf(1), "+inf"},
+		{-20, "-20"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.give); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAdjustConstraints(t *testing.T) {
+	bw, st, hr := testAttr("BW"), testAttr("storage"), testAttr("hours")
+	prefix := NewAggregate()
+	for _, s := range []AttributeSetting{
+		{Attr: bw, Op: OpMinimum, Value: 40},
+		{Attr: st, Op: OpSubtract, Value: 10},
+		{Attr: hr, Op: OpMultiply, Value: 0.5},
+	} {
+		if err := prefix.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cons := []Constraint{
+		{Attr: bw, Base: math.Inf(1), Minimum: 50},
+		{Attr: st, Base: 100, Minimum: 50},
+		{Attr: hr, Base: 60, Minimum: 10},
+		{Attr: testAttr("untouched"), Base: 7, Minimum: 1},
+	}
+	got := AdjustConstraints(cons, prefix)
+	if got[0].Base != 40 { // min(+inf, 40)
+		t.Errorf("BW adjusted base = %v, want 40", got[0].Base)
+	}
+	if got[1].Base != 90 { // 100 - 10
+		t.Errorf("storage adjusted base = %v, want 90", got[1].Base)
+	}
+	if got[2].Base != 30 { // 60 * 0.5
+		t.Errorf("hours adjusted base = %v, want 30", got[2].Base)
+	}
+	if got[3].Base != 7 {
+		t.Errorf("untouched base changed: %v", got[3].Base)
+	}
+	// Originals untouched; empty inputs pass through.
+	if cons[0].Base == 40 {
+		t.Error("AdjustConstraints mutated its input")
+	}
+	if out := AdjustConstraints(nil, prefix); out != nil {
+		t.Error("nil constraints should pass through")
+	}
+	if out := AdjustConstraints(cons, NewAggregate()); len(out) != len(cons) || out[0].Base != cons[0].Base {
+		t.Error("empty prefix should pass through")
+	}
+}
+
+// The adjusted constraint on the chain remainder is exactly equivalent to
+// the original constraint on the full chain (monotone operators compose).
+func TestAdjustConstraintsEquivalenceProperty(t *testing.T) {
+	attr := testAttr("q")
+	prop := func(rawPrefix, rawRest, rawBase, rawMin float64) bool {
+		clamp := func(v float64) float64 {
+			v = math.Abs(v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Trunc(math.Mod(v, 1000))
+		}
+		prefixVal, restVal := clamp(rawPrefix), clamp(rawRest)
+		base, minimum := clamp(rawBase)+1000, clamp(rawMin)
+
+		for _, op := range []Operator{OpSubtract, OpMinimum} {
+			prefix, rest, full := NewAggregate(), NewAggregate(), NewAggregate()
+			for _, pair := range []struct {
+				ag Aggregate
+				v  float64
+			}{{prefix, prefixVal}, {rest, restVal}, {full, prefixVal}, {full, restVal}} {
+				if err := pair.ag.Add(AttributeSetting{Attr: attr, Op: op, Value: pair.v}); err != nil {
+					return false
+				}
+			}
+			orig := Constraint{Attr: attr, Base: base, Minimum: minimum}
+			adjusted := AdjustConstraints([]Constraint{orig}, prefix)[0]
+			if orig.Satisfied(full) != adjusted.Satisfied(rest) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestIssueSelfCertified(t *testing.T) {
+	f := newFixture(t)
+	d := f.issue(t, f.BigISP, Template{
+		Subject:       SubjectEntity(f.Mark.ID()),
+		SubjectEntity: ptr(f.Mark.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "memberServices"),
+	})
+	if d.Kind() != KindSelfCertified {
+		t.Fatalf("Kind = %v, want self-certified", d.Kind())
+	}
+	if d.IsAssignment() {
+		t.Fatal("plain role delegation reported as assignment")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(d.RequiredSupport(true)) != 0 {
+		t.Fatal("self-certified delegation should need no support")
+	}
+}
+
+func TestIssueThirdPartyRequiresAssignmentSupport(t *testing.T) {
+	f := newFixture(t)
+	member := NewRole(f.BigISP.ID(), "member")
+	d := f.issue(t, f.Mark, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        member,
+	})
+	if d.Kind() != KindThirdParty {
+		t.Fatalf("Kind = %v, want third-party", d.Kind())
+	}
+	need := d.RequiredSupport(false)
+	if len(need) != 1 || need[0] != member.Assignment() {
+		t.Fatalf("RequiredSupport = %v, want [%v]", need, member.Assignment())
+	}
+}
+
+func TestIssueAssignmentDelegation(t *testing.T) {
+	f := newFixture(t)
+	d := f.issue(t, f.BigISP, Template{
+		Subject: SubjectRole(NewRole(f.BigISP.ID(), "memberServices")),
+		Object:  NewRole(f.BigISP.ID(), "member").Assignment(),
+	})
+	if !d.IsAssignment() {
+		t.Fatal("tick'd object not reported as assignment")
+	}
+	if d.Kind() != KindSelfCertified {
+		t.Fatal("BigISP delegating BigISP.member' should be self-certified")
+	}
+}
+
+func TestRequiredSupportForeignAttributes(t *testing.T) {
+	f := newFixture(t)
+	bw := AttributeRef{Namespace: f.AirNet.ID(), Name: "BW"}
+	d := f.issue(t, f.Sheila, Template{
+		Subject:    SubjectRole(NewRole(f.BigISP.ID(), "member")),
+		Object:     NewRole(f.AirNet.ID(), "member"),
+		Attributes: []AttributeSetting{{Attr: bw, Op: OpMinimum, Value: 100}},
+	})
+	strict := d.RequiredSupport(true)
+	if len(strict) != 2 {
+		t.Fatalf("strict RequiredSupport = %v, want role assignment + attr right", strict)
+	}
+	if strict[1] != bw.AssignmentRole(OpMinimum) {
+		t.Fatalf("attr right = %v", strict[1])
+	}
+	lax := d.RequiredSupport(false)
+	if len(lax) != 1 {
+		t.Fatalf("lax RequiredSupport = %v, want role assignment only", lax)
+	}
+}
+
+func TestRequiredSupportOwnAttributesNeedNothing(t *testing.T) {
+	f := newFixture(t)
+	bw := AttributeRef{Namespace: f.AirNet.ID(), Name: "BW"}
+	d := f.issue(t, f.AirNet, Template{
+		Subject:    SubjectRole(NewRole(f.AirNet.ID(), "member")),
+		Object:     NewRole(f.AirNet.ID(), "access"),
+		Attributes: []AttributeSetting{{Attr: bw, Op: OpMinimum, Value: 200}},
+	})
+	if got := d.RequiredSupport(true); len(got) != 0 {
+		t.Fatalf("issuer setting its own attribute should need no support, got %v", got)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	f := newFixture(t)
+	d1, _, _ := f.table1(t)
+	d1.Object.Name = "admin"
+	if err := d1.Verify(); err == nil {
+		t.Fatal("tampered delegation should fail verification")
+	}
+	var sigErr *SignatureError
+	if err := d1.Verify(); !errors.As(err, &sigErr) {
+		t.Fatalf("want SignatureError, got %v", err)
+	}
+}
+
+func TestVerifyDetectsForgedIssuer(t *testing.T) {
+	f := newFixture(t)
+	d1, _, _ := f.table1(t)
+	d1.Issuer = f.Mark.Entity() // claim Mark issued it
+	if err := d1.Verify(); err == nil {
+		t.Fatal("forged issuer should fail verification")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	f := newFixture(t)
+	d := f.issue(t, f.BigISP, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "member"),
+		Expiry:        f.Now.Add(time.Hour),
+	})
+	if d.Expired(f.Now) {
+		t.Fatal("not yet expired")
+	}
+	if !d.Expired(f.Now.Add(2 * time.Hour)) {
+		t.Fatal("should be expired after expiry")
+	}
+	unexpiring := f.issue(t, f.BigISP, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "other"),
+	})
+	if unexpiring.Expired(f.Now.Add(1000 * time.Hour)) {
+		t.Fatal("zero expiry never expires")
+	}
+}
+
+func TestIssueRejectsExpiryBeforeIssuance(t *testing.T) {
+	f := newFixture(t)
+	_, err := Issue(f.BigISP, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "member"),
+		Expiry:        f.Now.Add(-time.Hour),
+	}, f.Now)
+	if err == nil {
+		t.Fatal("want error for expiry before issuance")
+	}
+}
+
+func TestIssueRejectsSelfLoop(t *testing.T) {
+	f := newFixture(t)
+	member := NewRole(f.BigISP.ID(), "member")
+	_, err := Issue(f.BigISP, Template{
+		Subject: SubjectRole(member),
+		Object:  member,
+	}, f.Now)
+	if err == nil {
+		t.Fatal("want error for subject == object")
+	}
+}
+
+func TestIssueRejectsMismatchedSubjectEntity(t *testing.T) {
+	f := newFixture(t)
+	_, err := Issue(f.BigISP, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Mark.Entity()), // wrong key material
+		Object:        NewRole(f.BigISP.ID(), "member"),
+	}, f.Now)
+	if err == nil {
+		t.Fatal("want error for mismatched subject entity")
+	}
+}
+
+func TestIssueRejectsNonAssignmentActingAs(t *testing.T) {
+	f := newFixture(t)
+	_, err := Issue(f.Mark, Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "member"),
+		ActingAs:      []Role{NewRole(f.BigISP.ID(), "member")}, // no tick
+	}, f.Now)
+	if err == nil {
+		t.Fatal("want error for acting-as without tick")
+	}
+}
+
+func TestDelegationIDStableAndUnique(t *testing.T) {
+	f := newFixture(t)
+	tmpl := Template{
+		Subject:       SubjectEntity(f.Maria.ID()),
+		SubjectEntity: ptr(f.Maria.Entity()),
+		Object:        NewRole(f.BigISP.ID(), "member"),
+	}
+	a, err := Issue(f.BigISP, tmpl, f.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Issue(f.BigISP, tmpl, f.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("nonce should uniquify otherwise identical delegations")
+	}
+	if a.ID() != a.ID() {
+		t.Fatal("ID must be stable")
+	}
+}
+
+func TestSigningBytesDiffer(t *testing.T) {
+	f := newFixture(t)
+	d1, d2, d3 := f.table1(t)
+	seen := map[string]bool{}
+	for _, d := range []*Delegation{d1, d2, d3} {
+		k := string(d.SigningBytes())
+		if seen[k] {
+			t.Fatal("distinct delegations share signing bytes")
+		}
+		seen[k] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSelfCertified.String() != "self-certified" || KindThirdParty.String() != "third-party" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Directory resolves human-readable entity names to entities and back. The
+// concrete syntax of delegations (Table 1/2) refers to entities by name;
+// authority always derives from keys, so a directory is only a display and
+// parsing aid, never a trust root.
+type Directory interface {
+	// LookupName resolves a human-readable name.
+	LookupName(name string) (Entity, bool)
+	// LookupID resolves a fingerprint.
+	LookupID(id EntityID) (Entity, bool)
+}
+
+// MemDirectory is an in-memory, concurrency-safe Directory.
+type MemDirectory struct {
+	mu     sync.RWMutex
+	byName map[string]Entity
+	byID   map[EntityID]Entity
+}
+
+var _ Directory = (*MemDirectory)(nil)
+
+// NewDirectory returns an empty directory, optionally pre-populated.
+func NewDirectory(entities ...Entity) *MemDirectory {
+	d := &MemDirectory{
+		byName: make(map[string]Entity),
+		byID:   make(map[EntityID]Entity),
+	}
+	for _, e := range entities {
+		d.Add(e)
+	}
+	return d
+}
+
+// Add registers an entity; later registrations win name collisions.
+func (d *MemDirectory) Add(e Entity) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.byName[e.Name] = e
+	d.byID[e.ID()] = e
+}
+
+// LookupName implements Directory.
+func (d *MemDirectory) LookupName(name string) (Entity, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.byName[name]
+	return e, ok
+}
+
+// LookupID implements Directory.
+func (d *MemDirectory) LookupID(id EntityID) (Entity, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.byID[id]
+	return e, ok
+}
+
+// Names returns the registered names in sorted order.
+func (d *MemDirectory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.byName))
+	for n := range d.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DisplayID renders id through the directory, falling back to the short
+// fingerprint for unknown entities.
+func DisplayID(dir Directory, id EntityID) string {
+	if dir != nil {
+		if e, ok := dir.LookupID(id); ok {
+			return e.Name
+		}
+	}
+	return id.Short()
+}
+
+// resolveName maps a name to its EntityID via the directory.
+func resolveName(name string, dir Directory) (EntityID, error) {
+	if dir == nil {
+		return "", fmt.Errorf("no directory to resolve entity name %q", name)
+	}
+	e, ok := dir.LookupName(name)
+	if !ok {
+		return "", &UnknownEntityError{Name: name}
+	}
+	return e.ID(), nil
+}
+
+// UnknownEntityError reports a name the directory cannot resolve.
+type UnknownEntityError struct {
+	Name string
+}
+
+func (e *UnknownEntityError) Error() string {
+	return fmt.Sprintf("unknown entity name %q", e.Name)
+}

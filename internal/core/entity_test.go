@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNewIdentityDistinct(t *testing.T) {
+	a, err := NewIdentity("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIdentity("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("two generated identities share a fingerprint")
+	}
+}
+
+func TestIdentityFromSeedDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{7}, 32)
+	a, err := IdentityFromSeed("x", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IdentityFromSeed("y", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Fatal("same seed must yield the same fingerprint regardless of name")
+	}
+}
+
+func TestIdentityFromSeedBadLength(t *testing.T) {
+	if _, err := IdentityFromSeed("x", []byte{1, 2, 3}); err == nil {
+		t.Fatal("want error for short seed")
+	}
+}
+
+func TestEntityIDValid(t *testing.T) {
+	id, err := NewIdentity("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.ID().Valid() {
+		t.Fatalf("fingerprint %q should be valid", id.ID())
+	}
+	tests := []struct {
+		give EntityID
+	}{
+		{""},
+		{"abc"},
+		{EntityID(bytes.Repeat([]byte{'z'}, 64))}, // non-hex
+	}
+	for _, tt := range tests {
+		if tt.give.Valid() {
+			t.Errorf("EntityID(%q).Valid() = true, want false", tt.give)
+		}
+	}
+}
+
+func TestEntityIDShort(t *testing.T) {
+	if got := EntityID("abcdef0123456789").Short(); got != "abcdef01" {
+		t.Fatalf("Short() = %q", got)
+	}
+	if got := EntityID("ab").Short(); got != "ab" {
+		t.Fatalf("Short() on short id = %q", got)
+	}
+}
+
+func TestSignVerifyBytes(t *testing.T) {
+	id, err := NewIdentity("signer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("the quick brown fox")
+	sig := id.SignBytes(msg)
+	if !VerifyBytes(id.Entity(), msg, sig) {
+		t.Fatal("signature should verify")
+	}
+	if VerifyBytes(id.Entity(), append(msg, 'x'), sig) {
+		t.Fatal("modified message should not verify")
+	}
+	other, err := NewIdentity("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifyBytes(other.Entity(), msg, sig) {
+		t.Fatal("wrong key should not verify")
+	}
+	if VerifyBytes(Entity{Name: "nokey"}, msg, sig) {
+		t.Fatal("missing key should not verify")
+	}
+}
+
+func TestEntityEqual(t *testing.T) {
+	a, err := NewIdentity("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := Entity{Name: "different", Key: a.Entity().Key}
+	if !a.Entity().Equal(renamed) {
+		t.Fatal("entities with the same key must be equal regardless of name")
+	}
+}
+
+func TestDirectoryLookup(t *testing.T) {
+	a, err := NewIdentity("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := NewDirectory(a.Entity())
+	if got, ok := dir.LookupName("alpha"); !ok || got.ID() != a.ID() {
+		t.Fatal("LookupName failed")
+	}
+	if got, ok := dir.LookupID(a.ID()); !ok || got.Name != "alpha" {
+		t.Fatal("LookupID failed")
+	}
+	if _, ok := dir.LookupName("missing"); ok {
+		t.Fatal("LookupName should miss")
+	}
+	if names := dir.Names(); len(names) != 1 || names[0] != "alpha" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestDisplayID(t *testing.T) {
+	a, err := NewIdentity("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := NewDirectory(a.Entity())
+	if got := DisplayID(dir, a.ID()); got != "alpha" {
+		t.Fatalf("DisplayID = %q, want alpha", got)
+	}
+	if got := DisplayID(nil, a.ID()); got != a.ID().Short() {
+		t.Fatalf("DisplayID without dir = %q", got)
+	}
+	b, err := NewIdentity("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DisplayID(dir, b.ID()); got != b.ID().Short() {
+		t.Fatalf("DisplayID for unknown = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors matched by callers with errors.Is.
+var (
+	// ErrNoProof reports that no authorizing proof exists for a query.
+	ErrNoProof = errors.New("drbac: no authorizing proof")
+	// ErrRevoked reports that a delegation in a proof has been revoked.
+	ErrRevoked = errors.New("drbac: delegation revoked")
+	// ErrProofDepth reports that support-proof recursion exceeded the
+	// configured limit.
+	ErrProofDepth = errors.New("drbac: support proof recursion too deep")
+)
+
+// SignatureError reports a delegation whose signature does not verify.
+type SignatureError struct {
+	ID     DelegationID
+	Issuer Entity
+}
+
+func (e *SignatureError) Error() string {
+	return fmt.Sprintf("delegation %s: signature by %s does not verify", e.ID.Short(), e.Issuer)
+}
+
+// ExpiredError reports a delegation used past its expiry.
+type ExpiredError struct {
+	ID     DelegationID
+	Expiry time.Time
+	At     time.Time
+}
+
+func (e *ExpiredError) Error() string {
+	return fmt.Sprintf("delegation %s: expired %v (evaluated at %v)", e.ID.Short(), e.Expiry, e.At)
+}
+
+// ChainError reports a structural break in a proof chain.
+type ChainError struct {
+	Index  int
+	Reason string
+}
+
+func (e *ChainError) Error() string {
+	return fmt.Sprintf("proof chain step %d: %s", e.Index, e.Reason)
+}
+
+// MissingSupportError reports a third-party delegation (or foreign attribute
+// setting) lacking a valid support proof for a role the issuer must hold.
+type MissingSupportError struct {
+	Delegation DelegationID
+	Issuer     Entity
+	Need       Role
+}
+
+func (e *MissingSupportError) Error() string {
+	return fmt.Sprintf("delegation %s: issuer %s lacks support proof for %s",
+		e.Delegation.Short(), e.Issuer, e.Need)
+}
+
+// RevokedError wraps ErrRevoked with the offending delegation.
+type RevokedError struct {
+	ID DelegationID
+}
+
+func (e *RevokedError) Error() string {
+	return fmt.Sprintf("delegation %s revoked", e.ID.Short())
+}
+
+// Unwrap lets errors.Is(err, ErrRevoked) match.
+func (e *RevokedError) Unwrap() error { return ErrRevoked }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fixture builds the paper's running-example principals (§1.1): BigISP,
+// AirNet, Mark (BigISP member services), Sheila (AirNet marketing), and the
+// mobile user Maria.
+type fixture struct {
+	BigISP, AirNet, Mark, Sheila, Maria *Identity
+	Dir                                 *MemDirectory
+	Now                                 time.Time
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{Now: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)}
+	mk := func(name string, seedByte byte) *Identity {
+		t.Helper()
+		seed := make([]byte, 32)
+		for i := range seed {
+			seed[i] = seedByte
+		}
+		id, err := IdentityFromSeed(name, seed)
+		if err != nil {
+			t.Fatalf("identity %s: %v", name, err)
+		}
+		return id
+	}
+	f.BigISP = mk("BigISP", 1)
+	f.AirNet = mk("AirNet", 2)
+	f.Mark = mk("Mark", 3)
+	f.Sheila = mk("Sheila", 4)
+	f.Maria = mk("Maria", 5)
+	f.Dir = NewDirectory(
+		f.BigISP.Entity(), f.AirNet.Entity(), f.Mark.Entity(),
+		f.Sheila.Entity(), f.Maria.Entity(),
+	)
+	return f
+}
+
+// issue signs a template and fails the test on error.
+func (f *fixture) issue(t *testing.T, issuer *Identity, tmpl Template) *Delegation {
+	t.Helper()
+	d, err := Issue(issuer, tmpl, f.Now)
+	if err != nil {
+		t.Fatalf("issue by %s: %v", issuer.Name(), err)
+	}
+	return d
+}
+
+// parseIssue parses the paper syntax and signs with the named issuer.
+func (f *fixture) parseIssue(t *testing.T, text string) *Delegation {
+	t.Helper()
+	parsed, err := ParseDelegation(text, f.Dir)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	issuer := f.identityFor(t, parsed.Issuer.ID())
+	d, err := Issue(issuer, parsed.Template, f.Now)
+	if err != nil {
+		t.Fatalf("issue %q: %v", text, err)
+	}
+	return d
+}
+
+func (f *fixture) identityFor(t *testing.T, id EntityID) *Identity {
+	t.Helper()
+	for _, cand := range []*Identity{f.BigISP, f.AirNet, f.Mark, f.Sheila, f.Maria} {
+		if cand.ID() == id {
+			return cand
+		}
+	}
+	t.Fatalf("no identity for %s", id.Short())
+	return nil
+}
+
+// table1 issues the three Table 1 delegations:
+//
+//	(1) [Mark -> BigISP.memberServices] BigISP
+//	(2) [BigISP.memberServices -> BigISP.member'] BigISP
+//	(3) [Maria -> BigISP.member] Mark
+func (f *fixture) table1(t *testing.T) (d1, d2, d3 *Delegation) {
+	t.Helper()
+	d1 = f.parseIssue(t, "[Mark -> BigISP.memberServices] BigISP")
+	d2 = f.parseIssue(t, "[BigISP.memberServices -> BigISP.member'] BigISP")
+	d3 = f.parseIssue(t, "[Maria -> BigISP.member] Mark")
+	return d1, d2, d3
+}
+
+// markSupport assembles the support proof Mark => BigISP.member' from
+// delegations (1) and (2).
+func (f *fixture) markSupport(t *testing.T, d1, d2 *Delegation) *Proof {
+	t.Helper()
+	sup, err := NewProof(ProofStep{Delegation: d1}, ProofStep{Delegation: d2})
+	if err != nil {
+		t.Fatalf("support proof: %v", err)
+	}
+	return sup
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Parsed is the result of parsing the paper's concrete delegation syntax:
+// everything except the signature, which only Issue can produce.
+type Parsed struct {
+	Template Template
+	Issuer   Entity
+}
+
+// ParseDelegation parses the textual form used throughout the paper,
+// resolving entity names through dir:
+//
+//	[Maria -> BigISP.member] Mark
+//	[BigISP.memberServices -> BigISP.member'] BigISP
+//	[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila
+//	[AirNet.mktg -> AirNet.storage -= '] AirNet
+//	[Maria -> AirNet.access] Sheila <expiry:2026-12-31T00:00:00Z>
+//
+// The unicode arrow "→" is accepted as a synonym for "->". Discovery tags
+// may be attached to the subject, object, or issuer name:
+//
+//	[bigISP.member<wallet.bigISP.com:bigISP.wallet:30:S-> -> airNet.member] sheila
+func ParseDelegation(text string, dir Directory) (*Parsed, error) {
+	p := &parser{src: text, dir: dir}
+	out, err := p.delegation()
+	if err != nil {
+		return nil, fmt.Errorf("parse delegation %q: %w", text, err)
+	}
+	return out, nil
+}
+
+// ParseRole parses "Entity.name", "Entity.name'", or the attribute
+// assignment form "Entity.name <op>= '".
+func ParseRole(text string, dir Directory) (Role, error) {
+	r, err := parseRoleName(strings.TrimSpace(text), dir)
+	if err != nil {
+		return Role{}, fmt.Errorf("parse role %q: %w", text, err)
+	}
+	return r, nil
+}
+
+// ParseSubject parses either a bare entity name or a role.
+func ParseSubject(text string, dir Directory) (Subject, error) {
+	text = strings.TrimSpace(text)
+	if !strings.Contains(text, ".") {
+		id, err := resolveName(text, dir)
+		if err != nil {
+			return Subject{}, err
+		}
+		return SubjectEntity(id), nil
+	}
+	r, err := ParseRole(text, dir)
+	if err != nil {
+		return Subject{}, err
+	}
+	return SubjectRole(r), nil
+}
+
+type parser struct {
+	src string
+	pos int
+	dir Directory
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) expect(lit string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], lit) {
+		return p.errf("expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) tryConsume(lit string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+// name reads an identifier: letters, digits, '_', '-'.
+func (p *parser) name() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' && p.pos+1 < len(p.src) && isNameByte(p.src[p.pos+1]) ||
+			isNameByte(c) {
+			// Treat '-' as part of a name only when followed by another
+			// name character, so "-=" and "->" terminate names.
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// delegation parses the full [S -> O with ...] Issuer <annotations> form.
+func (p *parser) delegation() (*Parsed, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	subject, subjectTag, subjectEntity, err := p.subjectTerm()
+	if err != nil {
+		return nil, err
+	}
+	if !p.tryConsume("->") && !p.tryConsume("→") {
+		return nil, p.errf("expected arrow")
+	}
+	object, objectTag, err := p.objectTerm()
+	if err != nil {
+		return nil, err
+	}
+	var settings []AttributeSetting
+	if p.tryConsume("with") {
+		for {
+			s, err := p.setting()
+			if err != nil {
+				return nil, err
+			}
+			settings = append(settings, s)
+			if !p.tryConsume("and") {
+				break
+			}
+		}
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	issuerName, err := p.name()
+	if err != nil {
+		return nil, fmt.Errorf("issuer: %w", err)
+	}
+	issuer, ok := Entity{}, false
+	if p.dir != nil {
+		issuer, ok = p.dir.LookupName(issuerName)
+	}
+	if !ok {
+		return nil, &UnknownEntityError{Name: issuerName}
+	}
+
+	out := &Parsed{
+		Template: Template{
+			Subject:       subject,
+			SubjectEntity: subjectEntity,
+			Object:        object,
+			Attributes:    settings,
+			SubjectTag:    subjectTag,
+			ObjectTag:     objectTag,
+		},
+		Issuer: issuer,
+	}
+
+	// Issuer tag and annotations.
+	for !p.eof() {
+		p.skipSpace()
+		if p.peek() != '<' {
+			return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+		}
+		body, err := p.angleBody()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case strings.HasPrefix(body, "expiry:"):
+			ts := strings.TrimPrefix(body, "expiry:")
+			when, err := time.Parse(time.RFC3339, ts)
+			if err != nil {
+				return nil, fmt.Errorf("expiry %q: %w", ts, err)
+			}
+			out.Template.Expiry = when
+		case strings.HasPrefix(body, "depth:"):
+			n, err := strconv.Atoi(strings.TrimPrefix(body, "depth:"))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad depth limit %q", body)
+			}
+			out.Template.DepthLimit = n
+		case strings.HasPrefix(body, "acting-as:"):
+			for _, part := range strings.Split(strings.TrimPrefix(body, "acting-as:"), ",") {
+				role, err := parseRoleName(strings.TrimSpace(part), p.dir)
+				if err != nil {
+					return nil, fmt.Errorf("acting-as: %w", err)
+				}
+				out.Template.ActingAs = append(out.Template.ActingAs, role)
+			}
+		default:
+			tag, err := parseTagBody(body, p.dir)
+			if err != nil {
+				return nil, err
+			}
+			out.Template.IssuerTag = &tag
+		}
+	}
+	return out, nil
+}
+
+// subjectTerm parses an entity name or role, with optional discovery tag.
+func (p *parser) subjectTerm() (Subject, *DiscoveryTag, *Entity, error) {
+	first, err := p.name()
+	if err != nil {
+		return Subject{}, nil, nil, fmt.Errorf("subject: %w", err)
+	}
+	if p.peek() != '.' {
+		// Bare entity subject.
+		tag, err := p.optionalTag()
+		if err != nil {
+			return Subject{}, nil, nil, err
+		}
+		if p.dir == nil {
+			return Subject{}, nil, nil, fmt.Errorf("no directory to resolve %q", first)
+		}
+		ent, ok := p.dir.LookupName(first)
+		if !ok {
+			return Subject{}, nil, nil, &UnknownEntityError{Name: first}
+		}
+		entCopy := ent
+		return SubjectEntity(ent.ID()), tag, &entCopy, nil
+	}
+	role, err := p.roleAfterNamespace(first, false)
+	if err != nil {
+		return Subject{}, nil, nil, err
+	}
+	tag, err := p.optionalTag()
+	if err != nil {
+		return Subject{}, nil, nil, err
+	}
+	return SubjectRole(role), tag, nil, nil
+}
+
+// objectTerm parses the object role (plain, tick'd, or attribute-assignment
+// form), with optional discovery tag.
+func (p *parser) objectTerm() (Role, *DiscoveryTag, error) {
+	ns, err := p.name()
+	if err != nil {
+		return Role{}, nil, fmt.Errorf("object: %w", err)
+	}
+	if p.peek() != '.' {
+		return Role{}, nil, p.errf("object must be a role (Entity.name)")
+	}
+	role, err := p.roleAfterNamespace(ns, true)
+	if err != nil {
+		return Role{}, nil, err
+	}
+	tag, err := p.optionalTag()
+	if err != nil {
+		return Role{}, nil, err
+	}
+	return role, tag, nil
+}
+
+// roleAfterNamespace parses ".name", optional attribute-op suffix (object
+// position only), and tick marks, after the namespace name has been read.
+func (p *parser) roleAfterNamespace(nsName string, allowAttr bool) (Role, error) {
+	if err := p.expect("."); err != nil {
+		return Role{}, err
+	}
+	local, err := p.name()
+	if err != nil {
+		return Role{}, err
+	}
+	ns, err := resolveName(nsName, p.dir)
+	if err != nil {
+		return Role{}, err
+	}
+	role := Role{Namespace: ns, Name: local}
+
+	if allowAttr {
+		if op, ok := p.tryOperator(); ok {
+			role.Attr = true
+			role.Op = op
+		}
+	}
+	for p.tryConsume("'") {
+		role.Tick++
+	}
+	if role.Attr && role.Tick == 0 {
+		return Role{}, p.errf("attribute-assignment role %s.%s needs a tick", nsName, local)
+	}
+	return role, nil
+}
+
+// tryOperator consumes "-=", "*=", or "<=" if present.
+func (p *parser) tryOperator() (Operator, bool) {
+	switch {
+	case p.tryConsume("-="):
+		return OpSubtract, true
+	case p.tryConsume("*="):
+		return OpMultiply, true
+	case p.tryConsume("<="):
+		return OpMinimum, true
+	default:
+		return 0, false
+	}
+}
+
+// setting parses one "Entity.attr <op>= value" clause.
+func (p *parser) setting() (AttributeSetting, error) {
+	nsName, err := p.name()
+	if err != nil {
+		return AttributeSetting{}, fmt.Errorf("attribute: %w", err)
+	}
+	if err := p.expect("."); err != nil {
+		return AttributeSetting{}, err
+	}
+	attrName, err := p.name()
+	if err != nil {
+		return AttributeSetting{}, err
+	}
+	op, ok := p.tryOperator()
+	if !ok {
+		return AttributeSetting{}, p.errf("expected -=, *=, or <= after %s.%s", nsName, attrName)
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && (p.src[p.pos] == '.' || p.src[p.pos] == '+' ||
+		p.src[p.pos] == '-' || isNameByte(p.src[p.pos])) {
+		p.pos++
+	}
+	lit := p.src[start:p.pos]
+	val, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return AttributeSetting{}, p.errf("bad attribute value %q", lit)
+	}
+	ns, err := resolveName(nsName, p.dir)
+	if err != nil {
+		return AttributeSetting{}, err
+	}
+	return AttributeSetting{
+		Attr:  AttributeRef{Namespace: ns, Name: attrName},
+		Op:    op,
+		Value: val,
+	}, nil
+}
+
+// optionalTag parses a <home:role:ttl:flags> tag if one follows.
+func (p *parser) optionalTag() (*DiscoveryTag, error) {
+	p.skipSpace()
+	if p.peek() != '<' {
+		return nil, nil
+	}
+	// Distinguish "<=" (operator in with-clause context is handled before
+	// tags) from a tag opener; a tag body always contains ':'.
+	body, err := p.angleBody()
+	if err != nil {
+		return nil, err
+	}
+	tag, err := parseTagBody(body, p.dir)
+	if err != nil {
+		return nil, err
+	}
+	return &tag, nil
+}
+
+// angleBody consumes "<...>" and returns the inside.
+func (p *parser) angleBody() (string, error) {
+	if err := p.expect("<"); err != nil {
+		return "", err
+	}
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated <...>")
+	}
+	body := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	return strings.TrimSpace(body), nil
+}
+
+// parseRoleName parses a standalone role string such as "bigISP.wallet",
+// "BigISP.member'", or "AirNet.storage -= '".
+func parseRoleName(text string, dir Directory) (Role, error) {
+	p := &parser{src: text, dir: dir}
+	ns, err := p.name()
+	if err != nil {
+		return Role{}, err
+	}
+	role, err := p.roleAfterNamespace(ns, true)
+	if err != nil {
+		return Role{}, err
+	}
+	if !p.eof() {
+		return Role{}, p.errf("trailing input in role %q", text)
+	}
+	return role, nil
+}

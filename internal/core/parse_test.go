@@ -1,0 +1,335 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTable1Examples(t *testing.T) {
+	f := newFixture(t)
+	tests := []struct {
+		name string
+		give string
+		want func(t *testing.T, p *Parsed)
+	}{
+		{
+			name: "self-certified (1)",
+			give: "[Mark -> BigISP.memberServices] BigISP",
+			want: func(t *testing.T, p *Parsed) {
+				if !p.Template.Subject.IsEntity() || p.Template.Subject.Entity != f.Mark.ID() {
+					t.Errorf("subject = %v", p.Template.Subject)
+				}
+				if p.Template.Object != NewRole(f.BigISP.ID(), "memberServices") {
+					t.Errorf("object = %v", p.Template.Object)
+				}
+				if p.Issuer.ID() != f.BigISP.ID() {
+					t.Errorf("issuer = %v", p.Issuer)
+				}
+			},
+		},
+		{
+			name: "assignment (2)",
+			give: "[BigISP.memberServices -> BigISP.member'] BigISP",
+			want: func(t *testing.T, p *Parsed) {
+				if p.Template.Subject.Role != NewRole(f.BigISP.ID(), "memberServices") {
+					t.Errorf("subject = %v", p.Template.Subject)
+				}
+				if p.Template.Object != NewRole(f.BigISP.ID(), "member").Assignment() {
+					t.Errorf("object = %v, want tick'd member", p.Template.Object)
+				}
+			},
+		},
+		{
+			name: "third-party (3)",
+			give: "[Maria -> BigISP.member] Mark",
+			want: func(t *testing.T, p *Parsed) {
+				if p.Issuer.ID() != f.Mark.ID() {
+					t.Errorf("issuer = %v", p.Issuer)
+				}
+				if p.Template.Object.Namespace != f.BigISP.ID() {
+					t.Errorf("object namespace = %v", p.Template.Object.Namespace)
+				}
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := ParseDelegation(tt.give, f.Dir)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tt.want(t, p)
+		})
+	}
+}
+
+func TestParseTable2ValuedAttributes(t *testing.T) {
+	f := newFixture(t)
+	// Delegation (4) from Table 2.
+	p, err := ParseDelegation(
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila",
+		f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Template.Attributes) != 2 {
+		t.Fatalf("attributes = %v", p.Template.Attributes)
+	}
+	bw := p.Template.Attributes[0]
+	if bw.Attr.Name != "BW" || bw.Op != OpMinimum || bw.Value != 100 {
+		t.Errorf("BW setting = %+v", bw)
+	}
+	st := p.Template.Attributes[1]
+	if st.Attr.Name != "storage" || st.Op != OpSubtract || st.Value != 20 {
+		t.Errorf("storage setting = %+v", st)
+	}
+}
+
+func TestParseTable2AttributeAssignment(t *testing.T) {
+	f := newFixture(t)
+	// Delegation (5) from Table 2: [AirNet.mktg -> AirNet.storage -= '] AirNet.
+	p, err := ParseDelegation("[AirNet.mktg -> AirNet.storage -= '] AirNet", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.Template.Object
+	if !obj.Attr || obj.Op != OpSubtract || obj.Tick != 1 || obj.Name != "storage" {
+		t.Fatalf("object = %+v, want attribute-assignment role", obj)
+	}
+	want := AttributeRef{Namespace: f.AirNet.ID(), Name: "storage"}.AssignmentRole(OpSubtract)
+	if obj != want {
+		t.Fatalf("object = %v, want %v", obj, want)
+	}
+}
+
+func TestParseUnicodeArrow(t *testing.T) {
+	f := newFixture(t)
+	p, err := ParseDelegation("[Maria → BigISP.member] Mark", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Template.Object.Name != "member" {
+		t.Fatalf("object = %v", p.Template.Object)
+	}
+}
+
+func TestParseExpiry(t *testing.T) {
+	f := newFixture(t)
+	p, err := ParseDelegation("[Maria -> BigISP.member] Mark <expiry:2026-12-31T00:00:00Z>", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2026, 12, 31, 0, 0, 0, 0, time.UTC)
+	if !p.Template.Expiry.Equal(want) {
+		t.Fatalf("expiry = %v, want %v", p.Template.Expiry, want)
+	}
+}
+
+func TestParseDiscoveryTags(t *testing.T) {
+	f := newFixture(t)
+	give := "[BigISP.member<wallet.bigISP.example:BigISP.wallet:30:S-> -> AirNet.member<wallet.airNet.example:-:0:-o>] Sheila"
+	p, err := ParseDelegation(give, f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Template.SubjectTag
+	if st == nil {
+		t.Fatal("missing subject tag")
+	}
+	if st.Home != "wallet.bigISP.example" {
+		t.Errorf("home = %q", st.Home)
+	}
+	if st.AuthRole != NewRole(f.BigISP.ID(), "wallet") {
+		t.Errorf("auth role = %v", st.AuthRole)
+	}
+	if st.TTL != 30*time.Second {
+		t.Errorf("ttl = %v", st.TTL)
+	}
+	if st.Subject != SubjectSearch || st.Object != ObjectNone {
+		t.Errorf("flags = %v%v", st.Subject, st.Object)
+	}
+	ot := p.Template.ObjectTag
+	if ot == nil || ot.Object != ObjectStore || ot.Subject != SubjectNone || !ot.AuthRole.IsZero() {
+		t.Errorf("object tag = %+v", ot)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	f := newFixture(t)
+	tests := []struct {
+		name string
+		give string
+	}{
+		{"missing bracket", "Maria -> BigISP.member] Mark"},
+		{"missing arrow", "[Maria BigISP.member] Mark"},
+		{"unknown subject entity", "[Nobody -> BigISP.member] Mark"},
+		{"unknown issuer", "[Maria -> BigISP.member] Nobody"},
+		{"unknown namespace", "[Maria -> Nowhere.member] Mark"},
+		{"entity object", "[Maria -> BigISP] Mark"},
+		{"bad attribute operator", "[Maria -> BigISP.member with AirNet.BW += 3] Mark"},
+		{"bad attribute value", "[Maria -> BigISP.member with AirNet.BW <= lots] Mark"},
+		{"trailing junk", "[Maria -> BigISP.member] Mark garbage"},
+		{"unterminated tag", "[Maria -> BigISP.member] Mark <expiry:2026"},
+		{"bad expiry", "[Maria -> BigISP.member] Mark <expiry:notatime>"},
+		{"attr role without tick", "[Maria -> AirNet.storage -= 20x] Mark"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseDelegation(tt.give, f.Dir); err == nil {
+				t.Fatalf("parse(%q) succeeded, want error", tt.give)
+			}
+		})
+	}
+}
+
+func TestParseRoleForms(t *testing.T) {
+	f := newFixture(t)
+	tests := []struct {
+		give string
+		want Role
+	}{
+		{"BigISP.member", NewRole(f.BigISP.ID(), "member")},
+		{"BigISP.member'", NewRole(f.BigISP.ID(), "member").Assignment()},
+		{"BigISP.member''", NewRole(f.BigISP.ID(), "member").Assignment().Assignment()},
+		{"AirNet.storage -= '", AttributeRef{Namespace: f.AirNet.ID(), Name: "storage"}.AssignmentRole(OpSubtract)},
+		{"AirNet.BW <= '", AttributeRef{Namespace: f.AirNet.ID(), Name: "BW"}.AssignmentRole(OpMinimum)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			got, err := ParseRole(tt.give, f.Dir)
+			if err != nil {
+				t.Fatalf("ParseRole: %v", err)
+			}
+			if got != tt.want {
+				t.Fatalf("got %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseSubjectForms(t *testing.T) {
+	f := newFixture(t)
+	got, err := ParseSubject("Maria", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEntity() || got.Entity != f.Maria.ID() {
+		t.Fatalf("subject = %v", got)
+	}
+	got, err = ParseSubject("BigISP.member", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsEntity() || got.Role.Name != "member" {
+		t.Fatalf("subject = %v", got)
+	}
+	if _, err := ParseSubject("Missing", f.Dir); err == nil {
+		t.Fatal("want error for unknown entity")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	pr := Printer{Dir: f.Dir}
+	texts := []string{
+		"[Mark -> BigISP.memberServices] BigISP",
+		"[BigISP.memberServices -> BigISP.member'] BigISP",
+		"[Maria -> BigISP.member] Mark",
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila",
+		"[AirNet.mktg -> AirNet.storage -= '] AirNet",
+		"[Maria -> BigISP.member] Mark <expiry:2027-01-01T00:00:00Z>",
+	}
+	for _, text := range texts {
+		t.Run(text, func(t *testing.T) {
+			d := f.parseIssue(t, text)
+			rendered := pr.Delegation(d)
+			reparsed, err := ParseDelegation(rendered, f.Dir)
+			if err != nil {
+				t.Fatalf("reparse %q: %v", rendered, err)
+			}
+			if reparsed.Template.Subject != d.Subject {
+				t.Errorf("subject round trip: %v != %v", reparsed.Template.Subject, d.Subject)
+			}
+			if reparsed.Template.Object != d.Object {
+				t.Errorf("object round trip: %v != %v", reparsed.Template.Object, d.Object)
+			}
+			if reparsed.Issuer.ID() != d.Issuer.ID() {
+				t.Errorf("issuer round trip")
+			}
+			if len(reparsed.Template.Attributes) != len(d.Attributes) {
+				t.Errorf("attribute count round trip")
+			}
+			if !reparsed.Template.Expiry.Equal(d.Expiry) {
+				t.Errorf("expiry round trip: %v != %v", reparsed.Template.Expiry, d.Expiry)
+			}
+		})
+	}
+}
+
+func TestPrinterFallsBackToFingerprints(t *testing.T) {
+	f := newFixture(t)
+	d1, _, _ := f.table1(t)
+	out := Printer{}.Delegation(d1)
+	if strings.Contains(out, "BigISP") {
+		t.Fatalf("printer without directory leaked a name: %q", out)
+	}
+	if !strings.Contains(out, f.BigISP.ID().Short()) {
+		t.Fatalf("printer should show fingerprints: %q", out)
+	}
+}
+
+func TestDiscoveryTagString(t *testing.T) {
+	f := newFixture(t)
+	tag := DiscoveryTag{
+		Home:     "wallet.bigISP.example",
+		AuthRole: NewRole(f.BigISP.ID(), "wallet"),
+		TTL:      30 * time.Second,
+		Subject:  SubjectSearch,
+		Object:   ObjectStore,
+	}
+	got := Printer{Dir: f.Dir}.Tag(&tag)
+	want := "<wallet.bigISP.example:BigISP.wallet:30:So>"
+	if got != want {
+		t.Fatalf("Tag = %q, want %q", got, want)
+	}
+}
+
+func TestParseActingAs(t *testing.T) {
+	f := newFixture(t)
+	d := f.parseIssue(t, "[Maria -> BigISP.member] Mark <acting-as:BigISP.member'>")
+	if len(d.ActingAs) != 1 || d.ActingAs[0] != NewRole(f.BigISP.ID(), "member").Assignment() {
+		t.Fatalf("ActingAs = %v", d.ActingAs)
+	}
+	// Round trip through the printer.
+	rendered := Printer{Dir: f.Dir}.Delegation(d)
+	reparsed, err := ParseDelegation(rendered, f.Dir)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", rendered, err)
+	}
+	if len(reparsed.Template.ActingAs) != 1 || reparsed.Template.ActingAs[0] != d.ActingAs[0] {
+		t.Fatalf("acting-as round trip: %v", reparsed.Template.ActingAs)
+	}
+}
+
+func TestParseActingAsMultiple(t *testing.T) {
+	f := newFixture(t)
+	d := f.parseIssue(t, "[Maria -> BigISP.member] Mark <acting-as:BigISP.member',BigISP.guest'>")
+	if len(d.ActingAs) != 2 {
+		t.Fatalf("ActingAs = %v", d.ActingAs)
+	}
+}
+
+func TestParseActingAsRejectsPlainRole(t *testing.T) {
+	f := newFixture(t)
+	// Acting-as roles must be assignment roles (carry a tick); Issue
+	// enforces this during validation.
+	parsed, err := ParseDelegation("[Maria -> BigISP.member] Mark <acting-as:BigISP.member>", f.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Issue(f.Mark, parsed.Template, f.Now); err == nil {
+		t.Fatal("plain acting-as role accepted")
+	}
+}

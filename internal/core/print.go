@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Printer renders model objects with entity names resolved through a
+// directory, matching the paper's concrete syntax.
+type Printer struct {
+	// Dir resolves fingerprints to names; nil falls back to short
+	// fingerprints.
+	Dir Directory
+}
+
+// Role renders a role, e.g. "BigISP.member'" or "AirNet.storage -= '".
+func (pr Printer) Role(r Role) string {
+	var b strings.Builder
+	b.WriteString(DisplayID(pr.Dir, r.Namespace))
+	b.WriteByte('.')
+	b.WriteString(r.Name)
+	if r.Attr {
+		b.WriteByte(' ')
+		b.WriteString(r.Op.String())
+		b.WriteString("= ")
+	}
+	b.WriteString(strings.Repeat("'", r.Tick))
+	return b.String()
+}
+
+// Subject renders an entity or role subject.
+func (pr Printer) Subject(s Subject) string {
+	if s.IsEntity() {
+		return DisplayID(pr.Dir, s.Entity)
+	}
+	return pr.Role(s.Role)
+}
+
+// Setting renders one attribute clause, e.g. "AirNet.BW <= 100".
+func (pr Printer) Setting(s AttributeSetting) string {
+	return fmt.Sprintf("%s.%s %s= %s",
+		DisplayID(pr.Dir, s.Attr.Namespace), s.Attr.Name, s.Op, formatFloat(s.Value))
+}
+
+// Tag renders a discovery tag with its auth role name-resolved.
+func (pr Printer) Tag(t *DiscoveryTag) string {
+	if t == nil {
+		return ""
+	}
+	n := t.Normalize()
+	role := "-"
+	if !n.AuthRole.IsZero() {
+		role = fmt.Sprintf("%s.%s", DisplayID(pr.Dir, n.AuthRole.Namespace), n.AuthRole.Name)
+	}
+	return fmt.Sprintf("<%s:%s:%d:%s%s>", n.Home, role, int(n.TTL/time.Second), n.Subject, n.Object)
+}
+
+// Delegation renders the full bracketed form.
+func (pr Printer) Delegation(d *Delegation) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(pr.Subject(d.Subject))
+	b.WriteString(pr.Tag(d.SubjectTag))
+	b.WriteString(" -> ")
+	b.WriteString(pr.Role(d.Object))
+	b.WriteString(pr.Tag(d.ObjectTag))
+	for i, s := range d.Attributes {
+		if i == 0 {
+			b.WriteString(" with ")
+		} else {
+			b.WriteString(" and ")
+		}
+		b.WriteString(pr.Setting(s))
+	}
+	b.WriteString("] ")
+	b.WriteString(DisplayID(pr.Dir, d.Issuer.ID()))
+	b.WriteString(pr.Tag(d.IssuerTag))
+	if !d.Expiry.IsZero() {
+		fmt.Fprintf(&b, " <expiry:%s>", d.Expiry.UTC().Format(time.RFC3339))
+	}
+	if d.DepthLimit > 0 {
+		fmt.Fprintf(&b, " <depth:%d>", d.DepthLimit)
+	}
+	if len(d.ActingAs) > 0 {
+		b.WriteString(" <acting-as:")
+		for i, r := range d.ActingAs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			// Render without the attribute-form spaces so the annotation
+			// stays a single token.
+			b.WriteString(DisplayID(pr.Dir, r.Namespace))
+			b.WriteByte('.')
+			b.WriteString(r.Name)
+			if r.Attr {
+				b.WriteString(r.Op.String())
+				b.WriteString("=")
+			}
+			b.WriteString(strings.Repeat("'", r.Tick))
+		}
+		b.WriteString(">")
+	}
+	return b.String()
+}
+
+// Proof renders a proof chain with support-proof counts.
+func (pr Printer) Proof(p *Proof) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s => %s\n", pr.Subject(p.Subject), pr.Role(p.Object))
+	pr.writeProof(&b, p, 1)
+	return b.String()
+}
+
+func (pr Printer) writeProof(b *strings.Builder, p *Proof, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, st := range p.Steps {
+		b.WriteString(pad)
+		b.WriteString(pr.Delegation(st.Delegation))
+		b.WriteByte('\n')
+		for _, sup := range st.Support {
+			fmt.Fprintf(b, "%s  support: %s => %s\n", pad, pr.Subject(sup.Subject), pr.Role(sup.Object))
+			pr.writeProof(b, sup, indent+2)
+		}
+	}
+}
+
+// Format renders d through an optional directory; it backs
+// Delegation.String.
+func (d *Delegation) Format(dir Directory) string {
+	return Printer{Dir: dir}.Delegation(d)
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validNS() EntityID { return EntityID(strings.Repeat("cd", 32)) }
+
+func TestRoleValidateTable(t *testing.T) {
+	ns := validNS()
+	tests := []struct {
+		name    string
+		give    Role
+		wantErr bool
+	}{
+		{"plain ok", Role{Namespace: ns, Name: "member"}, false},
+		{"tick ok", Role{Namespace: ns, Name: "member", Tick: 2}, false},
+		{"attr ok", Role{Namespace: ns, Name: "bw", Tick: 1, Attr: true, Op: OpMinimum}, false},
+		{"bad namespace", Role{Namespace: "xyz", Name: "member"}, true},
+		{"empty name", Role{Namespace: ns}, true},
+		{"reserved chars", Role{Namespace: ns, Name: "mem ber"}, true},
+		{"dot in name", Role{Namespace: ns, Name: "a.b"}, true},
+		{"negative tick", Role{Namespace: ns, Name: "member", Tick: -1}, true},
+		{"attr without tick", Role{Namespace: ns, Name: "bw", Attr: true, Op: OpMinimum}, true},
+		{"attr without op", Role{Namespace: ns, Name: "bw", Tick: 1, Attr: true}, true},
+		{"op on plain role", Role{Namespace: ns, Name: "member", Op: OpMinimum}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRoleAssignmentAndBase(t *testing.T) {
+	r := NewRole(validNS(), "member")
+	up := r.Assignment()
+	if up.Tick != 1 || !up.IsAssignment() {
+		t.Fatalf("Assignment = %+v", up)
+	}
+	if up.Assignment().Tick != 2 {
+		t.Fatal("double tick failed")
+	}
+	if up.Base() != r {
+		t.Fatal("Base should undo Assignment")
+	}
+	if r.Base() != r {
+		t.Fatal("Base on plain role should be identity")
+	}
+	if r.IsZero() || !(Role{}).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestSubjectValidateTable(t *testing.T) {
+	ns := validNS()
+	tests := []struct {
+		name    string
+		give    Subject
+		wantErr bool
+	}{
+		{"entity ok", SubjectEntity(ns), false},
+		{"role ok", SubjectRole(Role{Namespace: ns, Name: "x"}), false},
+		{"zero", Subject{}, true},
+		{"both set", Subject{Entity: ns, Role: Role{Namespace: ns, Name: "x"}}, true},
+		{"bad entity", SubjectEntity("nope"), true},
+		{"bad role", SubjectRole(Role{Namespace: ns}), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDiscoveryTagValidateTable(t *testing.T) {
+	ns := validNS()
+	ok := DiscoveryTag{Home: "wallet.example", TTL: 30 * time.Second}
+	tests := []struct {
+		name    string
+		mutate  func(*DiscoveryTag)
+		wantErr bool
+	}{
+		{"valid", func(*DiscoveryTag) {}, false},
+		{"with auth role", func(tg *DiscoveryTag) { tg.AuthRole = Role{Namespace: ns, Name: "wallet"} }, false},
+		{"empty home", func(tg *DiscoveryTag) { tg.Home = "" }, true},
+		{"reserved home", func(tg *DiscoveryTag) { tg.Home = "a <b>" }, true},
+		{"negative ttl", func(tg *DiscoveryTag) { tg.TTL = -time.Second }, true},
+		{"bad auth role", func(tg *DiscoveryTag) { tg.AuthRole = Role{Namespace: ns} }, true},
+		{"bad subject flag", func(tg *DiscoveryTag) { tg.Subject = 99 }, true},
+		{"bad object flag", func(tg *DiscoveryTag) { tg.Object = 99 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tag := ok
+			tt.mutate(&tag)
+			err := tag.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr %v", tag, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDiscoveryTagNormalizeAndFlags(t *testing.T) {
+	tag := DiscoveryTag{Home: "h"}.Normalize()
+	if tag.Subject != SubjectNone || tag.Object != ObjectNone {
+		t.Fatalf("Normalize = %+v", tag)
+	}
+	if SubjectNone.String() != "-" || SubjectStore.String() != "s" || SubjectSearch.String() != "S" {
+		t.Fatal("subject flag strings wrong")
+	}
+	if ObjectNone.String() != "-" || ObjectStore.String() != "o" || ObjectSearch.String() != "O" {
+		t.Fatal("object flag strings wrong")
+	}
+}
+
+func TestRoleStringForms(t *testing.T) {
+	ns := validNS()
+	tests := []struct {
+		give Role
+		want string
+	}{
+		{Role{Namespace: ns, Name: "member"}, ns.Short() + ".member"},
+		{Role{Namespace: ns, Name: "member", Tick: 2}, ns.Short() + ".member''"},
+		{Role{Namespace: ns, Name: "bw", Tick: 1, Attr: true, Op: OpSubtract}, ns.Short() + ".bw -='"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SubjectFlag is the ternary subject-discovery flag of a discovery tag
+// (§4.2.1): it specifies where delegations that use the annotated name as a
+// subject can be found.
+type SubjectFlag int
+
+const (
+	// SubjectNone ('-') gives no storage guarantee.
+	SubjectNone SubjectFlag = iota + 1
+	// SubjectStore ('s') requires such delegations to be stored in the
+	// name's home wallet.
+	SubjectStore
+	// SubjectSearch ('S') additionally requires every object role the
+	// subject can be granted to also be of type 'S', making a
+	// subject-towards-object search complete.
+	SubjectSearch
+)
+
+// String renders the flag character.
+func (f SubjectFlag) String() string {
+	switch f {
+	case SubjectStore:
+		return "s"
+	case SubjectSearch:
+		return "S"
+	default:
+		return "-"
+	}
+}
+
+// ObjectFlag is the ternary object-discovery flag of a discovery tag.
+type ObjectFlag int
+
+const (
+	// ObjectNone ('-') gives no storage guarantee.
+	ObjectNone ObjectFlag = iota + 1
+	// ObjectStore ('o') requires delegations whose object is the annotated
+	// role to be stored in the role's home wallet.
+	ObjectStore
+	// ObjectSearch ('O') additionally requires every subject the role can
+	// be granted to to also be of type 'O', making an object-towards-subject
+	// search complete.
+	ObjectSearch
+)
+
+// String renders the flag character.
+func (f ObjectFlag) String() string {
+	switch f {
+	case ObjectStore:
+		return "o"
+	case ObjectSearch:
+		return "O"
+	default:
+		return "-"
+	}
+}
+
+// DiscoveryTag annotates a subject, object, or issuer of a delegation with
+// the information needed to locate further credentials across a distributed
+// system (§4.2.1), e.g.
+//
+//	bigISP.member<wallet.bigISP.com:bigISP.wallet:30:So>
+type DiscoveryTag struct {
+	// Home is the network address of the name's authorized home wallet.
+	Home string
+	// AuthRole is the dRBAC role required to authorize the home wallet and
+	// its proxies.
+	AuthRole Role
+	// TTL is how long a delegation stays valid after a validity
+	// confirmation from its home wallet. Zero means the delegation does not
+	// require monitoring.
+	TTL time.Duration
+	// Subject and Object are the two ternary discovery search flags.
+	Subject SubjectFlag
+	Object  ObjectFlag
+}
+
+// Validate checks structural well-formedness. Zero flags are normalized to
+// the '-' values by Normalize, so Validate accepts them.
+func (t DiscoveryTag) Validate() error {
+	if t.Home == "" {
+		return fmt.Errorf("discovery tag: empty home wallet address")
+	}
+	if strings.ContainsAny(t.Home, "<>[]\n\t ") {
+		return fmt.Errorf("discovery tag: home address %q contains reserved characters", t.Home)
+	}
+	if t.TTL < 0 {
+		return fmt.Errorf("discovery tag: negative TTL")
+	}
+	if !t.AuthRole.IsZero() {
+		if err := t.AuthRole.Validate(); err != nil {
+			return fmt.Errorf("discovery tag auth role: %w", err)
+		}
+	}
+	if t.Subject < 0 || t.Subject > SubjectSearch {
+		return fmt.Errorf("discovery tag: invalid subject flag %d", t.Subject)
+	}
+	if t.Object < 0 || t.Object > ObjectSearch {
+		return fmt.Errorf("discovery tag: invalid object flag %d", t.Object)
+	}
+	return nil
+}
+
+// Normalize fills zero flags with the '-' defaults.
+func (t DiscoveryTag) Normalize() DiscoveryTag {
+	if t.Subject == 0 {
+		t.Subject = SubjectNone
+	}
+	if t.Object == 0 {
+		t.Object = ObjectNone
+	}
+	return t
+}
+
+// String renders the tag in the paper's <home:role:ttl:flags> form, with the
+// auth role shown through its abbreviated namespace.
+func (t DiscoveryTag) String() string {
+	t = t.Normalize()
+	role := "-"
+	if !t.AuthRole.IsZero() {
+		role = t.AuthRole.String()
+	}
+	return fmt.Sprintf("<%s:%s:%d:%s%s>",
+		t.Home, role, int(t.TTL/time.Second), t.Subject, t.Object)
+}
+
+// parseTagBody parses the inside of <...> given a directory for role names.
+// The role field may be "-" for no authorizing role.
+func parseTagBody(body string, dir Directory) (DiscoveryTag, error) {
+	parts := strings.Split(body, ":")
+	if len(parts) != 4 {
+		return DiscoveryTag{}, fmt.Errorf("discovery tag %q: want 4 colon-separated fields, got %d", body, len(parts))
+	}
+	var tag DiscoveryTag
+	tag.Home = strings.TrimSpace(parts[0])
+
+	roleField := strings.TrimSpace(parts[1])
+	if roleField != "-" && roleField != "" {
+		role, err := parseRoleName(roleField, dir)
+		if err != nil {
+			return DiscoveryTag{}, fmt.Errorf("discovery tag %q: %w", body, err)
+		}
+		tag.AuthRole = role
+	}
+
+	secs, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return DiscoveryTag{}, fmt.Errorf("discovery tag %q: bad TTL: %w", body, err)
+	}
+	tag.TTL = time.Duration(secs) * time.Second
+
+	flags := strings.TrimSpace(parts[3])
+	if len(flags) != 2 {
+		return DiscoveryTag{}, fmt.Errorf("discovery tag %q: want 2 flag characters, got %q", body, flags)
+	}
+	switch flags[0] {
+	case '-':
+		tag.Subject = SubjectNone
+	case 's':
+		tag.Subject = SubjectStore
+	case 'S':
+		tag.Subject = SubjectSearch
+	default:
+		return DiscoveryTag{}, fmt.Errorf("discovery tag %q: bad subject flag %q", body, flags[0])
+	}
+	switch flags[1] {
+	case '-':
+		tag.Object = ObjectNone
+	case 'o':
+		tag.Object = ObjectStore
+	case 'O':
+		tag.Object = ObjectSearch
+	default:
+		return DiscoveryTag{}, fmt.Errorf("discovery tag %q: bad object flag %q", body, flags[1])
+	}
+	if err := tag.Validate(); err != nil {
+		return DiscoveryTag{}, err
+	}
+	return tag, nil
+}

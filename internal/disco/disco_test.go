@@ -1,0 +1,418 @@
+package disco
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"drbac/internal/clock"
+	"drbac/internal/core"
+	"drbac/internal/discovery"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+var testStart = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+type env struct {
+	t   *testing.T
+	ids map[string]*core.Identity
+	dir *core.MemDirectory
+	clk *clock.Fake
+}
+
+func newEnv(t *testing.T, names ...string) *env {
+	t.Helper()
+	e := &env{
+		t:   t,
+		ids: make(map[string]*core.Identity),
+		dir: core.NewDirectory(),
+		clk: clock.NewFake(testStart),
+	}
+	for i, name := range names {
+		seed := make([]byte, 32)
+		seed[0] = byte(i + 1)
+		copy(seed[1:], name)
+		id, err := core.IdentityFromSeed(name, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ids[name] = id
+		e.dir.Add(id.Entity())
+	}
+	return e
+}
+
+func (e *env) wallet() *wallet.Wallet {
+	return wallet.New(wallet.Config{Clock: e.clk, Directory: e.dir})
+}
+
+func (e *env) deleg(text string) *core.Delegation {
+	e.t.Helper()
+	parsed, err := core.ParseDelegation(text, e.dir)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	var issuer *core.Identity
+	for _, id := range e.ids {
+		if id.ID() == parsed.Issuer.ID() {
+			issuer = id
+		}
+	}
+	d, err := core.Issue(issuer, parsed.Template, e.clk.Now())
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return d
+}
+
+// airNetResource is the §5 access policy as a DisCo registration.
+func (e *env) airNetResource() Resource {
+	airNet := e.ids["AirNet"].ID()
+	return Resource{
+		Name: "internet-access",
+		Role: core.NewRole(airNet, "access"),
+		Bases: map[core.AttributeRef]float64{
+			{Namespace: airNet, Name: "storage"}: 50,
+			{Namespace: airNet, Name: "hours"}:   60,
+		},
+		Minimums: map[core.AttributeRef]float64{
+			{Namespace: airNet, Name: "BW"}: 50,
+		},
+	}
+}
+
+func TestGuardValidation(t *testing.T) {
+	if _, err := NewGuard(Config{}); err == nil {
+		t.Fatal("guard without wallet accepted")
+	}
+	e := newEnv(t, "AirNet")
+	g, err := NewGuard(Config{Wallet: e.wallet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(Resource{}); err == nil {
+		t.Fatal("unnamed resource accepted")
+	}
+	if err := g.Register(Resource{Name: "x"}); err == nil {
+		t.Fatal("resource without role accepted")
+	}
+	if _, err := g.Authorize("deadbeef", "nope", nil); err == nil {
+		t.Fatal("unknown resource accepted")
+	}
+}
+
+func TestAuthorizeSessionLevels(t *testing.T) {
+	e := newEnv(t, "AirNet", "Sheila", "BigISP", "Maria")
+	w := e.wallet()
+	for _, text := range []string{
+		"[Maria -> BigISP.member] BigISP",
+		"[Sheila -> AirNet.mktg] AirNet",
+		"[AirNet.mktg -> AirNet.member'] AirNet",
+		"[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet",
+	} {
+		if err := w.Publish(e.deleg(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Publish(e.deleg(
+		"[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20 and AirNet.hours *= 0.3] Sheila")); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Resource("internet-access"); !ok {
+		t.Fatal("registration lost")
+	}
+
+	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	airNet := e.ids["AirNet"].ID()
+	if got := s.Level(core.AttributeRef{Namespace: airNet, Name: "BW"}); got != 100 {
+		t.Errorf("BW level = %v, want 100", got)
+	}
+	if got := s.Level(core.AttributeRef{Namespace: airNet, Name: "storage"}); got != 30 {
+		t.Errorf("storage level = %v, want 30", got)
+	}
+	if got := s.Level(core.AttributeRef{Namespace: airNet, Name: "hours"}); got != 18 {
+		t.Errorf("hours level = %v, want 18", got)
+	}
+	if !s.Active() || g.ActiveSessions() != 1 {
+		t.Fatal("session should be active")
+	}
+	if s.Principal() != e.ids["Maria"].ID() || s.ResourceName() != "internet-access" {
+		t.Fatal("session metadata wrong")
+	}
+}
+
+func TestAuthorizeDeniesBelowMinimum(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria")
+	w := e.wallet()
+	// Only 10 units of bandwidth; the resource demands 50.
+	if err := w.Publish(e.deleg("[Maria -> AirNet.access with AirNet.BW <= 10] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	if !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("want ErrNoProof, got %v", err)
+	}
+}
+
+func TestSessionTerminatedOnRevocation(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria")
+	w := e.wallet()
+	d := e.deleg("[Maria -> AirNet.access with AirNet.BW <= 100] AirNet")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan SessionEvent, 2)
+	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+		func(ev SessionEvent) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if err := w.Revoke(d.ID(), e.ids["AirNet"].ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != SessionTerminated {
+			t.Fatalf("event = %v", ev.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no termination event")
+	}
+	if s.Active() || g.ActiveSessions() != 0 {
+		t.Fatal("session still active after revocation")
+	}
+}
+
+func TestSessionReauthorizedWithNewLevels(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria")
+	w := e.wallet()
+	generous := e.deleg("[Maria -> AirNet.access with AirNet.BW <= 150] AirNet")
+	modest := e.deleg("[Maria -> AirNet.access with AirNet.BW <= 60] AirNet")
+	if err := w.Publish(generous); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Publish(modest); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan SessionEvent, 2)
+	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+		func(ev SessionEvent) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	airNet := e.ids["AirNet"].ID()
+	bw := core.AttributeRef{Namespace: airNet, Name: "BW"}
+	first := s.Level(bw)
+
+	// Revoke whichever credential the session is riding on; the other
+	// still clears the 50-unit minimum, so the session survives at the
+	// other level.
+	var revoke *core.Delegation
+	if first == 150 {
+		revoke = generous
+	} else {
+		revoke = modest
+	}
+	if err := w.Revoke(revoke.ID(), e.ids["AirNet"].ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != SessionReauthorized {
+			t.Fatalf("event = %v", ev.Kind)
+		}
+		if got := ev.Levels[bw]; got == first {
+			t.Fatalf("levels did not change: %v", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reauthorization event")
+	}
+	if !s.Active() {
+		t.Fatal("session should remain active")
+	}
+}
+
+// The §5 scenario end to end through the DisCo layer with distributed
+// discovery: the guard pulls the coalition chain from remote home wallets.
+func TestGuardWithDiscovery(t *testing.T) {
+	e := newEnv(t, "BigISP", "AirNet", "Sheila", "Maria", "Server")
+	net := transport.NewMemNetwork()
+
+	// AirNet home wallet holds the access policy.
+	airNetWallet := wallet.New(wallet.Config{Owner: e.ids["AirNet"], Clock: e.clk, Directory: e.dir})
+	ln, err := net.Listen("wallet.airnet", e.ids["AirNet"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.Serve(airNetWallet, ln)
+	defer srv.Close()
+	if err := airNetWallet.Publish(e.deleg("[BigISP.member -> AirNet.access with AirNet.BW <= 100] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+
+	local := wallet.New(wallet.Config{Owner: e.ids["Server"], Clock: e.clk, Directory: e.dir})
+	if err := local.Publish(e.deleg("[Maria -> BigISP.member] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	agent := discovery.NewAgent(discovery.Config{
+		Local:  local,
+		Dialer: net.Dialer(e.ids["Server"]),
+	})
+	defer agent.Close()
+	agent.RegisterTag(core.SubjectRole(core.NewRole(e.ids["BigISP"].ID(), "member")), core.DiscoveryTag{
+		Home:    "wallet.airnet",
+		TTL:     30 * time.Second,
+		Subject: core.SubjectSearch,
+	})
+
+	g, err := NewGuard(Config{Wallet: local, Agent: agent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+
+	events := make(chan SessionEvent, 1)
+	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+		func(ev SessionEvent) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bw := core.AttributeRef{Namespace: e.ids["AirNet"].ID(), Name: "BW"}
+	if got := s.Level(bw); got != 100 {
+		t.Fatalf("BW = %v", got)
+	}
+
+	// Revoking the coalition at AirNet's home tears the session down
+	// through the bridged subscription.
+	for _, d := range airNetWallet.Delegations() {
+		if err := airNetWallet.Revoke(d.ID(), e.ids["AirNet"].ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != SessionTerminated {
+			t.Fatalf("event = %v", ev.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote revocation never terminated the session")
+	}
+}
+
+func TestGuardCloseTerminatesSessions(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria")
+	w := e.wallet()
+	if err := w.Publish(e.deleg("[Maria -> AirNet.access with AirNet.BW <= 100] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(e.airNetResource()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if s.Active() {
+		t.Fatal("session survived guard close")
+	}
+	if _, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil); err == nil {
+		t.Fatal("closed guard authorized")
+	}
+}
+
+func TestLevelFallsBackToBase(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria")
+	w := e.wallet()
+	// Chain touches no attributes at all.
+	if err := w.Publish(e.deleg("[Maria -> AirNet.access] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGuard(Config{Wallet: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	airNet := e.ids["AirNet"].ID()
+	res := Resource{
+		Name:  "open",
+		Role:  core.NewRole(airNet, "access"),
+		Bases: map[core.AttributeRef]float64{{Namespace: airNet, Name: "storage"}: 50},
+	}
+	if err := g.Register(res); err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Authorize(e.ids["Maria"].ID(), "open", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Level(core.AttributeRef{Namespace: airNet, Name: "storage"}); got != 50 {
+		t.Fatalf("untouched level = %v, want base 50", got)
+	}
+	if !math.IsInf(s.Level(core.AttributeRef{Namespace: airNet, Name: "unknown"}), 0) &&
+		s.Level(core.AttributeRef{Namespace: airNet, Name: "unknown"}) != 0 {
+		t.Fatalf("unknown attribute level = %v", s.Level(core.AttributeRef{Namespace: airNet, Name: "unknown"}))
+	}
+}
+
+func TestSessionEventKindString(t *testing.T) {
+	if SessionReauthorized.String() != "reauthorized" ||
+		SessionTerminated.String() != "terminated" ||
+		SessionEventKind(0).String() != "unknown" {
+		t.Fatal("kind strings wrong")
+	}
+}

@@ -1,0 +1,617 @@
+// Package discovery implements dRBAC's distributed delegation-chain
+// discovery (§4.2.1): a parallel breadth-first search across wallet homes,
+// directed by discovery tags, that pulls the missing sub-proofs into the
+// local trusted wallet until a full proof of the queried trust relationship
+// can be assembled — searching subject-towards-object, object-towards-
+// subject, or bidirectionally.
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/remote"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// Mode selects the search direction across wallets (§4.2.3).
+type Mode int
+
+const (
+	// Auto follows discovery-tag flags: forward where subjects are
+	// searchable, reverse where objects are, both when both allow it.
+	Auto Mode = iota
+	// ForwardOnly searches subject-towards-object regardless of tags.
+	ForwardOnly
+	// ReverseOnly searches object-towards-subject regardless of tags.
+	ReverseOnly
+)
+
+// Config parameterizes a discovery agent.
+type Config struct {
+	// Local is the trusted wallet fetched credentials are inserted into.
+	Local *wallet.Wallet
+	// Dialer opens authenticated connections to wallet homes.
+	Dialer transport.Dialer
+	// VerifyHomes requires each home wallet to prove it holds the
+	// discovery tag's authorization role before it is trusted (§4.2.1).
+	VerifyHomes bool
+	// MaxRounds bounds search rounds; 0 means DefaultMaxRounds.
+	MaxRounds int
+	// DisableRangeAdjustment turns off the §4.2.3 modulated-attribute-range
+	// optimization (remote queries then carry the original constraints).
+	// Ablation switch for EXP-S2b.
+	DisableRangeAdjustment bool
+}
+
+// DefaultMaxRounds bounds the breadth-first rounds of a discovery.
+const DefaultMaxRounds = 16
+
+// TraceEvent records one remote interaction for tests and experiments.
+type TraceEvent struct {
+	Round   int
+	Wallet  string
+	Kind    string // "direct", "subject", "object"
+	Node    string
+	Results int
+}
+
+// Stats accumulates discovery effort, the currency of the §4.2.3
+// experiments.
+type Stats struct {
+	Rounds             int
+	WalletsContacted   int
+	RemoteQueries      int
+	DelegationsFetched int
+	Trace              []TraceEvent
+}
+
+// Agent performs distributed discovery against a local wallet. It learns
+// discovery tags from every credential it sees and caches connections to
+// wallet homes.
+type Agent struct {
+	cfg Config
+
+	mu sync.Mutex
+	// tags is the agent's tag book: the home and flags for each graph node.
+	tags map[core.Subject]core.DiscoveryTag
+	// clients caches open connections by address.
+	clients map[string]*remote.Client
+	// origin records which home a cached delegation came from, for
+	// coherence subscriptions.
+	origin map[core.DelegationID]string
+	// verified remembers homes that passed the auth-role check.
+	verified map[string]bool
+}
+
+// NewAgent builds a discovery agent over a local wallet.
+func NewAgent(cfg Config) *Agent {
+	return &Agent{
+		cfg:      cfg,
+		tags:     make(map[core.Subject]core.DiscoveryTag),
+		clients:  make(map[string]*remote.Client),
+		origin:   make(map[core.DelegationID]string),
+		verified: make(map[string]bool),
+	}
+}
+
+// Close drops all cached connections.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	clients := a.clients
+	a.clients = make(map[string]*remote.Client)
+	a.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// RegisterTag seeds the agent's tag book, e.g. with the querying
+// application's own knowledge of a role's home wallet.
+func (a *Agent) RegisterTag(node core.Subject, tag core.DiscoveryTag) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tags[node] = tag.Normalize()
+}
+
+// Tag returns the known discovery tag for a node.
+func (a *Agent) Tag(node core.Subject) (core.DiscoveryTag, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t, ok := a.tags[node]
+	return t, ok
+}
+
+// Learn harvests discovery tags from a credential's annotations. The
+// discovery rounds call it on every fetched credential; applications call
+// it when credentials arrive out of band (e.g. Figure 2 step 1, where the
+// user's software hands the server its membership delegation directly).
+func (a *Agent) Learn(d *core.Delegation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.SubjectTag != nil {
+		a.tags[d.Subject] = d.SubjectTag.Normalize()
+	}
+	if d.ObjectTag != nil {
+		a.tags[core.SubjectRole(d.Object)] = d.ObjectTag.Normalize()
+	}
+	if d.IssuerTag != nil {
+		a.tags[core.SubjectEntity(d.Issuer.ID())] = d.IssuerTag.Normalize()
+	}
+}
+
+// client returns a (cached) connection to a wallet home, verifying its
+// authorization role when configured.
+func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, error) {
+	a.mu.Lock()
+	c, ok := a.clients[tag.Home]
+	a.mu.Unlock()
+	if !ok {
+		var err error
+		c, err = remote.Dial(a.cfg.Dialer, tag.Home)
+		if err != nil {
+			return nil, fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
+		}
+		a.mu.Lock()
+		if existing, raced := a.clients[tag.Home]; raced {
+			a.mu.Unlock()
+			c.Close()
+			c = existing
+		} else {
+			a.clients[tag.Home] = c
+			a.mu.Unlock()
+		}
+		if stats != nil {
+			stats.WalletsContacted++
+		}
+	}
+	if a.cfg.VerifyHomes && !tag.AuthRole.IsZero() {
+		a.mu.Lock()
+		done := a.verified[tag.Home]
+		a.mu.Unlock()
+		if !done {
+			if _, err := c.ProveRole(tag.AuthRole, a.cfg.Local.Now()); err != nil {
+				return nil, fmt.Errorf("discovery: home %s failed authorization: %w", tag.Home, err)
+			}
+			a.mu.Lock()
+			a.verified[tag.Home] = true
+			a.mu.Unlock()
+		}
+	}
+	return c, nil
+}
+
+// insertProofs stores fetched sub-proofs into the local wallet as TTL-
+// coherent cached copies, learning tags along the way. Returns how many new
+// delegations were stored.
+func (a *Agent) insertProofs(proofs []*core.Proof, from string, ttl time.Duration, stats *Stats) int {
+	inserted := 0
+	for _, p := range proofs {
+		for _, st := range p.Steps {
+			d := st.Delegation
+			a.Learn(d)
+			if a.cfg.Local.Contains(d.ID()) {
+				continue
+			}
+			if err := a.cfg.Local.InsertCached(d, st.Support, ttl); err != nil {
+				continue // invalid credential from remote: skip it
+			}
+			inserted++
+			a.mu.Lock()
+			a.origin[d.ID()] = from
+			a.mu.Unlock()
+			// Support-proof delegations are part of the credential too.
+			for _, sp := range st.Support {
+				for _, sd := range sp.Delegations() {
+					a.Learn(sd)
+				}
+			}
+		}
+	}
+	if stats != nil {
+		stats.DelegationsFetched += inserted
+	}
+	return inserted
+}
+
+// Discover finds a proof for q, pulling missing credentials from wallet
+// homes as directed by discovery tags. Fetched credentials are inserted
+// into the local wallet (Figure 2, step 5) so the final proof is assembled
+// locally. stats may be nil.
+func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, error) {
+	// Step: try locally first (Figure 2, step 2).
+	if p, err := a.cfg.Local.QueryDirect(q); err == nil {
+		return p, nil
+	}
+
+	maxRounds := a.cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	queriedFwd := make(map[core.Subject]bool)
+	queriedRev := make(map[core.Subject]bool)
+
+	for round := 1; round <= maxRounds; round++ {
+		if stats != nil {
+			stats.Rounds = round
+		}
+		progress := 0
+		if mode == Auto || mode == ForwardOnly {
+			n, found, err := a.forwardRound(q, mode, round, queriedFwd, stats)
+			if err == nil && found != nil {
+				return found, nil
+			}
+			progress += n
+		}
+		if mode == Auto || mode == ReverseOnly {
+			n, found, err := a.reverseRound(q, mode, round, queriedRev, stats)
+			if err == nil && found != nil {
+				return found, nil
+			}
+			progress += n
+		}
+		// Re-check locally after each round: the two frontiers may have
+		// met in the middle.
+		if p, err := a.cfg.Local.QueryDirect(q); err == nil {
+			return p, nil
+		}
+		if progress == 0 {
+			break
+		}
+	}
+	return nil, core.ErrNoProof
+}
+
+// forwardRound expands the subject-side frontier: every node currently
+// reachable from the query subject whose tag allows subject-directed
+// search gets one direct query and, failing that, one subject query at its
+// home wallet. Queries carry constraints adjusted by the locally known
+// prefix modifiers (§4.2.3 "modulated attribute ranges"), so remote
+// wallets prune continuations the accumulated chain can no longer afford.
+func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats) (int, *core.Proof, error) {
+	frontier := []core.Subject{q.Subject}
+	prefixes := make(map[core.Subject][]core.Aggregate)
+	for _, p := range a.cfg.Local.QuerySubject(q.Subject, nil) {
+		node := core.SubjectRole(p.Object)
+		frontier = append(frontier, node)
+		if ag, err := p.Aggregate(); err == nil {
+			prefixes[node] = append(prefixes[node], ag)
+		}
+	}
+	progress := 0
+	for _, node := range frontier {
+		if queried[node] {
+			continue
+		}
+		tag, ok := a.Tag(node)
+		if !ok {
+			continue
+		}
+		if mode == Auto && tag.Subject != core.SubjectSearch && tag.Subject != core.SubjectStore {
+			continue
+		}
+		queried[node] = true
+		c, err := a.client(tag, stats)
+		if err != nil {
+			continue
+		}
+		remaining := q.Constraints
+		if !a.cfg.DisableRangeAdjustment {
+			remaining = looseAdjust(q.Constraints, prefixes[node])
+		}
+		// Direct query for the original relationship rooted at this node.
+		if stats != nil {
+			stats.RemoteQueries++
+		}
+		p, err := c.QueryDirect(node, q.Object, remaining, 0)
+		if err == nil {
+			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
+			progress += n
+			a.trace(stats, round, tag.Home, "direct", node.String(), 1)
+			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
+				return progress, full, nil
+			}
+			continue
+		}
+		if !errors.Is(err, core.ErrNoProof) {
+			continue
+		}
+		// Fall back to a subject query; its results root further search.
+		if stats != nil {
+			stats.RemoteQueries++
+		}
+		proofs, err := c.QuerySubject(node, remaining)
+		if err != nil {
+			continue
+		}
+		a.trace(stats, round, tag.Home, "subject", node.String(), len(proofs))
+		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
+	}
+	return progress, nil, nil
+}
+
+// reverseRound expands the object-side frontier symmetrically: the locally
+// known suffix modifiers adjust the constraints the missing prefix must
+// still satisfy.
+func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats) (int, *core.Proof, error) {
+	frontier := []core.Role{q.Object}
+	suffixes := make(map[core.Role][]core.Aggregate)
+	for _, p := range a.cfg.Local.QueryObject(q.Object, nil) {
+		if !p.Subject.IsEntity() {
+			frontier = append(frontier, p.Subject.Role)
+			if ag, err := p.Aggregate(); err == nil {
+				suffixes[p.Subject.Role] = append(suffixes[p.Subject.Role], ag)
+			}
+		}
+	}
+	progress := 0
+	for _, role := range frontier {
+		node := core.SubjectRole(role)
+		if queried[node] {
+			continue
+		}
+		tag, ok := a.Tag(node)
+		if !ok {
+			continue
+		}
+		if mode == Auto && tag.Object != core.ObjectSearch && tag.Object != core.ObjectStore {
+			continue
+		}
+		queried[node] = true
+		c, err := a.client(tag, stats)
+		if err != nil {
+			continue
+		}
+		remaining := q.Constraints
+		if !a.cfg.DisableRangeAdjustment {
+			remaining = looseAdjust(q.Constraints, suffixes[role])
+		}
+		if stats != nil {
+			stats.RemoteQueries++
+		}
+		p, err := c.QueryDirect(q.Subject, role, remaining, 0)
+		if err == nil {
+			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
+			progress += n
+			a.trace(stats, round, tag.Home, "direct", node.String(), 1)
+			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
+				return progress, full, nil
+			}
+			continue
+		}
+		if !errors.Is(err, core.ErrNoProof) {
+			continue
+		}
+		if stats != nil {
+			stats.RemoteQueries++
+		}
+		proofs, err := c.QueryObject(role, remaining)
+		if err != nil {
+			continue
+		}
+		a.trace(stats, round, tag.Home, "object", node.String(), len(proofs))
+		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
+	}
+	return progress, nil, nil
+}
+
+// Bridge establishes delegation subscriptions at the home wallets of every
+// remotely sourced delegation in p (Figure 2: the dotted inter-wallet
+// subscription lines), keeping the local cached copies coherent: remote
+// revocations and expirations invalidate the local copy, which in turn
+// fires any local proof monitors; renewals extend the local TTL. It
+// returns a cancel function releasing all subscriptions.
+func (a *Agent) Bridge(p *core.Proof) (cancel func(), err error) {
+	var cancels []func()
+	release := func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+	for _, d := range p.Delegations() {
+		id := d.ID()
+		a.mu.Lock()
+		home, remoteSourced := a.origin[id]
+		a.mu.Unlock()
+		if !remoteSourced {
+			continue
+		}
+		tag, _ := a.Tag(d.Subject)
+		c, err := a.client(tagWithHome(tag.Normalize(), home), nil)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		ttl := tag.TTL
+		cancelOne, err := c.Subscribe(id, func(ev subs.Event) {
+			switch ev.Kind {
+			case subs.Revoked:
+				a.cfg.Local.AcceptRevocation(ev.Delegation)
+			case subs.Expired, subs.Stale:
+				a.cfg.Local.SweepExpired()
+				a.cfg.Local.SweepStaleCache()
+			case subs.Renewed:
+				if ttl > 0 {
+					a.cfg.Local.RenewCached(ev.Delegation, ttl)
+				}
+			}
+		})
+		if err != nil {
+			release()
+			return nil, err
+		}
+		cancels = append(cancels, cancelOne)
+	}
+	return release, nil
+}
+
+// tagWithHome overrides a tag's home address: the recorded origin wallet is
+// authoritative for where the credential was actually fetched.
+func tagWithHome(t core.DiscoveryTag, home string) core.DiscoveryTag {
+	t.Home = home
+	return t
+}
+
+// KeepFresh starts a background loop that re-confirms every remotely
+// cached delegation with its home wallet each interval (§4.2.1: a cached
+// copy is valid for TTL after "validity confirmation from its home
+// wallet"). A confirmed credential has its local TTL renewed; one the home
+// no longer holds is marked revoked locally (the home removes credentials
+// only on revocation or expiry, and either way the cached copy must go).
+// The returned stop function is idempotent and waits for the loop to exit.
+func (a *Agent) KeepFresh(interval time.Duration) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-a.cfg.Local.Clock().After(interval):
+				a.refreshOnce()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
+}
+
+// refreshOnce runs one confirmation sweep over the origin-tracked cache.
+func (a *Agent) refreshOnce() {
+	a.mu.Lock()
+	tracked := make(map[core.DelegationID]string, len(a.origin))
+	for id, home := range a.origin {
+		tracked[id] = home
+	}
+	a.mu.Unlock()
+
+	for id, home := range tracked {
+		d, _, ok := a.cfg.Local.Get(id)
+		if !ok {
+			a.mu.Lock()
+			delete(a.origin, id)
+			a.mu.Unlock()
+			continue
+		}
+		tag, _ := a.Tag(d.Subject)
+		c, err := a.client(tagWithHome(tag.Normalize(), home), nil)
+		if err != nil {
+			continue // home unreachable: let the TTL lapse naturally
+		}
+		present, err := c.Has(id)
+		if err != nil {
+			continue
+		}
+		if present {
+			ttl := tag.TTL
+			if ttl <= 0 {
+				continue
+			}
+			a.cfg.Local.RenewCached(id, ttl)
+			continue
+		}
+		// The home dropped it: revoked or expired there; drop our copy.
+		a.cfg.Local.AcceptRevocation(id)
+		a.mu.Lock()
+		delete(a.origin, id)
+		a.mu.Unlock()
+	}
+}
+
+// AuditFinding reports one delegation's registry status (§6: the paper
+// suggests 'S'/'O' discovery flags can "require public registry of further
+// delegation", giving coalitions an audit trail for re-delegation).
+type AuditFinding struct {
+	Delegation core.DelegationID
+	// Home is the wallet that should hold the delegation ("" when no tag
+	// demands registration).
+	Home string
+	// Required reports whether a store-required flag applies.
+	Required bool
+	// Registered reports whether the home wallet confirmed holding it
+	// (meaningful only when Required).
+	Registered bool
+}
+
+// AuditRegistry checks every delegation of a proof against the §6 registry
+// discipline: a delegation whose subject carries a store-required subject
+// flag ('s'/'S') must be present in the subject's home wallet, and one
+// whose object carries a store-required object flag ('o'/'O') must be
+// present in the object's home wallet. Off-registry delegations are the
+// unauditable re-delegations the scheme exists to expose.
+func (a *Agent) AuditRegistry(p *core.Proof) ([]AuditFinding, error) {
+	var out []AuditFinding
+	for _, d := range p.Delegations() {
+		finding := AuditFinding{Delegation: d.ID()}
+		var tag core.DiscoveryTag
+		switch {
+		case d.SubjectTag != nil &&
+			(d.SubjectTag.Subject == core.SubjectStore || d.SubjectTag.Subject == core.SubjectSearch):
+			tag = d.SubjectTag.Normalize()
+		case d.ObjectTag != nil &&
+			(d.ObjectTag.Object == core.ObjectStore || d.ObjectTag.Object == core.ObjectSearch):
+			tag = d.ObjectTag.Normalize()
+		default:
+			out = append(out, finding)
+			continue
+		}
+		finding.Required = true
+		finding.Home = tag.Home
+		c, err := a.client(tag, nil)
+		if err != nil {
+			return nil, fmt.Errorf("discovery: audit %s: %w", d.ID().Short(), err)
+		}
+		present, err := c.Has(d.ID())
+		if err != nil {
+			return nil, fmt.Errorf("discovery: audit %s: %w", d.ID().Short(), err)
+		}
+		finding.Registered = present
+		out = append(out, finding)
+	}
+	return out, nil
+}
+
+// looseAdjust folds known partial-chain modifiers into the constraints the
+// missing part of the chain must satisfy. With several known partial
+// chains the *least* restrictive adjustment is used, so the remote wallet
+// never prunes a continuation that could still combine with some local
+// partial chain — soundness over maximal pruning.
+func looseAdjust(constraints []core.Constraint, partials []core.Aggregate) []core.Constraint {
+	if len(constraints) == 0 || len(partials) == 0 {
+		return constraints
+	}
+	out := make([]core.Constraint, len(constraints))
+	copy(out, constraints)
+	for i, c := range constraints {
+		best := math.Inf(-1)
+		for _, ag := range partials {
+			adjusted := core.AdjustConstraints([]core.Constraint{c}, ag)[0].Base
+			if adjusted > best {
+				best = adjusted
+			}
+		}
+		out[i].Base = best
+	}
+	return out
+}
+
+func (a *Agent) trace(stats *Stats, round int, home, kind, node string, results int) {
+	if stats == nil {
+		return
+	}
+	stats.Trace = append(stats.Trace, TraceEvent{
+		Round: round, Wallet: home, Kind: kind, Node: node, Results: results,
+	})
+}

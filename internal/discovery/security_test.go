@@ -1,0 +1,168 @@
+package discovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+	"drbac/internal/wire"
+)
+
+// maliciousWallet speaks the wallet wire protocol but answers every direct
+// query with an attacker-supplied proof. It stands in for a compromised or
+// hostile home wallet.
+func serveMalicious(t *testing.T, net *transport.MemNetwork, addr string, id *core.Identity, forged *core.Proof) {
+	t.Helper()
+	ln, err := net.Listen(addr, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					frame, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					env, err := wire.Decode(frame)
+					if err != nil {
+						return
+					}
+					var resp []byte
+					switch env.Type {
+					case wire.TQueryDirect:
+						resp, err = wire.Encode(wire.TProof, env.ID, wire.ProofResp{Proof: forged})
+					case wire.TQuerySubject, wire.TQueryObject:
+						resp, err = wire.Encode(wire.TProofs, env.ID, wire.ProofsResp{Proofs: []*core.Proof{forged}})
+					default:
+						resp, err = wire.Encode(wire.TOK, env.ID, nil)
+					}
+					if err != nil {
+						return
+					}
+					if err := conn.Send(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// A hostile home wallet serving a forged proof (tampered signature) must
+// not get its credentials into the trusted local wallet, and discovery must
+// conclude no proof exists rather than trusting the forgery.
+func TestDiscoveryRejectsForgedProofs(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria", "Mallory", "Server")
+	// Mallory forges a delegation claiming to be issued by AirNet: she
+	// takes a genuine AirNet delegation shape but cannot sign it, so she
+	// re-signs nothing and just tampers the object.
+	genuine := e.deleg("[Maria -> AirNet.guest] AirNet")
+	forged := *genuine
+	forged.Object = core.NewRole(e.id("AirNet").ID(), "access") // tampered
+	forgedProof, err := core.NewProof(core.ProofStep{Delegation: &forged})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serveMalicious(t, e.net, "wallet.evil", e.ids["Mallory"], forgedProof)
+
+	a, local := e.agent("Server", Config{})
+	a.RegisterTag(e.subject("Maria"), e.tag("wallet.evil", core.SubjectSearch, core.ObjectNone))
+
+	_, err = a.Discover(wallet.Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("AirNet.access"),
+	}, Auto, nil)
+	if !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("forged proof was accepted: %v", err)
+	}
+	if local.Len() != 0 {
+		t.Fatalf("forged credentials entered the trusted wallet: %d", local.Len())
+	}
+}
+
+// A hostile wallet serving a *genuine* credential for the wrong
+// relationship cannot satisfy the query either: the local wallet validates
+// and assembles independently.
+func TestDiscoveryRevalidatesGenuineButIrrelevantProofs(t *testing.T) {
+	e := newEnv(t, "AirNet", "Maria", "Mallory", "Server")
+	guest := e.deleg("[Maria -> AirNet.guest] AirNet") // real, but not access
+	guestProof, err := core.NewProof(core.ProofStep{Delegation: guest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveMalicious(t, e.net, "wallet.evil", e.ids["Mallory"], guestProof)
+
+	a, local := e.agent("Server", Config{})
+	a.RegisterTag(e.subject("Maria"), e.tag("wallet.evil", core.SubjectSearch, core.ObjectNone))
+	_, err = a.Discover(wallet.Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("AirNet.access"),
+	}, Auto, nil)
+	if !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("irrelevant credential satisfied the query: %v", err)
+	}
+	// The genuine guest credential may legitimately be cached; what must
+	// not exist is any proof of access.
+	if _, err := local.QueryDirect(wallet.Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("AirNet.access"),
+	}); !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("local wallet believes the forgery: %v", err)
+	}
+}
+
+// A server that answers with protocol garbage must not wedge the client.
+func TestClientSurvivesGarbageResponses(t *testing.T) {
+	e := newEnv(t, "Mallory", "Server")
+	ln, err := e.net.Listen("wallet.garbage", e.ids["Mallory"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			if _, err := conn.Recv(); err != nil {
+				return
+			}
+			if err := conn.Send([]byte("{this is not json")); err != nil {
+				return
+			}
+		}
+	}()
+
+	a, _ := e.agent("Server", Config{})
+	a.RegisterTag(e.subject("Server"), e.tag("wallet.garbage", core.SubjectSearch, core.ObjectNone))
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Discover(wallet.Query{
+			Subject: e.subject("Server"),
+			Object:  e.role("Mallory.x"),
+		}, Auto, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, core.ErrNoProof) {
+			t.Fatalf("want ErrNoProof, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("discovery wedged on garbage responses")
+	}
+}

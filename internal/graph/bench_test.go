@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"drbac/internal/core"
+)
+
+// buildChainGraph returns a graph holding one long chain plus `noise`
+// distractor edges hanging off every chain node.
+func buildChainGraph(tb testing.TB, length, noise int) (*Graph, core.Subject, core.Role) {
+	tb.Helper()
+	owner, err := core.IdentityFromSeed("owner", seedBytes(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	user, err := core.IdentityFromSeed("user", seedBytes(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := New()
+	role := func(name string) core.Role { return core.NewRole(owner.ID(), name) }
+	add := func(tmpl core.Template) {
+		d, err := core.Issue(owner, tmpl, testNow)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g.Add(d, nil)
+	}
+	userEnt := user.Entity()
+	add(core.Template{
+		Subject:       core.SubjectEntity(user.ID()),
+		SubjectEntity: &userEnt,
+		Object:        role("n0"),
+	})
+	for i := 0; i < length; i++ {
+		add(core.Template{
+			Subject: core.SubjectRole(role(fmt.Sprintf("n%d", i))),
+			Object:  role(fmt.Sprintf("n%d", i+1)),
+		})
+		for j := 0; j < noise; j++ {
+			add(core.Template{
+				Subject: core.SubjectRole(role(fmt.Sprintf("n%d", i))),
+				Object:  role(fmt.Sprintf("dead%d_%d", i, j)),
+			})
+		}
+	}
+	return g, core.SubjectEntity(user.ID()), role(fmt.Sprintf("n%d", length))
+}
+
+func seedBytes(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// A wallet-scale sanity check: thousands of edges, deep chains, bounded
+// enumeration — everything stays correct and terminates.
+func TestGraphAtScale(t *testing.T) {
+	const length, noise = 30, 20 // 30 chain hops, 600 distractors
+	g, subject, goal := buildChainGraph(t, length, noise)
+	if g.Len() != 1+length*(1+noise) {
+		t.Fatalf("graph size = %d", g.Len())
+	}
+	for _, dirn := range []Direction{Forward, Reverse, Bidirectional} {
+		p, err := g.FindDirect(subject, goal, Options{At: testNow, Direction: dirn})
+		if err != nil {
+			t.Fatalf("direction %v: %v", dirn, err)
+		}
+		if p.Len() != length+1 {
+			t.Fatalf("direction %v: chain length %d, want %d", dirn, p.Len(), length+1)
+		}
+		if err := p.Validate(core.ValidateOptions{At: testNow, MaxDepth: 64}); err != nil {
+			t.Fatalf("direction %v: %v", dirn, err)
+		}
+	}
+	proofs := g.EnumerateFrom(subject, Options{At: testNow, MaxProofs: 100})
+	if len(proofs) != 100 {
+		t.Fatalf("enumeration = %d proofs, want capped at 100", len(proofs))
+	}
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	owner, err := core.IdentityFromSeed("owner", seedBytes(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dels := make([]*core.Delegation, 1000)
+	for i := range dels {
+		d, err := core.Issue(owner, core.Template{
+			Subject: core.SubjectRole(core.NewRole(owner.ID(), fmt.Sprintf("s%d", i))),
+			Object:  core.NewRole(owner.ID(), fmt.Sprintf("o%d", i)),
+		}, testNow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dels[i] = d
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		for _, d := range dels {
+			g.Add(d, nil)
+		}
+	}
+}
+
+func BenchmarkFindDirectDeepChain(b *testing.B) {
+	for _, length := range []int{4, 16, 30} {
+		g, subject, goal := buildChainGraph(b, length, 4)
+		b.Run(fmt.Sprintf("len%d", length), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.FindDirect(subject, goal, Options{At: testNow}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEnumerateFromWideFanout(b *testing.B) {
+	g, subject, _ := buildChainGraph(b, 10, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.EnumerateFrom(subject, Options{At: testNow, MaxProofs: 200}); len(got) == 0 {
+			b.Fatal("no proofs")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"drbac/internal/core"
+)
+
+// Depth-limited delegations (the §6 extension) must be honoured during
+// search, not just at validation: a violating path may not shadow a valid
+// alternative.
+
+func TestSearchRespectsDepthLimit(t *testing.T) {
+	e := newEnv(t, "A", "M")
+	g := New()
+	// Limited route: M -> A.short (depth:1) -> A.mid -> A.goal (3 steps,
+	// limit allows only 1 after the first).
+	g.Add(e.deleg("[M -> A.short] A <depth:1>"), nil)
+	g.Add(e.deleg("[A.short -> A.mid] A"), nil)
+	g.Add(e.deleg("[A.mid -> A.goal] A"), nil)
+
+	for _, dirn := range []Direction{Forward, Reverse, Bidirectional} {
+		_, err := g.FindDirect(e.subject("M"), e.role("A.goal"), Options{At: testNow, Direction: dirn})
+		if !errors.Is(err, core.ErrNoProof) {
+			t.Fatalf("direction %v: depth-violating chain accepted: %v", dirn, err)
+		}
+	}
+
+	// An unlimited alternative route must be found even though the limited
+	// route is explored first.
+	g.Add(e.deleg("[M -> A.free] A"), nil)
+	g.Add(e.deleg("[A.free -> A.mid2] A"), nil)
+	g.Add(e.deleg("[A.mid2 -> A.goal] A"), nil)
+	for _, dirn := range []Direction{Forward, Reverse, Bidirectional} {
+		p, err := g.FindDirect(e.subject("M"), e.role("A.goal"), Options{At: testNow, Direction: dirn})
+		if err != nil {
+			t.Fatalf("direction %v: alternative route not found: %v", dirn, err)
+		}
+		if err := p.Validate(core.ValidateOptions{At: testNow}); err != nil {
+			t.Fatalf("direction %v: returned proof invalid: %v", dirn, err)
+		}
+		if p.Steps[0].Delegation.Object.Name != "free" {
+			t.Fatalf("direction %v: picked the depth-violating route", dirn)
+		}
+	}
+}
+
+func TestSearchAllowsChainWithinDepthLimit(t *testing.T) {
+	e := newEnv(t, "A", "M")
+	g := New()
+	g.Add(e.deleg("[M -> A.x] A <depth:2>"), nil)
+	g.Add(e.deleg("[A.x -> A.y] A <depth:1>"), nil)
+	g.Add(e.deleg("[A.y -> A.goal] A"), nil)
+	for _, dirn := range []Direction{Forward, Reverse, Bidirectional} {
+		p, err := g.FindDirect(e.subject("M"), e.role("A.goal"), Options{At: testNow, Direction: dirn})
+		if err != nil {
+			t.Fatalf("direction %v: %v", dirn, err)
+		}
+		if p.Len() != 3 {
+			t.Fatalf("direction %v: Len = %d", dirn, p.Len())
+		}
+	}
+}
+
+func TestEnumerateRespectsDepthLimit(t *testing.T) {
+	e := newEnv(t, "A", "M")
+	g := New()
+	g.Add(e.deleg("[M -> A.x] A <depth:1>"), nil)
+	g.Add(e.deleg("[A.x -> A.y] A"), nil)
+	g.Add(e.deleg("[A.y -> A.z] A"), nil)
+
+	from := g.EnumerateFrom(e.subject("M"), Options{At: testNow})
+	for _, p := range from {
+		if err := p.Validate(core.ValidateOptions{At: testNow}); err != nil {
+			t.Fatalf("EnumerateFrom emitted invalid proof %v: %v", p, err)
+		}
+	}
+	// Expect M=>x and M=>y (one step past the limited edge), but not M=>z.
+	if len(from) != 2 {
+		t.Fatalf("EnumerateFrom = %d proofs, want 2", len(from))
+	}
+
+	to := g.EnumerateTo(e.role("A.z"), Options{At: testNow})
+	for _, p := range to {
+		if err := p.Validate(core.ValidateOptions{At: testNow}); err != nil {
+			t.Fatalf("EnumerateTo emitted invalid proof %v: %v", p, err)
+		}
+	}
+	// Expect y=>z and x=>y=>z, but not the three-step M chain.
+	if len(to) != 2 {
+		t.Fatalf("EnumerateTo = %d proofs, want 2", len(to))
+	}
+}

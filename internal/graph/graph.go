@@ -1,0 +1,663 @@
+// Package graph implements the wallet-internal delegation graph: a directed
+// multigraph whose vertices are subjects (entities or roles) and whose edges
+// are delegations, supporting the efficient enumeration of delegation chains
+// between any subject and object that §4.1 requires.
+//
+// Searches prune on valued-attribute monotonicity (§4.2.3): once a partial
+// chain's aggregated modifiers violate a query constraint, no extension can
+// satisfy it, so the branch is abandoned.
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+)
+
+// edge is one stored delegation plus the support proofs published with it.
+type edge struct {
+	d       *core.Delegation
+	support []*core.Proof
+}
+
+// Graph is a concurrency-safe delegation graph. The zero value is not
+// usable; construct with New.
+type Graph struct {
+	mu sync.RWMutex
+	// bySubject indexes outgoing edges by the delegation subject.
+	bySubject map[core.Subject][]*edge
+	// byObject indexes incoming edges by the delegation object.
+	byObject map[core.Role][]*edge
+	byID     map[core.DelegationID]*edge
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		bySubject: make(map[core.Subject][]*edge),
+		byObject:  make(map[core.Role][]*edge),
+		byID:      make(map[core.DelegationID]*edge),
+	}
+}
+
+// Add inserts a delegation and its accompanying support proofs. Adding the
+// same delegation twice is a no-op. The graph performs no validation; the
+// wallet validates before insertion.
+func (g *Graph) Add(d *core.Delegation, support []*core.Proof) {
+	id := d.ID()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.byID[id]; ok {
+		return
+	}
+	e := &edge{d: d, support: support}
+	g.byID[id] = e
+	g.bySubject[d.Subject] = append(g.bySubject[d.Subject], e)
+	g.byObject[d.Object] = append(g.byObject[d.Object], e)
+}
+
+// Remove deletes a delegation by ID, reporting whether it was present.
+func (g *Graph) Remove(id core.DelegationID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.byID[id]
+	if !ok {
+		return false
+	}
+	delete(g.byID, id)
+	g.bySubject[e.d.Subject] = dropEdge(g.bySubject[e.d.Subject], e)
+	if len(g.bySubject[e.d.Subject]) == 0 {
+		delete(g.bySubject, e.d.Subject)
+	}
+	g.byObject[e.d.Object] = dropEdge(g.byObject[e.d.Object], e)
+	if len(g.byObject[e.d.Object]) == 0 {
+		delete(g.byObject, e.d.Object)
+	}
+	return true
+}
+
+func dropEdge(list []*edge, e *edge) []*edge {
+	for i, cand := range list {
+		if cand == e {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Get returns a stored delegation and its support proofs.
+func (g *Graph) Get(id core.DelegationID) (*core.Delegation, []*core.Proof, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.byID[id]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.d, e.support, true
+}
+
+// Contains reports whether the delegation is stored.
+func (g *Graph) Contains(id core.DelegationID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.byID[id]
+	return ok
+}
+
+// Len returns the number of stored delegations.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byID)
+}
+
+// All returns every stored delegation (order unspecified).
+func (g *Graph) All() []*core.Delegation {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*core.Delegation, 0, len(g.byID))
+	for _, e := range g.byID {
+		out = append(out, e.d)
+	}
+	return out
+}
+
+// Direction selects the search strategy for direct queries (§4.2.3).
+type Direction int
+
+const (
+	// Forward searches subject-towards-object.
+	Forward Direction = iota + 1
+	// Reverse searches object-towards-subject.
+	Reverse
+	// Bidirectional expands both frontiers and meets in the middle,
+	// reducing the number of paths considered from ~b^d to ~2·b^(d/2).
+	Bidirectional
+)
+
+// Stats accumulates search-effort counters for the §4.2.3 experiments.
+type Stats struct {
+	// EdgesExplored counts delegation edges the search touched.
+	EdgesExplored int
+	// NodesVisited counts search states expanded.
+	NodesVisited int
+	// Pruned counts branches abandoned due to attribute constraints.
+	Pruned int
+}
+
+// Options parameterizes searches.
+type Options struct {
+	// At is the evaluation instant; expired delegations are invisible.
+	At time.Time
+	// Constraints restrict acceptable proofs by aggregated attribute value.
+	Constraints []core.Constraint
+	// DisablePruning turns off monotonicity pruning (baseline for the
+	// §4.2.3 pruning experiment). Constraints are then only checked on
+	// complete chains.
+	DisablePruning bool
+	// MaxDepth bounds chain length; 0 means DefaultMaxDepth.
+	MaxDepth int
+	// MaxProofs bounds enumeration results; 0 means DefaultMaxProofs.
+	MaxProofs int
+	// Direction selects the direct-search strategy; 0 means Forward.
+	Direction Direction
+	// Stats, if non-nil, accumulates search effort.
+	Stats *Stats
+}
+
+// DefaultMaxDepth bounds chain length during search.
+const DefaultMaxDepth = 32
+
+// DefaultMaxProofs bounds subject/object enumeration results.
+const DefaultMaxProofs = 1024
+
+func (o Options) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return DefaultMaxDepth
+	}
+	return o.MaxDepth
+}
+
+func (o Options) maxProofs() int {
+	if o.MaxProofs <= 0 {
+		return DefaultMaxProofs
+	}
+	return o.MaxProofs
+}
+
+func (o Options) bumpNodes() {
+	if o.Stats != nil {
+		o.Stats.NodesVisited++
+	}
+}
+
+func (o Options) bumpEdges() {
+	if o.Stats != nil {
+		o.Stats.EdgesExplored++
+	}
+}
+
+func (o Options) bumpPruned() {
+	if o.Stats != nil {
+		o.Stats.Pruned++
+	}
+}
+
+// usable reports whether an edge may appear in a proof at instant At.
+func usable(e *edge, at time.Time) bool {
+	return at.IsZero() || !e.d.Expired(at)
+}
+
+// FindDirect searches for one proof subject ⇒ object satisfying the
+// constraints. It returns core.ErrNoProof when none exists.
+func (g *Graph) FindDirect(subject core.Subject, object core.Role, opts Options) (*core.Proof, error) {
+	if err := subject.Validate(); err != nil {
+		return nil, fmt.Errorf("direct query subject: %w", err)
+	}
+	if err := object.Validate(); err != nil {
+		return nil, fmt.Errorf("direct query object: %w", err)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	switch opts.Direction {
+	case Reverse:
+		return g.findReverse(subject, object, opts)
+	case Bidirectional:
+		return g.findBidirectional(subject, object, opts)
+	default:
+		return g.findForward(subject, object, opts)
+	}
+}
+
+// findForward enumerates simple chains depth-first from the subject.
+func (g *Graph) findForward(subject core.Subject, object core.Role, opts Options) (*core.Proof, error) {
+	var (
+		path    []*edge
+		onPath  = make(map[core.Subject]bool)
+		found   *core.Proof
+		maxDeep = opts.maxDepth()
+	)
+	var dfs func(node core.Subject, ag core.Aggregate, budget int) bool
+	dfs = func(node core.Subject, ag core.Aggregate, budget int) bool {
+		opts.bumpNodes()
+		if len(path) >= maxDeep {
+			return false
+		}
+		for _, e := range g.bySubject[node] {
+			if !usable(e, opts.At) {
+				continue
+			}
+			opts.bumpEdges()
+			// Depth-limit budget: taking this edge consumes one step from
+			// every limit already on the path; the edge may add its own.
+			nextBudget := budget - 1
+			if nextBudget < 0 {
+				continue // an earlier delegation forbids this extension
+			}
+			if e.d.DepthLimit > 0 && e.d.DepthLimit < nextBudget {
+				nextBudget = e.d.DepthLimit
+			}
+			next := core.SubjectRole(e.d.Object)
+			if onPath[next] {
+				continue
+			}
+			nextAg := ag.Clone()
+			if err := nextAg.AddAll(e.d.Attributes); err != nil {
+				continue // operator conflict: chain unusable
+			}
+			if !opts.DisablePruning && !core.SatisfiedAll(opts.Constraints, nextAg) {
+				opts.bumpPruned()
+				continue
+			}
+			path = append(path, e)
+			if e.d.Object == object && core.SatisfiedAll(opts.Constraints, nextAg) {
+				found = proofFromEdges(path)
+				path = path[:len(path)-1]
+				return true
+			}
+			onPath[next] = true
+			done := dfs(next, nextAg, nextBudget)
+			delete(onPath, next)
+			path = path[:len(path)-1]
+			if done {
+				return true
+			}
+		}
+		return false
+	}
+	onPath[subject] = true
+	if dfs(subject, core.NewAggregate(), maxDeep) {
+		return found, nil
+	}
+	return nil, core.ErrNoProof
+}
+
+// findReverse enumerates simple chains depth-first from the object towards
+// the subject.
+func (g *Graph) findReverse(subject core.Subject, object core.Role, opts Options) (*core.Proof, error) {
+	var (
+		path    []*edge // reversed: path[0] is the edge closest to the object
+		onPath  = make(map[core.Role]bool)
+		found   *core.Proof
+		maxDeep = opts.maxDepth()
+	)
+	var dfs func(node core.Role) bool
+	dfs = func(node core.Role) bool {
+		opts.bumpNodes()
+		if len(path) >= maxDeep {
+			return false
+		}
+		for _, e := range g.byObject[node] {
+			if !usable(e, opts.At) {
+				continue
+			}
+			opts.bumpEdges()
+			path = append(path, e)
+			// Reverse depth pruning: this edge will have len(path)-1 steps
+			// after it in the final chain.
+			if e.d.DepthLimit > 0 && e.d.DepthLimit < len(path)-1 {
+				path = path[:len(path)-1]
+				continue
+			}
+			if e.d.Subject == subject {
+				chain := make([]*edge, len(path))
+				for i, pe := range path {
+					chain[len(path)-1-i] = pe
+				}
+				if p := proofFromEdges(chain); chainSatisfies(p, opts) {
+					found = p
+					path = path[:len(path)-1]
+					return true
+				}
+			}
+			// Continue only through role subjects: entity subjects
+			// terminate chains (§3.1.1).
+			if !e.d.Subject.IsEntity() && !onPath[e.d.Subject.Role] {
+				// Monotonicity pruning in reverse direction: the suffix
+				// aggregate from here to the object already bounds the
+				// final value from above.
+				if !opts.DisablePruning && !suffixSatisfiable(path, opts) {
+					opts.bumpPruned()
+					path = path[:len(path)-1]
+					continue
+				}
+				onPath[e.d.Subject.Role] = true
+				done := dfs(e.d.Subject.Role)
+				delete(onPath, e.d.Subject.Role)
+				if done {
+					path = path[:len(path)-1]
+					return true
+				}
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	onPath[object] = true
+	if dfs(object) {
+		return found, nil
+	}
+	return nil, core.ErrNoProof
+}
+
+// suffixSatisfiable checks whether the reversed partial chain (suffix of the
+// final chain) can still satisfy the constraints: since modifiers only
+// lower values, the suffix aggregate is an upper bound on the final value.
+func suffixSatisfiable(path []*edge, opts Options) bool {
+	ag := core.NewAggregate()
+	for _, e := range path {
+		if err := ag.AddAll(e.d.Attributes); err != nil {
+			return false
+		}
+	}
+	return core.SatisfiedAll(opts.Constraints, ag)
+}
+
+func chainSatisfies(p *core.Proof, opts Options) bool {
+	ag, err := p.Aggregate()
+	if err != nil {
+		return false
+	}
+	return core.SatisfiedAll(opts.Constraints, ag) && chainDepthOK(p.Steps)
+}
+
+// chainDepthOK enforces per-delegation depth limits (the §6 transitive-
+// trust extension): no step may be followed by more steps than its
+// DepthLimit allows.
+func chainDepthOK(steps []core.ProofStep) bool {
+	for i, st := range steps {
+		limit := st.Delegation.DepthLimit
+		if limit > 0 && len(steps)-1-i > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeDepthOK is chainDepthOK over the search-internal edge slice.
+func edgeDepthOK(chain []*edge) bool {
+	for i, e := range chain {
+		limit := e.d.DepthLimit
+		if limit > 0 && len(chain)-1-i > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// findBidirectional alternates breadth-first expansion from both ends and
+// joins frontiers when they meet (§4.2.3).
+func (g *Graph) findBidirectional(subject core.Subject, object core.Role, opts Options) (*core.Proof, error) {
+	maxDeep := opts.maxDepth()
+
+	// parentF[n] is the edge that reached subject-side node n; parentR[r]
+	// is the edge that reached object-side role r.
+	parentF := map[core.Subject]*edge{subject: nil}
+	parentR := map[core.Role]*edge{object: nil}
+	frontF := []core.Subject{subject}
+	frontR := []core.Role{object}
+
+	// meet attempts to assemble and constraint-check a chain through node.
+	meet := func(node core.Role) *core.Proof {
+		fwd := collectForward(parentF, core.SubjectRole(node))
+		rev := collectReverse(parentR, node)
+		chain := append(fwd, rev...)
+		if len(chain) == 0 || len(chain) > maxDeep {
+			return nil
+		}
+		p := proofFromEdges(chain)
+		if !chainSatisfies(p, opts) {
+			return nil
+		}
+		return p
+	}
+
+	// The subject itself may already satisfy a degenerate meet only when a
+	// chain exists, so loop expanding the smaller frontier.
+	for steps := 0; steps < 2*maxDeep && (len(frontF) > 0 || len(frontR) > 0); steps++ {
+		expandForward := len(frontF) > 0 && (len(frontF) <= len(frontR) || len(frontR) == 0)
+		if expandForward {
+			var next []core.Subject
+			for _, node := range frontF {
+				opts.bumpNodes()
+				for _, e := range g.bySubject[node] {
+					if !usable(e, opts.At) {
+						continue
+					}
+					opts.bumpEdges()
+					to := core.SubjectRole(e.d.Object)
+					if _, seen := parentF[to]; seen {
+						continue
+					}
+					parentF[to] = e
+					if _, hit := parentR[e.d.Object]; hit {
+						if p := meet(e.d.Object); p != nil {
+							return p, nil
+						}
+					}
+					next = append(next, to)
+				}
+			}
+			frontF = next
+			continue
+		}
+		var next []core.Role
+		for _, node := range frontR {
+			opts.bumpNodes()
+			for _, e := range g.byObject[node] {
+				if !usable(e, opts.At) {
+					continue
+				}
+				opts.bumpEdges()
+				// Object-side frontier grows through role subjects; an
+				// entity subject is a potential chain start.
+				if e.d.Subject == subject {
+					if _, hit := parentR[node]; hit {
+						fwd := []*edge{e}
+						rev := collectReverse(parentR, node)
+						p := proofFromEdges(append(fwd, rev...))
+						if chainSatisfies(p, opts) && len(p.Steps) <= maxDeep {
+							return p, nil
+						}
+					}
+				}
+				if e.d.Subject.IsEntity() {
+					continue
+				}
+				from := e.d.Subject.Role
+				if _, seen := parentR[from]; seen {
+					continue
+				}
+				parentR[from] = e
+				if _, hit := parentF[core.SubjectRole(from)]; hit {
+					if p := meet(from); p != nil {
+						return p, nil
+					}
+				}
+				next = append(next, from)
+			}
+		}
+		frontR = next
+	}
+	return nil, core.ErrNoProof
+}
+
+// collectForward walks parent pointers back from node to the search subject
+// and returns the edges in chain order.
+func collectForward(parent map[core.Subject]*edge, node core.Subject) []*edge {
+	var out []*edge
+	for {
+		e := parent[node]
+		if e == nil {
+			break
+		}
+		out = append(out, e)
+		node = e.d.Subject
+	}
+	// Reverse into chain order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// collectReverse walks parent pointers forward from role to the search
+// object and returns the edges in chain order.
+func collectReverse(parent map[core.Role]*edge, role core.Role) []*edge {
+	var out []*edge
+	for {
+		e := parent[role]
+		if e == nil {
+			break
+		}
+		out = append(out, e)
+		role = e.d.Object
+	}
+	return out
+}
+
+// proofFromEdges assembles a proof from an ordered edge chain.
+func proofFromEdges(chain []*edge) *core.Proof {
+	steps := make([]core.ProofStep, len(chain))
+	for i, e := range chain {
+		steps[i] = core.ProofStep{Delegation: e.d, Support: e.support}
+	}
+	return &core.Proof{
+		Subject: chain[0].d.Subject,
+		Object:  chain[len(chain)-1].d.Object,
+		Steps:   steps,
+	}
+}
+
+// EnumerateFrom answers a subject query (§4.1): every simple-chain proof of
+// the form subject ⇒ * that does not violate the constraints, up to
+// MaxProofs.
+func (g *Graph) EnumerateFrom(subject core.Subject, opts Options) []*core.Proof {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var (
+		out     []*core.Proof
+		path    []*edge
+		onPath  = map[core.Subject]bool{subject: true}
+		maxDeep = opts.maxDepth()
+		limit   = opts.maxProofs()
+	)
+	var dfs func(node core.Subject, ag core.Aggregate)
+	dfs = func(node core.Subject, ag core.Aggregate) {
+		opts.bumpNodes()
+		if len(out) >= limit || len(path) >= maxDeep {
+			return
+		}
+		for _, e := range g.bySubject[node] {
+			if !usable(e, opts.At) {
+				continue
+			}
+			opts.bumpEdges()
+			next := core.SubjectRole(e.d.Object)
+			if onPath[next] {
+				continue
+			}
+			nextAg := ag.Clone()
+			if err := nextAg.AddAll(e.d.Attributes); err != nil {
+				continue
+			}
+			if !opts.DisablePruning && !core.SatisfiedAll(opts.Constraints, nextAg) {
+				opts.bumpPruned()
+				continue
+			}
+			path = append(path, e)
+			if core.SatisfiedAll(opts.Constraints, nextAg) && edgeDepthOK(path) {
+				out = append(out, proofFromEdges(path))
+			}
+			if len(out) < limit {
+				onPath[next] = true
+				dfs(next, nextAg)
+				delete(onPath, next)
+			}
+			path = path[:len(path)-1]
+			if len(out) >= limit {
+				return
+			}
+		}
+	}
+	dfs(subject, core.NewAggregate())
+	return out
+}
+
+// EnumerateTo answers an object query (§4.1): every simple-chain proof of
+// the form * ⇒ object that does not violate the constraints, up to
+// MaxProofs.
+func (g *Graph) EnumerateTo(object core.Role, opts Options) []*core.Proof {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var (
+		out     []*core.Proof
+		path    []*edge // reversed
+		onPath  = map[core.Role]bool{object: true}
+		maxDeep = opts.maxDepth()
+		limit   = opts.maxProofs()
+	)
+	emit := func() {
+		chain := make([]*edge, len(path))
+		for i, e := range path {
+			chain[len(path)-1-i] = e
+		}
+		p := proofFromEdges(chain)
+		if chainSatisfies(p, opts) {
+			out = append(out, p)
+		}
+	}
+	var dfs func(node core.Role)
+	dfs = func(node core.Role) {
+		opts.bumpNodes()
+		if len(out) >= limit || len(path) >= maxDeep {
+			return
+		}
+		for _, e := range g.byObject[node] {
+			if !usable(e, opts.At) {
+				continue
+			}
+			opts.bumpEdges()
+			path = append(path, e)
+			if !opts.DisablePruning && !suffixSatisfiable(path, opts) {
+				opts.bumpPruned()
+				path = path[:len(path)-1]
+				continue
+			}
+			emit()
+			if !e.d.Subject.IsEntity() && !onPath[e.d.Subject.Role] && len(out) < limit {
+				onPath[e.d.Subject.Role] = true
+				dfs(e.d.Subject.Role)
+				delete(onPath, e.d.Subject.Role)
+			}
+			path = path[:len(path)-1]
+			if len(out) >= limit {
+				return
+			}
+		}
+	}
+	dfs(object)
+	return out
+}

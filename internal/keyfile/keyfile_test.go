@@ -1,0 +1,305 @@
+package keyfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/wallet"
+)
+
+func TestIdentityFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "id.json")
+	f, err := GenerateIdentity("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIdentity(path, f); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("identity file mode = %v, want 0600", info.Mode().Perm())
+	}
+	got, err := ReadIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := f.Identity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := got.Identity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA.ID() != idB.ID() {
+		t.Fatal("identity changed across round trip")
+	}
+}
+
+func TestReadIdentityErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadIdentity(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIdentity(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIdentity(empty); err == nil {
+		t.Fatal("empty identity accepted")
+	}
+	badSeed := filepath.Join(dir, "seed.json")
+	if err := os.WriteFile(badSeed, []byte(`{"name":"x","seed":"zz"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadIdentity(badSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Identity(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+func TestDirectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dir.json")
+	a, err := core.NewIdentity("Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewIdentity("Beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []DirectoryEntry{
+		{Name: "Alpha", Key: a.Entity().Key},
+		{Name: "Beta", Key: b.Entity().Key},
+	}
+	if err := WriteDirectory(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	resolved, gotEntries, err := ReadDirectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEntries) != 2 {
+		t.Fatalf("entries = %d", len(gotEntries))
+	}
+	ent, ok := resolved.LookupName("Alpha")
+	if !ok || ent.ID() != a.ID() {
+		t.Fatal("directory lookup failed")
+	}
+}
+
+func TestReadDirectoryRejectsBadKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dir.json")
+	if err := WriteDirectory(path, []DirectoryEntry{{Name: "X", Key: []byte{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDirectory(path); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bundle.json")
+	issuer, err := core.NewIdentity("Issuer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grantee, err := core.NewIdentity("Grantee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grantee.Entity()
+	d, err := core.Issue(issuer, core.Template{
+		Subject:       core.SubjectEntity(grantee.ID()),
+		SubjectEntity: &g,
+		Object:        core.NewRole(issuer.ID(), "member"),
+	}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBundle(path, Bundle{Delegation: d}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Delegation.ID() != d.ID() {
+		t.Fatal("delegation changed across round trip")
+	}
+	if err := got.Delegation.Verify(); err != nil {
+		t.Fatalf("signature lost: %v", err)
+	}
+}
+
+func TestReadBundleErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadBundle(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(empty); err == nil {
+		t.Fatal("bundle without delegation accepted")
+	}
+}
+
+func TestWalletStateSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	bigISP, err := core.NewIdentity("BigISP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark, err := core.NewIdentity("Mark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	maria, err := core.NewIdentity("Maria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entDir := core.NewDirectory(bigISP.Entity(), mark.Entity(), maria.Entity())
+	now := time.Now()
+	issue := func(who *core.Identity, text string) *core.Delegation {
+		t.Helper()
+		parsed, err := core.ParseDelegation(text, entDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Issue(who, parsed.Template, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	src := wallet.New(wallet.Config{Directory: entDir})
+	for who, text := range map[*core.Identity]string{
+		bigISP: "[Mark -> BigISP.memberServices] BigISP",
+	} {
+		if err := src.Publish(issue(who, text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Publish(issue(bigISP, "[BigISP.memberServices -> BigISP.member'] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	// Third-party with support derived from the wallet's own graph.
+	if err := src.Publish(issue(mark, "[Maria -> BigISP.member] Mark")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := SaveWallet(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := wallet.New(wallet.Config{Directory: entDir})
+	n, err := LoadWallet(path, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("restored %d delegations, want 3", n)
+	}
+	// The third-party proof must still work: support travelled in bundles.
+	subj, err := core.ParseSubject("Maria", entDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.ParseRole("BigISP.member", entDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dst.QueryDirect(wallet.Query{Subject: subj, Object: obj})
+	if err != nil {
+		t.Fatalf("restored wallet cannot prove membership: %v", err)
+	}
+	if err := proof.Validate(core.ValidateOptions{At: now}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadWalletErrors(t *testing.T) {
+	dir := t.TempDir()
+	w := wallet.New(wallet.Config{})
+	if _, err := LoadWallet(filepath.Join(dir, "missing.json"), w); err == nil {
+		t.Fatal("missing state accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("["), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadWallet(bad, w); err == nil {
+		t.Fatal("malformed state accepted")
+	}
+}
+
+func TestWalletStatePersistsRevocations(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewIdentity("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entDir := core.NewDirectory(org.Entity(), user.Entity())
+	parsed, err := core.ParseDelegation("[User -> Org.member] Org", entDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Issue(org, parsed.Template, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := wallet.New(wallet.Config{})
+	if err := src.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Revoke(d.ID(), org.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWallet(path, src); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := wallet.New(wallet.Config{})
+	if _, err := LoadWallet(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.IsRevoked(d.ID()) {
+		t.Fatal("revocation mark lost across restart")
+	}
+	// Republishing the revoked credential must fail after restore.
+	if err := dst.Publish(d); err == nil {
+		t.Fatal("restored wallet re-accepted a revoked credential")
+	}
+}

@@ -1,0 +1,173 @@
+// Package proxy implements the hierarchical validation caches sketched in
+// §6: "delegation subscriptions permit construction of hierarchical
+// directory-based caches of trusted online validation agents that can
+// avoid communication of updates irrelevant to particular caches."
+//
+// A Proxy serves its own wallet to downstream clients and pulls direct-
+// query misses through from an upstream wallet, caching the fetched
+// credentials with a TTL and holding exactly one upstream delegation
+// subscription per cached credential. Consequences measured by EXP-S5:
+//
+//   - upstream load scales with the proxy's cached set, not with the
+//     downstream population (one upstream push fans out locally);
+//   - upstream status changes for credentials this cache never pulled
+//     produce no traffic at all, unlike CRL-style distribution.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/remote"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// Config parameterizes a proxy.
+type Config struct {
+	// Local is the proxy's cache wallet, served to downstream clients.
+	Local *wallet.Wallet
+	// Upstream is the wallet misses are pulled through from.
+	Upstream *remote.Client
+	// TTL is the coherence window for pulled credentials; zero caches
+	// permanently (credentials still drop on upstream revocation).
+	TTL time.Duration
+}
+
+// Proxy is a pull-through, subscription-coherent wallet cache.
+type Proxy struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cancels map[core.DelegationID]func()
+	closed  bool
+	// Pulls counts upstream pull-through queries (cache misses).
+	pulls int
+	// Hits counts direct queries answered from the cache.
+	hits int
+}
+
+// New builds a proxy over a local cache wallet and an upstream connection.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Local == nil || cfg.Upstream == nil {
+		return nil, errors.New("proxy: Local and Upstream are required")
+	}
+	return &Proxy{cfg: cfg, cancels: make(map[core.DelegationID]func())}, nil
+}
+
+// Close cancels every upstream subscription.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	cancels := p.cancels
+	p.cancels = make(map[core.DelegationID]func())
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// Stats reports cache effectiveness.
+func (p *Proxy) Stats() (hits, pulls int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.pulls
+}
+
+// QueryDirect answers from the cache, pulling through on a miss.
+func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
+	if proof, err := p.cfg.Local.QueryDirect(q); err == nil {
+		p.mu.Lock()
+		p.hits++
+		p.mu.Unlock()
+		return proof, nil
+	} else if !errors.Is(err, core.ErrNoProof) {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.pulls++
+	p.mu.Unlock()
+
+	proof, err := p.cfg.Upstream.QueryDirect(q.Subject, q.Object, q.Constraints, q.Direction)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.admit(proof); err != nil {
+		return nil, fmt.Errorf("proxy: admit pulled proof: %w", err)
+	}
+	// Serve from the cache so the answer reflects local validation state.
+	return p.cfg.Local.QueryDirect(q)
+}
+
+// admit inserts a pulled proof's delegations into the cache and ensures one
+// upstream subscription per credential.
+func (p *Proxy) admit(proof *core.Proof) error {
+	for _, st := range proof.Steps {
+		d := st.Delegation
+		id := d.ID()
+		if !p.cfg.Local.Contains(id) {
+			if err := p.cfg.Local.InsertCached(d, st.Support, p.cfg.TTL); err != nil {
+				return err
+			}
+		}
+		if err := p.ensureSubscribed(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureSubscribed registers exactly one upstream subscription for id.
+func (p *Proxy) ensureSubscribed(id core.DelegationID) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("proxy: closed")
+	}
+	if _, ok := p.cancels[id]; ok {
+		p.mu.Unlock()
+		return nil
+	}
+	// Reserve the slot before the network call so concurrent admits of the
+	// same credential subscribe once.
+	p.cancels[id] = func() {}
+	p.mu.Unlock()
+
+	cancel, err := p.cfg.Upstream.Subscribe(id, func(ev subs.Event) {
+		switch ev.Kind {
+		case subs.Revoked:
+			p.cfg.Local.AcceptRevocation(ev.Delegation)
+		case subs.Expired, subs.Stale:
+			p.cfg.Local.SweepExpired()
+			p.cfg.Local.SweepStaleCache()
+		case subs.Renewed:
+			if p.cfg.TTL > 0 {
+				p.cfg.Local.RenewCached(ev.Delegation, p.cfg.TTL)
+			}
+		}
+	})
+	if err != nil {
+		p.mu.Lock()
+		delete(p.cancels, id)
+		p.mu.Unlock()
+		return err
+	}
+	p.mu.Lock()
+	p.cancels[id] = cancel
+	p.mu.Unlock()
+	return nil
+}
+
+// Serve exposes the proxy to downstream clients on ln: cache queries hit
+// the local wallet; misses pull through upstream; downstream delegation
+// subscriptions attach to the local wallet and fire when upstream updates
+// propagate.
+func (p *Proxy) Serve(ln transport.Listener) *remote.Server {
+	return remote.ServeOptions(p.cfg.Local, ln, remote.Options{
+		DirectFallback: p.QueryDirect,
+	})
+}

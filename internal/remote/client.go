@@ -1,0 +1,385 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/graph"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wire"
+)
+
+// DefaultCallTimeout bounds how long a client waits for a response.
+const DefaultCallTimeout = 30 * time.Second
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("remote: client closed")
+
+// Client is a connection to a remote wallet. It multiplexes concurrent
+// requests and dispatches subscription pushes to registered handlers.
+type Client struct {
+	conn transport.Conn
+	// CallTimeout bounds each request; zero means DefaultCallTimeout.
+	CallTimeout time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Envelope
+	notify  map[core.DelegationID]map[int]func(subs.Event)
+	nextSub int
+	closed  bool
+
+	// pushQueue preserves notification order while keeping the read loop
+	// responsive; a dedicated dispatcher goroutine drains it.
+	pushQueue chan wire.NotifyPush
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Dial connects to a remote wallet at addr.
+func Dial(d transport.Dialer, addr string) (*Client, error) {
+	conn, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:      conn,
+		pending:   make(map[uint64]chan wire.Envelope),
+		notify:    make(map[core.DelegationID]map[int]func(subs.Event)),
+		pushQueue: make(chan wire.NotifyPush, 256),
+		done:      make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.pushLoop()
+	return c, nil
+}
+
+// Peer returns the authenticated identity of the remote wallet.
+func (c *Client) Peer() core.Entity { return c.conn.Peer() }
+
+// Close tears the connection down. Pending calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	_ = c.conn.Close()
+	c.wg.Wait()
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			c.failPending(err)
+			return
+		}
+		env, err := wire.Decode(frame)
+		if err != nil {
+			c.failPending(err)
+			return
+		}
+		if env.Type == wire.TNotify {
+			var push wire.NotifyPush
+			if err := wire.DecodeBody(env, &push); err == nil {
+				select {
+				case c.pushQueue <- push:
+				case <-c.done:
+					return
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+func (c *Client) pushLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case push := <-c.pushQueue:
+			c.dispatchPush(push)
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) dispatchPush(push wire.NotifyPush) {
+	ev := subs.Event{Delegation: push.Delegation, At: push.At}
+	switch push.Kind {
+	case "revoked":
+		ev.Kind = subs.Revoked
+	case "expired":
+		ev.Kind = subs.Expired
+	case "renewed":
+		ev.Kind = subs.Renewed
+	case "stale":
+		ev.Kind = subs.Stale
+	default:
+		return
+	}
+	c.mu.Lock()
+	m := c.notify[push.Delegation]
+	handlers := make([]func(subs.Event), 0, len(m))
+	for _, fn := range m {
+		handlers = append(handlers, fn)
+	}
+	c.mu.Unlock()
+	for _, fn := range handlers {
+		fn(ev)
+	}
+}
+
+func (c *Client) failPending(err error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]chan wire.Envelope)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	_ = err
+}
+
+// call sends one request and waits for the matching response.
+func (c *Client) call(t wire.MsgType, body any) (wire.Envelope, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Envelope{}, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wire.Envelope, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame, err := wire.Encode(t, id, body)
+	if err == nil {
+		err = c.conn.Send(frame)
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Envelope{}, fmt.Errorf("remote %s: %w", t, err)
+	}
+
+	timeout := c.CallTimeout
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return wire.Envelope{}, fmt.Errorf("remote %s: %w", t, ErrClientClosed)
+		}
+		if env.Type == wire.TError {
+			var er wire.ErrorResp
+			if err := wire.DecodeBody(env, &er); err != nil {
+				return wire.Envelope{}, err
+			}
+			if er.NoProof {
+				return wire.Envelope{}, fmt.Errorf("remote %s: %s: %w", t, er.Message, core.ErrNoProof)
+			}
+			return wire.Envelope{}, fmt.Errorf("remote %s: %s", t, er.Message)
+		}
+		return env, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Envelope{}, fmt.Errorf("remote %s: timeout after %v", t, timeout)
+	case <-c.done:
+		return wire.Envelope{}, ErrClientClosed
+	}
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	env, err := c.call(wire.TPing, nil)
+	if err != nil {
+		return err
+	}
+	if env.Type != wire.TPong {
+		return fmt.Errorf("remote ping: unexpected response %q", env.Type)
+	}
+	return nil
+}
+
+// Publish stores a delegation (with support proofs) in the remote wallet.
+// A positive ttl marks it a TTL-coherent cached copy there.
+func (c *Client) Publish(d *core.Delegation, support []*core.Proof, ttl time.Duration) error {
+	_, err := c.call(wire.TPublish, wire.PublishReq{
+		Delegation: d,
+		Support:    support,
+		TTLSeconds: int(ttl / time.Second),
+	})
+	return err
+}
+
+// QueryDirect asks the remote wallet for a proof subject ⇒ object.
+func (c *Client) QueryDirect(subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
+	env, err := c.call(wire.TQueryDirect, wire.QueryReq{
+		Subject:     subject,
+		Object:      object,
+		Constraints: constraints,
+		Direction:   direction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.ProofResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Proof, nil
+}
+
+// QuerySubject asks for all sub-proofs subject ⇒ *.
+func (c *Client) QuerySubject(subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints})
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.ProofsResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Proofs, nil
+}
+
+// QueryObject asks for all sub-proofs * ⇒ object.
+func (c *Client) QueryObject(object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints})
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.ProofsResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Proofs, nil
+}
+
+// Subscribe registers for push notifications about one delegation (§4.2.2)
+// and returns a cancel function that also unsubscribes remotely.
+func (c *Client) Subscribe(id core.DelegationID, fn func(subs.Event)) (cancel func(), err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	n := c.nextSub
+	c.nextSub++
+	m, ok := c.notify[id]
+	if !ok {
+		m = make(map[int]func(subs.Event))
+		c.notify[id] = m
+	}
+	first := len(m) == 0
+	m[n] = fn
+	c.mu.Unlock()
+
+	if first {
+		if _, err := c.call(wire.TSubscribe, wire.SubscribeReq{Delegation: id}); err != nil {
+			c.mu.Lock()
+			delete(c.notify[id], n)
+			if len(c.notify[id]) == 0 {
+				delete(c.notify, id)
+			}
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.mu.Lock()
+			last := false
+			if m, ok := c.notify[id]; ok {
+				delete(m, n)
+				if len(m) == 0 {
+					delete(c.notify, id)
+					last = true
+				}
+			}
+			closed := c.closed
+			c.mu.Unlock()
+			if last && !closed {
+				_, _ = c.call(wire.TUnsubscribe, wire.SubscribeReq{Delegation: id})
+			}
+		})
+	}, nil
+}
+
+// Has reports whether the remote wallet stores the delegation — the
+// registry-audit primitive (§6).
+func (c *Client) Has(id core.DelegationID) (bool, error) {
+	env, err := c.call(wire.THas, wire.HasReq{Delegation: id})
+	if err != nil {
+		return false, err
+	}
+	var resp wire.HasResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return false, err
+	}
+	return resp.Present, nil
+}
+
+// Revoke withdraws a delegation at the remote wallet; the server authorizes
+// against this client's authenticated identity.
+func (c *Client) Revoke(id core.DelegationID) error {
+	_, err := c.call(wire.TRevoke, wire.RevokeReq{Delegation: id})
+	return err
+}
+
+// ProveRole asks the remote wallet to prove its operating identity holds
+// role, and validates both the proof and that its subject matches the
+// transport-authenticated peer — the §4.2.1 home-wallet authorization check.
+func (c *Client) ProveRole(role core.Role, at time.Time) (*core.Proof, error) {
+	env, err := c.call(wire.TProveRole, wire.ProveRoleReq{Role: role})
+	if err != nil {
+		return nil, err
+	}
+	var resp wire.ProofResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return nil, err
+	}
+	p := resp.Proof
+	if p == nil {
+		return nil, fmt.Errorf("remote prove-role: empty proof")
+	}
+	if !p.Subject.IsEntity() || p.Subject.Entity != c.Peer().ID() {
+		return nil, fmt.Errorf("remote prove-role: proof subject %s is not the authenticated peer %s",
+			p.Subject, c.Peer())
+	}
+	if p.Object != role {
+		return nil, fmt.Errorf("remote prove-role: proof object %s is not %s", p.Object, role)
+	}
+	if err := p.Validate(core.ValidateOptions{At: at}); err != nil {
+		return nil, fmt.Errorf("remote prove-role: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,508 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"drbac/internal/clock"
+	"drbac/internal/core"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+var testStart = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+type env struct {
+	t   *testing.T
+	ids map[string]*core.Identity
+	dir *core.MemDirectory
+	clk *clock.Fake
+	net *transport.MemNetwork
+}
+
+func newEnv(t *testing.T, names ...string) *env {
+	t.Helper()
+	e := &env{
+		t:   t,
+		ids: make(map[string]*core.Identity),
+		dir: core.NewDirectory(),
+		clk: clock.NewFake(testStart),
+		net: transport.NewMemNetwork(),
+	}
+	for i, name := range names {
+		seed := make([]byte, 32)
+		seed[0] = byte(i + 1)
+		copy(seed[1:], name)
+		id, err := core.IdentityFromSeed(name, seed)
+		if err != nil {
+			t.Fatalf("identity %s: %v", name, err)
+		}
+		e.ids[name] = id
+		e.dir.Add(id.Entity())
+	}
+	return e
+}
+
+func (e *env) id(name string) *core.Identity {
+	id, ok := e.ids[name]
+	if !ok {
+		e.t.Fatalf("unknown identity %q", name)
+	}
+	return id
+}
+
+func (e *env) deleg(text string) *core.Delegation {
+	e.t.Helper()
+	parsed, err := core.ParseDelegation(text, e.dir)
+	if err != nil {
+		e.t.Fatalf("parse %q: %v", text, err)
+	}
+	var issuer *core.Identity
+	for _, id := range e.ids {
+		if id.ID() == parsed.Issuer.ID() {
+			issuer = id
+		}
+	}
+	if issuer == nil {
+		e.t.Fatalf("no identity for issuer of %q", text)
+	}
+	d, err := core.Issue(issuer, parsed.Template, e.clk.Now())
+	if err != nil {
+		e.t.Fatalf("issue %q: %v", text, err)
+	}
+	return d
+}
+
+func (e *env) role(text string) core.Role {
+	e.t.Helper()
+	r, err := core.ParseRole(text, e.dir)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return r
+}
+
+func (e *env) subject(text string) core.Subject {
+	e.t.Helper()
+	s, err := core.ParseSubject(text, e.dir)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return s
+}
+
+// serve starts a wallet server owned by ownerName at addr and returns it
+// with a cleanup.
+func (e *env) serve(addr, ownerName string) (*Server, *wallet.Wallet) {
+	e.t.Helper()
+	w := wallet.New(wallet.Config{Owner: e.id(ownerName), Clock: e.clk, Directory: e.dir})
+	ln, err := e.net.Listen(addr, e.id(ownerName))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	s := Serve(w, ln)
+	e.t.Cleanup(s.Close)
+	return s, w
+}
+
+func (e *env) dial(addr, clientName string) *Client {
+	e.t.Helper()
+	c, err := Dial(e.net.Dialer(e.id(clientName)), addr)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.t.Cleanup(c.Close)
+	return c
+}
+
+func TestPingPong(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Peer().ID() != e.id("BigISP").ID() {
+		t.Fatal("peer identity mismatch")
+	}
+}
+
+func TestRemotePublishAndQuery(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+
+	d1 := e.deleg("[Mark -> BigISP.memberServices] BigISP")
+	d2 := e.deleg("[BigISP.memberServices -> BigISP.member'] BigISP")
+	d3 := e.deleg("[Maria -> BigISP.member] Mark")
+	sup, err := core.NewProof(core.ProofStep{Delegation: d1}, core.ProofStep{Delegation: d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(d1, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(d2, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(d3, []*core.Proof{sup}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("server wallet has %d delegations", w.Len())
+	}
+
+	p, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(core.ValidateOptions{At: e.clk.Now()}); err != nil {
+		t.Fatalf("remote proof invalid locally: %v", err)
+	}
+
+	proofs, err := c.QuerySubject(e.subject("Maria"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proofs) != 1 {
+		t.Fatalf("subject query = %d proofs", len(proofs))
+	}
+	objProofs, err := c.QueryObject(e.role("BigISP.member"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objProofs) == 0 {
+		t.Fatal("object query empty")
+	}
+}
+
+func TestRemoteQueryNoProofMapsToErrNoProof(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+	_, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	if !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("want ErrNoProof, got %v", err)
+	}
+}
+
+func TestRemoteRevokeAuthorization(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria", "Mallory")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mallory (not the issuer) cannot revoke over the wire.
+	mallory := e.dial("wallet.bigisp", "Mallory")
+	if err := mallory.Revoke(d.ID()); err == nil {
+		t.Fatal("non-issuer revocation accepted remotely")
+	}
+	// The issuer can.
+	bigisp := e.dial("wallet.bigisp", "BigISP")
+	if err := bigisp.Revoke(d.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsRevoked(d.ID()) {
+		t.Fatal("revocation not applied")
+	}
+}
+
+func TestRemoteSubscriptionPush(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+
+	c := e.dial("wallet.bigisp", "Maria")
+	events := make(chan subs.Event, 4)
+	cancel, err := c.Subscribe(d.ID(), func(ev subs.Event) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	if err := w.Revoke(d.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != subs.Revoked || ev.Delegation != d.ID() {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("revocation push not delivered")
+	}
+}
+
+func TestRemoteUnsubscribeStopsPush(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	c := e.dial("wallet.bigisp", "Maria")
+	var mu sync.Mutex
+	count := 0
+	cancel, err := c.Subscribe(d.ID(), func(subs.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// After cancel returns, the server-side subscription is gone.
+	if w.Subscribers(d.ID()) != 0 {
+		t.Fatal("server still has subscribers after unsubscribe")
+	}
+	if err := w.Revoke(d.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 0 {
+		t.Fatalf("received %d events after unsubscribe", count)
+	}
+}
+
+func TestRemotePublishWithTTLCreatesCacheEntry(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := c.Publish(d, nil, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if w.CachedCount() != 1 {
+		t.Fatalf("CachedCount = %d", w.CachedCount())
+	}
+}
+
+func TestProveRole(t *testing.T) {
+	e := newEnv(t, "AirNet", "WalletOp", "Maria")
+	// WalletOp operates AirNet's wallet and holds AirNet.wallet.
+	_, w := e.serve("wallet.airnet", "WalletOp")
+	if err := w.Publish(e.deleg("[WalletOp -> AirNet.wallet] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+	c := e.dial("wallet.airnet", "Maria")
+	p, err := c.ProveRole(e.role("AirNet.wallet"), e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Subject.IsEntity() || p.Subject.Entity != e.id("WalletOp").ID() {
+		t.Fatalf("proof subject = %v", p.Subject)
+	}
+}
+
+func TestProveRoleFailsWithoutAuthority(t *testing.T) {
+	e := newEnv(t, "AirNet", "WalletOp", "Maria")
+	e.serve("wallet.airnet", "WalletOp") // no AirNet.wallet grant published
+	c := e.dial("wallet.airnet", "Maria")
+	if _, err := c.ProveRole(e.role("AirNet.wallet"), e.clk.Now()); err == nil {
+		t.Fatal("prove-role should fail without authority")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCloseFailsCalls(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+	c.Close()
+	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Ping after close = %v", err)
+	}
+	if _, err := c.Subscribe("x", func(subs.Event) {}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("Subscribe after close = %v", err)
+	}
+}
+
+func TestServerCloseIsIdempotentAndDropsClients(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	s, _ := e.serve("wallet.bigisp", "BigISP")
+	c := e.dial("wallet.bigisp", "Maria")
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping should fail after server close")
+	}
+}
+
+func TestRemoteOverTCP(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := wallet.New(wallet.Config{Owner: e.id("BigISP"), Clock: e.clk, Directory: e.dir})
+	ln, err := transport.ListenTCP("127.0.0.1:0", e.id("BigISP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Serve(w, ln)
+	defer s.Close()
+
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(&transport.TCPDialer{Identity: e.id("Maria")}, s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(core.ValidateOptions{At: e.clk.Now()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerDropsProtocolViolators(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mallory")
+	e.serve("wallet.bigisp", "BigISP")
+	// Speak raw transport, not the wallet protocol.
+	conn, err := e.net.Dialer(e.id("Mallory")).Dial("wallet.bigisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send([]byte("garbage that is not json")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection rather than wedge.
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("server answered garbage instead of dropping the connection")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server kept a protocol violator connected")
+	}
+}
+
+func TestWalletPrinterUsesDirectory(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := wallet.New(wallet.Config{Owner: e.id("BigISP"), Clock: e.clk, Directory: e.dir})
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	out := w.Printer().Delegation(d)
+	if out != "[Maria -> BigISP.member] BigISP" {
+		t.Fatalf("rendered %q", out)
+	}
+}
+
+func TestHas(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	c := e.dial("wallet.bigisp", "Maria")
+	present, err := c.Has(d.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !present {
+		t.Fatal("stored delegation reported absent")
+	}
+	absent, err := c.Has("deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absent {
+		t.Fatal("unknown delegation reported present")
+	}
+}
+
+// Subscription churn: concurrent subscribe/unsubscribe from many
+// goroutines must neither race nor leave server-side residue.
+func TestSubscriptionChurn(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	c := e.dial("wallet.bigisp", "Maria")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				cancel, err := c.Subscribe(d.ID(), func(subs.Event) {})
+				if err != nil {
+					errs <- err
+					return
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Quiesce: outstanding unsubscribe calls have completed (Subscribe and
+	// the returned cancel both round-trip), so the server must be clean.
+	if n := w.Subscribers(d.ID()); n != 0 {
+		t.Fatalf("server retains %d subscribers after churn", n)
+	}
+}

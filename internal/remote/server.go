@@ -1,0 +1,317 @@
+// Package remote serves a wallet over the authenticated transport and
+// provides the client stubs used by distributed discovery (§4.2): remote
+// publication, the three query kinds, delegation subscriptions with push
+// notifications, revocation, and home-wallet authorization proofs.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+	"drbac/internal/wire"
+)
+
+// Server exposes one wallet to the network.
+type Server struct {
+	w  *wallet.Wallet
+	ln transport.Listener
+	// directFallback, when set, is consulted after a direct query misses
+	// the wallet — the hook hierarchical caching proxies use to pull
+	// credentials through from an upstream wallet (§6).
+	directFallback func(wallet.Query) (*core.Proof, error)
+
+	mu     sync.Mutex
+	conns  map[transport.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Options customizes a served wallet.
+type Options struct {
+	// DirectFallback runs when a direct query finds no proof locally; a
+	// non-nil proof it returns is served to the client. Used by
+	// pull-through caches.
+	DirectFallback func(wallet.Query) (*core.Proof, error)
+}
+
+// Serve starts accepting connections for w on ln. Close shuts it down.
+func Serve(w *wallet.Wallet, ln transport.Listener) *Server {
+	return ServeOptions(w, ln, Options{})
+}
+
+// ServeOptions is Serve with customization.
+func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server {
+	s := &Server{
+		w:              w,
+		ln:             ln,
+		directFallback: opts.DirectFallback,
+		conns:          make(map[transport.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the served address.
+func (s *Server) Addr() string { return s.ln.Addr() }
+
+// Wallet returns the served wallet.
+func (s *Server) Wallet() *wallet.Wallet { return s.w }
+
+// Close stops the listener, tears down every connection, and waits for the
+// handler goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// connState tracks per-connection subscription cancels and serializes
+// writes (responses can interleave with notification pushes).
+type connState struct {
+	conn transport.Conn
+
+	writeMu sync.Mutex
+	subMu   sync.Mutex
+	cancels map[core.DelegationID]func()
+}
+
+func (cs *connState) send(t wire.MsgType, id uint64, body any) error {
+	frame, err := wire.Encode(t, id, body)
+	if err != nil {
+		return err
+	}
+	cs.writeMu.Lock()
+	defer cs.writeMu.Unlock()
+	return cs.conn.Send(frame)
+}
+
+func (cs *connState) sendErr(id uint64, err error) {
+	resp := wire.ErrorResp{Message: err.Error(), NoProof: errors.Is(err, core.ErrNoProof)}
+	_ = cs.send(wire.TError, id, resp)
+}
+
+func (s *Server) handleConn(conn transport.Conn) {
+	defer s.wg.Done()
+	cs := &connState{conn: conn, cancels: make(map[core.DelegationID]func())}
+	defer func() {
+		cs.subMu.Lock()
+		for _, cancel := range cs.cancels {
+			cancel()
+		}
+		cs.cancels = nil
+		cs.subMu.Unlock()
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		env, err := wire.Decode(frame)
+		if err != nil {
+			return // protocol violation: drop the connection
+		}
+		s.dispatch(cs, env)
+	}
+}
+
+func (s *Server) dispatch(cs *connState, env wire.Envelope) {
+	switch env.Type {
+	case wire.TPing:
+		_ = cs.send(wire.TPong, env.ID, nil)
+
+	case wire.TPublish:
+		var req wire.PublishReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		var err error
+		if req.TTLSeconds > 0 {
+			err = s.w.InsertCached(req.Delegation, req.Support, time.Duration(req.TTLSeconds)*time.Second)
+		} else {
+			err = s.w.Publish(req.Delegation, req.Support...)
+		}
+		if err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		_ = cs.send(wire.TOK, env.ID, nil)
+
+	case wire.TQueryDirect:
+		var req wire.QueryReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		q := wallet.Query{
+			Subject:     req.Subject,
+			Object:      req.Object,
+			Constraints: req.Constraints,
+			Direction:   req.Direction,
+		}
+		p, err := s.w.QueryDirect(q)
+		if err != nil && errors.Is(err, core.ErrNoProof) && s.directFallback != nil {
+			p, err = s.directFallback(q)
+		}
+		if err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		_ = cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
+
+	case wire.TQuerySubject:
+		var req wire.QueryReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		proofs := s.w.QuerySubject(req.Subject, req.Constraints)
+		_ = cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
+
+	case wire.TQueryObject:
+		var req wire.QueryReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		proofs := s.w.QueryObject(req.Object, req.Constraints)
+		_ = cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
+
+	case wire.TSubscribe:
+		var req wire.SubscribeReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		s.subscribe(cs, req.Delegation)
+		_ = cs.send(wire.TOK, env.ID, nil)
+
+	case wire.TUnsubscribe:
+		var req wire.SubscribeReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		cs.subMu.Lock()
+		if cancel, ok := cs.cancels[req.Delegation]; ok {
+			cancel()
+			delete(cs.cancels, req.Delegation)
+		}
+		cs.subMu.Unlock()
+		_ = cs.send(wire.TOK, env.ID, nil)
+
+	case wire.TRevoke:
+		var req wire.RevokeReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		// Authorization: the authenticated peer must be the issuer.
+		if err := s.w.Revoke(req.Delegation, cs.conn.Peer().ID()); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		_ = cs.send(wire.TOK, env.ID, nil)
+
+	case wire.THas:
+		var req wire.HasReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		_ = cs.send(wire.TOK, env.ID, wire.HasResp{Present: s.w.Contains(req.Delegation)})
+
+	case wire.TProveRole:
+		var req wire.ProveRoleReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		owner := s.w.Owner()
+		if owner == nil {
+			cs.sendErr(env.ID, fmt.Errorf("wallet has no operating identity"))
+			return
+		}
+		p, err := s.w.QueryDirect(wallet.Query{
+			Subject: core.SubjectEntity(owner.ID()),
+			Object:  req.Role,
+		})
+		if err != nil {
+			cs.sendErr(env.ID, err)
+			return
+		}
+		_ = cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
+
+	default:
+		cs.sendErr(env.ID, fmt.Errorf("unknown request type %q", env.Type))
+	}
+}
+
+// subscribe wires a wallet subscription to notification pushes on this
+// connection, replacing any previous subscription for the same delegation.
+func (s *Server) subscribe(cs *connState, id core.DelegationID) {
+	handler := func(ev subs.Event) {
+		_ = cs.send(wire.TNotify, 0, wire.NotifyPush{
+			Delegation: ev.Delegation,
+			Kind:       ev.Kind.String(),
+			At:         ev.At,
+		})
+	}
+	cancel := s.w.Subscribe(id, handler)
+	cs.subMu.Lock()
+	defer cs.subMu.Unlock()
+	if cs.cancels == nil { // connection already torn down
+		cancel()
+		return
+	}
+	if old, ok := cs.cancels[id]; ok {
+		old()
+	}
+	cs.cancels[id] = cancel
+}

@@ -1,0 +1,507 @@
+// Package revocation implements the credential-status comparators of §6:
+// an OCSP-style polling responder, a CRL-style broadcast distributor, and
+// dRBAC's delegation subscriptions — all as real message-passing protocols
+// over the same counted in-memory network, so the experiment (EXP-S3)
+// compares measured messages and bytes rather than formulas.
+//
+// The simulation is driven in discrete time steps by the harness (no wall-
+// clock sleeps): each step the harness may poll, publish a CRL, or revoke a
+// credential; the schemes respond with real frames.
+package revocation
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/remote"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// Scheme names a credential-status mechanism.
+type Scheme string
+
+const (
+	// OCSP: every client polls the responder for every monitored
+	// credential at a fixed interval (RFC 2560 model).
+	OCSP Scheme = "ocsp"
+	// CRL: the distributor periodically pushes the full revocation list to
+	// every subscriber (RFC 2459 model).
+	CRL Scheme = "crl"
+	// Subscription: dRBAC delegation subscriptions push one notification
+	// per status change to interested parties only (§4.2.2).
+	Subscription Scheme = "subscription"
+)
+
+// Params shapes one simulated session.
+type Params struct {
+	// Clients monitoring credentials.
+	Clients int
+	// Credentials monitored by every client (a shared coalition set).
+	Credentials int
+	// Steps is the session length in discrete time units.
+	Steps int
+	// PollEvery is the OCSP polling period in steps.
+	PollEvery int
+	// CRLEvery is the CRL publication period in steps.
+	CRLEvery int
+	// RevokeAt lists the steps at which the next unrevoked credential is
+	// revoked. Steps outside [0, Steps) are ignored.
+	RevokeAt []int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Clients <= 0 || p.Credentials <= 0 || p.Steps <= 0 {
+		return fmt.Errorf("revocation: Clients, Credentials, Steps must be positive")
+	}
+	if p.PollEvery <= 0 || p.CRLEvery <= 0 {
+		return fmt.Errorf("revocation: PollEvery and CRLEvery must be positive")
+	}
+	if len(p.RevokeAt) > p.Credentials {
+		return fmt.Errorf("revocation: more revocations than credentials")
+	}
+	return nil
+}
+
+// Result reports the measured cost of one scheme over one session.
+type Result struct {
+	Scheme Scheme
+	// Messages and Bytes are total network frames and payload bytes,
+	// including connection handshakes and subscription setup.
+	Messages int64
+	Bytes    int64
+	// Notifications counts status changes that reached clients.
+	Notifications int
+	// StalenessSteps sums, over all revocations and clients, the number of
+	// steps between a revocation and the client learning of it.
+	StalenessSteps int
+}
+
+// Run executes one scheme under p and returns its measured cost.
+func Run(scheme Scheme, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	switch scheme {
+	case OCSP:
+		return runOCSP(p)
+	case CRL:
+		return runCRL(p)
+	case Subscription:
+		return runSubscription(p)
+	default:
+		return Result{}, fmt.Errorf("revocation: unknown scheme %q", scheme)
+	}
+}
+
+// RunAll executes all three schemes under identical parameters.
+func RunAll(p Params) ([]Result, error) {
+	var out []Result
+	for _, s := range []Scheme{OCSP, CRL, Subscription} {
+		r, err := Run(s, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// credIDs builds deterministic credential identifiers shared by all
+// schemes.
+func credIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("cred-%04d", i)
+	}
+	return out
+}
+
+// revocationSchedule maps step -> credential index revoked at that step.
+func revocationSchedule(p Params) map[int]int {
+	sched := make(map[int]int, len(p.RevokeAt))
+	next := 0
+	for _, at := range p.RevokeAt {
+		if at < 0 || at >= p.Steps {
+			continue
+		}
+		if _, dup := sched[at]; dup {
+			continue
+		}
+		sched[at] = next
+		next++
+	}
+	return sched
+}
+
+// --- OCSP -----------------------------------------------------------------
+
+type ocspReq struct {
+	IDs []string `json:"ids"`
+}
+
+type ocspResp struct {
+	Revoked []bool `json:"revoked"`
+}
+
+// runOCSP: a responder holds status; each client polls all credentials
+// every PollEvery steps (one batched request per poll, the favourable case
+// for OCSP).
+func runOCSP(p Params) (Result, error) {
+	net, ids, cleanup, err := newWorld()
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+
+	creds := credIDs(p.Credentials)
+	var mu sync.Mutex
+	revoked := make(map[string]bool)
+
+	ln, err := net.Listen("ocsp.responder", ids.server)
+	if err != nil {
+		return Result{}, err
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				for {
+					frame, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					var req ocspReq
+					if err := json.Unmarshal(frame, &req); err != nil {
+						return
+					}
+					resp := ocspResp{Revoked: make([]bool, len(req.IDs))}
+					mu.Lock()
+					for i, id := range req.IDs {
+						resp.Revoked[i] = revoked[id]
+					}
+					mu.Unlock()
+					out, err := json.Marshal(resp)
+					if err != nil {
+						return
+					}
+					if err := conn.Send(out); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	conns := make([]transport.Conn, p.Clients)
+	for i := range conns {
+		c, err := net.Dialer(ids.client).Dial("ocsp.responder")
+		if err != nil {
+			return Result{}, err
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+
+	res := Result{Scheme: OCSP}
+	sched := revocationSchedule(p)
+	known := make([]map[string]bool, p.Clients)
+	for i := range known {
+		known[i] = make(map[string]bool)
+	}
+	pendingSince := make(map[string]int)
+
+	req, err := json.Marshal(ocspReq{IDs: creds})
+	if err != nil {
+		return Result{}, err
+	}
+	for step := 0; step < p.Steps; step++ {
+		if idx, ok := sched[step]; ok {
+			mu.Lock()
+			revoked[creds[idx]] = true
+			mu.Unlock()
+			pendingSince[creds[idx]] = step
+		}
+		if step%p.PollEvery != 0 {
+			continue
+		}
+		for ci, conn := range conns {
+			if err := conn.Send(req); err != nil {
+				return Result{}, err
+			}
+			frame, err := conn.Recv()
+			if err != nil {
+				return Result{}, err
+			}
+			var resp ocspResp
+			if err := json.Unmarshal(frame, &resp); err != nil {
+				return Result{}, err
+			}
+			for i, r := range resp.Revoked {
+				if r && !known[ci][creds[i]] {
+					known[ci][creds[i]] = true
+					res.Notifications++
+					res.StalenessSteps += step - pendingSince[creds[i]]
+				}
+			}
+		}
+	}
+	st := net.Stats()
+	res.Messages, res.Bytes = st.Messages, st.Bytes
+	return res, nil
+}
+
+// --- CRL ------------------------------------------------------------------
+
+type crlPush struct {
+	Revoked []string `json:"revoked"`
+}
+
+// runCRL: the distributor pushes the complete revocation list to every
+// subscriber every CRLEvery steps, whether or not anything changed.
+func runCRL(p Params) (Result, error) {
+	net, ids, cleanup, err := newWorld()
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+
+	creds := credIDs(p.Credentials)
+	ln, err := net.Listen("crl.distributor", ids.server)
+	if err != nil {
+		return Result{}, err
+	}
+	defer ln.Close()
+
+	// The distributor accepts subscriber connections.
+	var mu sync.Mutex
+	var subscriberConns []transport.Conn
+	accepted := make(chan struct{}, p.Clients)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			subscriberConns = append(subscriberConns, conn)
+			mu.Unlock()
+			accepted <- struct{}{}
+		}
+	}()
+
+	clientConns := make([]transport.Conn, p.Clients)
+	for i := range clientConns {
+		c, err := net.Dialer(ids.client).Dial("crl.distributor")
+		if err != nil {
+			return Result{}, err
+		}
+		clientConns[i] = c
+		<-accepted
+	}
+	defer func() {
+		for _, c := range clientConns {
+			_ = c.Close()
+		}
+	}()
+
+	res := Result{Scheme: CRL}
+	sched := revocationSchedule(p)
+	var revokedList []string
+	known := make([]int, p.Clients) // length of list each client has seen
+	pendingSince := make(map[string]int)
+
+	for step := 0; step < p.Steps; step++ {
+		if idx, ok := sched[step]; ok {
+			revokedList = append(revokedList, creds[idx])
+			pendingSince[creds[idx]] = step
+		}
+		if step%p.CRLEvery != 0 {
+			continue
+		}
+		frame, err := json.Marshal(crlPush{Revoked: revokedList})
+		if err != nil {
+			return Result{}, err
+		}
+		mu.Lock()
+		targets := append([]transport.Conn(nil), subscriberConns...)
+		mu.Unlock()
+		for _, conn := range targets {
+			if err := conn.Send(frame); err != nil {
+				return Result{}, err
+			}
+		}
+		// Clients drain the push and diff against what they knew.
+		for ci, conn := range clientConns {
+			frame, err := conn.Recv()
+			if err != nil {
+				return Result{}, err
+			}
+			var push crlPush
+			if err := json.Unmarshal(frame, &push); err != nil {
+				return Result{}, err
+			}
+			for _, id := range push.Revoked[known[ci]:] {
+				res.Notifications++
+				res.StalenessSteps += step - pendingSince[id]
+			}
+			known[ci] = len(push.Revoked)
+		}
+	}
+	st := net.Stats()
+	res.Messages, res.Bytes = st.Messages, st.Bytes
+	return res, nil
+}
+
+// --- dRBAC subscriptions ----------------------------------------------------
+
+// runSubscription: a real wallet served over the network; every client
+// holds one connection with one delegation subscription per credential;
+// revocations push exactly one notification per interested client.
+func runSubscription(p Params) (Result, error) {
+	net, ids, cleanup, err := newWorld()
+	if err != nil {
+		return Result{}, err
+	}
+	defer cleanup()
+
+	w := wallet.New(wallet.Config{Owner: ids.server})
+	ln, err := net.Listen("wallet.home", ids.server)
+	if err != nil {
+		return Result{}, err
+	}
+	srv := remote.Serve(w, ln)
+	defer srv.Close()
+
+	// Real delegations to monitor.
+	dels := make([]*core.Delegation, p.Credentials)
+	for i := range dels {
+		d, err := core.Issue(ids.server, core.Template{
+			Subject:       core.SubjectEntity(ids.client.ID()),
+			SubjectEntity: ptrEntity(ids.client.Entity()),
+			Object:        core.NewRole(ids.server.ID(), fmt.Sprintf("role%04d", i)),
+		}, time.Unix(0, 0))
+		if err != nil {
+			return Result{}, err
+		}
+		if err := w.Publish(d); err != nil {
+			return Result{}, err
+		}
+		dels[i] = d
+	}
+
+	res := Result{Scheme: Subscription}
+	var mu sync.Mutex
+	notified := 0
+	arrival := make(chan struct{}, p.Clients*p.Credentials)
+
+	clients := make([]*remote.Client, p.Clients)
+	for i := range clients {
+		c, err := remote.Dial(net.Dialer(ids.client), "wallet.home")
+		if err != nil {
+			return Result{}, err
+		}
+		clients[i] = c
+		for _, d := range dels {
+			if _, err := c.Subscribe(d.ID(), func(ev subs.Event) {
+				if ev.Kind == subs.Revoked {
+					mu.Lock()
+					notified++
+					mu.Unlock()
+					arrival <- struct{}{}
+				}
+			}); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	sched := revocationSchedule(p)
+	expected := 0
+	for step := 0; step < p.Steps; step++ {
+		idx, ok := sched[step]
+		if !ok {
+			continue
+		}
+		if err := w.Revoke(dels[idx].ID(), ids.server.ID()); err != nil {
+			return Result{}, err
+		}
+		// Push model: notifications arrive within the same step; wait for
+		// them so staleness is honestly zero steps.
+		expected += p.Clients
+		deadline := time.After(5 * time.Second)
+		for {
+			mu.Lock()
+			done := notified >= expected
+			mu.Unlock()
+			if done {
+				break
+			}
+			select {
+			case <-arrival:
+			case <-deadline:
+				return Result{}, fmt.Errorf("subscription push timed out")
+			}
+		}
+	}
+	mu.Lock()
+	res.Notifications = notified
+	mu.Unlock()
+	res.StalenessSteps = 0
+	st := net.Stats()
+	res.Messages, res.Bytes = st.Messages, st.Bytes
+	return res, nil
+}
+
+// --- shared plumbing --------------------------------------------------------
+
+type worldIDs struct {
+	server *core.Identity
+	client *core.Identity
+}
+
+func newWorld() (*transport.MemNetwork, worldIDs, func(), error) {
+	server, err := core.IdentityFromSeed("status-server", seed(1))
+	if err != nil {
+		return nil, worldIDs{}, nil, err
+	}
+	client, err := core.IdentityFromSeed("status-client", seed(2))
+	if err != nil {
+		return nil, worldIDs{}, nil, err
+	}
+	return transport.NewMemNetwork(), worldIDs{server: server, client: client}, func() {}, nil
+}
+
+func seed(b byte) []byte {
+	s := make([]byte, 32)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+func ptrEntity(e core.Entity) *core.Entity { return &e }

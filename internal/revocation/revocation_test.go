@@ -1,0 +1,168 @@
+package revocation
+
+import (
+	"testing"
+)
+
+func baseParams() Params {
+	return Params{
+		Clients:     4,
+		Credentials: 8,
+		Steps:       100,
+		PollEvery:   5,
+		CRLEvery:    10,
+		RevokeAt:    []int{20, 50},
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantErr bool
+	}{
+		{"valid", func(*Params) {}, false},
+		{"zero clients", func(p *Params) { p.Clients = 0 }, true},
+		{"zero credentials", func(p *Params) { p.Credentials = 0 }, true},
+		{"zero steps", func(p *Params) { p.Steps = 0 }, true},
+		{"zero poll", func(p *Params) { p.PollEvery = 0 }, true},
+		{"zero crl", func(p *Params) { p.CRLEvery = 0 }, true},
+		{"too many revocations", func(p *Params) { p.RevokeAt = make([]int, 100) }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := baseParams()
+			tt.mutate(&p)
+			err := p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	if _, err := Run("carrier-pigeon", baseParams()); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestAllSchemesDeliverAllNotifications(t *testing.T) {
+	p := baseParams()
+	results, err := RunAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Clients * len(p.RevokeAt)
+	for _, r := range results {
+		if r.Notifications != want {
+			t.Errorf("%s: notifications = %d, want %d", r.Scheme, r.Notifications, want)
+		}
+		if r.Messages == 0 || r.Bytes == 0 {
+			t.Errorf("%s: no traffic measured", r.Scheme)
+		}
+	}
+}
+
+func TestSubscriptionHasZeroStaleness(t *testing.T) {
+	r, err := Run(Subscription, baseParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StalenessSteps != 0 {
+		t.Fatalf("subscription staleness = %d, want 0", r.StalenessSteps)
+	}
+}
+
+func TestPollingStalenessBoundedByInterval(t *testing.T) {
+	p := baseParams()
+	r, err := Run(OCSP, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the Clients×revocations notifications is at most PollEvery-1
+	// steps stale.
+	maxTotal := p.Clients * len(p.RevokeAt) * (p.PollEvery - 1)
+	if r.StalenessSteps < 0 || r.StalenessSteps > maxTotal {
+		t.Fatalf("OCSP staleness = %d, want in [0, %d]", r.StalenessSteps, maxTotal)
+	}
+}
+
+// The §6 claim: subscriptions "only require server and network resources
+// when a credential has been updated", so over a long-lived interaction
+// with few revocations they undercut both per-interval polling and
+// periodic full-list broadcast, once the one-time subscription setup has
+// amortized.
+func TestSubscriptionBeatsPollingAndCRL(t *testing.T) {
+	p := Params{
+		Clients:     8,
+		Credentials: 16,
+		Steps:       2000,
+		PollEvery:   5,
+		CRLEvery:    10,
+		RevokeAt:    []int{50},
+	}
+	results, err := RunAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[Scheme]Result{}
+	for _, r := range results {
+		byScheme[r.Scheme] = r
+	}
+	sub, ocsp, crl := byScheme[Subscription], byScheme[OCSP], byScheme[CRL]
+	if sub.Messages >= ocsp.Messages {
+		t.Errorf("subscription messages (%d) should undercut OCSP (%d)", sub.Messages, ocsp.Messages)
+	}
+	if sub.Messages >= crl.Messages {
+		t.Errorf("subscription messages (%d) should undercut CRL (%d)", sub.Messages, crl.Messages)
+	}
+	t.Logf("messages: subscription=%d ocsp=%d crl=%d", sub.Messages, ocsp.Messages, crl.Messages)
+	t.Logf("bytes:    subscription=%d ocsp=%d crl=%d", sub.Bytes, ocsp.Bytes, crl.Bytes)
+}
+
+// OCSP cost grows with session length even when nothing changes; the
+// subscription scheme's does not (beyond setup).
+func TestIdleSessionCostScaling(t *testing.T) {
+	short := Params{Clients: 2, Credentials: 4, Steps: 20, PollEvery: 5, CRLEvery: 10}
+	long := short
+	long.Steps = 200
+
+	ocspShort, err := Run(OCSP, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocspLong, err := Run(OCSP, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ocspLong.Messages <= ocspShort.Messages*5 {
+		t.Errorf("OCSP long-session messages = %d, short = %d: polling should scale with duration",
+			ocspLong.Messages, ocspShort.Messages)
+	}
+
+	subShort, err := Run(Subscription, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subLong, err := Run(Subscription, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subLong.Messages != subShort.Messages {
+		t.Errorf("subscription idle cost should not grow with session length: %d vs %d",
+			subShort.Messages, subLong.Messages)
+	}
+}
+
+func TestRevocationOutsideSessionIgnored(t *testing.T) {
+	p := baseParams()
+	p.RevokeAt = []int{-5, 20, 1000}
+	r, err := Run(Subscription, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Notifications != p.Clients {
+		t.Fatalf("notifications = %d, want %d (one in-session revocation)", r.Notifications, p.Clients)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"drbac/internal/proxy"
+	"drbac/internal/remote"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// ProxyPoint is one row of EXP-S5 (hierarchical validation caches, §6):
+// home-wallet network cost with clients attached directly versus through a
+// caching proxy, for the same monitored credential and one revocation.
+type ProxyPoint struct {
+	Clients int
+	// FlatHomeMessages/Bytes: home-side traffic with every client attached
+	// directly to the home wallet.
+	FlatHomeMessages int64
+	FlatHomeBytes    int64
+	// HierHomeMessages/Bytes: home-side traffic with one proxy attached to
+	// the home and all clients attached to the proxy.
+	HierHomeMessages int64
+	HierHomeBytes    int64
+	// EdgeMessages: proxy-to-client traffic in the hierarchical setup.
+	EdgeMessages int64
+}
+
+// RunProxyExperiment measures EXP-S5 for one client population. Both
+// configurations run the same workload: every client direct-queries the
+// credential, subscribes to it, and then the issuer revokes it once;
+// the run completes when every client has been notified.
+func RunProxyExperiment(clients int) (ProxyPoint, error) {
+	if clients < 1 {
+		return ProxyPoint{}, fmt.Errorf("sim: clients must be positive")
+	}
+	pt := ProxyPoint{Clients: clients}
+
+	flatMsgs, flatBytes, err := runProxyConfig(clients, false)
+	if err != nil {
+		return ProxyPoint{}, fmt.Errorf("flat config: %w", err)
+	}
+	pt.FlatHomeMessages, pt.FlatHomeBytes = flatMsgs, flatBytes
+
+	hierMsgs, hierBytes, err := runProxyConfig(clients, true)
+	if err != nil {
+		return ProxyPoint{}, fmt.Errorf("hierarchical config: %w", err)
+	}
+	pt.HierHomeMessages, pt.HierHomeBytes = hierMsgs, hierBytes
+	return pt, nil
+}
+
+// runProxyConfig measures home-side traffic for one configuration.
+func runProxyConfig(clients int, hierarchical bool) (messages, bytes int64, err error) {
+	// Two separate networks isolate home-side from edge-side traffic.
+	coreNet := transport.NewMemNetwork()
+	edgeNet := transport.NewMemNetwork()
+	w := NewWorld()
+	defer w.Close()
+	w.Ensure("Org", "ProxyOp", "User", "Client")
+
+	home := wallet.New(wallet.Config{Owner: w.Identity("Org"), Clock: w.Clock, Directory: w.Dir})
+	homeLn, err := coreNet.Listen("home", w.Identity("Org"))
+	if err != nil {
+		return 0, 0, err
+	}
+	homeSrv := remote.Serve(home, homeLn)
+	defer homeSrv.Close()
+
+	cred, err := w.Issue("[User -> Org.member] Org")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := home.Publish(cred); err != nil {
+		return 0, 0, err
+	}
+
+	subject, err := w.Subject("User")
+	if err != nil {
+		return 0, 0, err
+	}
+	object, err := w.Role("Org.member")
+	if err != nil {
+		return 0, 0, err
+	}
+
+	clientAddr := "home"
+	clientNet := coreNet
+	if hierarchical {
+		cache := wallet.New(wallet.Config{Owner: w.Identity("ProxyOp"), Clock: w.Clock, Directory: w.Dir})
+		up, err := remote.Dial(coreNet.Dialer(w.Identity("ProxyOp")), "home")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer up.Close()
+		px, err := proxy.New(proxy.Config{Local: cache, Upstream: up, TTL: time.Minute})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer px.Close()
+		edgeLn, err := edgeNet.Listen("edge", w.Identity("ProxyOp"))
+		if err != nil {
+			return 0, 0, err
+		}
+		edgeSrv := px.Serve(edgeLn)
+		defer edgeSrv.Close()
+		clientAddr, clientNet = "edge", edgeNet
+	}
+
+	notified := make(chan struct{}, clients)
+	conns := make([]*remote.Client, clients)
+	for i := range conns {
+		c, err := remote.Dial(clientNet.Dialer(w.Identity("Client")), clientAddr)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer c.Close()
+		conns[i] = c
+		if _, err := c.QueryDirect(subject, object, nil, 0); err != nil {
+			return 0, 0, err
+		}
+		if _, err := c.Subscribe(cred.ID(), func(ev subs.Event) {
+			if ev.Kind == subs.Revoked {
+				notified <- struct{}{}
+			}
+		}); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	if err := home.Revoke(cred.ID(), w.Identity("Org").ID()); err != nil {
+		return 0, 0, err
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < clients; i++ {
+		select {
+		case <-notified:
+		case <-deadline:
+			return 0, 0, fmt.Errorf("client notifications timed out (%d of %d)", i, clients)
+		}
+	}
+	st := coreNet.Stats()
+	return st.Messages, st.Bytes, nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/discovery"
+	"drbac/internal/wallet"
+)
+
+// RangePoint is one row of EXP-S2b: the network cost of a doomed
+// distributed search with and without the §4.2.3 modulated-attribute-range
+// adjustment. The topology puts `fanout` continuation edges (each
+// individually generous, none reaching the goal) behind a local prefix
+// that has already consumed the attribute budget: an adjusted search lets
+// the remote wallet prune them all; an unadjusted one fetches every edge
+// before giving up.
+type RangePoint struct {
+	Fanout int
+	// AdjustedFetched / UnadjustedFetched: delegations pulled into the
+	// local wallet before concluding no proof exists.
+	AdjustedFetched   int
+	UnadjustedFetched int
+	AdjustedBytes     int64
+	UnadjustedBytes   int64
+}
+
+// RunRangeAdjustment measures EXP-S2b for one fanout.
+func RunRangeAdjustment(fanout int) (RangePoint, error) {
+	if fanout < 1 {
+		return RangePoint{}, fmt.Errorf("sim: fanout must be positive")
+	}
+	pt := RangePoint{Fanout: fanout}
+	for _, disable := range []bool{false, true} {
+		fetched, bytes, err := runRangeConfig(fanout, disable)
+		if err != nil {
+			return RangePoint{}, err
+		}
+		if disable {
+			pt.UnadjustedFetched, pt.UnadjustedBytes = fetched, bytes
+		} else {
+			pt.AdjustedFetched, pt.AdjustedBytes = fetched, bytes
+		}
+	}
+	return pt, nil
+}
+
+func runRangeConfig(fanout int, disable bool) (fetched int, bytes int64, err error) {
+	w := NewWorld()
+	defer w.Close()
+	w.Ensure("A", "B", "M", "Server")
+
+	home, err := w.Serve("wallet.b", "B")
+	if err != nil {
+		return 0, 0, err
+	}
+	// Continuations at B's wallet: every edge A.x -> B.mid_i is generous on
+	// its own (BW <= 80 would clear the minimum of 50), but none of them
+	// reaches the goal — fetching any of them is pure waste.
+	for i := 0; i < fanout; i++ {
+		d, err := w.Issue(fmt.Sprintf("[A.x -> B.mid%d with B.BW <= 80] B", i))
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := home.Publish(d); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	local := wallet.New(wallet.Config{Owner: w.Identity("Server"), Clock: w.Clock, Directory: w.Dir})
+	// The local prefix already caps B.BW at 40 — below the minimum — so no
+	// continuation can help.
+	prefix, err := w.Issue("[M -> A.x with B.BW <= 40] A")
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := local.Publish(prefix); err != nil {
+		return 0, 0, err
+	}
+	agent := discovery.NewAgent(discovery.Config{
+		Local:                  local,
+		Dialer:                 w.Net.Dialer(w.Identity("Server")),
+		DisableRangeAdjustment: disable,
+	})
+	defer agent.Close()
+	subjectAx, err := w.Subject("A.x")
+	if err != nil {
+		return 0, 0, err
+	}
+	agent.RegisterTag(subjectAx, core.DiscoveryTag{
+		Home: "wallet.b", TTL: 30 * time.Second, Subject: core.SubjectSearch,
+	})
+
+	bw := core.AttributeRef{Namespace: w.Identity("B").ID(), Name: "BW"}
+	goal, err := w.Role("B.goal")
+	if err != nil {
+		return 0, 0, err
+	}
+	subjectM, err := w.Subject("M")
+	if err != nil {
+		return 0, 0, err
+	}
+	w.Net.ResetStats()
+	var stats discovery.Stats
+	_, derr := agent.Discover(wallet.Query{
+		Subject:     subjectM,
+		Object:      goal,
+		Constraints: []core.Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 50}},
+	}, discovery.Auto, &stats)
+	if derr == nil || !errors.Is(derr, core.ErrNoProof) {
+		return 0, 0, fmt.Errorf("doomed search should find no proof, got %v", derr)
+	}
+	return stats.DelegationsFetched, w.Net.Stats().Bytes, nil
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/discovery"
+	"drbac/internal/subs"
+	"drbac/internal/wallet"
+)
+
+// TestCoalitionLifecycle drives a full simulated day of the §5 coalition on
+// the fake clock: discovery and session establishment, TTL renewals keeping
+// the cached credentials coherent, a credential expiring mid-session, and
+// finally the coalition being revoked — each phase observable through the
+// wallet's own events.
+func TestCoalitionLifecycle(t *testing.T) {
+	w := NewWorld()
+	defer w.Close()
+	cs, err := NewCaseStudy(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: establish the session (Figure 2).
+	proof, err := cs.Agent.Discover(cs.Query, discovery.Auto, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan wallet.MonitorEvent, 4)
+	mon, err := cs.ServerWallet.MonitorProof(cs.Query, proof,
+		func(ev wallet.MonitorEvent) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	bridgeCancel, err := cs.Agent.Bridge(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridgeCancel()
+
+	// Phase 2: hours pass; the home wallets periodically re-confirm the
+	// cached credentials (TTL 30s in the case study tags). Without
+	// renewals the cache would go stale; with them the session survives.
+	renewed := make(chan core.DelegationID, 64)
+	for _, d := range []*core.Delegation{cs.D2, cs.D5} {
+		unsub := cs.ServerWallet.Subscribe(d.ID(), func(ev subs.Event) {
+			if ev.Kind == subs.Renewed {
+				select {
+				case renewed <- ev.Delegation:
+				default: // counting a sample suffices; never block the wallet
+				}
+			}
+		})
+		defer unsub()
+	}
+	for tick := 0; tick < 10; tick++ {
+		w.Clock.Advance(20 * time.Second)
+		// The home wallets push renewals (simulated directly: the remote
+		// layer's Renewed events drive RenewCached through the bridge; here
+		// the servers confirm by renewing their authoritative copies, which
+		// our bridge mirrors for cache entries).
+		for _, d := range []*core.Delegation{cs.D2, cs.D5} {
+			if !cs.ServerWallet.RenewCached(d.ID(), 30*time.Second) {
+				t.Fatalf("tick %d: cache entry for %s missing", tick, d.ID().Short())
+			}
+		}
+		if n := cs.ServerWallet.SweepStaleCache(); n != 0 {
+			t.Fatalf("tick %d: %d cached credentials went stale despite renewal", tick, n)
+		}
+	}
+	if !mon.Valid() {
+		t.Fatal("session should have survived the renewal phase")
+	}
+	if len(renewed) == 0 {
+		t.Fatal("no renewal events observed")
+	}
+
+	// Phase 3: Maria's employer issues her a short-lived top-up credential
+	// directly to the server; it expires mid-session without affecting the
+	// main proof.
+	shortLived, err := w.Issue("[Maria -> AirNet.guest] AirNet <expiry:2026-07-06T12:30:00Z>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issued against the world epoch; we are minutes past it, so adjust:
+	// publish only if not yet expired, otherwise skip the phase.
+	if !shortLived.Expired(w.Clock.Now()) {
+		if err := cs.ServerWallet.Publish(shortLived); err != nil {
+			t.Fatal(err)
+		}
+		w.Clock.Advance(time.Hour)
+		if n := cs.ServerWallet.SweepExpired(); n != 1 {
+			t.Fatalf("expired sweep removed %d, want 1", n)
+		}
+		if !mon.Valid() {
+			t.Fatal("unrelated expiry must not kill the session")
+		}
+	}
+
+	// Keep the main credentials fresh across the hour that just passed.
+	for _, d := range []*core.Delegation{cs.D2, cs.D5} {
+		cs.ServerWallet.RenewCached(d.ID(), time.Hour)
+	}
+
+	// Phase 4: the partnership ends. Sheila revokes (2) at BigISP's home;
+	// the push crosses the bridge and kills the session.
+	if err := cs.BigISPWallet.Revoke(cs.D2.ID(), w.Identity("Sheila").ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Kind != wallet.MonitorInvalidated {
+			t.Fatalf("final event = %v", ev.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("revocation never reached the session monitor")
+	}
+	if mon.Valid() {
+		t.Fatal("session survived coalition revocation")
+	}
+
+	// The server wallet refuses the revoked credential permanently.
+	if err := cs.ServerWallet.Publish(cs.D2); err == nil {
+		t.Fatal("revoked coalition credential re-accepted")
+	}
+	_, err = cs.ServerWallet.QueryDirect(cs.Query)
+	if !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("access still provable after revocation: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+
+	"drbac/internal/core"
+	"drbac/internal/wallet"
+)
+
+// Topology is a synthetic delegation structure with a distinguished query,
+// built inside a single wallet for the in-graph search experiments
+// (§4.2.3).
+type Topology struct {
+	Wallet *wallet.Wallet
+	Query  wallet.Query
+	// Edges is the number of delegations issued.
+	Edges int
+}
+
+// BuildOutTree builds a complete b-ary out-tree of delegations rooted at
+// the query subject, depth levels deep, with the query object attached to
+// the *last* leaf in depth-first order — the adversarial placement for a
+// forward search, which must visit essentially the whole tree, while a
+// reverse search walks one chain (§4.2.3's "delegation tree with a
+// constant branching factor").
+func BuildOutTree(w *World, branching, depth int) (*Topology, error) {
+	if branching < 1 || depth < 1 {
+		return nil, fmt.Errorf("sim: branching and depth must be positive")
+	}
+	owner := w.Identity("TreeOwner")
+	user := w.Identity("TreeUser")
+	wal := w.Wallet("TreeOwner")
+
+	node := func(level, idx int) core.Role {
+		return core.NewRole(owner.ID(), fmt.Sprintf("n_%d_%d", level, idx))
+	}
+	edges := 0
+	publish := func(tmpl core.Template) error {
+		d, err := core.Issue(owner, tmpl, w.Clock.Now())
+		if err != nil {
+			return err
+		}
+		if err := wal.Publish(d); err != nil {
+			return err
+		}
+		edges++
+		return nil
+	}
+
+	// Root fan-out from the user entity.
+	for i := 0; i < branching; i++ {
+		if err := publish(core.Template{
+			Subject:       core.SubjectEntity(user.ID()),
+			SubjectEntity: entityPtr(user.Entity()),
+			Object:        node(1, i),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Internal levels.
+	width := branching
+	for level := 1; level < depth; level++ {
+		nextWidth := width * branching
+		for parent := 0; parent < width; parent++ {
+			for c := 0; c < branching; c++ {
+				child := parent*branching + c
+				if err := publish(core.Template{
+					Subject: core.SubjectRole(node(level, parent)),
+					Object:  node(level+1, child),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		width = nextWidth
+	}
+	// Goal hangs off the last leaf (highest index = explored last).
+	goal := core.NewRole(owner.ID(), "goal")
+	if err := publish(core.Template{
+		Subject: core.SubjectRole(node(depth, width-1)),
+		Object:  goal,
+	}); err != nil {
+		return nil, err
+	}
+	return &Topology{
+		Wallet: wal,
+		Query:  wallet.Query{Subject: core.SubjectEntity(user.ID()), Object: goal},
+		Edges:  edges,
+	}, nil
+}
+
+// BuildInTree mirrors BuildOutTree: a complete b-ary in-tree converging on
+// the query object, with the query subject attached to the last leaf — the
+// adversarial placement for a reverse search.
+func BuildInTree(w *World, branching, depth int) (*Topology, error) {
+	if branching < 1 || depth < 1 {
+		return nil, fmt.Errorf("sim: branching and depth must be positive")
+	}
+	owner := w.Identity("TreeOwner")
+	user := w.Identity("TreeUser")
+	wal := w.Wallet("TreeOwner")
+
+	node := func(level, idx int) core.Role {
+		return core.NewRole(owner.ID(), fmt.Sprintf("m_%d_%d", level, idx))
+	}
+	edges := 0
+	publish := func(tmpl core.Template) error {
+		d, err := core.Issue(owner, tmpl, w.Clock.Now())
+		if err != nil {
+			return err
+		}
+		if err := wal.Publish(d); err != nil {
+			return err
+		}
+		edges++
+		return nil
+	}
+
+	goal := core.NewRole(owner.ID(), "goal")
+	// Level-1 nodes feed the goal.
+	for i := 0; i < branching; i++ {
+		if err := publish(core.Template{
+			Subject: core.SubjectRole(node(1, i)),
+			Object:  goal,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	width := branching
+	for level := 1; level < depth; level++ {
+		nextWidth := width * branching
+		for parent := 0; parent < width; parent++ {
+			for c := 0; c < branching; c++ {
+				child := parent*branching + c
+				if err := publish(core.Template{
+					Subject: core.SubjectRole(node(level+1, child)),
+					Object:  node(level, parent),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		width = nextWidth
+	}
+	// The user hangs off the last deep leaf.
+	if err := publish(core.Template{
+		Subject:       core.SubjectEntity(user.ID()),
+		SubjectEntity: entityPtr(user.Entity()),
+		Object:        node(depth, width-1),
+	}); err != nil {
+		return nil, err
+	}
+	return &Topology{
+		Wallet: wal,
+		Query:  wallet.Query{Subject: core.SubjectEntity(user.ID()), Object: goal},
+		Edges:  edges,
+	}, nil
+}
+
+// BuildConstraintForest builds the EXP-S2 topology: from the subject,
+// `width` chains of length `depth` lead to the goal. Every chain's first
+// edge caps bandwidth at 1 — violating the query's BW >= 500 constraint —
+// except the last chain, whose edges carry BW <= 1000. With monotonicity
+// pruning the search abandons each bad chain at its first edge; without it,
+// every chain is walked to the end before the constraint check fails.
+func BuildConstraintForest(w *World, width, depth int) (*Topology, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sim: width and depth must be positive")
+	}
+	owner := w.Identity("ForestOwner")
+	user := w.Identity("ForestUser")
+	wal := w.Wallet("ForestOwner")
+
+	bw := core.AttributeRef{Namespace: owner.ID(), Name: "BW"}
+	goal := core.NewRole(owner.ID(), "goal")
+	node := func(chain, hop int) core.Role {
+		return core.NewRole(owner.ID(), fmt.Sprintf("c_%d_%d", chain, hop))
+	}
+	edges := 0
+	publish := func(tmpl core.Template) error {
+		d, err := core.Issue(owner, tmpl, w.Clock.Now())
+		if err != nil {
+			return err
+		}
+		if err := wal.Publish(d); err != nil {
+			return err
+		}
+		edges++
+		return nil
+	}
+
+	for chain := 0; chain < width; chain++ {
+		bwCap := 1.0
+		if chain == width-1 {
+			bwCap = 1000.0 // the single satisfying chain, explored last
+		}
+		if err := publish(core.Template{
+			Subject:       core.SubjectEntity(user.ID()),
+			SubjectEntity: entityPtr(user.Entity()),
+			Object:        node(chain, 1),
+			Attributes:    []core.AttributeSetting{{Attr: bw, Op: core.OpMinimum, Value: bwCap}},
+		}); err != nil {
+			return nil, err
+		}
+		for hop := 1; hop < depth; hop++ {
+			if err := publish(core.Template{
+				Subject: core.SubjectRole(node(chain, hop)),
+				Object:  node(chain, hop+1),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := publish(core.Template{
+			Subject: core.SubjectRole(node(chain, depth)),
+			Object:  goal,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Topology{
+		Wallet: wal,
+		Query: wallet.Query{
+			Subject: core.SubjectEntity(user.ID()),
+			Object:  goal,
+			Constraints: []core.Constraint{
+				{Attr: bw, Base: 1e9, Minimum: 500},
+			},
+		},
+		Edges: edges,
+	}, nil
+}
+
+func entityPtr(e core.Entity) *core.Entity { return &e }

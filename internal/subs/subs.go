@@ -1,0 +1,145 @@
+// Package subs implements delegation subscriptions (§4.2.2): a per-
+// delegation publish/subscribe registry that pushes status updates to
+// interested parties the moment a credential changes, instead of requiring
+// OCSP-style polling.
+//
+// The registry is purely local; internal/remote bridges subscriptions across
+// wallets over the authenticated transport.
+package subs
+
+import (
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+)
+
+// EventKind classifies a delegation status change.
+type EventKind int
+
+const (
+	// Revoked: the issuer withdrew the delegation.
+	Revoked EventKind = iota + 1
+	// Expired: the delegation's expiry passed.
+	Expired
+	// Renewed: the home wallet re-confirmed validity (TTL refresh).
+	Renewed
+	// Stale: a cached copy's TTL lapsed without re-confirmation from its
+	// home wallet (§4.2.1); the credential must be re-fetched before reuse.
+	Stale
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Revoked:
+		return "revoked"
+	case Expired:
+		return "expired"
+	case Renewed:
+		return "renewed"
+	case Stale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one delegation status update.
+type Event struct {
+	Delegation core.DelegationID
+	Kind       EventKind
+	At         time.Time
+}
+
+// Handler receives events. Handlers run outside the registry lock and may
+// re-enter the registry (or its owning wallet).
+type Handler func(Event)
+
+// Registry is a concurrency-safe per-delegation subscription table. The
+// zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	next int
+	subs map[core.DelegationID]map[int]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{subs: make(map[core.DelegationID]map[int]Handler)}
+}
+
+// Subscribe registers fn for updates to one delegation and returns a cancel
+// function. Cancel is idempotent.
+func (r *Registry) Subscribe(id core.DelegationID, fn Handler) (cancel func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	r.next++
+	m, ok := r.subs[id]
+	if !ok {
+		m = make(map[int]Handler)
+		r.subs[id] = m
+	}
+	m[n] = fn
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if m, ok := r.subs[id]; ok {
+				delete(m, n)
+				if len(m) == 0 {
+					delete(r.subs, id)
+				}
+			}
+		})
+	}
+}
+
+// Publish delivers an event to every subscriber of its delegation.
+// Handlers are invoked synchronously, outside the registry lock, in
+// registration order.
+func (r *Registry) Publish(ev Event) {
+	r.mu.Lock()
+	m := r.subs[ev.Delegation]
+	handlers := make([]Handler, 0, len(m))
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Registration order = ascending key.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		handlers = append(handlers, m[k])
+	}
+	r.mu.Unlock()
+
+	for _, fn := range handlers {
+		fn(ev)
+	}
+}
+
+// Subscribers reports the number of active subscriptions for a delegation.
+func (r *Registry) Subscribers(id core.DelegationID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs[id])
+}
+
+// Total reports the number of active subscriptions across all delegations.
+func (r *Registry) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.subs {
+		n += len(m)
+	}
+	return n
+}

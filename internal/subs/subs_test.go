@@ -1,0 +1,127 @@
+package subs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+)
+
+func ev(id string, kind EventKind) Event {
+	return Event{Delegation: core.DelegationID(id), Kind: kind, At: time.Unix(0, 0)}
+}
+
+func TestSubscribePublish(t *testing.T) {
+	r := NewRegistry()
+	var got []Event
+	cancel := r.Subscribe("d1", func(e Event) { got = append(got, e) })
+	defer cancel()
+
+	r.Publish(ev("d1", Revoked))
+	r.Publish(ev("d2", Revoked)) // different delegation: not delivered
+	if len(got) != 1 || got[0].Kind != Revoked || got[0].Delegation != "d1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	r := NewRegistry()
+	count := 0
+	cancel := r.Subscribe("d1", func(Event) { count++ })
+	r.Publish(ev("d1", Revoked))
+	cancel()
+	cancel() // idempotent
+	r.Publish(ev("d1", Revoked))
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if r.Subscribers("d1") != 0 {
+		t.Fatal("subscriber table not cleaned up")
+	}
+}
+
+func TestMultipleSubscribersOrdered(t *testing.T) {
+	r := NewRegistry()
+	var order []int
+	r.Subscribe("d1", func(Event) { order = append(order, 1) })
+	r.Subscribe("d1", func(Event) { order = append(order, 2) })
+	r.Subscribe("d1", func(Event) { order = append(order, 3) })
+	r.Publish(ev("d1", Expired))
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if r.Subscribers("d1") != 3 || r.Total() != 3 {
+		t.Fatalf("Subscribers=%d Total=%d", r.Subscribers("d1"), r.Total())
+	}
+}
+
+func TestHandlerMayReenterRegistry(t *testing.T) {
+	r := NewRegistry()
+	var inner int
+	r.Subscribe("d1", func(Event) {
+		// Re-entering Subscribe/Publish from a handler must not deadlock.
+		cancel := r.Subscribe("d2", func(Event) { inner++ })
+		defer cancel()
+		r.Publish(ev("d2", Renewed))
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Publish(ev("d1", Revoked))
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-entrant publish deadlocked")
+	}
+	if inner != 1 {
+		t.Fatalf("inner = %d", inner)
+	}
+}
+
+func TestConcurrentSubscribePublish(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cancel := r.Subscribe("d1", func(Event) {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+			r.Publish(ev("d1", Renewed))
+			cancel()
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 0 {
+		t.Fatalf("Total = %d after all cancels", r.Total())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count < 16 {
+		t.Fatalf("count = %d, want >= 16 (each publisher sees at least itself)", count)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	tests := []struct {
+		give EventKind
+		want string
+	}{
+		{Revoked, "revoked"},
+		{Expired, "expired"},
+		{Renewed, "renewed"},
+		{EventKind(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}

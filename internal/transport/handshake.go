@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+
+	"drbac/internal/core"
+)
+
+// The handshake authenticates both peers: each side sends a hello carrying
+// its public identity and a fresh nonce, then proves key possession by
+// signing a transcript that binds both nonces and its side of the
+// conversation. Signing the side label prevents reflection attacks; signing
+// both nonces prevents replay.
+
+const (
+	handshakeContext = "drbac-transport-v1"
+	sideClient       = "client"
+	sideServer       = "server"
+	nonceLen         = 32
+)
+
+type helloMsg struct {
+	Name  string `json:"name"`
+	Key   []byte `json:"key"`
+	Nonce []byte `json:"nonce"`
+}
+
+type authMsg struct {
+	Sig []byte `json:"sig"`
+}
+
+// handshake runs the mutual authentication protocol over fc and returns the
+// peer's verified identity.
+func handshake(fc frameConn, id *core.Identity, side string) (core.Entity, error) {
+	nonce := make([]byte, nonceLen)
+	if _, err := rand.Read(nonce); err != nil {
+		return core.Entity{}, fmt.Errorf("handshake nonce: %w", err)
+	}
+	hello := helloMsg{Name: id.Name(), Key: id.Entity().Key, Nonce: nonce}
+	raw, err := json.Marshal(hello)
+	if err != nil {
+		return core.Entity{}, err
+	}
+	if err := fc.sendFrame(raw); err != nil {
+		return core.Entity{}, fmt.Errorf("handshake send hello: %w", err)
+	}
+	peerRaw, err := fc.recvFrame()
+	if err != nil {
+		return core.Entity{}, fmt.Errorf("handshake recv hello: %w", err)
+	}
+	var peerHello helloMsg
+	if err := json.Unmarshal(peerRaw, &peerHello); err != nil {
+		return core.Entity{}, fmt.Errorf("%w: bad hello: %v", ErrHandshake, err)
+	}
+	if len(peerHello.Key) != ed25519.PublicKeySize || len(peerHello.Nonce) != nonceLen {
+		return core.Entity{}, fmt.Errorf("%w: malformed hello", ErrHandshake)
+	}
+	peer := core.Entity{Name: peerHello.Name, Key: peerHello.Key}
+
+	// Prove possession of our key over the joint transcript.
+	sig := id.SignBytes(transcript(side, nonce, peerHello.Nonce))
+	authRaw, err := json.Marshal(authMsg{Sig: sig})
+	if err != nil {
+		return core.Entity{}, err
+	}
+	if err := fc.sendFrame(authRaw); err != nil {
+		return core.Entity{}, fmt.Errorf("handshake send auth: %w", err)
+	}
+	peerAuthRaw, err := fc.recvFrame()
+	if err != nil {
+		return core.Entity{}, fmt.Errorf("handshake recv auth: %w", err)
+	}
+	var peerAuth authMsg
+	if err := json.Unmarshal(peerAuthRaw, &peerAuth); err != nil {
+		return core.Entity{}, fmt.Errorf("%w: bad auth: %v", ErrHandshake, err)
+	}
+	peerSide := sideServer
+	if side == sideServer {
+		peerSide = sideClient
+	}
+	if !core.VerifyBytes(peer, transcript(peerSide, peerHello.Nonce, nonce), peerAuth.Sig) {
+		return core.Entity{}, fmt.Errorf("%w: peer %s failed proof of possession", ErrHandshake, peer)
+	}
+	return peer, nil
+}
+
+// transcript builds the bytes a side signs: context, side label, its own
+// nonce, then the peer's nonce.
+func transcript(side string, own, peer []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(handshakeContext)
+	b.WriteByte(0)
+	b.WriteString(side)
+	b.WriteByte(0)
+	b.Write(own)
+	b.Write(peer)
+	return b.Bytes()
+}
+
+// authedConn wraps a frameConn after a successful handshake.
+type authedConn struct {
+	fc   frameConn
+	peer core.Entity
+}
+
+var _ Conn = (*authedConn)(nil)
+
+func (c *authedConn) Send(payload []byte) error { return c.fc.sendFrame(payload) }
+func (c *authedConn) Recv() ([]byte, error)     { return c.fc.recvFrame() }
+func (c *authedConn) Peer() core.Entity         { return c.peer }
+func (c *authedConn) Close() error              { return c.fc.close() }

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"drbac/internal/core"
+)
+
+// tcpFrameConn adapts a net.Conn to the frame substrate. Send and Recv are
+// each safe for one concurrent caller; the remote layer serializes writes.
+type tcpFrameConn struct {
+	conn net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+func (c *tcpFrameConn) sendFrame(p []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return writeFrame(c.conn, p)
+}
+
+func (c *tcpFrameConn) recvFrame() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return readFrame(c.conn)
+}
+
+func (c *tcpFrameConn) close() error { return c.conn.Close() }
+
+// TCPListener accepts authenticated dRBAC connections on a TCP socket.
+type TCPListener struct {
+	id *core.Identity
+	ln net.Listener
+}
+
+var _ Listener = (*TCPListener)(nil)
+
+// ListenTCP starts listening on addr (e.g. "127.0.0.1:0") as identity id.
+func ListenTCP(addr string, id *core.Identity) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	return &TCPListener{id: id, ln: ln}, nil
+}
+
+// Accept waits for a connection and completes the server-side handshake.
+func (l *TCPListener) Accept() (Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := &tcpFrameConn{conn: conn}
+	peer, err := handshake(fc, l.id, sideServer)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return &authedConn{fc: fc, peer: peer}, nil
+}
+
+// Close stops the listener.
+func (l *TCPListener) Close() error { return l.ln.Close() }
+
+// Addr returns the bound address.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// TCPDialer opens authenticated TCP connections as a fixed identity.
+type TCPDialer struct {
+	// Identity authenticates the dialing side.
+	Identity *core.Identity
+}
+
+var _ Dialer = (*TCPDialer)(nil)
+
+// Dial connects to addr and completes the client-side handshake.
+func (d *TCPDialer) Dial(addr string) (Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	fc := &tcpFrameConn{conn: conn}
+	peer, err := handshake(fc, d.Identity, sideClient)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return &authedConn{fc: fc, peer: peer}, nil
+}

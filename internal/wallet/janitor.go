@@ -1,0 +1,38 @@
+package wallet
+
+import (
+	"sync"
+	"time"
+)
+
+// StartJanitor launches a background sweeper that pushes Expired and Stale
+// notifications on schedule (§4.2.2 monitors react to them). Queries are
+// already correct without it — expired credentials never appear in proofs —
+// so the janitor exists purely to drive push notifications and reclaim
+// memory. It ticks on the wallet's clock, so tests drive it with a fake.
+//
+// The returned stop function signals the goroutine and waits for it to
+// exit; it is idempotent and safe for concurrent use.
+func (w *Wallet) StartJanitor(interval time.Duration) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-w.clk.After(interval):
+				w.SweepExpired()
+				w.SweepStaleCache()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package wallet
+
+import (
+	"testing"
+	"time"
+
+	"drbac/internal/subs"
+)
+
+func TestJanitorSweepsOnTicks(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := e.wallet(Config{})
+	d := e.deleg("[Maria -> BigISP.member] BigISP <expiry:2026-07-06T12:30:00Z>")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+
+	expired := make(chan struct{}, 1)
+	cancel := w.Subscribe(d.ID(), func(ev subs.Event) {
+		if ev.Kind == subs.Expired {
+			expired <- struct{}{}
+		}
+	})
+	defer cancel()
+
+	stop := w.StartJanitor(10 * time.Second)
+	defer stop()
+
+	// Let the delegation expire, then tick the janitor by advancing the
+	// fake clock past its interval. Advancing fires the pending timer; the
+	// goroutine then sweeps asynchronously, so wait on the event.
+	e.clk.Advance(time.Hour)
+	select {
+	case <-expired:
+	case <-time.After(2 * time.Second):
+		// The goroutine may have been between ticks when we advanced;
+		// nudge once more.
+		e.clk.Advance(time.Hour)
+		select {
+		case <-expired:
+		case <-time.After(2 * time.Second):
+			t.Fatal("janitor never swept the expired delegation")
+		}
+	}
+	if w.Contains(d.ID()) {
+		t.Fatal("expired delegation still stored")
+	}
+}
+
+func TestJanitorStopIdempotent(t *testing.T) {
+	e := newEnv(t, "BigISP")
+	w := e.wallet(Config{})
+	stop := w.StartJanitor(time.Second)
+	stopped := make(chan struct{})
+	go func() {
+		stop()
+		stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not return")
+	}
+}

@@ -1,0 +1,197 @@
+package wallet
+
+import (
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+)
+
+func TestMonitorInvalidatedOnRevocation(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	w := e.wallet(Config{})
+	_, _, d3 := e.publishTable1(w)
+
+	var events []MonitorEvent
+	mon, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, func(ev MonitorEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	if err := w.Revoke(d3.ID(), e.id("Mark").ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != MonitorInvalidated {
+		t.Fatalf("events = %v", events)
+	}
+	if mon.Valid() || mon.Proof() != nil {
+		t.Fatal("monitor should be invalid after revocation")
+	}
+}
+
+func TestMonitorReprovesThroughAlternatePath(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := e.wallet(Config{})
+	// Two independent single-edge proofs for the same relationship.
+	dA := e.deleg("[Maria -> BigISP.member] BigISP")
+	dB := e.deleg("[Maria -> BigISP.member] BigISP") // distinct nonce
+	if err := w.Publish(dA); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Publish(dB); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []MonitorEvent
+	mon, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, func(ev MonitorEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	first := mon.Proof().Steps[0].Delegation.ID()
+	if err := w.Revoke(first, e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != MonitorReproved {
+		t.Fatalf("events = %v", events)
+	}
+	if !mon.Valid() {
+		t.Fatal("monitor should remain valid through alternate proof")
+	}
+	second := mon.Proof().Steps[0].Delegation.ID()
+	if second == first {
+		t.Fatal("replacement proof reuses revoked delegation")
+	}
+
+	// Revoking the replacement exhausts alternatives.
+	if err := w.Revoke(second, e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Kind != MonitorInvalidated {
+		t.Fatalf("events = %v", events)
+	}
+	if mon.Valid() {
+		t.Fatal("monitor should be invalid after both revocations")
+	}
+}
+
+func TestMonitorWatchesSupportProofDelegations(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	w := e.wallet(Config{})
+	d1, _, _ := e.publishTable1(w)
+
+	var events []MonitorEvent
+	mon, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, func(ev MonitorEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// Revoke delegation (1), which lives only inside the support proof for
+	// (3): the monitor must notice because the support chain is part of the
+	// proof's validity (§4.2.2).
+	if err := w.Revoke(d1.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != MonitorInvalidated {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestMonitorClosedReceivesNothing(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := e.wallet(Config{})
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	mon, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, func(MonitorEvent) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Close()
+	mon.Close() // idempotent
+	if err := w.Revoke(d.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("closed monitor fired %d times", fired)
+	}
+}
+
+func TestMonitorExpiryViaSweep(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := e.wallet(Config{})
+	d := e.deleg("[Maria -> BigISP.member] BigISP <expiry:2026-07-06T12:30:00Z>")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	var events []MonitorEvent
+	mon, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, func(ev MonitorEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	e.clk.Advance(time.Hour)
+	if n := w.SweepExpired(); n != 1 {
+		t.Fatalf("sweep removed %d", n)
+	}
+	if len(events) != 1 || events[0].Kind != MonitorInvalidated {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestMonitorNoProofAtStart(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	w := e.wallet(Config{})
+	if _, err := w.Monitor(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, nil); err == nil {
+		t.Fatal("monitor without a proof should fail")
+	}
+}
+
+func TestMonitorProofValidatesInput(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	w := e.wallet(Config{})
+	d3 := e.deleg("[Maria -> BigISP.member] Mark") // no support published
+	p, err := core.NewProof(core.ProofStep{Delegation: d3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.MonitorProof(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	}, p, nil); err == nil {
+		t.Fatal("MonitorProof must validate the supplied proof")
+	}
+}
+
+func TestMonitorEventKindString(t *testing.T) {
+	if MonitorReproved.String() != "reproved" || MonitorInvalidated.String() != "invalidated" {
+		t.Fatal("kind strings wrong")
+	}
+	if MonitorEventKind(0).String() != "unknown" {
+		t.Fatal("unknown kind string wrong")
+	}
+}

@@ -1,0 +1,470 @@
+// Package wallet implements the dRBAC credential repository (§4.1): a store
+// of delegations supporting publication, direct/subject/object authorization
+// queries answered with proofs, revocation, TTL-coherent caching of remote
+// credentials, and continuous proof monitoring through delegation
+// subscriptions.
+package wallet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drbac/internal/clock"
+	"drbac/internal/core"
+	"drbac/internal/graph"
+	"drbac/internal/subs"
+)
+
+// Config parameterizes a wallet.
+type Config struct {
+	// Owner, if set, identifies the wallet's operating entity (used by the
+	// remote layer for authentication). A wallet works unowned.
+	Owner *core.Identity
+	// Clock supplies time; nil means the system clock.
+	Clock clock.Clock
+	// StrictAttributes requires support proofs for attribute settings
+	// outside the issuer's namespace (Table 2 semantics).
+	StrictAttributes bool
+	// Directory resolves names in error messages and rendered proofs.
+	Directory core.Directory
+	// MaxDepth bounds proof-chain length; 0 means graph.DefaultMaxDepth.
+	MaxDepth int
+	// MaxProofs bounds subject/object query results; 0 means
+	// graph.DefaultMaxProofs.
+	MaxProofs int
+}
+
+// Wallet is a concurrency-safe dRBAC credential repository.
+type Wallet struct {
+	cfg Config
+	clk clock.Clock
+	g   *graph.Graph
+	reg *subs.Registry
+
+	mu      sync.Mutex
+	revoked map[core.DelegationID]time.Time
+	// cache maps remotely sourced delegations to the instant their TTL
+	// lapses without renewal (§4.2.1).
+	cache   map[core.DelegationID]time.Time
+	watches map[int]*watch
+	nextID  int
+}
+
+// watch is a registered "call me when a proof appears" request (§4.2.2).
+type watch struct {
+	query Query
+	fn    func(*core.Proof)
+}
+
+// New constructs an empty wallet.
+func New(cfg Config) *Wallet {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Wallet{
+		cfg:     cfg,
+		clk:     clk,
+		g:       graph.New(),
+		reg:     subs.NewRegistry(),
+		revoked: make(map[core.DelegationID]time.Time),
+		cache:   make(map[core.DelegationID]time.Time),
+		watches: make(map[int]*watch),
+	}
+}
+
+// Owner returns the wallet's operating identity, which may be nil.
+func (w *Wallet) Owner() *core.Identity { return w.cfg.Owner }
+
+// Printer renders this wallet's credentials and proofs with entity names
+// resolved through the configured directory.
+func (w *Wallet) Printer() core.Printer { return core.Printer{Dir: w.cfg.Directory} }
+
+// Clock returns the wallet's time source.
+func (w *Wallet) Clock() clock.Clock { return w.clk }
+
+// Now returns the wallet's current instant.
+func (w *Wallet) Now() time.Time { return w.clk.Now() }
+
+// Len returns the number of stored delegations.
+func (w *Wallet) Len() int { return w.g.Len() }
+
+// Delegations returns every stored delegation.
+func (w *Wallet) Delegations() []*core.Delegation { return w.g.All() }
+
+// Get returns a stored delegation and its support proofs.
+func (w *Wallet) Get(id core.DelegationID) (*core.Delegation, []*core.Proof, bool) {
+	return w.g.Get(id)
+}
+
+// Contains reports whether the wallet holds the delegation.
+func (w *Wallet) Contains(id core.DelegationID) bool { return w.g.Contains(id) }
+
+// RevokedIDs returns every delegation ID this wallet has seen revoked, in
+// unspecified order. Persistence layers save these so a restored wallet
+// keeps refusing revoked credentials.
+func (w *Wallet) RevokedIDs() []core.DelegationID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]core.DelegationID, 0, len(w.revoked))
+	for id := range w.revoked {
+		out = append(out, id)
+	}
+	return out
+}
+
+// IsRevoked reports whether the wallet has seen a revocation for id.
+func (w *Wallet) IsRevoked(id core.DelegationID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.revoked[id]
+	return ok
+}
+
+// revokedFn returns a revocation predicate for proof validation.
+func (w *Wallet) revokedFn() func(core.DelegationID) bool {
+	return func(id core.DelegationID) bool { return w.IsRevoked(id) }
+}
+
+// Publish verifies and stores a delegation together with the support proofs
+// its issuer must provide (§4.1): the object's right-of-assignment chain for
+// third-party delegations and, under StrictAttributes, assignment rights for
+// foreign attribute settings. Missing support is looked up in the wallet's
+// own graph before the publication is rejected.
+func (w *Wallet) Publish(d *core.Delegation, support ...*core.Proof) error {
+	if d == nil {
+		return fmt.Errorf("publish: nil delegation")
+	}
+	if err := d.Verify(); err != nil {
+		return fmt.Errorf("publish: %w", err)
+	}
+	now := w.Now()
+	if d.Expired(now) {
+		return fmt.Errorf("publish: %w", &core.ExpiredError{ID: d.ID(), Expiry: d.Expiry, At: now})
+	}
+	if w.IsRevoked(d.ID()) {
+		return fmt.Errorf("publish: %w", &core.RevokedError{ID: d.ID()})
+	}
+
+	vopts := core.ValidateOptions{
+		At:               now,
+		Revoked:          w.revokedFn(),
+		StrictAttributes: w.cfg.StrictAttributes,
+		MaxDepth:         w.cfg.MaxDepth,
+	}
+	used, err := w.resolveSupport(d, support, vopts)
+	if err != nil {
+		return fmt.Errorf("publish: %w", err)
+	}
+	w.g.Add(d, used)
+	w.fireWatches()
+	return nil
+}
+
+// resolveSupport finds and validates a support proof for every role the
+// issuer must hold, drawing first on caller-provided proofs and then on the
+// wallet's own graph.
+func (w *Wallet) resolveSupport(d *core.Delegation, provided []*core.Proof, vopts core.ValidateOptions) ([]*core.Proof, error) {
+	need := d.RequiredSupport(w.cfg.StrictAttributes)
+	if len(need) == 0 {
+		return nil, nil
+	}
+	issuer := core.SubjectEntity(d.Issuer.ID())
+	used := make([]*core.Proof, 0, len(need))
+	for _, role := range need {
+		var chosen *core.Proof
+		for _, sp := range provided {
+			if sp == nil || sp.Object != role {
+				continue
+			}
+			if !sp.Subject.IsEntity() || sp.Subject.Entity != d.Issuer.ID() {
+				continue
+			}
+			if err := sp.Validate(vopts); err != nil {
+				return nil, fmt.Errorf("support proof for %s: %w", role, err)
+			}
+			chosen = sp
+			break
+		}
+		if chosen == nil {
+			// Fall back to the wallet's own knowledge.
+			p, err := w.g.FindDirect(issuer, role, graph.Options{
+				At:       vopts.At,
+				MaxDepth: w.cfg.MaxDepth,
+			})
+			if err != nil {
+				return nil, &core.MissingSupportError{Delegation: d.ID(), Issuer: d.Issuer, Need: role}
+			}
+			if err := p.Validate(vopts); err != nil {
+				return nil, fmt.Errorf("derived support proof for %s: %w", role, err)
+			}
+			chosen = p
+		}
+		used = append(used, chosen)
+	}
+	return used, nil
+}
+
+// Revoke withdraws a delegation. Only the issuer may revoke; by must be the
+// issuer's entity ID. Subscribers are notified synchronously (§4.2.2).
+func (w *Wallet) Revoke(id core.DelegationID, by core.EntityID) error {
+	d, _, ok := w.g.Get(id)
+	if !ok {
+		return fmt.Errorf("revoke %s: not found", id.Short())
+	}
+	if d.Issuer.ID() != by {
+		return fmt.Errorf("revoke %s: only issuer %s may revoke", id.Short(), d.Issuer)
+	}
+	w.forceRevoke(id)
+	return nil
+}
+
+// forceRevoke marks a delegation revoked without an authorization check; it
+// backs Revoke and the remote layer's propagation of home-wallet
+// revocations (which arrive already authenticated).
+func (w *Wallet) forceRevoke(id core.DelegationID) {
+	now := w.Now()
+	w.mu.Lock()
+	_, already := w.revoked[id]
+	if !already {
+		w.revoked[id] = now
+	}
+	delete(w.cache, id)
+	w.mu.Unlock()
+	if already {
+		return
+	}
+	w.g.Remove(id)
+	w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Revoked, At: now})
+}
+
+// AcceptRevocation records a revocation learned from the delegation's home
+// wallet (already authenticated by the transport layer).
+func (w *Wallet) AcceptRevocation(id core.DelegationID) { w.forceRevoke(id) }
+
+// SweepExpired removes delegations whose expiry has passed, notifying
+// subscribers, and returns how many were removed. Queries never return
+// expired credentials even without sweeping; the sweep exists to push
+// monitor notifications (§4.2.2).
+func (w *Wallet) SweepExpired() int {
+	now := w.Now()
+	removed := 0
+	for _, d := range w.g.All() {
+		if !d.Expired(now) {
+			continue
+		}
+		id := d.ID()
+		if w.g.Remove(id) {
+			removed++
+			w.mu.Lock()
+			delete(w.cache, id)
+			w.mu.Unlock()
+			w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Expired, At: now})
+		}
+	}
+	return removed
+}
+
+// InsertCached stores a remotely discovered delegation with a coherence TTL
+// (§4.2.1): the copy is trusted for ttl after insertion and must be renewed
+// (RenewCached) or it goes stale. A zero ttl means the delegation requires
+// no monitoring and is stored permanently.
+func (w *Wallet) InsertCached(d *core.Delegation, support []*core.Proof, ttl time.Duration) error {
+	if err := w.Publish(d, support...); err != nil {
+		return err
+	}
+	if ttl > 0 {
+		w.mu.Lock()
+		w.cache[d.ID()] = w.Now().Add(ttl)
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// RenewCached extends a cached delegation's freshness window, reporting
+// whether the entry existed. Subscribers receive a Renewed event.
+func (w *Wallet) RenewCached(id core.DelegationID, ttl time.Duration) bool {
+	w.mu.Lock()
+	_, ok := w.cache[id]
+	if ok {
+		w.cache[id] = w.Now().Add(ttl)
+	}
+	w.mu.Unlock()
+	if ok {
+		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Renewed, At: w.Now()})
+	}
+	return ok
+}
+
+// SweepStaleCache removes cached delegations whose TTL lapsed without
+// renewal, notifying subscribers with Stale events, and returns how many
+// were removed.
+func (w *Wallet) SweepStaleCache() int {
+	now := w.Now()
+	var stale []core.DelegationID
+	w.mu.Lock()
+	for id, deadline := range w.cache {
+		if now.After(deadline) {
+			stale = append(stale, id)
+			delete(w.cache, id)
+		}
+	}
+	w.mu.Unlock()
+	for _, id := range stale {
+		w.g.Remove(id)
+		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Stale, At: now})
+	}
+	return len(stale)
+}
+
+// CachedCount reports the number of TTL-tracked cache entries.
+func (w *Wallet) CachedCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.cache)
+}
+
+// Query identifies an authorization question: does Subject hold Object under
+// Constraints (§4.1)?
+type Query struct {
+	Subject     core.Subject
+	Object      core.Role
+	Constraints []core.Constraint
+	// Direction selects the search strategy; zero means forward.
+	Direction graph.Direction
+	// Stats, if non-nil, accumulates search effort.
+	Stats *graph.Stats
+}
+
+func (w *Wallet) searchOptions(q Query) graph.Options {
+	return graph.Options{
+		At:          w.Now(),
+		Constraints: q.Constraints,
+		MaxDepth:    w.cfg.MaxDepth,
+		MaxProofs:   w.cfg.MaxProofs,
+		Direction:   q.Direction,
+		Stats:       q.Stats,
+	}
+}
+
+func (w *Wallet) validateOptions(q Query) core.ValidateOptions {
+	return core.ValidateOptions{
+		At:               w.Now(),
+		Revoked:          w.revokedFn(),
+		StrictAttributes: w.cfg.StrictAttributes,
+		MaxDepth:         w.cfg.MaxDepth,
+		Constraints:      q.Constraints,
+	}
+}
+
+// QueryDirect answers "does Subject hold Object under Constraints?" with a
+// fully validated proof, or core.ErrNoProof.
+func (w *Wallet) QueryDirect(q Query) (*core.Proof, error) {
+	p, err := w.g.FindDirect(q.Subject, q.Object, w.searchOptions(q))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(w.validateOptions(q)); err != nil {
+		return nil, fmt.Errorf("candidate proof failed validation: %w", err)
+	}
+	return p, nil
+}
+
+// QueryDirectOptions is QueryDirect with explicit graph search options,
+// used by ablation experiments (e.g. disabling monotonicity pruning). The
+// evaluation instant is forced to the wallet clock.
+func (w *Wallet) QueryDirectOptions(q Query, opts graph.Options) (*core.Proof, error) {
+	opts.At = w.Now()
+	p, err := w.g.FindDirect(q.Subject, q.Object, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(w.validateOptions(q)); err != nil {
+		return nil, fmt.Errorf("candidate proof failed validation: %w", err)
+	}
+	return p, nil
+}
+
+// QuerySubject enumerates validated sub-proofs Subject ⇒ * (§4.1), the
+// primitive behind forward distributed discovery.
+func (w *Wallet) QuerySubject(subject core.Subject, constraints []core.Constraint) []*core.Proof {
+	q := Query{Subject: subject, Constraints: constraints}
+	candidates := w.g.EnumerateFrom(subject, w.searchOptions(q))
+	return w.filterValid(candidates, q)
+}
+
+// QueryObject enumerates validated sub-proofs * ⇒ Object (§4.1), the
+// primitive behind reverse distributed discovery.
+func (w *Wallet) QueryObject(object core.Role, constraints []core.Constraint) []*core.Proof {
+	q := Query{Object: object, Constraints: constraints}
+	candidates := w.g.EnumerateTo(object, w.searchOptions(q))
+	return w.filterValid(candidates, q)
+}
+
+func (w *Wallet) filterValid(candidates []*core.Proof, q Query) []*core.Proof {
+	vopts := w.validateOptions(q)
+	var out []*core.Proof
+	for _, p := range candidates {
+		if err := p.Validate(vopts); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a handler for one delegation's status updates and
+// returns a cancel function.
+func (w *Wallet) Subscribe(id core.DelegationID, fn subs.Handler) (cancel func()) {
+	return w.reg.Subscribe(id, fn)
+}
+
+// Subscribers reports the number of active subscriptions for a delegation.
+func (w *Wallet) Subscribers(id core.DelegationID) int { return w.reg.Subscribers(id) }
+
+// WatchFor registers fn to fire once a proof for q becomes available
+// (§4.2.2: "the entity object can register a callback that will be activated
+// when such a proof is available"). If a proof already exists, fn fires
+// synchronously. The returned cancel function is idempotent.
+func (w *Wallet) WatchFor(q Query, fn func(*core.Proof)) (cancel func()) {
+	if p, err := w.QueryDirect(q); err == nil {
+		fn(p)
+		return func() {}
+	}
+	w.mu.Lock()
+	id := w.nextID
+	w.nextID++
+	w.watches[id] = &watch{query: q, fn: fn}
+	w.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			w.mu.Lock()
+			delete(w.watches, id)
+			w.mu.Unlock()
+		})
+	}
+}
+
+// fireWatches re-runs pending watch queries after new credentials arrive.
+func (w *Wallet) fireWatches() {
+	w.mu.Lock()
+	pending := make(map[int]*watch, len(w.watches))
+	for id, wa := range w.watches {
+		pending[id] = wa
+	}
+	w.mu.Unlock()
+	for id, wa := range pending {
+		p, err := w.QueryDirect(wa.query)
+		if err != nil {
+			continue
+		}
+		w.mu.Lock()
+		_, still := w.watches[id]
+		delete(w.watches, id)
+		w.mu.Unlock()
+		if still {
+			wa.fn(p)
+		}
+	}
+}

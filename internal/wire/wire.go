@@ -1,0 +1,162 @@
+// Package wire defines the message protocol spoken between wallets over the
+// authenticated transport: publication, the three query kinds (§4.1),
+// delegation subscriptions with push notifications (§4.2.2), revocation,
+// and home-wallet authorization proofs (§4.2.1).
+//
+// Every frame is a JSON Envelope. Requests carry a caller-chosen ID echoed
+// by the response; notifications use ID 0 and flow server→client only.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/graph"
+)
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Request types (client → server).
+const (
+	TPublish      MsgType = "publish"
+	TQueryDirect  MsgType = "query-direct"
+	TQuerySubject MsgType = "query-subject"
+	TQueryObject  MsgType = "query-object"
+	TSubscribe    MsgType = "subscribe"
+	TUnsubscribe  MsgType = "unsubscribe"
+	TRevoke       MsgType = "revoke"
+	TProveRole    MsgType = "prove-role"
+	THas          MsgType = "has"
+	TPing         MsgType = "ping"
+)
+
+// Response and push types (server → client).
+const (
+	TOK     MsgType = "ok"
+	TProof  MsgType = "proof"
+	TProofs MsgType = "proofs"
+	TError  MsgType = "error"
+	TNotify MsgType = "notify"
+	TPong   MsgType = "pong"
+)
+
+// Envelope is one frame on the wire.
+type Envelope struct {
+	Type MsgType `json:"type"`
+	// ID matches responses to requests; 0 marks unsolicited pushes.
+	ID   uint64          `json:"id,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// PublishReq asks the wallet to store a delegation with its support proofs.
+type PublishReq struct {
+	Delegation *core.Delegation `json:"delegation"`
+	Support    []*core.Proof    `json:"support,omitempty"`
+	// TTL, if positive, asks the receiving wallet to treat the delegation
+	// as a TTL-coherent cached copy (§4.2.1).
+	TTLSeconds int `json:"ttlSeconds,omitempty"`
+}
+
+// QueryReq carries any of the three query kinds; unused fields stay zero.
+type QueryReq struct {
+	Subject     core.Subject      `json:"subject,omitempty"`
+	Object      core.Role         `json:"object,omitempty"`
+	Constraints []core.Constraint `json:"constraints,omitempty"`
+	Direction   graph.Direction   `json:"direction,omitempty"`
+}
+
+// ProofResp answers a direct query.
+type ProofResp struct {
+	Proof *core.Proof `json:"proof"`
+}
+
+// ProofsResp answers subject and object queries.
+type ProofsResp struct {
+	Proofs []*core.Proof `json:"proofs"`
+}
+
+// SubscribeReq registers (or cancels) a delegation subscription.
+type SubscribeReq struct {
+	Delegation core.DelegationID `json:"delegation"`
+}
+
+// RevokeReq withdraws a delegation; the server authorizes against the
+// authenticated peer identity.
+type RevokeReq struct {
+	Delegation core.DelegationID `json:"delegation"`
+}
+
+// ProveRoleReq asks the serving wallet to prove that its operating identity
+// holds a role — used to verify home wallets against discovery-tag
+// authorization roles (§4.2.1).
+type ProveRoleReq struct {
+	Role core.Role `json:"role"`
+}
+
+// HasReq asks whether the wallet stores a delegation — the primitive
+// behind the §6 registry audit (store-required discovery flags).
+type HasReq struct {
+	Delegation core.DelegationID `json:"delegation"`
+}
+
+// HasResp answers a HasReq.
+type HasResp struct {
+	Present bool `json:"present"`
+}
+
+// NotifyPush is a delegation status update (§4.2.2).
+type NotifyPush struct {
+	Delegation core.DelegationID `json:"delegation"`
+	Kind       string            `json:"kind"`
+	At         time.Time         `json:"at"`
+}
+
+// ErrorResp reports a request failure.
+type ErrorResp struct {
+	Message string `json:"message"`
+	// NoProof marks core.ErrNoProof so clients can map it back.
+	NoProof bool `json:"noProof,omitempty"`
+}
+
+// Encode marshals an envelope with a typed body.
+func Encode(t MsgType, id uint64, body any) ([]byte, error) {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire encode %s: %w", t, err)
+		}
+		raw = b
+	}
+	out, err := json.Marshal(Envelope{Type: t, ID: id, Body: raw})
+	if err != nil {
+		return nil, fmt.Errorf("wire encode %s: %w", t, err)
+	}
+	return out, nil
+}
+
+// Decode unmarshals an envelope.
+func Decode(frame []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(frame, &env); err != nil {
+		return Envelope{}, fmt.Errorf("wire decode: %w", err)
+	}
+	if env.Type == "" {
+		return Envelope{}, fmt.Errorf("wire decode: missing type")
+	}
+	return env, nil
+}
+
+// DecodeBody unmarshals an envelope body into out.
+func DecodeBody(env Envelope, out any) error {
+	if len(env.Body) == 0 {
+		return fmt.Errorf("wire %s: empty body", env.Type)
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("wire %s: bad body: %w", env.Type, err)
+	}
+	return nil
+}
