@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz sim examples clean
+.PHONY: all check build vet test test-race race cover bench fuzz sim examples clean
 
 all: build vet test
+
+# The default verification gate: build, vet, tests, and the race detector.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,8 +18,10 @@ vet:
 test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -cover ./...

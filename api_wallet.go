@@ -34,6 +34,12 @@ type (
 	SearchDirection = graph.Direction
 	// SearchStats accumulates search effort counters.
 	SearchStats = graph.Stats
+	// WalletStore is the wallet's pluggable system of record.
+	WalletStore = wallet.Store
+	// WalletStats snapshots wallet state and proof-cache counters.
+	WalletStats = wallet.Stats
+	// ProofCacheStats reports proof-cache hit/miss/invalidation counters.
+	ProofCacheStats = wallet.CacheStats
 )
 
 // Monitor and event constants.
@@ -41,10 +47,11 @@ const (
 	MonitorReproved    = wallet.MonitorReproved
 	MonitorInvalidated = wallet.MonitorInvalidated
 
-	EventRevoked = subs.Revoked
-	EventExpired = subs.Expired
-	EventRenewed = subs.Renewed
-	EventStale   = subs.Stale
+	EventRevoked   = subs.Revoked
+	EventExpired   = subs.Expired
+	EventRenewed   = subs.Renewed
+	EventStale     = subs.Stale
+	EventPublished = subs.Published
 
 	SearchForward       = graph.Forward
 	SearchReverse       = graph.Reverse
@@ -53,6 +60,15 @@ const (
 
 // NewWallet constructs an empty wallet.
 func NewWallet(cfg WalletConfig) *Wallet { return wallet.New(cfg) }
+
+// NewMemStore returns an empty in-memory wallet store, the default system
+// of record.
+func NewMemStore() WalletStore { return wallet.NewMemStore() }
+
+// OpenFileStore opens (or creates) a JSON file-backed wallet store at path.
+// Every mutation persists atomically, so a wallet rebuilt on the store after
+// a restart serves the same proofs and keeps refusing revoked credentials.
+func OpenFileStore(path string) (WalletStore, error) { return wallet.OpenFileStore(path) }
 
 // SystemClock returns the real wall clock.
 func SystemClock() Clock { return clock.System{} }

@@ -388,3 +388,63 @@ func BenchmarkRenderDelegation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWalletParallelQuery measures multi-core direct-query throughput
+// over the same two-delegation wallet as BenchmarkFigure1WalletOps, so
+// ns/op compares directly against the serial query-direct number. hot-cache
+// serves memoized answers (§6 coherent caching); cold-cache disables
+// memoization so every query re-runs the sharded graph search; the serial
+// variants pin the single-goroutine cost of each mode.
+func BenchmarkWalletParallelQuery(b *testing.B) {
+	w := newBenchWorld(b)
+	dAB := w.issue(b, "[Maria -> BigISP.b] BigISP")
+	dBC := w.issue(b, "[BigISP.b -> AirNet.c] AirNet")
+	q := drbac.Query{
+		Subject: drbac.SubjectEntity(w.ids["Maria"].ID()),
+		Object:  drbac.NewRole(w.ids["AirNet"].ID(), "c"),
+	}
+	build := func(b *testing.B, disableCache bool) *drbac.Wallet {
+		b.Helper()
+		wal := drbac.NewWallet(drbac.WalletConfig{Directory: w.dir, DisableProofCache: disableCache})
+		if err := wal.Publish(dAB); err != nil {
+			b.Fatal(err)
+		}
+		if err := wal.Publish(dBC); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wal.QueryDirect(q); err != nil { // warm (primes the cache when on)
+			b.Fatal(err)
+		}
+		return wal
+	}
+	for _, bench := range []struct {
+		name         string
+		disableCache bool
+		parallel     bool
+	}{
+		{"hot-cache", false, true},
+		{"cold-cache", true, true},
+		{"hot-cache-serial", false, false},
+		{"cold-cache-serial", true, false},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			wal := build(b, bench.disableCache)
+			b.ResetTimer()
+			if bench.parallel {
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := wal.QueryDirect(q); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := wal.QueryDirect(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

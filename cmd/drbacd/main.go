@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"drbac/internal/core"
 	"drbac/internal/keyfile"
 	"drbac/internal/remote"
 	"drbac/internal/transport"
@@ -39,7 +40,7 @@ func run(args []string) error {
 	keyPath := fs.String("key", "", "wallet operator identity file")
 	listen := fs.String("listen", "127.0.0.1:7100", "listen address")
 	load := fs.String("load", "", "directory of delegation bundles to publish at startup")
-	state := fs.String("state", "", "wallet state file: restored at startup, saved on shutdown and every sweep")
+	state := fs.String("state", "", "wallet state file: restored at startup, rewritten on every publication and revocation")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
 	if err := fs.Parse(args); err != nil {
@@ -57,13 +58,13 @@ func run(args []string) error {
 		return err
 	}
 
-	w := wallet.New(wallet.Config{Owner: owner, StrictAttributes: *strict})
+	w, err := openWallet(owner, *state, *strict)
+	if err != nil {
+		return err
+	}
 	if *state != "" {
-		if n, err := keyfile.LoadWallet(*state, w); err == nil {
-			fmt.Printf("restored %d delegations from %s\n", n, *state)
-		} else if !os.IsNotExist(err) {
-			return err
-		}
+		fmt.Printf("restored %d delegations (%d revocations) from %s\n",
+			w.Len(), len(w.RevokedIDs()), *state)
 	}
 	if *load != "" {
 		n, err := loadBundles(w, *load)
@@ -94,21 +95,28 @@ func run(args []string) error {
 			if n := w.SweepStaleCache(); n > 0 {
 				fmt.Printf("swept %d stale cached delegations\n", n)
 			}
-			if *state != "" {
-				if err := keyfile.SaveWallet(*state, w); err != nil {
-					fmt.Fprintf(os.Stderr, "drbacd: save state: %v\n", err)
-				}
-			}
 		case <-stop:
-			if *state != "" {
-				if err := keyfile.SaveWallet(*state, w); err != nil {
-					fmt.Fprintf(os.Stderr, "drbacd: save state: %v\n", err)
-				}
-			}
 			fmt.Println("shutting down")
 			return nil
 		}
 	}
+}
+
+// openWallet builds the daemon's wallet. With a state path the wallet sits
+// on a file-backed store: every publication and revocation persists before
+// the request is acknowledged, and a restarted daemon replays the file —
+// including the revocation set, so previously revoked credentials stay
+// refused — at construction. No separate save step exists anymore.
+func openWallet(owner *core.Identity, statePath string, strict bool) (*wallet.Wallet, error) {
+	cfg := wallet.Config{Owner: owner, StrictAttributes: strict}
+	if statePath != "" {
+		st, err := wallet.OpenFileStore(statePath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = st
+	}
+	return wallet.New(cfg), nil
 }
 
 func loadBundles(w *wallet.Wallet, dir string) (int, error) {

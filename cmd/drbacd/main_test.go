@@ -78,6 +78,71 @@ func TestLoadBundlesErrors(t *testing.T) {
 	}
 }
 
+// TestStateSurvivesRestart simulates a daemon restart: a wallet opened on a
+// -state file must serve the same proofs afterwards and keep refusing
+// delegations revoked before the restart, with no explicit save step.
+func TestStateSurvivesRestart(t *testing.T) {
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewIdentity("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entDir := core.NewDirectory(org.Entity(), user.Entity())
+	issue := func(text string) *core.Delegation {
+		parsed, err := core.ParseDelegation(text, entDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Issue(org, parsed.Template, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	member := issue("[User -> Org.member] Org")
+	reader := issue("[Org.member -> Org.reader] Org")
+	doomed := issue("[User -> Org.writer] Org")
+
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	w1, err := openWallet(org, statePath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*core.Delegation{member, reader, doomed} {
+		if err := w1.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Revoke(doomed.ID(), org.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// No shutdown hook: the store persists every mutation synchronously.
+
+	w2, err := openWallet(org, statePath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := wallet.Query{
+		Subject: core.SubjectEntity(user.ID()),
+		Object:  core.Role{Namespace: org.ID(), Name: "reader"}, // via Org.member
+	}
+	if _, err := w2.QueryDirect(q); err != nil {
+		t.Fatalf("restarted wallet cannot re-prove chain: %v", err)
+	}
+	if !w2.IsRevoked(doomed.ID()) {
+		t.Fatal("revocation forgotten across restart")
+	}
+	if w2.Contains(doomed.ID()) {
+		t.Fatal("revoked delegation restored into the graph")
+	}
+	if err := w2.Publish(doomed); err == nil {
+		t.Fatal("restarted wallet accepted a previously revoked delegation")
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Fatal("missing -key accepted")

@@ -130,3 +130,65 @@ func BenchmarkEnumerateFromWideFanout(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFindDirectParallel measures read scaling across the sharded
+// index: concurrent searches over a mid-size chain graph.
+func BenchmarkFindDirectParallel(b *testing.B) {
+	g, subject, goal := buildChainGraph(b, 16, 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.FindDirect(subject, goal, Options{At: testNow}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFindDirectParallelWithWriter runs the same parallel search while
+// one goroutine continuously churns unrelated edges — with per-shard locks
+// and snapshot reads, writers only stall searches touching their shards.
+func BenchmarkFindDirectParallelWithWriter(b *testing.B) {
+	g, subject, goal := buildChainGraph(b, 16, 4)
+	owner, err := core.IdentityFromSeed("churn", seedBytes(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	churn := make([]*core.Delegation, 256)
+	for i := range churn {
+		d, err := core.Issue(owner, core.Template{
+			Subject: core.SubjectRole(core.NewRole(owner.ID(), fmt.Sprintf("cs%d", i))),
+			Object:  core.NewRole(owner.ID(), fmt.Sprintf("co%d", i)),
+		}, testNow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		churn[i] = d
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := churn[i%len(churn)]
+			g.Add(d, nil)
+			g.Remove(d.ID())
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.FindDirect(subject, goal, Options{At: testNow}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}

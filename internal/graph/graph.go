@@ -6,6 +6,17 @@
 // Searches prune on valued-attribute monotonicity (§4.2.3): once a partial
 // chain's aggregated modifiers violate a query constraint, no extension can
 // satisfy it, so the branch is abandoned.
+//
+// Storage is sharded: vertices and delegation IDs hash onto a fixed set of
+// shards, each guarded by its own RWMutex. Mutations lock only the shards
+// owning the touched subject, object, and ID keys, and publish fresh edge
+// slices (copy-on-write), so searches iterate immutable snapshots without
+// holding any lock across the traversal — concurrent queries proceed fully
+// in parallel with each other and with publications and revocations of
+// unrelated credentials. A search overlapping a mutation may observe the
+// graph mid-update (e.g. an edge indexed by subject but not yet by object);
+// callers re-validate candidate proofs against expiry and revocation, so a
+// transient read costs a failed validation, never a wrong answer.
 package graph
 
 import (
@@ -22,9 +33,14 @@ type edge struct {
 	support []*core.Proof
 }
 
-// Graph is a concurrency-safe delegation graph. The zero value is not
-// usable; construct with New.
-type Graph struct {
+// shardCount is the number of index shards. A fixed power of two keeps the
+// hash-to-shard mapping a mask and comfortably exceeds typical core counts.
+const shardCount = 32
+
+// shard is one lock domain of the index. The three maps are independent
+// key spaces; a delegation's subject, object, and ID may land on different
+// shards.
+type shard struct {
 	mu sync.RWMutex
 	// bySubject indexes outgoing edges by the delegation subject.
 	bySubject map[core.Subject][]*edge
@@ -33,13 +49,85 @@ type Graph struct {
 	byID     map[core.DelegationID]*edge
 }
 
+// Graph is a concurrency-safe sharded delegation graph. The zero value is
+// not usable; construct with New.
+type Graph struct {
+	shards [shardCount]shard
+}
+
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		bySubject: make(map[core.Subject][]*edge),
-		byObject:  make(map[core.Role][]*edge),
-		byID:      make(map[core.DelegationID]*edge),
+	g := &Graph{}
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.bySubject = make(map[core.Subject][]*edge)
+		s.byObject = make(map[core.Role][]*edge)
+		s.byID = make(map[core.DelegationID]*edge)
 	}
+	return g
+}
+
+// FNV-1a constants for shard hashing.
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+func hashString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashRole(h uint32, r core.Role) uint32 {
+	h = hashString(h, string(r.Namespace))
+	h = hashString(h, r.Name)
+	h ^= uint32(r.Tick)
+	h *= fnvPrime
+	if r.Attr {
+		h ^= 1
+	}
+	h *= fnvPrime
+	h ^= uint32(r.Op)
+	h *= fnvPrime
+	return h
+}
+
+func (g *Graph) subjectShard(s core.Subject) *shard {
+	h := hashString(fnvOffset, string(s.Entity))
+	h = hashRole(h, s.Role)
+	return &g.shards[h%shardCount]
+}
+
+func (g *Graph) objectShard(r core.Role) *shard {
+	return &g.shards[hashRole(fnvOffset, r)%shardCount]
+}
+
+func (g *Graph) idShard(id core.DelegationID) *shard {
+	return &g.shards[hashString(fnvOffset, string(id))%shardCount]
+}
+
+// edgesFrom returns the out-edges of subject. The result is an immutable
+// snapshot (mutations publish fresh slices), so callers iterate it without
+// holding the shard lock.
+func (g *Graph) edgesFrom(s core.Subject) []*edge {
+	sh := g.subjectShard(s)
+	sh.mu.RLock()
+	list := sh.bySubject[s]
+	sh.mu.RUnlock()
+	return list
+}
+
+// edgesTo returns the in-edges of object, with the same snapshot semantics
+// as edgesFrom.
+func (g *Graph) edgesTo(r core.Role) []*edge {
+	sh := g.objectShard(r)
+	sh.mu.RLock()
+	list := sh.byObject[r]
+	sh.mu.RUnlock()
+	return list
 }
 
 // Add inserts a delegation and its accompanying support proofs. Adding the
@@ -47,51 +135,85 @@ func New() *Graph {
 // wallet validates before insertion.
 func (g *Graph) Add(d *core.Delegation, support []*core.Proof) {
 	id := d.ID()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, ok := g.byID[id]; ok {
+	e := &edge{d: d, support: support}
+
+	ids := g.idShard(id)
+	ids.mu.Lock()
+	if _, ok := ids.byID[id]; ok {
+		ids.mu.Unlock()
 		return
 	}
-	e := &edge{d: d, support: support}
-	g.byID[id] = e
-	g.bySubject[d.Subject] = append(g.bySubject[d.Subject], e)
-	g.byObject[d.Object] = append(g.byObject[d.Object], e)
+	ids.byID[id] = e
+	ids.mu.Unlock()
+
+	ss := g.subjectShard(d.Subject)
+	ss.mu.Lock()
+	list := ss.bySubject[d.Subject]
+	// Cap the capacity so append always allocates: readers holding the old
+	// snapshot never see the backing array mutate.
+	ss.bySubject[d.Subject] = append(list[:len(list):len(list)], e)
+	ss.mu.Unlock()
+
+	os := g.objectShard(d.Object)
+	os.mu.Lock()
+	list = os.byObject[d.Object]
+	os.byObject[d.Object] = append(list[:len(list):len(list)], e)
+	os.mu.Unlock()
 }
 
 // Remove deletes a delegation by ID, reporting whether it was present.
 func (g *Graph) Remove(id core.DelegationID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	e, ok := g.byID[id]
+	ids := g.idShard(id)
+	ids.mu.Lock()
+	e, ok := ids.byID[id]
+	if ok {
+		delete(ids.byID, id)
+	}
+	ids.mu.Unlock()
 	if !ok {
 		return false
 	}
-	delete(g.byID, id)
-	g.bySubject[e.d.Subject] = dropEdge(g.bySubject[e.d.Subject], e)
-	if len(g.bySubject[e.d.Subject]) == 0 {
-		delete(g.bySubject, e.d.Subject)
+
+	ss := g.subjectShard(e.d.Subject)
+	ss.mu.Lock()
+	if list := dropEdge(ss.bySubject[e.d.Subject], e); len(list) == 0 {
+		delete(ss.bySubject, e.d.Subject)
+	} else {
+		ss.bySubject[e.d.Subject] = list
 	}
-	g.byObject[e.d.Object] = dropEdge(g.byObject[e.d.Object], e)
-	if len(g.byObject[e.d.Object]) == 0 {
-		delete(g.byObject, e.d.Object)
+	ss.mu.Unlock()
+
+	os := g.objectShard(e.d.Object)
+	os.mu.Lock()
+	if list := dropEdge(os.byObject[e.d.Object], e); len(list) == 0 {
+		delete(os.byObject, e.d.Object)
+	} else {
+		os.byObject[e.d.Object] = list
 	}
+	os.mu.Unlock()
 	return true
 }
 
+// dropEdge returns a fresh slice without e (copy-on-write: the input slice
+// may be a snapshot concurrently iterated by a search).
 func dropEdge(list []*edge, e *edge) []*edge {
 	for i, cand := range list {
-		if cand == e {
-			return append(list[:i:i], list[i+1:]...)
+		if cand != e {
+			continue
 		}
+		out := make([]*edge, 0, len(list)-1)
+		out = append(out, list[:i]...)
+		return append(out, list[i+1:]...)
 	}
 	return list
 }
 
 // Get returns a stored delegation and its support proofs.
 func (g *Graph) Get(id core.DelegationID) (*core.Delegation, []*core.Proof, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	e, ok := g.byID[id]
+	sh := g.idShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.byID[id]
 	if !ok {
 		return nil, nil, false
 	}
@@ -100,26 +222,35 @@ func (g *Graph) Get(id core.DelegationID) (*core.Delegation, []*core.Proof, bool
 
 // Contains reports whether the delegation is stored.
 func (g *Graph) Contains(id core.DelegationID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	_, ok := g.byID[id]
+	sh := g.idShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.byID[id]
 	return ok
 }
 
 // Len returns the number of stored delegations.
 func (g *Graph) Len() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.byID)
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.byID)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // All returns every stored delegation (order unspecified).
 func (g *Graph) All() []*core.Delegation {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]*core.Delegation, 0, len(g.byID))
-	for _, e := range g.byID {
-		out = append(out, e.d)
+	var out []*core.Delegation
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.byID {
+			out = append(out, e.d)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -219,8 +350,6 @@ func (g *Graph) FindDirect(subject core.Subject, object core.Role, opts Options)
 	if err := object.Validate(); err != nil {
 		return nil, fmt.Errorf("direct query object: %w", err)
 	}
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	switch opts.Direction {
 	case Reverse:
 		return g.findReverse(subject, object, opts)
@@ -245,7 +374,7 @@ func (g *Graph) findForward(subject core.Subject, object core.Role, opts Options
 		if len(path) >= maxDeep {
 			return false
 		}
-		for _, e := range g.bySubject[node] {
+		for _, e := range g.edgesFrom(node) {
 			if !usable(e, opts.At) {
 				continue
 			}
@@ -309,7 +438,7 @@ func (g *Graph) findReverse(subject core.Subject, object core.Role, opts Options
 		if len(path) >= maxDeep {
 			return false
 		}
-		for _, e := range g.byObject[node] {
+		for _, e := range g.edgesTo(node) {
 			if !usable(e, opts.At) {
 				continue
 			}
@@ -442,7 +571,7 @@ func (g *Graph) findBidirectional(subject core.Subject, object core.Role, opts O
 			var next []core.Subject
 			for _, node := range frontF {
 				opts.bumpNodes()
-				for _, e := range g.bySubject[node] {
+				for _, e := range g.edgesFrom(node) {
 					if !usable(e, opts.At) {
 						continue
 					}
@@ -466,7 +595,7 @@ func (g *Graph) findBidirectional(subject core.Subject, object core.Role, opts O
 		var next []core.Role
 		for _, node := range frontR {
 			opts.bumpNodes()
-			for _, e := range g.byObject[node] {
+			for _, e := range g.edgesTo(node) {
 				if !usable(e, opts.At) {
 					continue
 				}
@@ -555,8 +684,6 @@ func proofFromEdges(chain []*edge) *core.Proof {
 // the form subject ⇒ * that does not violate the constraints, up to
 // MaxProofs.
 func (g *Graph) EnumerateFrom(subject core.Subject, opts Options) []*core.Proof {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	var (
 		out     []*core.Proof
 		path    []*edge
@@ -570,7 +697,7 @@ func (g *Graph) EnumerateFrom(subject core.Subject, opts Options) []*core.Proof 
 		if len(out) >= limit || len(path) >= maxDeep {
 			return
 		}
-		for _, e := range g.bySubject[node] {
+		for _, e := range g.edgesFrom(node) {
 			if !usable(e, opts.At) {
 				continue
 			}
@@ -610,8 +737,6 @@ func (g *Graph) EnumerateFrom(subject core.Subject, opts Options) []*core.Proof 
 // the form * ⇒ object that does not violate the constraints, up to
 // MaxProofs.
 func (g *Graph) EnumerateTo(object core.Role, opts Options) []*core.Proof {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	var (
 		out     []*core.Proof
 		path    []*edge // reversed
@@ -635,7 +760,7 @@ func (g *Graph) EnumerateTo(object core.Role, opts Options) []*core.Proof {
 		if len(out) >= limit || len(path) >= maxDeep {
 			return
 		}
-		for _, e := range g.byObject[node] {
+		for _, e := range g.edgesTo(node) {
 			if !usable(e, opts.At) {
 				continue
 			}

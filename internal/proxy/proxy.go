@@ -41,6 +41,12 @@ type Config struct {
 // Proxy is a pull-through, subscription-coherent wallet cache.
 type Proxy struct {
 	cfg Config
+	// front memoizes whole answers at the proxy boundary — the same
+	// ProofCache type the wallet embeds, kept coherent by a wildcard
+	// subscription on the local wallet: any publish/revoke/expiry/TTL-lapse
+	// event there kills the affected memoized answers first.
+	front    *wallet.ProofCache
+	unsubAll func()
 
 	mu      sync.Mutex
 	cancels map[core.DelegationID]func()
@@ -56,7 +62,18 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Local == nil || cfg.Upstream == nil {
 		return nil, errors.New("proxy: Local and Upstream are required")
 	}
-	return &Proxy{cfg: cfg, cancels: make(map[core.DelegationID]func())}, nil
+	p := &Proxy{
+		cfg:     cfg,
+		front:   wallet.NewProofCache(0),
+		cancels: make(map[core.DelegationID]func()),
+	}
+	p.unsubAll = cfg.Local.SubscribeAll(func(ev subs.Event) {
+		switch ev.Kind {
+		case subs.Revoked, subs.Expired, subs.Stale:
+			p.front.InvalidateDelegation(ev.Delegation)
+		}
+	})
+	return p, nil
 }
 
 // Close cancels every upstream subscription.
@@ -69,6 +86,7 @@ func (p *Proxy) Close() {
 	for _, c := range cancels {
 		c()
 	}
+	p.unsubAll()
 }
 
 // Stats reports cache effectiveness.
@@ -78,9 +96,31 @@ func (p *Proxy) Stats() (hits, pulls int) {
 	return p.hits, p.pulls
 }
 
-// QueryDirect answers from the cache, pulling through on a miss.
+// CacheStats reports the front answer cache's counters.
+func (p *Proxy) CacheStats() wallet.CacheStats { return p.front.Stats() }
+
+// QueryDirect answers from the front answer cache or the cache wallet,
+// pulling through from upstream on a miss. The proxy never memoizes
+// negative answers: an unprovable query must retry upstream, where new
+// credentials may have appeared.
 func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
+	// Like the wallet, bypass memoization when the caller measures search
+	// effort.
+	useFront := q.Stats == nil
+	var key string
+	if useFront {
+		key = wallet.CacheKey(q.Subject, q.Object, q.Constraints)
+		if proof, _, ok := p.front.Lookup(key, p.cfg.Local.Now(), p.cfg.Local.IsRevoked); ok {
+			p.mu.Lock()
+			p.hits++
+			p.mu.Unlock()
+			return proof, nil
+		}
+	}
 	if proof, err := p.cfg.Local.QueryDirect(q); err == nil {
+		if useFront {
+			p.front.Put(key, proof)
+		}
 		p.mu.Lock()
 		p.hits++
 		p.mu.Unlock()
@@ -100,7 +140,14 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 		return nil, fmt.Errorf("proxy: admit pulled proof: %w", err)
 	}
 	// Serve from the cache so the answer reflects local validation state.
-	return p.cfg.Local.QueryDirect(q)
+	served, err := p.cfg.Local.QueryDirect(q)
+	if err != nil {
+		return nil, err
+	}
+	if useFront {
+		p.front.Put(key, served)
+	}
+	return served, nil
 }
 
 // admit inserts a pulled proof's delegations into the cache and ensures one

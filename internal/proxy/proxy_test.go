@@ -379,3 +379,45 @@ func TestTwoLevelHierarchy(t *testing.T) {
 		t.Fatalf("edge still serves revoked credential: %v", err)
 	}
 }
+
+// TestFrontCacheServesRepeatsAndStaysCoherent pins the proxy's front answer
+// cache: repeated queries are memoized hits, and an upstream revocation
+// propagated through the local wallet's push channel kills the memoized
+// answer before the next query returns.
+func TestFrontCacheServesRepeatsAndStaysCoherent(t *testing.T) {
+	e := newEnv(t)
+	d := e.deleg("[User -> Org.member] Org")
+	if err := e.home.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.newProxy(time.Minute)
+
+	if _, err := p.QueryDirect(e.query("member")); err != nil {
+		t.Fatalf("pull-through: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := p.QueryDirect(e.query("member")); err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+	}
+	cs := p.CacheStats()
+	if cs.Hits < 3 || cs.Entries != 1 {
+		t.Fatalf("front cache stats = %+v, want >=3 hits and 1 entry", cs)
+	}
+
+	// Revoke upstream; the push propagates to the local wallet, whose
+	// wildcard channel must invalidate the front entry.
+	if err := e.home.Revoke(d.ID(), e.ids["Org"].ID()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.CacheStats().Entries != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("front cache entry not invalidated by upstream revocation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.QueryDirect(e.query("member")); !errors.Is(err, core.ErrNoProof) {
+		t.Fatalf("query after revocation = %v, want ErrNoProof", err)
+	}
+}

@@ -135,6 +135,8 @@ func (c *Client) dispatchPush(push wire.NotifyPush) {
 		ev.Kind = subs.Renewed
 	case "stale":
 		ev.Kind = subs.Stale
+	case "published":
+		ev.Kind = subs.Published
 	default:
 		return
 	}

@@ -131,10 +131,17 @@ func (cs *connState) sendErr(id uint64, err error) {
 	_ = cs.send(wire.TError, id, resp)
 }
 
+// maxInflightPerConn bounds concurrently served requests per connection;
+// beyond it the read loop blocks, pushing back on the peer instead of
+// spawning unbounded goroutines.
+const maxInflightPerConn = 64
+
 func (s *Server) handleConn(conn transport.Conn) {
 	defer s.wg.Done()
 	cs := &connState{conn: conn, cancels: make(map[core.DelegationID]func())}
+	var inflight sync.WaitGroup
 	defer func() {
+		inflight.Wait()
 		cs.subMu.Lock()
 		for _, cancel := range cs.cancels {
 			cancel()
@@ -147,6 +154,10 @@ func (s *Server) handleConn(conn transport.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// Requests are served concurrently: slow proof searches must not stall
+	// the pipeline behind them. Clients correlate responses by envelope ID,
+	// so completion order is free to differ from arrival order.
+	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
@@ -156,7 +167,15 @@ func (s *Server) handleConn(conn transport.Conn) {
 		if err != nil {
 			return // protocol violation: drop the connection
 		}
-		s.dispatch(cs, env)
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(env wire.Envelope) {
+			defer func() {
+				<-sem
+				inflight.Done()
+			}()
+			s.dispatch(cs, env)
+		}(env)
 	}
 }
 

@@ -316,3 +316,25 @@ func TestRunRangeAdjustmentShape(t *testing.T) {
 		t.Error("zero fanout accepted")
 	}
 }
+
+func TestRunCacheCoherenceShape(t *testing.T) {
+	pt, err := RunCacheCoherence(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.CoherentAfterRevoke {
+		t.Fatal("revocation did not invalidate the cached proof before the next query")
+	}
+	if pt.Hits < int64(pt.Queries) {
+		t.Fatalf("hits = %d, want >= %d (every measured hot query memoized)", pt.Hits, pt.Queries)
+	}
+	if pt.Invalidations == 0 {
+		t.Fatal("no invalidation counted for the revocation push")
+	}
+	if pt.HotNanos <= 0 || pt.ColdNanos <= 0 {
+		t.Fatalf("latencies not measured: cold=%d hot=%d", pt.ColdNanos, pt.HotNanos)
+	}
+	if _, err := RunCacheCoherence(0, 10); err == nil {
+		t.Fatal("invalid chain accepted")
+	}
+}

@@ -8,6 +8,7 @@
 package subs
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -27,6 +28,10 @@ const (
 	// Stale: a cached copy's TTL lapsed without re-confirmation from its
 	// home wallet (§4.2.1); the credential must be re-fetched before reuse.
 	Stale
+	// Published: the wallet accepted a new delegation. Wildcard subscribers
+	// use it to drop memoized "no proof" answers that the new credential may
+	// now contradict (§6 coherent caching).
+	Published
 )
 
 // String renders the kind.
@@ -40,6 +45,8 @@ func (k EventKind) String() string {
 		return "renewed"
 	case Stale:
 		return "stale"
+	case Published:
+		return "published"
 	default:
 		return "unknown"
 	}
@@ -62,11 +69,19 @@ type Registry struct {
 	mu   sync.Mutex
 	next int
 	subs map[core.DelegationID]map[int]Handler
+	// wild holds wildcard handlers, delivered every event regardless of
+	// delegation. They run before per-delegation handlers so that cache
+	// invalidation completes before subscribers react (e.g. a monitor that
+	// re-proves must not be served a memoized answer the event just killed).
+	wild map[int]Handler
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{subs: make(map[core.DelegationID]map[int]Handler)}
+	return &Registry{
+		subs: make(map[core.DelegationID]map[int]Handler),
+		wild: make(map[int]Handler),
+	}
 }
 
 // Subscribe registers fn for updates to one delegation and returns a cancel
@@ -97,33 +112,52 @@ func (r *Registry) Subscribe(id core.DelegationID, fn Handler) (cancel func()) {
 	}
 }
 
-// Publish delivers an event to every subscriber of its delegation.
-// Handlers are invoked synchronously, outside the registry lock, in
-// registration order.
+// SubscribeAll registers fn for every delegation's events and returns an
+// idempotent cancel function. Wildcard handlers are invoked before
+// per-delegation handlers on each Publish.
+func (r *Registry) SubscribeAll(fn Handler) (cancel func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	r.next++
+	r.wild[n] = fn
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			delete(r.wild, n)
+		})
+	}
+}
+
+// Publish delivers an event to every wildcard subscriber and then to every
+// subscriber of its delegation. Handlers are invoked synchronously, outside
+// the registry lock, in registration order within each group.
 func (r *Registry) Publish(ev Event) {
 	r.mu.Lock()
 	m := r.subs[ev.Delegation]
-	handlers := make([]Handler, 0, len(m))
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	// Registration order = ascending key.
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			if keys[j] < keys[i] {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
-		}
-	}
-	for _, k := range keys {
-		handlers = append(handlers, m[k])
-	}
+	handlers := make([]Handler, 0, len(r.wild)+len(m))
+	handlers = appendOrdered(handlers, r.wild)
+	handlers = appendOrdered(handlers, m)
 	r.mu.Unlock()
 
 	for _, fn := range handlers {
 		fn(ev)
 	}
+}
+
+// appendOrdered appends m's handlers in registration order (ascending key).
+func appendOrdered(dst []Handler, m map[int]Handler) []Handler {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		dst = append(dst, m[k])
+	}
+	return dst
 }
 
 // Subscribers reports the number of active subscriptions for a delegation.

@@ -117,11 +117,48 @@ func TestEventKindString(t *testing.T) {
 		{Revoked, "revoked"},
 		{Expired, "expired"},
 		{Renewed, "renewed"},
+		{Stale, "stale"},
+		{Published, "published"},
 		{EventKind(0), "unknown"},
 	}
 	for _, tt := range tests {
 		if got := tt.give.String(); got != tt.want {
 			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
 		}
+	}
+}
+
+func TestSubscribeAllReceivesEveryEvent(t *testing.T) {
+	r := NewRegistry()
+	var got []Event
+	cancel := r.SubscribeAll(func(ev Event) { got = append(got, ev) })
+
+	r.Publish(Event{Delegation: "aa", Kind: Revoked})
+	r.Publish(Event{Delegation: "bb", Kind: Published})
+	if len(got) != 2 || got[0].Delegation != "aa" || got[1].Kind != Published {
+		t.Fatalf("wildcard deliveries = %v", got)
+	}
+
+	cancel()
+	cancel() // idempotent
+	r.Publish(Event{Delegation: "cc", Kind: Expired})
+	if len(got) != 2 {
+		t.Fatalf("delivery after cancel: %v", got)
+	}
+}
+
+// TestWildcardRunsBeforePerDelegation pins the invalidate-before-react
+// ordering the wallet's proof cache depends on.
+func TestWildcardRunsBeforePerDelegation(t *testing.T) {
+	r := NewRegistry()
+	var order []string
+	// Register the per-delegation handler FIRST; the wildcard must still be
+	// delivered ahead of it.
+	r.Subscribe("aa", func(Event) { order = append(order, "sub") })
+	r.SubscribeAll(func(Event) { order = append(order, "wild") })
+
+	r.Publish(Event{Delegation: "aa", Kind: Revoked})
+	if len(order) != 2 || order[0] != "wild" || order[1] != "sub" {
+		t.Fatalf("delivery order = %v, want [wild sub]", order)
 	}
 }

@@ -136,9 +136,10 @@ func (m *Monitor) unsubscribeLocked() {
 }
 
 // onDelegationEvent reacts to a status change of any delegation in the
-// proof: renewals are ignored; anything else triggers re-proof.
+// proof: renewals and (re-)publications are ignored — neither weakens the
+// proof — anything else triggers re-proof.
 func (m *Monitor) onDelegationEvent(ev subs.Event) {
-	if ev.Kind == subs.Renewed {
+	if ev.Kind == subs.Renewed || ev.Kind == subs.Published {
 		return
 	}
 	m.mu.Lock()

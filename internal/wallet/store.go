@@ -1,0 +1,230 @@
+package wallet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"drbac/internal/core"
+)
+
+// StoredBundle pairs a delegation with the support proofs it was published
+// with, the unit of durable wallet state.
+type StoredBundle struct {
+	Delegation *core.Delegation `json:"delegation"`
+	Support    []*core.Proof    `json:"support,omitempty"`
+}
+
+// Store is the wallet's system of record: delegations with their support
+// proofs plus the set of observed revocations. The graph index and the
+// proof cache are derived views rebuilt from a Store at construction.
+//
+// Implementations must be safe for concurrent use. Read methods do not
+// return errors because every implementation answers them from memory;
+// write methods report persistence failures.
+type Store interface {
+	// PutDelegation durably records d and its support proofs. Re-putting an
+	// existing delegation overwrites its support set.
+	PutDelegation(d *core.Delegation, support []*core.Proof) error
+	// DeleteDelegation removes a delegation from the durable set.
+	DeleteDelegation(id core.DelegationID) error
+	// AddRevocation durably records id as revoked at the given instant,
+	// reporting whether the revocation is new. Revocations are permanent.
+	AddRevocation(id core.DelegationID, at time.Time) (added bool, err error)
+	// IsRevoked reports whether a revocation has been recorded for id.
+	IsRevoked(id core.DelegationID) bool
+	// RevokedIDs lists every revoked delegation ID in unspecified order.
+	RevokedIDs() []core.DelegationID
+	// Bundles lists every stored delegation for index replay.
+	Bundles() []StoredBundle
+}
+
+// MemStore is the default in-memory Store. Reads take a shared lock so the
+// hot revocation-check path never serializes behind other readers.
+type MemStore struct {
+	mu      sync.RWMutex
+	bundles map[core.DelegationID]StoredBundle
+	revoked map[core.DelegationID]time.Time
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		bundles: make(map[core.DelegationID]StoredBundle),
+		revoked: make(map[core.DelegationID]time.Time),
+	}
+}
+
+// PutDelegation implements Store.
+func (s *MemStore) PutDelegation(d *core.Delegation, support []*core.Proof) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bundles[d.ID()] = StoredBundle{Delegation: d, Support: support}
+	return nil
+}
+
+// DeleteDelegation implements Store.
+func (s *MemStore) DeleteDelegation(id core.DelegationID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.bundles, id)
+	return nil
+}
+
+// AddRevocation implements Store.
+func (s *MemStore) AddRevocation(id core.DelegationID, at time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.revoked[id]; ok {
+		return false, nil
+	}
+	s.revoked[id] = at
+	return true, nil
+}
+
+// IsRevoked implements Store.
+func (s *MemStore) IsRevoked(id core.DelegationID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.revoked[id]
+	return ok
+}
+
+// RevokedIDs implements Store.
+func (s *MemStore) RevokedIDs() []core.DelegationID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.DelegationID, 0, len(s.revoked))
+	for id := range s.revoked {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Bundles implements Store.
+func (s *MemStore) Bundles() []StoredBundle {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]StoredBundle, 0, len(s.bundles))
+	for _, b := range s.bundles {
+		out = append(out, b)
+	}
+	return out
+}
+
+// fileState is the on-disk JSON form of a FileStore, deliberately identical
+// to the keyfile wallet-state format so existing -state files keep loading.
+// Cache TTLs are never persisted: cached copies must be re-confirmed from
+// their home wallets after a restart (§4.2.1).
+type fileState struct {
+	Bundles []StoredBundle      `json:"bundles"`
+	Revoked []core.DelegationID `json:"revoked,omitempty"`
+}
+
+// FileStore is a Store backed by one JSON file. Every mutation rewrites the
+// file atomically (write-to-temp, rename), so a daemon restarted from the
+// same path serves the same proofs and keeps refusing revoked credentials
+// without a separate save step.
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+	mem  *MemStore
+}
+
+var _ Store = (*FileStore)(nil)
+
+// OpenFileStore opens (or creates on first mutation) the store at path,
+// loading any existing state.
+func OpenFileStore(path string) (*FileStore, error) {
+	s := &FileStore{path: path, mem: NewMemStore()}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var state fileState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("wallet state %s: %w", path, err)
+	}
+	now := time.Now()
+	for _, id := range state.Revoked {
+		_, _ = s.mem.AddRevocation(id, now)
+	}
+	for _, b := range state.Bundles {
+		if b.Delegation == nil {
+			continue
+		}
+		_ = s.mem.PutDelegation(b.Delegation, b.Support)
+	}
+	return s, nil
+}
+
+// Path returns the backing file path.
+func (s *FileStore) Path() string { return s.path }
+
+// PutDelegation implements Store, persisting before the call returns.
+func (s *FileStore) PutDelegation(d *core.Delegation, support []*core.Proof) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.mem.PutDelegation(d, support)
+	return s.persistLocked()
+}
+
+// DeleteDelegation implements Store, persisting before the call returns.
+func (s *FileStore) DeleteDelegation(id core.DelegationID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.mem.DeleteDelegation(id)
+	return s.persistLocked()
+}
+
+// AddRevocation implements Store. The revocation takes effect in memory
+// even when persistence fails, so the running wallet stays correct; only
+// durability across a restart is at risk, which the error reports.
+func (s *FileStore) AddRevocation(id core.DelegationID, at time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added, _ := s.mem.AddRevocation(id, at)
+	if !added {
+		return false, nil
+	}
+	return true, s.persistLocked()
+}
+
+// IsRevoked implements Store.
+func (s *FileStore) IsRevoked(id core.DelegationID) bool { return s.mem.IsRevoked(id) }
+
+// RevokedIDs implements Store.
+func (s *FileStore) RevokedIDs() []core.DelegationID { return s.mem.RevokedIDs() }
+
+// Bundles implements Store.
+func (s *FileStore) Bundles() []StoredBundle { return s.mem.Bundles() }
+
+// persistLocked writes the full state atomically. Callers hold s.mu.
+func (s *FileStore) persistLocked() error {
+	state := fileState{
+		Bundles: s.mem.Bundles(),
+		Revoked: s.mem.RevokedIDs(),
+	}
+	// Deterministic order keeps the file diffable.
+	sort.Slice(state.Bundles, func(i, j int) bool {
+		return state.Bundles[i].Delegation.ID() < state.Bundles[j].Delegation.ID()
+	})
+	sort.Slice(state.Revoked, func(i, j int) bool { return state.Revoked[i] < state.Revoked[j] })
+	data, err := json.MarshalIndent(state, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path)
+}

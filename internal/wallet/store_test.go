@@ -1,0 +1,168 @@
+package wallet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+)
+
+func TestMemStoreBasics(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	s := NewMemStore()
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+
+	if err := s.PutDelegation(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Bundles()); got != 1 {
+		t.Fatalf("bundles = %d, want 1", got)
+	}
+	added, err := s.AddRevocation(d.ID(), time.Now())
+	if err != nil || !added {
+		t.Fatalf("AddRevocation = (%v, %v), want (true, nil)", added, err)
+	}
+	if added, _ := s.AddRevocation(d.ID(), time.Now()); added {
+		t.Fatal("second AddRevocation reported added")
+	}
+	if !s.IsRevoked(d.ID()) {
+		t.Fatal("IsRevoked = false after AddRevocation")
+	}
+	if got := s.RevokedIDs(); len(got) != 1 || got[0] != d.ID() {
+		t.Fatalf("RevokedIDs = %v", got)
+	}
+	if err := s.DeleteDelegation(d.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Bundles()); got != 0 {
+		t.Fatalf("bundles after delete = %d, want 0", got)
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	path := filepath.Join(t.TempDir(), "wallet.json")
+
+	s1, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := e.deleg("[Maria -> BigISP.member] BigISP")
+	gone := e.deleg("[Mark -> BigISP.memberServices] BigISP")
+	if err := s1.PutDelegation(keep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutDelegation(gone, nil); err != nil {
+		t.Fatal(err)
+	}
+	if added, err := s1.AddRevocation(gone.ID(), time.Now()); err != nil || !added {
+		t.Fatalf("AddRevocation = (%v, %v)", added, err)
+	}
+	if err := s1.DeleteDelegation(gone.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles := s2.Bundles()
+	if len(bundles) != 1 || bundles[0].Delegation.ID() != keep.ID() {
+		t.Fatalf("reopened bundles = %v", bundles)
+	}
+	if !s2.IsRevoked(gone.ID()) {
+		t.Fatal("revocation not persisted")
+	}
+	if s2.Path() != path {
+		t.Fatalf("Path = %q", s2.Path())
+	}
+}
+
+// TestFileStoreFormatIsKeyfileCompatible pins the on-disk shape to the
+// legacy keyfile wallet-state format: bundles + revoked at the top level.
+func TestFileStoreFormatIsKeyfileCompatible(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	path := filepath.Join(t.TempDir(), "wallet.json")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.deleg("[Maria -> BigISP.member] BigISP")
+	if err := s.PutDelegation(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRevocation("deadbeef", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shape struct {
+		Bundles []json.RawMessage   `json:"bundles"`
+		Revoked []core.DelegationID `json:"revoked"`
+	}
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	if len(shape.Bundles) != 1 || len(shape.Revoked) != 1 {
+		t.Fatalf("state shape: %d bundles, %d revoked", len(shape.Bundles), len(shape.Revoked))
+	}
+}
+
+// TestWalletOnFileStoreRestart drives the store through the wallet API and
+// rebuilds a second wallet on the same file: stored chains must re-prove
+// and revocations must survive.
+func TestWalletOnFileStoreRestart(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	path := filepath.Join(t.TempDir(), "wallet.json")
+	st1, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := e.wallet(Config{Store: st1})
+	_, _, d3 := e.publishTable1(w1)
+	doomed := e.deleg("[Maria -> BigISP.memberServices] BigISP")
+	if err := w1.Publish(doomed); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Revoke(doomed.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := e.wallet(Config{Store: st2})
+	if w2.Len() != 3 {
+		t.Fatalf("restarted wallet holds %d delegations, want 3", w2.Len())
+	}
+	// The third-party delegation Maria ⇒ member needs d3 plus its stored
+	// support chain.
+	p, err := w2.QueryDirect(Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+	})
+	if err != nil {
+		t.Fatalf("restarted wallet cannot re-prove: %v", err)
+	}
+	uses := false
+	for _, d := range p.Delegations() {
+		if d.ID() == d3.ID() {
+			uses = true
+		}
+	}
+	if !uses {
+		t.Fatal("restarted proof does not use the stored delegation")
+	}
+	if !w2.IsRevoked(doomed.ID()) {
+		t.Fatal("revocation lost across restart")
+	}
+	if err := w2.Publish(doomed); err == nil {
+		t.Fatal("restarted wallet accepted a revoked delegation")
+	}
+}

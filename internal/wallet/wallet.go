@@ -3,9 +3,17 @@
 // queries answered with proofs, revocation, TTL-coherent caching of remote
 // credentials, and continuous proof monitoring through delegation
 // subscriptions.
+//
+// Internally the wallet is layered: a Store is the system of record
+// (delegations + support proofs + revocations, pluggably durable), the
+// sharded graph index and the memoizing ProofCache are derived views, and
+// the subs.Registry is the push channel that keeps the cache coherent with
+// the store (§6). Each layer carries its own lock, so queries, publications,
+// and revocations proceed concurrently instead of serializing on one mutex.
 package wallet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -33,20 +41,36 @@ type Config struct {
 	// MaxProofs bounds subject/object query results; 0 means
 	// graph.DefaultMaxProofs.
 	MaxProofs int
+	// Store is the system of record; nil means a fresh in-memory MemStore.
+	// A non-empty store (e.g. a FileStore reopened after a restart) is
+	// replayed into the wallet's indexes at construction.
+	Store Store
+	// DisableProofCache turns off direct-query memoization; every query
+	// re-runs the graph search. Used by cold-cache benchmarks.
+	DisableProofCache bool
+	// ProofCacheLimit bounds memoized answers; 0 means
+	// DefaultProofCacheLimit.
+	ProofCacheLimit int
 }
 
 // Wallet is a concurrency-safe dRBAC credential repository.
 type Wallet struct {
-	cfg Config
-	clk clock.Clock
-	g   *graph.Graph
-	reg *subs.Registry
+	cfg   Config
+	clk   clock.Clock
+	store Store
+	g     *graph.Graph
+	reg   *subs.Registry
 
-	mu      sync.Mutex
-	revoked map[core.DelegationID]time.Time
-	// cache maps remotely sourced delegations to the instant their TTL
-	// lapses without renewal (§4.2.1).
-	cache   map[core.DelegationID]time.Time
+	cache    *ProofCache
+	cacheOff bool
+
+	// ttlMu guards ttl, which maps remotely sourced delegations to the
+	// instant their coherence TTL lapses without renewal (§4.2.1).
+	ttlMu sync.Mutex
+	ttl   map[core.DelegationID]time.Time
+
+	// watchMu guards the proof-watch table.
+	watchMu sync.Mutex
 	watches map[int]*watch
 	nextID  int
 }
@@ -57,21 +81,51 @@ type watch struct {
 	fn    func(*core.Proof)
 }
 
-// New constructs an empty wallet.
+// New constructs a wallet over cfg.Store (a fresh MemStore when nil),
+// replaying any stored delegations into the graph index so a wallet
+// reopened from a durable store serves the same proofs — and keeps
+// refusing the same revoked credentials — as before the restart.
 func New(cfg Config) *Wallet {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.System{}
 	}
-	return &Wallet{
-		cfg:     cfg,
-		clk:     clk,
-		g:       graph.New(),
-		reg:     subs.NewRegistry(),
-		revoked: make(map[core.DelegationID]time.Time),
-		cache:   make(map[core.DelegationID]time.Time),
-		watches: make(map[int]*watch),
+	st := cfg.Store
+	if st == nil {
+		st = NewMemStore()
 	}
+	w := &Wallet{
+		cfg:      cfg,
+		clk:      clk,
+		store:    st,
+		g:        graph.New(),
+		reg:      subs.NewRegistry(),
+		cache:    NewProofCache(cfg.ProofCacheLimit),
+		cacheOff: cfg.DisableProofCache,
+		ttl:      make(map[core.DelegationID]time.Time),
+		watches:  make(map[int]*watch),
+	}
+	// The cache invalidation hook registers first so it is the first
+	// wildcard handler: memoized answers die before any other subscriber
+	// (monitors, remote pushes) can re-query and observe them.
+	w.reg.SubscribeAll(func(ev subs.Event) {
+		switch ev.Kind {
+		case subs.Published:
+			w.cache.InvalidateNegatives()
+		case subs.Revoked, subs.Expired, subs.Stale:
+			w.cache.InvalidateDelegation(ev.Delegation)
+		}
+	})
+	for _, b := range st.Bundles() {
+		if b.Delegation == nil || b.Delegation.Verify() != nil {
+			continue
+		}
+		if st.IsRevoked(b.Delegation.ID()) {
+			continue
+		}
+		w.g.Add(b.Delegation, b.Support)
+	}
+	return w
 }
 
 // Owner returns the wallet's operating identity, which may be nil.
@@ -86,6 +140,9 @@ func (w *Wallet) Clock() clock.Clock { return w.clk }
 
 // Now returns the wallet's current instant.
 func (w *Wallet) Now() time.Time { return w.clk.Now() }
+
+// Store returns the wallet's system of record.
+func (w *Wallet) Store() Store { return w.store }
 
 // Len returns the number of stored delegations.
 func (w *Wallet) Len() int { return w.g.Len() }
@@ -102,36 +159,57 @@ func (w *Wallet) Get(id core.DelegationID) (*core.Delegation, []*core.Proof, boo
 func (w *Wallet) Contains(id core.DelegationID) bool { return w.g.Contains(id) }
 
 // RevokedIDs returns every delegation ID this wallet has seen revoked, in
-// unspecified order. Persistence layers save these so a restored wallet
-// keeps refusing revoked credentials.
-func (w *Wallet) RevokedIDs() []core.DelegationID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]core.DelegationID, 0, len(w.revoked))
-	for id := range w.revoked {
-		out = append(out, id)
-	}
-	return out
-}
+// unspecified order. The file-backed Store persists these so a restored
+// wallet keeps refusing revoked credentials.
+func (w *Wallet) RevokedIDs() []core.DelegationID { return w.store.RevokedIDs() }
 
 // IsRevoked reports whether the wallet has seen a revocation for id.
-func (w *Wallet) IsRevoked(id core.DelegationID) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	_, ok := w.revoked[id]
-	return ok
-}
+func (w *Wallet) IsRevoked(id core.DelegationID) bool { return w.store.IsRevoked(id) }
 
 // revokedFn returns a revocation predicate for proof validation.
 func (w *Wallet) revokedFn() func(core.DelegationID) bool {
-	return func(id core.DelegationID) bool { return w.IsRevoked(id) }
+	return w.store.IsRevoked
+}
+
+// Stats is a point-in-time snapshot of wallet state and cache
+// effectiveness.
+type Stats struct {
+	// Delegations is the number of stored (unrevoked, unswept) delegations.
+	Delegations int
+	// Revoked is the size of the observed-revocation set.
+	Revoked int
+	// TTLTracked is the number of cached remote delegations under §4.2.1
+	// coherence TTLs.
+	TTLTracked int
+	// Watches is the number of pending proof watches.
+	Watches int
+	// Cache reports proof-cache hit/miss/invalidation counters.
+	Cache CacheStats
+}
+
+// Stats snapshots the wallet's state and proof-cache counters.
+func (w *Wallet) Stats() Stats {
+	w.ttlMu.Lock()
+	ttl := len(w.ttl)
+	w.ttlMu.Unlock()
+	w.watchMu.Lock()
+	watches := len(w.watches)
+	w.watchMu.Unlock()
+	return Stats{
+		Delegations: w.g.Len(),
+		Revoked:     len(w.store.RevokedIDs()),
+		TTLTracked:  ttl,
+		Watches:     watches,
+		Cache:       w.cache.Stats(),
+	}
 }
 
 // Publish verifies and stores a delegation together with the support proofs
 // its issuer must provide (§4.1): the object's right-of-assignment chain for
 // third-party delegations and, under StrictAttributes, assignment rights for
 // foreign attribute settings. Missing support is looked up in the wallet's
-// own graph before the publication is rejected.
+// own graph before the publication is rejected. Subscribers receive a
+// Published event once the delegation is stored and indexed.
 func (w *Wallet) Publish(d *core.Delegation, support ...*core.Proof) error {
 	if d == nil {
 		return fmt.Errorf("publish: nil delegation")
@@ -157,7 +235,11 @@ func (w *Wallet) Publish(d *core.Delegation, support ...*core.Proof) error {
 	if err != nil {
 		return fmt.Errorf("publish: %w", err)
 	}
+	if err := w.store.PutDelegation(d, used); err != nil {
+		return fmt.Errorf("publish: persist %s: %w", d.ID().Short(), err)
+	}
 	w.g.Add(d, used)
+	w.reg.Publish(subs.Event{Delegation: d.ID(), Kind: subs.Published, At: now})
 	w.fireWatches()
 	return nil
 }
@@ -216,37 +298,42 @@ func (w *Wallet) Revoke(id core.DelegationID, by core.EntityID) error {
 	if d.Issuer.ID() != by {
 		return fmt.Errorf("revoke %s: only issuer %s may revoke", id.Short(), d.Issuer)
 	}
-	w.forceRevoke(id)
+	if err := w.forceRevoke(id); err != nil {
+		return fmt.Errorf("revoke %s: %w", id.Short(), err)
+	}
 	return nil
 }
 
 // forceRevoke marks a delegation revoked without an authorization check; it
 // backs Revoke and the remote layer's propagation of home-wallet
-// revocations (which arrive already authenticated).
-func (w *Wallet) forceRevoke(id core.DelegationID) {
+// revocations (which arrive already authenticated). The revocation always
+// takes effect in memory; the returned error reports a persistence failure
+// of a durable store.
+func (w *Wallet) forceRevoke(id core.DelegationID) error {
 	now := w.Now()
-	w.mu.Lock()
-	_, already := w.revoked[id]
-	if !already {
-		w.revoked[id] = now
+	added, err := w.store.AddRevocation(id, now)
+	w.ttlMu.Lock()
+	delete(w.ttl, id)
+	w.ttlMu.Unlock()
+	if !added {
+		return err
 	}
-	delete(w.cache, id)
-	w.mu.Unlock()
-	if already {
-		return
+	if derr := w.store.DeleteDelegation(id); derr != nil && err == nil {
+		err = derr
 	}
 	w.g.Remove(id)
 	w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Revoked, At: now})
+	return err
 }
 
 // AcceptRevocation records a revocation learned from the delegation's home
 // wallet (already authenticated by the transport layer).
-func (w *Wallet) AcceptRevocation(id core.DelegationID) { w.forceRevoke(id) }
+func (w *Wallet) AcceptRevocation(id core.DelegationID) { _ = w.forceRevoke(id) }
 
 // SweepExpired removes delegations whose expiry has passed, notifying
 // subscribers, and returns how many were removed. Queries never return
 // expired credentials even without sweeping; the sweep exists to push
-// monitor notifications (§4.2.2).
+// monitor notifications (§4.2.2) and reclaim store space.
 func (w *Wallet) SweepExpired() int {
 	now := w.Now()
 	removed := 0
@@ -257,9 +344,10 @@ func (w *Wallet) SweepExpired() int {
 		id := d.ID()
 		if w.g.Remove(id) {
 			removed++
-			w.mu.Lock()
-			delete(w.cache, id)
-			w.mu.Unlock()
+			_ = w.store.DeleteDelegation(id)
+			w.ttlMu.Lock()
+			delete(w.ttl, id)
+			w.ttlMu.Unlock()
 			w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Expired, At: now})
 		}
 	}
@@ -275,9 +363,9 @@ func (w *Wallet) InsertCached(d *core.Delegation, support []*core.Proof, ttl tim
 		return err
 	}
 	if ttl > 0 {
-		w.mu.Lock()
-		w.cache[d.ID()] = w.Now().Add(ttl)
-		w.mu.Unlock()
+		w.ttlMu.Lock()
+		w.ttl[d.ID()] = w.Now().Add(ttl)
+		w.ttlMu.Unlock()
 	}
 	return nil
 }
@@ -285,12 +373,12 @@ func (w *Wallet) InsertCached(d *core.Delegation, support []*core.Proof, ttl tim
 // RenewCached extends a cached delegation's freshness window, reporting
 // whether the entry existed. Subscribers receive a Renewed event.
 func (w *Wallet) RenewCached(id core.DelegationID, ttl time.Duration) bool {
-	w.mu.Lock()
-	_, ok := w.cache[id]
+	w.ttlMu.Lock()
+	_, ok := w.ttl[id]
 	if ok {
-		w.cache[id] = w.Now().Add(ttl)
+		w.ttl[id] = w.Now().Add(ttl)
 	}
-	w.mu.Unlock()
+	w.ttlMu.Unlock()
 	if ok {
 		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Renewed, At: w.Now()})
 	}
@@ -303,15 +391,16 @@ func (w *Wallet) RenewCached(id core.DelegationID, ttl time.Duration) bool {
 func (w *Wallet) SweepStaleCache() int {
 	now := w.Now()
 	var stale []core.DelegationID
-	w.mu.Lock()
-	for id, deadline := range w.cache {
+	w.ttlMu.Lock()
+	for id, deadline := range w.ttl {
 		if now.After(deadline) {
 			stale = append(stale, id)
-			delete(w.cache, id)
+			delete(w.ttl, id)
 		}
 	}
-	w.mu.Unlock()
+	w.ttlMu.Unlock()
 	for _, id := range stale {
+		_ = w.store.DeleteDelegation(id)
 		w.g.Remove(id)
 		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Stale, At: now})
 	}
@@ -320,9 +409,9 @@ func (w *Wallet) SweepStaleCache() int {
 
 // CachedCount reports the number of TTL-tracked cache entries.
 func (w *Wallet) CachedCount() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.cache)
+	w.ttlMu.Lock()
+	defer w.ttlMu.Unlock()
+	return len(w.ttl)
 }
 
 // Query identifies an authorization question: does Subject hold Object under
@@ -333,7 +422,8 @@ type Query struct {
 	Constraints []core.Constraint
 	// Direction selects the search strategy; zero means forward.
 	Direction graph.Direction
-	// Stats, if non-nil, accumulates search effort.
+	// Stats, if non-nil, accumulates search effort. Setting Stats bypasses
+	// the proof cache: effort measurements must observe the real search.
 	Stats *graph.Stats
 }
 
@@ -359,21 +449,42 @@ func (w *Wallet) validateOptions(q Query) core.ValidateOptions {
 }
 
 // QueryDirect answers "does Subject hold Object under Constraints?" with a
-// fully validated proof, or core.ErrNoProof.
+// fully validated proof, or core.ErrNoProof. Answers are memoized in the
+// proof cache; entries are invalidated by publish/revoke/expiry/TTL-lapse
+// pushes and re-checked against expiry and revocation before being served,
+// so a cached answer is always as fresh as a recomputed one.
 func (w *Wallet) QueryDirect(q Query) (*core.Proof, error) {
+	useCache := q.Stats == nil && !w.cacheOff
+	var key string
+	if useCache {
+		key = CacheKey(q.Subject, q.Object, q.Constraints)
+		if p, negative, ok := w.cache.Lookup(key, w.Now(), w.store.IsRevoked); ok {
+			if negative {
+				return nil, core.ErrNoProof
+			}
+			return p, nil
+		}
+	}
 	p, err := w.g.FindDirect(q.Subject, q.Object, w.searchOptions(q))
 	if err != nil {
+		if useCache && errors.Is(err, core.ErrNoProof) {
+			w.cache.PutNegative(key)
+		}
 		return nil, err
 	}
 	if err := p.Validate(w.validateOptions(q)); err != nil {
 		return nil, fmt.Errorf("candidate proof failed validation: %w", err)
+	}
+	if useCache {
+		w.cache.Put(key, p)
 	}
 	return p, nil
 }
 
 // QueryDirectOptions is QueryDirect with explicit graph search options,
 // used by ablation experiments (e.g. disabling monotonicity pruning). The
-// evaluation instant is forced to the wallet clock.
+// evaluation instant is forced to the wallet clock, and the proof cache is
+// bypassed: ablations must measure the search they configure.
 func (w *Wallet) QueryDirectOptions(q Query, opts graph.Options) (*core.Proof, error) {
 	opts.At = w.Now()
 	p, err := w.g.FindDirect(q.Subject, q.Object, opts)
@@ -419,6 +530,14 @@ func (w *Wallet) Subscribe(id core.DelegationID, fn subs.Handler) (cancel func()
 	return w.reg.Subscribe(id, fn)
 }
 
+// SubscribeAll registers a handler for every delegation status update this
+// wallet publishes (including Published events) and returns a cancel
+// function. External caches — pull-through proxies — use it to stay
+// coherent with the wallet.
+func (w *Wallet) SubscribeAll(fn subs.Handler) (cancel func()) {
+	return w.reg.SubscribeAll(fn)
+}
+
 // Subscribers reports the number of active subscriptions for a delegation.
 func (w *Wallet) Subscribers(id core.DelegationID) int { return w.reg.Subscribers(id) }
 
@@ -431,38 +550,38 @@ func (w *Wallet) WatchFor(q Query, fn func(*core.Proof)) (cancel func()) {
 		fn(p)
 		return func() {}
 	}
-	w.mu.Lock()
+	w.watchMu.Lock()
 	id := w.nextID
 	w.nextID++
 	w.watches[id] = &watch{query: q, fn: fn}
-	w.mu.Unlock()
+	w.watchMu.Unlock()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			w.mu.Lock()
+			w.watchMu.Lock()
 			delete(w.watches, id)
-			w.mu.Unlock()
+			w.watchMu.Unlock()
 		})
 	}
 }
 
 // fireWatches re-runs pending watch queries after new credentials arrive.
 func (w *Wallet) fireWatches() {
-	w.mu.Lock()
+	w.watchMu.Lock()
 	pending := make(map[int]*watch, len(w.watches))
 	for id, wa := range w.watches {
 		pending[id] = wa
 	}
-	w.mu.Unlock()
+	w.watchMu.Unlock()
 	for id, wa := range pending {
 		p, err := w.QueryDirect(wa.query)
 		if err != nil {
 			continue
 		}
-		w.mu.Lock()
+		w.watchMu.Lock()
 		_, still := w.watches[id]
 		delete(w.watches, id)
-		w.mu.Unlock()
+		w.watchMu.Unlock()
 		if still {
 			wa.fn(p)
 		}
