@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench fuzz sim examples clean
+.PHONY: all check build vet test test-race race cover cover-check bench fuzz sim examples clean
+
+# Aggregate coverage floor enforced by cover-check (CI). Raise it as
+# coverage grows; never lower it to admit an under-tested change.
+COVER_FLOOR ?= 70.0
 
 all: build vet test
 
@@ -25,6 +29,15 @@ race: test-race
 
 cover:
 	$(GO) test -cover ./...
+
+# Fail if total statement coverage drops below COVER_FLOOR percent.
+cover-check:
+	$(GO) test -coverprofile=cover.out ./... > /dev/null
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/{sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover.out; \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(t+0 >= f+0)}' || \
+		{ echo "coverage $$total% is below floor $(COVER_FLOOR)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem .

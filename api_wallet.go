@@ -1,8 +1,12 @@
 package drbac
 
 import (
+	"io"
+	"log/slog"
+
 	"drbac/internal/clock"
 	"drbac/internal/graph"
+	"drbac/internal/obs"
 	"drbac/internal/subs"
 	"drbac/internal/wallet"
 )
@@ -40,6 +44,16 @@ type (
 	WalletStats = wallet.Stats
 	// ProofCacheStats reports proof-cache hit/miss/invalidation counters.
 	ProofCacheStats = wallet.CacheStats
+	// Obs bundles a structured logger and a metrics registry; components
+	// accept one (nil disables instrumentation).
+	Obs = obs.Obs
+	// MetricsRegistry is a name-keyed collection of counters, gauges, and
+	// latency histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is a point-in-time copy of one latency histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
 )
 
 // Monitor and event constants.
@@ -75,3 +89,19 @@ func SystemClock() Clock { return clock.System{} }
 
 // NewFakeClock returns a manually advanced clock pinned at start.
 var NewFakeClock = clock.NewFake
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewObs bundles a logger and a registry; either may be nil.
+func NewObs(log *slog.Logger, reg *MetricsRegistry) *Obs { return obs.New(log, reg) }
+
+// NewObsLogger builds a leveled slog logger writing text (or JSON) records
+// to w — the logging convention every instrumented component shares.
+func NewObsLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	return obs.NewLogger(w, level, jsonFormat)
+}
+
+// NewTraceID mints a trace identifier for a top-level operation; pass it in
+// Query.TraceID so local and remote wallets log under the same trace.
+func NewTraceID() string { return obs.NewTraceID() }

@@ -16,6 +16,7 @@
 //	               -subject Maria -object BigISP.member
 //	drbac revoke   -key bigisp.key -addr host:port -id <delegation-id>
 //	drbac monitor  -key maria.key -addr host:port -id <delegation-id> [-count 1] [-wait 30s]
+//	drbac stats    -key maria.key -addr host:port [-json]
 package main
 
 import (
@@ -23,7 +24,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"drbac/internal/core"
@@ -32,6 +35,7 @@ import (
 	"drbac/internal/subs"
 	"drbac/internal/transport"
 	"drbac/internal/wallet"
+	"drbac/internal/wire"
 )
 
 func main() {
@@ -43,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor> [flags]")
+		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -65,6 +69,8 @@ func run(args []string) error {
 		return cmdRevoke(rest)
 	case "monitor":
 		return cmdMonitor(rest)
+	case "stats":
+		return cmdStats(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -327,6 +333,88 @@ func dial(keyPath, addr string) (*remote.Client, error) {
 		return nil, err
 	}
 	return remote.Dial(&transport.TCPDialer{Identity: id}, addr)
+}
+
+// cmdStats fetches a remote wallet's state summary and metrics snapshot
+// over the wire protocol's stats message and renders it.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file for transport auth")
+	addr := fs.String("addr", "", "wallet address host:port")
+	asJSON := fs.Bool("json", false, "emit the raw snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *key == "" || *addr == "" {
+		return errors.New("stats: -key and -addr are required")
+	}
+	client, err := dial(*key, *addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	resp, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(resp, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	renderStats(os.Stdout, *addr, resp)
+	return nil
+}
+
+// renderStats pretty-prints a stats response: the wallet summary first, then
+// every metric the remote registry holds, names sorted.
+func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
+	fmt.Fprintf(w, "wallet %s\n", addr)
+	fmt.Fprintf(w, "  delegations  %d\n", resp.Delegations)
+	fmt.Fprintf(w, "  revoked      %d\n", resp.Revoked)
+	fmt.Fprintf(w, "  ttl-tracked  %d\n", resp.TTLTracked)
+	fmt.Fprintf(w, "  watches      %d\n", resp.Watches)
+	fmt.Fprintf(w, "proof cache\n")
+	fmt.Fprintf(w, "  hits         %d\n", resp.CacheHits)
+	fmt.Fprintf(w, "  misses       %d\n", resp.CacheMisses)
+	fmt.Fprintf(w, "  invalidated  %d\n", resp.CacheInvalidations)
+	fmt.Fprintf(w, "  entries      %d\n", resp.CacheEntries)
+	fmt.Fprintf(w, "  negatives    %d\n", resp.CacheNegatives)
+	if len(resp.Metrics.Counters) > 0 {
+		fmt.Fprintf(w, "counters\n")
+		for _, name := range sortedNames(resp.Metrics.Counters) {
+			fmt.Fprintf(w, "  %-44s %d\n", name, resp.Metrics.Counters[name])
+		}
+	}
+	if len(resp.Metrics.Gauges) > 0 {
+		fmt.Fprintf(w, "gauges\n")
+		for _, name := range sortedNames(resp.Metrics.Gauges) {
+			fmt.Fprintf(w, "  %-44s %d\n", name, resp.Metrics.Gauges[name])
+		}
+	}
+	if len(resp.Metrics.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms\n")
+		for _, name := range sortedNames(resp.Metrics.Histograms) {
+			h := resp.Metrics.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(w, "  %-44s count=%d mean=%.3fms\n", name, h.Count, mean*1000)
+		}
+	}
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // cmdMonitor subscribes to a delegation's status at a remote wallet

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"drbac/internal/obs"
+	"drbac/internal/wire"
+)
+
+func TestRenderStatsGolden(t *testing.T) {
+	resp := wire.StatsResp{
+		Delegations:        3,
+		Revoked:            1,
+		TTLTracked:         2,
+		Watches:            0,
+		CacheHits:          10,
+		CacheMisses:        4,
+		CacheInvalidations: 1,
+		CacheEntries:       5,
+		CacheNegatives:     2,
+		Metrics: obs.Snapshot{
+			Counters: map[string]int64{
+				"drbac_wallet_query_direct_total": 14,
+				"drbac_server_requests_total":     20,
+			},
+			Gauges: map[string]int64{"drbac_wallet_delegations": 3},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"drbac_wallet_query_seconds": {Count: 4, Sum: 0.008},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	renderStats(&buf, "wallet.example:7100", resp)
+	want := `wallet wallet.example:7100
+  delegations  3
+  revoked      1
+  ttl-tracked  2
+  watches      0
+proof cache
+  hits         10
+  misses       4
+  invalidated  1
+  entries      5
+  negatives    2
+counters
+  drbac_server_requests_total                  20
+  drbac_wallet_query_direct_total              14
+gauges
+  drbac_wallet_delegations                     3
+histograms
+  drbac_wallet_query_seconds                   count=4 mean=2.000ms
+`
+	if buf.String() != want {
+		t.Errorf("renderStats output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestRenderStatsOmitsEmptySections(t *testing.T) {
+	var buf bytes.Buffer
+	renderStats(&buf, "w", wire.StatsResp{})
+	out := buf.String()
+	for _, section := range []string{"counters", "gauges", "histograms"} {
+		if bytes.Contains([]byte(out), []byte(section)) {
+			t.Errorf("empty snapshot rendered section %q:\n%s", section, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"drbac/internal/obs"
+	"drbac/internal/wallet"
+)
+
+// TestDebugMux drives the -http endpoint set: /healthz golden output,
+// /metrics exposition, and the pprof index.
+func TestDebugMux(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := obs.New(nil, reg)
+	w := wallet.New(wallet.Config{Obs: o})
+	reg.Counter("drbac_server_requests_total").Add(17)
+
+	srv := httptest.NewServer(newDebugMux(o, w))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	if ctype != "application/json" {
+		t.Errorf("/healthz content-type = %q", ctype)
+	}
+	want := `{"status":"ok","delegations":0,"revoked":0,"ttlTracked":0,"watches":0}` + "\n"
+	if body != want {
+		t.Errorf("/healthz body = %q, want %q", body, want)
+	}
+
+	code, body, ctype = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ctype)
+	}
+	for _, line := range []string{
+		"# TYPE drbac_server_requests_total counter",
+		"drbac_server_requests_total 17",
+		"# TYPE drbac_wallet_delegations gauge",
+		"drbac_wallet_delegations 0",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing %q in:\n%s", line, body)
+		}
+	}
+
+	code, _, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}

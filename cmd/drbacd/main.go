@@ -5,15 +5,26 @@
 // Usage:
 //
 //	drbacd -key bigisp.key -listen 127.0.0.1:7100 [-load bundles/] [-strict]
+//	       [-http 127.0.0.1:7190] [-log-level debug] [-log-json]
 //
 // The -load directory may contain delegation bundle files (as written by
 // `drbac delegate`) that are published into the wallet at startup, in
 // filename order, so support proofs can precede their dependents.
+//
+// The optional -http listener serves operational endpoints: /metrics
+// (Prometheus text), /healthz (JSON wallet summary), and /debug/pprof.
+// All logging is structured (log/slog); -log-level debug adds the
+// per-request audit records and proof-search spans.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +34,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/keyfile"
+	"drbac/internal/obs"
 	"drbac/internal/remote"
 	"drbac/internal/transport"
 	"drbac/internal/wallet"
@@ -43,12 +55,22 @@ func run(args []string) error {
 	state := fs.String("state", "", "wallet state file: restored at startup, rewritten on every publication and revocation")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
+	httpAddr := fs.String("http", "", "debug listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := fs.Bool("log-json", false, "write logs as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *keyPath == "" {
 		return fmt.Errorf("-key is required")
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	o := obs.New(logger, obs.NewRegistry())
+
 	f, err := keyfile.ReadIdentity(*keyPath)
 	if err != nil {
 		return err
@@ -58,20 +80,20 @@ func run(args []string) error {
 		return err
 	}
 
-	w, err := openWallet(owner, *state, *strict)
+	w, err := openWallet(owner, *state, *strict, o)
 	if err != nil {
 		return err
 	}
 	if *state != "" {
-		fmt.Printf("restored %d delegations (%d revocations) from %s\n",
-			w.Len(), len(w.RevokedIDs()), *state)
+		logger.Info("state restored",
+			"delegations", w.Len(), "revocations", len(w.RevokedIDs()), "path", *state)
 	}
 	if *load != "" {
 		n, err := loadBundles(w, *load)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("loaded %d delegations from %s\n", n, *load)
+		logger.Info("bundles loaded", "delegations", n, "dir", *load)
 	}
 
 	ln, err := transport.ListenTCP(*listen, owner)
@@ -80,7 +102,23 @@ func run(args []string) error {
 	}
 	srv := remote.Serve(w, ln)
 	defer srv.Close()
-	fmt.Printf("drbacd: wallet of %s (%s) serving on %s\n", owner.Name(), owner.ID().Short(), ln.Addr())
+	logger.Info("serving",
+		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr())
+
+	if *httpAddr != "" {
+		dln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		hsrv := &http.Server{Handler: newDebugMux(o, w)}
+		defer hsrv.Close()
+		go func() {
+			if err := hsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		logger.Info("debug listener", "addr", dln.Addr().String())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -90,16 +128,50 @@ func run(args []string) error {
 		select {
 		case <-ticker.C:
 			if n := w.SweepExpired(); n > 0 {
-				fmt.Printf("swept %d expired delegations\n", n)
+				logger.Info("swept expired delegations", "count", n)
 			}
 			if n := w.SweepStaleCache(); n > 0 {
-				fmt.Printf("swept %d stale cached delegations\n", n)
+				logger.Info("swept stale cached delegations", "count", n)
 			}
 		case <-stop:
-			fmt.Println("shutting down")
+			logger.Info("shutting down")
 			return nil
 		}
 	}
+}
+
+// health is the /healthz payload: liveness plus the wallet-state summary an
+// operator checks first.
+type health struct {
+	Status      string `json:"status"`
+	Delegations int    `json:"delegations"`
+	Revoked     int    `json:"revoked"`
+	TTLTracked  int    `json:"ttlTracked"`
+	Watches     int    `json:"watches"`
+}
+
+// newDebugMux builds the -http endpoint set: Prometheus metrics, a JSON
+// health summary, and the standard pprof handlers.
+func newDebugMux(o *obs.Obs, w *wallet.Wallet) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		st := w.Stats()
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(health{
+			Status:      "ok",
+			Delegations: st.Delegations,
+			Revoked:     st.Revoked,
+			TTLTracked:  st.TTLTracked,
+			Watches:     st.Watches,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // openWallet builds the daemon's wallet. With a state path the wallet sits
@@ -107,8 +179,8 @@ func run(args []string) error {
 // the request is acknowledged, and a restarted daemon replays the file —
 // including the revocation set, so previously revoked credentials stay
 // refused — at construction. No separate save step exists anymore.
-func openWallet(owner *core.Identity, statePath string, strict bool) (*wallet.Wallet, error) {
-	cfg := wallet.Config{Owner: owner, StrictAttributes: strict}
+func openWallet(owner *core.Identity, statePath string, strict bool, o *obs.Obs) (*wallet.Wallet, error) {
+	cfg := wallet.Config{Owner: owner, StrictAttributes: strict, Obs: o}
 	if statePath != "" {
 		st, err := wallet.OpenFileStore(statePath)
 		if err != nil {

@@ -107,7 +107,7 @@ func TestStateSurvivesRestart(t *testing.T) {
 	doomed := issue("[User -> Org.writer] Org")
 
 	statePath := filepath.Join(t.TempDir(), "state.json")
-	w1, err := openWallet(org, statePath, false)
+	w1, err := openWallet(org, statePath, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestStateSurvivesRestart(t *testing.T) {
 	}
 	// No shutdown hook: the store persists every mutation synchronously.
 
-	w2, err := openWallet(org, statePath, false)
+	w2, err := openWallet(org, statePath, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

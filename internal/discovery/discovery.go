@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"drbac/internal/core"
+	"drbac/internal/obs"
 	"drbac/internal/remote"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
@@ -48,6 +49,12 @@ type Config struct {
 	// optimization (remote queries then carry the original constraints).
 	// Ablation switch for EXP-S2b.
 	DisableRangeAdjustment bool
+	// Obs, if non-nil, receives discovery metrics and spans: each Discover
+	// runs under a trace ID (minted here unless the query already carries
+	// one) that also propagates to every wallet home it queries, so one
+	// cross-wallet discovery reads as a single trace. When nil, the local
+	// wallet's own Obs is used instead.
+	Obs *obs.Obs
 }
 
 // DefaultMaxRounds bounds the breadth-first rounds of a discovery.
@@ -72,11 +79,40 @@ type Stats struct {
 	Trace              []TraceEvent
 }
 
+// agentMetrics holds the agent's pre-resolved instruments; the zero value
+// is inert (nil instruments no-op).
+type agentMetrics struct {
+	discoveries   *obs.Counter
+	found         *obs.Counter
+	rounds        *obs.Counter
+	remoteQueries *obs.Counter
+	fetched       *obs.Counter
+	contacted     *obs.Counter
+	latency       *obs.Histogram
+}
+
+func newAgentMetrics(o *obs.Obs) agentMetrics {
+	if o.Registry() == nil {
+		return agentMetrics{}
+	}
+	return agentMetrics{
+		discoveries:   o.Counter("drbac_discovery_total"),
+		found:         o.Counter("drbac_discovery_found_total"),
+		rounds:        o.Counter("drbac_discovery_rounds_total"),
+		remoteQueries: o.Counter("drbac_discovery_remote_queries_total"),
+		fetched:       o.Counter("drbac_discovery_delegations_fetched_total"),
+		contacted:     o.Counter("drbac_discovery_wallets_contacted_total"),
+		latency:       o.Histogram("drbac_discovery_seconds"),
+	}
+}
+
 // Agent performs distributed discovery against a local wallet. It learns
 // discovery tags from every credential it sees and caches connections to
 // wallet homes.
 type Agent struct {
 	cfg Config
+	obs *obs.Obs
+	m   agentMetrics
 
 	mu sync.Mutex
 	// tags is the agent's tag book: the home and flags for each graph node.
@@ -92,8 +128,14 @@ type Agent struct {
 
 // NewAgent builds a discovery agent over a local wallet.
 func NewAgent(cfg Config) *Agent {
+	o := cfg.Obs
+	if o == nil && cfg.Local != nil {
+		o = cfg.Local.Obs()
+	}
 	return &Agent{
 		cfg:      cfg,
+		obs:      o,
+		m:        newAgentMetrics(o),
 		tags:     make(map[core.Subject]core.DiscoveryTag),
 		clients:  make(map[string]*remote.Client),
 		origin:   make(map[core.DelegationID]string),
@@ -156,8 +198,10 @@ func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, err
 		var err error
 		c, err = remote.Dial(a.cfg.Dialer, tag.Home)
 		if err != nil {
+			a.obs.Log().Warn("discovery dial failed", "home", tag.Home, "error", err)
 			return nil, fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
 		}
+		c.Obs = a.obs
 		a.mu.Lock()
 		if existing, raced := a.clients[tag.Home]; raced {
 			a.mu.Unlock()
@@ -167,6 +211,7 @@ func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, err
 			a.clients[tag.Home] = c
 			a.mu.Unlock()
 		}
+		a.obs.Log().Debug("discovery dialed home", "home", tag.Home)
 		if stats != nil {
 			stats.WalletsContacted++
 		}
@@ -224,9 +269,41 @@ func (a *Agent) insertProofs(proofs []*core.Proof, from string, ttl time.Duratio
 // homes as directed by discovery tags. Fetched credentials are inserted
 // into the local wallet (Figure 2, step 5) so the final proof is assembled
 // locally. stats may be nil.
+//
+// Each Discover runs under a trace ID — q.TraceID, or one minted here —
+// that the local wallet logs under and that every remote query carries, so
+// the whole cross-wallet search reads as one trace.
 func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, error) {
+	if q.TraceID == "" {
+		q.TraceID = obs.NewTraceID()
+	}
+	// Accumulate effort even when the caller doesn't ask for it, so the
+	// metrics registry sees every discovery.
+	st := stats
+	if st == nil {
+		st = &Stats{}
+	}
+	a.m.discoveries.Inc()
+	sp := a.obs.StartSpan(q.TraceID, "discover",
+		"subject", q.Subject.String(), "object", q.Object.String())
+	p, err := a.discover(q, mode, st, sp)
+	d := sp.End("found", err == nil,
+		"rounds", st.Rounds, "remote_queries", st.RemoteQueries, "fetched", st.DelegationsFetched)
+	a.m.latency.Observe(d.Seconds())
+	if err == nil {
+		a.m.found.Inc()
+	}
+	a.m.rounds.Add(int64(st.Rounds))
+	a.m.remoteQueries.Add(int64(st.RemoteQueries))
+	a.m.fetched.Add(int64(st.DelegationsFetched))
+	a.m.contacted.Add(int64(st.WalletsContacted))
+	return p, err
+}
+
+func (a *Agent) discover(q wallet.Query, mode Mode, stats *Stats, sp *obs.Span) (*core.Proof, error) {
 	// Step: try locally first (Figure 2, step 2).
 	if p, err := a.cfg.Local.QueryDirect(q); err == nil {
+		sp.Event("local hit")
 		return p, nil
 	}
 
@@ -238,19 +315,17 @@ func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, 
 	queriedRev := make(map[core.Subject]bool)
 
 	for round := 1; round <= maxRounds; round++ {
-		if stats != nil {
-			stats.Rounds = round
-		}
+		stats.Rounds = round
 		progress := 0
 		if mode == Auto || mode == ForwardOnly {
-			n, found, err := a.forwardRound(q, mode, round, queriedFwd, stats)
+			n, found, err := a.forwardRound(q, mode, round, queriedFwd, stats, sp)
 			if err == nil && found != nil {
 				return found, nil
 			}
 			progress += n
 		}
 		if mode == Auto || mode == ReverseOnly {
-			n, found, err := a.reverseRound(q, mode, round, queriedRev, stats)
+			n, found, err := a.reverseRound(q, mode, round, queriedRev, stats, sp)
 			if err == nil && found != nil {
 				return found, nil
 			}
@@ -274,7 +349,7 @@ func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, 
 // home wallet. Queries carry constraints adjusted by the locally known
 // prefix modifiers (§4.2.3 "modulated attribute ranges"), so remote
 // wallets prune continuations the accumulated chain can no longer afford.
-func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats) (int, *core.Proof, error) {
+func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
 	frontier := []core.Subject{q.Subject}
 	prefixes := make(map[core.Subject][]core.Aggregate)
 	for _, p := range a.cfg.Local.QuerySubject(q.Subject, nil) {
@@ -309,11 +384,11 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirect(node, q.Object, remaining, 0)
+		p, err := c.QueryDirectTraced(q.TraceID, node, q.Object, remaining, 0)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
-			a.trace(stats, round, tag.Home, "direct", node.String(), 1)
+			a.trace(sp, stats, round, tag.Home, "direct", node.String(), 1)
 			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
 				return progress, full, nil
 			}
@@ -326,11 +401,11 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QuerySubject(node, remaining)
+		proofs, err := c.QuerySubjectTraced(q.TraceID, node, remaining)
 		if err != nil {
 			continue
 		}
-		a.trace(stats, round, tag.Home, "subject", node.String(), len(proofs))
+		a.trace(sp, stats, round, tag.Home, "subject", node.String(), len(proofs))
 		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
 	}
 	return progress, nil, nil
@@ -339,7 +414,7 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 // reverseRound expands the object-side frontier symmetrically: the locally
 // known suffix modifiers adjust the constraints the missing prefix must
 // still satisfy.
-func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats) (int, *core.Proof, error) {
+func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
 	frontier := []core.Role{q.Object}
 	suffixes := make(map[core.Role][]core.Aggregate)
 	for _, p := range a.cfg.Local.QueryObject(q.Object, nil) {
@@ -375,11 +450,11 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirect(q.Subject, role, remaining, 0)
+		p, err := c.QueryDirectTraced(q.TraceID, q.Subject, role, remaining, 0)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
-			a.trace(stats, round, tag.Home, "direct", node.String(), 1)
+			a.trace(sp, stats, round, tag.Home, "direct", node.String(), 1)
 			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
 				return progress, full, nil
 			}
@@ -391,11 +466,11 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QueryObject(role, remaining)
+		proofs, err := c.QueryObjectTraced(q.TraceID, role, remaining)
 		if err != nil {
 			continue
 		}
-		a.trace(stats, round, tag.Home, "object", node.String(), len(proofs))
+		a.trace(sp, stats, round, tag.Home, "object", node.String(), len(proofs))
 		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
 	}
 	return progress, nil, nil
@@ -607,11 +682,15 @@ func looseAdjust(constraints []core.Constraint, partials []core.Aggregate) []cor
 	return out
 }
 
-func (a *Agent) trace(stats *Stats, round int, home, kind, node string, results int) {
-	if stats == nil {
-		return
+// trace records one remote interaction both in the caller's Stats and as a
+// span event — the single sink the old ad-hoc trace helper and the obs
+// tracer now share.
+func (a *Agent) trace(sp *obs.Span, stats *Stats, round int, home, kind, node string, results int) {
+	if stats != nil {
+		stats.Trace = append(stats.Trace, TraceEvent{
+			Round: round, Wallet: home, Kind: kind, Node: node, Results: results,
+		})
 	}
-	stats.Trace = append(stats.Trace, TraceEvent{
-		Round: round, Wallet: home, Kind: kind, Node: node, Results: results,
-	})
+	sp.Event("remote query",
+		"round", round, "wallet", home, "kind", kind, "node", node, "results", results)
 }

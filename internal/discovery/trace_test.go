@@ -1,0 +1,244 @@
+package discovery
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/obs"
+	"drbac/internal/remote"
+	"drbac/internal/wallet"
+)
+
+// syncBuf is a concurrency-safe log sink: server goroutines keep writing
+// while the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, s.b.Len())
+	copy(out, s.b.Bytes())
+	return out
+}
+
+// traceIDs extracts the distinct non-empty "trace" attribute values from a
+// JSON log stream.
+func traceIDs(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		if id, ok := rec["trace"].(string); ok && id != "" {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// serveTraced starts a served wallet owned by ownerName at addr with a
+// debug-level JSON logger, returning the wallet and its log sink.
+func serveTraced(t *testing.T, e *env, addr, ownerName string) (*wallet.Wallet, *syncBuf) {
+	t.Helper()
+	buf := &syncBuf{}
+	o := obs.New(obs.NewLogger(buf, slog.LevelDebug, true), obs.NewRegistry())
+	w := wallet.New(wallet.Config{Owner: e.id(ownerName), Clock: e.clk, Directory: e.dir, Obs: o})
+	ln, err := e.net.Listen(addr, e.id(ownerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := remote.Serve(w, ln)
+	t.Cleanup(s.Close)
+	return w, buf
+}
+
+// TestTraceIDPropagatesAcrossWallets runs a two-wallet chain discovery and
+// asserts the whole operation — the local agent's span, wallet A's request
+// log, and wallet B's request log — shares exactly one trace ID.
+func TestTraceIDPropagatesAcrossWallets(t *testing.T) {
+	e := newEnv(t, "A", "B", "User", "Server")
+	wa, bufA := serveTraced(t, e, "wallet.a", "A")
+	wb, bufB := serveTraced(t, e, "wallet.b", "B")
+
+	tagA := e.tag("wallet.a", core.SubjectSearch, core.ObjectNone)
+	tagB := e.tag("wallet.b", core.SubjectSearch, core.ObjectNone)
+
+	// d1: local, object-tagged to wallet.a where the chain continues.
+	parsed, err := core.ParseDelegation("[User -> A.member] A", e.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Template.ObjectTag = &tagA
+	d1, err := core.Issue(e.id("A"), parsed.Template, e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// d2: at wallet.a, object-tagged to wallet.b.
+	parsed, err = core.ParseDelegation("[A.member -> B.mid] B", e.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Template.SubjectTag = &tagA
+	parsed.Template.ObjectTag = &tagB
+	d2, err := core.Issue(e.id("B"), parsed.Template, e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Publish(d2); err != nil {
+		t.Fatal(err)
+	}
+
+	// d3: at wallet.b, completes the chain.
+	parsed, err = core.ParseDelegation("[B.mid -> B.guest] B", e.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Template.SubjectTag = &tagB
+	d3, err := core.Issue(e.id("B"), parsed.Template, e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Publish(d3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The local agent, its own wallet instrumented too.
+	localBuf := &syncBuf{}
+	o := obs.New(obs.NewLogger(localBuf, slog.LevelDebug, true), obs.NewRegistry())
+	local := wallet.New(wallet.Config{Owner: e.id("Server"), Clock: e.clk, Directory: e.dir, Obs: o})
+	agent := NewAgent(Config{Local: local, Dialer: e.net.Dialer(e.id("Server"))})
+	t.Cleanup(agent.Close)
+	if err := local.Publish(d1); err != nil {
+		t.Fatal(err)
+	}
+	agent.Learn(d1)
+
+	var stats Stats
+	proof, err := agent.Discover(wallet.Query{
+		Subject: e.subject("User"),
+		Object:  e.role("B.guest"),
+	}, Auto, &stats)
+	if err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	if proof.Len() != 3 {
+		t.Fatalf("proof length = %d, want 3", proof.Len())
+	}
+	if stats.WalletsContacted != 2 {
+		t.Fatalf("wallets contacted = %d, want 2", stats.WalletsContacted)
+	}
+
+	// The agent minted exactly one trace ID, visible in its own span log.
+	localIDs := traceIDs(t, localBuf.Bytes())
+	if len(localIDs) != 1 {
+		t.Fatalf("local log has %d trace IDs, want 1: %v", len(localIDs), localIDs)
+	}
+	var tid string
+	for id := range localIDs {
+		tid = id
+	}
+
+	// The audit records land after the response is sent; give each server a
+	// moment to flush before asserting.
+	deadline := time.Now().Add(2 * time.Second)
+	var idsA, idsB map[string]bool
+	for {
+		idsA = traceIDs(t, bufA.Bytes())
+		idsB = traceIDs(t, bufB.Bytes())
+		if (len(idsA) > 0 && len(idsB) > 0) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for name, ids := range map[string]map[string]bool{"wallet.a": idsA, "wallet.b": idsB} {
+		if len(ids) != 1 || !ids[tid] {
+			t.Errorf("%s logged trace IDs %v, want exactly {%s}", name, ids, tid)
+		}
+	}
+}
+
+// TestDiscoverHonorsCallerTraceID checks a caller-supplied trace ID is used
+// as-is instead of minting a new one.
+func TestDiscoverHonorsCallerTraceID(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria", "Server")
+	localBuf := &syncBuf{}
+	o := obs.New(obs.NewLogger(localBuf, slog.LevelDebug, true), nil)
+	local := wallet.New(wallet.Config{Owner: e.id("Server"), Clock: e.clk, Directory: e.dir, Obs: o})
+	agent := NewAgent(Config{Local: local, Dialer: e.net.Dialer(e.id("Server"))})
+	t.Cleanup(agent.Close)
+
+	if err := local.Publish(e.deleg("[Maria -> BigISP.member] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	const want = "feedface00000001"
+	if _, err := agent.Discover(wallet.Query{
+		Subject: e.subject("Maria"),
+		Object:  e.role("BigISP.member"),
+		TraceID: want,
+	}, Auto, nil); err != nil {
+		t.Fatal(err)
+	}
+	ids := traceIDs(t, localBuf.Bytes())
+	if len(ids) != 1 || !ids[want] {
+		t.Fatalf("trace IDs = %v, want exactly {%s}", ids, want)
+	}
+}
+
+// TestDiscoveryMetrics checks the agent mirrors search effort into its
+// registry even when the caller passes nil stats.
+func TestDiscoveryMetrics(t *testing.T) {
+	e := newEnv(t, "BigISP", "AirNet", "Mark", "Sheila", "Maria", "AirNetServer")
+	cs := setupCaseStudy(t, e)
+
+	reg := obs.NewRegistry()
+	agent := NewAgent(Config{
+		Local:  cs.serverWallet,
+		Dialer: e.net.Dialer(e.id("AirNetServer")),
+		Obs:    obs.New(nil, reg),
+	})
+	t.Cleanup(agent.Close)
+	agent.Learn(cs.d1)
+
+	if _, err := agent.Discover(cs.query, Auto, nil); err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["drbac_discovery_total"]; got != 1 {
+		t.Errorf("drbac_discovery_total = %d, want 1", got)
+	}
+	if got := s.Counters["drbac_discovery_found_total"]; got != 1 {
+		t.Errorf("drbac_discovery_found_total = %d, want 1", got)
+	}
+	if s.Counters["drbac_discovery_remote_queries_total"] == 0 {
+		t.Error("remote queries not counted")
+	}
+	if got := s.Counters["drbac_discovery_wallets_contacted_total"]; got != 2 {
+		t.Errorf("wallets contacted = %d, want 2", got)
+	}
+	if s.Counters["drbac_discovery_delegations_fetched_total"] == 0 {
+		t.Error("fetched delegations not counted")
+	}
+	if h := s.Histograms["drbac_discovery_seconds"]; h.Count != 1 {
+		t.Errorf("discovery latency observations = %d, want 1", h.Count)
+	}
+}

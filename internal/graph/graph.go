@@ -278,6 +278,14 @@ type Stats struct {
 	Pruned int
 }
 
+// Add folds other's counters into s — the wallet uses it to mirror
+// per-search effort into its long-lived metrics registry.
+func (s *Stats) Add(other Stats) {
+	s.EdgesExplored += other.EdgesExplored
+	s.NodesVisited += other.NodesVisited
+	s.Pruned += other.Pruned
+}
+
 // Options parameterizes searches.
 type Options struct {
 	// At is the evaluation instant; expired delegations are invisible.

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// NewLogger builds a structured logger writing to w at the given level —
+// JSON when jsonFormat is set (one object per line, machine-ingestable),
+// logfmt-style text otherwise.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// discardHandler drops every record (implemented locally so the module
+// keeps building on Go toolchains predating slog.DiscardHandler).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var discardLogger = slog.New(discardHandler{})
+
+// DiscardLogger returns a logger that drops everything — the default for
+// components constructed without observability.
+func DiscardLogger() *slog.Logger { return discardLogger }

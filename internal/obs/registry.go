@@ -1,0 +1,353 @@
+// Package obs is the observability substrate every dRBAC layer reports
+// into: a lightweight metrics registry (atomic counters, gauges, and
+// latency histograms exportable as a JSON snapshot or Prometheus text), a
+// log/slog-based structured-logging convention, and a span-style tracer
+// whose trace IDs propagate over the wallet wire protocol so a multi-wallet
+// chain discovery (§4.2.1) yields one coherent cross-wallet trace.
+//
+// Instruments are nil-receiver safe: a nil *Counter, *Gauge, *Histogram,
+// *Obs, or *Span is a no-op, so uninstrumented components (tests,
+// simulations) pay a single pointer test per event and no allocation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up). Safe on a
+// nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. Safe on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds,
+// spanning 10µs..2.5s — the range wallet operations (cache hit ≈ µs, cold
+// graph search ≈ 100µs, cross-wallet discovery ≈ ms..s) actually occupy.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram (cumulative on export, like
+// Prometheus classic histograms).
+type Histogram struct {
+	bounds  []float64      // sorted upper bounds; +Inf is implicit
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one measurement (in seconds). Safe on a nil receiver.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound in seconds;
+	// math.Inf(1) marks the final catch-all bucket (serialized as the JSON
+	// string "+Inf" would not round-trip, so it is omitted and implied).
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative number of observations <= UpperBound.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: b, Count: cum})
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry. It is
+// JSON-serializable and rides the wallet wire protocol's stats message.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry is a concurrency-safe, name-keyed collection of instruments.
+// Instruments are created on first use and live for the registry's
+// lifetime; accessors are get-or-create and safe on a nil receiver (they
+// then return nil, i.e. no-op instruments).
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as the named gauge's value source, evaluated at
+// snapshot/export time. Re-registering a name replaces the previous
+// function (a wallet rebuilt on the same registry takes the name over).
+// Safe on a nil receiver.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (seconds) if needed; no buckets means DefBuckets. Buckets of
+// an existing histogram are not changed.
+func (r *Registry) Histogram(name string, buckets ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies every instrument's current value. Gauge functions are
+// evaluated inline (they may take locks of their owning component). A nil
+// registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for n, fn := range r.gaugeFuncs {
+		funcs[n] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)+len(funcs)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, fn := range funcs {
+		s.Gauges[n] = fn()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), names sorted for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, h.Count, name, strconv.FormatFloat(h.Sum, 'g', -1, 64), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MetricsHandler serves the registry in Prometheus text format — the
+// drbacd debug listener mounts it at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one counter, gauge, and histogram from
+// many goroutines; exact final values prove the instruments are atomic
+// (and -race proves them clean).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Errorf("gauge = %d, want %d", got, workers*per)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*per)
+	}
+	if want := float64(workers*per) * 0.001; math.Abs(h.Sum-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.002, 0.05, 5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	wantCum := []int64{1, 2, 3} // cumulative per bucket; +Inf holds all 4
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%g count = %d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("live", func() int64 { return v })
+	if got := r.Snapshot().Gauges["live"]; got != 7 {
+		t.Fatalf("gauge func = %d, want 7", got)
+	}
+	v = 9
+	if got := r.Snapshot().Gauges["live"]; got != 9 {
+		t.Fatalf("gauge func = %d, want 9", got)
+	}
+	// Re-registration replaces.
+	r.GaugeFunc("live", func() int64 { return -1 })
+	if got := r.Snapshot().Gauges["live"]; got != -1 {
+		t.Fatalf("replaced gauge func = %d, want -1", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact text exposition output for a
+// small registry.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drbac_wallet_publish_total").Add(3)
+	r.Gauge("drbac_wallet_delegations").Set(2)
+	h := r.Histogram("drbac_wallet_query_seconds", 0.001, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE drbac_wallet_publish_total counter
+drbac_wallet_publish_total 3
+# TYPE drbac_wallet_delegations gauge
+drbac_wallet_delegations 2
+# TYPE drbac_wallet_query_seconds histogram
+drbac_wallet_query_seconds_bucket{le="0.001"} 1
+drbac_wallet_query_seconds_bucket{le="0.1"} 2
+drbac_wallet_query_seconds_bucket{le="+Inf"} 2
+drbac_wallet_query_seconds_sum 0.0505
+drbac_wallet_query_seconds_count 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	want := "# TYPE up counter\nup 1\n"
+	if string(body) != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+}
+
+// TestNilSafety proves every instrument and the Obs bundle tolerate nil.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.GaugeFunc("x", func() int64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot non-empty")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Error(err)
+	}
+	var o *Obs
+	o.Counter("x").Inc()
+	o.Histogram("x").Observe(1)
+	o.Log().Info("dropped")
+	if o.DebugEnabled() {
+		t.Error("nil obs debug-enabled")
+	}
+	sp := o.StartSpan("t", "s")
+	sp.Event("e")
+	if sp.TraceID() != "" {
+		t.Error("nil span has trace id")
+	}
+	sp.End()
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(-5)
+	if c.Value() != 0 {
+		t.Errorf("counter went negative: %d", c.Value())
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// traceFallback seeds trace IDs when crypto/rand is unavailable.
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-character trace identifier. Trace IDs
+// are minted once per top-level operation (a discovery, a CLI request) and
+// propagate over the wire protocol's traceId field so every wallet touched
+// by the operation logs under the same ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		v := traceFallback.Add(1)
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Obs bundles the two observability channels a component reports into: a
+// structured logger and a metrics registry. Components accept a *Obs and
+// tolerate nil (all methods no-op), so instrumentation is strictly opt-in.
+type Obs struct {
+	log *slog.Logger
+	reg *Registry
+}
+
+// New bundles a logger and a registry. Either may be nil.
+func New(log *slog.Logger, reg *Registry) *Obs {
+	return &Obs{log: log, reg: reg}
+}
+
+// Log returns the logger, never nil (a discard logger stands in).
+func (o *Obs) Log() *slog.Logger {
+	if o == nil || o.log == nil {
+		return discardLogger
+	}
+	return o.log
+}
+
+// Registry returns the metrics registry, which may be nil.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Counter resolves a counter from the registry (nil when uninstrumented —
+// still safe to Inc). Components resolve their hot-path counters once at
+// construction instead of per event.
+func (o *Obs) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Histogram resolves a histogram from the registry (nil when
+// uninstrumented — still safe to Observe).
+func (o *Obs) Histogram(name string, buckets ...float64) *Histogram {
+	return o.Registry().Histogram(name, buckets...)
+}
+
+// DebugEnabled reports whether debug-level records would be emitted,
+// letting hot paths skip attribute assembly entirely.
+func (o *Obs) DebugEnabled() bool {
+	if o == nil || o.log == nil {
+		return false
+	}
+	return o.log.Enabled(context.Background(), slog.LevelDebug)
+}
+
+// Span is one timed region of a trace. Spans log their start, events, and
+// end (with duration) at debug level, each record carrying the trace ID and
+// span name so a cross-wallet operation reads as one story. A nil span
+// (from a nil *Obs) is a no-op.
+type Span struct {
+	o     *Obs
+	trace string
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span under the given trace ID, logging "span start"
+// with the supplied attributes.
+func (o *Obs) StartSpan(traceID, name string, args ...any) *Span {
+	if o == nil {
+		return nil
+	}
+	s := &Span{o: o, trace: traceID, name: name, start: time.Now()}
+	o.Log().Debug("span start", s.withIDs(args)...)
+	return s
+}
+
+// TraceID returns the span's trace identifier ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Event logs one point-in-time occurrence inside the span.
+func (s *Span) Event(msg string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.o.Log().Debug(msg, s.withIDs(args)...)
+}
+
+// End closes the span, logging "span end" with its duration and the
+// supplied attributes, and returns the duration.
+func (s *Span) End(args ...any) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	args = append(args, "duration_ms", float64(d.Microseconds())/1000)
+	s.o.Log().Debug("span end", s.withIDs(args)...)
+	return d
+}
+
+func (s *Span) withIDs(args []any) []any {
+	out := make([]any, 0, len(args)+4)
+	out = append(out, "trace", s.trace, "span", s.name)
+	return append(out, args...)
+}

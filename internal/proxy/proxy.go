@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"drbac/internal/core"
+	"drbac/internal/obs"
 	"drbac/internal/remote"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
@@ -36,6 +37,9 @@ type Config struct {
 	// TTL is the coherence window for pulled credentials; zero caches
 	// permanently (credentials still drop on upstream revocation).
 	TTL time.Duration
+	// Obs, if non-nil, receives proxy hit/pull metrics and logs; when nil,
+	// the local cache wallet's Obs is used instead.
+	Obs *obs.Obs
 }
 
 // Proxy is a pull-through, subscription-coherent wallet cache.
@@ -47,6 +51,11 @@ type Proxy struct {
 	// event there kills the affected memoized answers first.
 	front    *wallet.ProofCache
 	unsubAll func()
+	obs      *obs.Obs
+	// mHits/mPulls mirror the hits/pulls counters into the metrics registry
+	// (nil, hence no-op, when uninstrumented).
+	mHits  *obs.Counter
+	mPulls *obs.Counter
 
 	mu      sync.Mutex
 	cancels map[core.DelegationID]func()
@@ -62,9 +71,16 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Local == nil || cfg.Upstream == nil {
 		return nil, errors.New("proxy: Local and Upstream are required")
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = cfg.Local.Obs()
+	}
 	p := &Proxy{
 		cfg:     cfg,
 		front:   wallet.NewProofCache(0),
+		obs:     o,
+		mHits:   o.Counter("drbac_proxy_hits_total"),
+		mPulls:  o.Counter("drbac_proxy_pulls_total"),
 		cancels: make(map[core.DelegationID]func()),
 	}
 	p.unsubAll = cfg.Local.SubscribeAll(func(ev subs.Event) {
@@ -114,6 +130,7 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 			p.mu.Lock()
 			p.hits++
 			p.mu.Unlock()
+			p.mHits.Inc()
 			return proof, nil
 		}
 	}
@@ -124,6 +141,7 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 		p.mu.Lock()
 		p.hits++
 		p.mu.Unlock()
+		p.mHits.Inc()
 		return proof, nil
 	} else if !errors.Is(err, core.ErrNoProof) {
 		return nil, err
@@ -131,8 +149,13 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 	p.mu.Lock()
 	p.pulls++
 	p.mu.Unlock()
+	p.mPulls.Inc()
+	p.obs.Log().Debug("proxy pull-through",
+		"trace", q.TraceID, "subject", q.Subject.String(), "object", q.Object.String())
 
-	proof, err := p.cfg.Upstream.QueryDirect(q.Subject, q.Object, q.Constraints, q.Direction)
+	// The pull carries the caller's trace ID upstream, so a downstream
+	// query that misses the whole hierarchy reads as one trace.
+	proof, err := p.cfg.Upstream.QueryDirectTraced(q.TraceID, q.Subject, q.Object, q.Constraints, q.Direction)
 	if err != nil {
 		return nil, err
 	}
@@ -216,5 +239,6 @@ func (p *Proxy) ensureSubscribed(id core.DelegationID) error {
 func (p *Proxy) Serve(ln transport.Listener) *remote.Server {
 	return remote.ServeOptions(p.cfg.Local, ln, remote.Options{
 		DirectFallback: p.QueryDirect,
+		Obs:            p.obs,
 	})
 }

@@ -8,6 +8,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/graph"
+	"drbac/internal/obs"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
 	"drbac/internal/wire"
@@ -25,6 +26,9 @@ type Client struct {
 	conn transport.Conn
 	// CallTimeout bounds each request; zero means DefaultCallTimeout.
 	CallTimeout time.Duration
+	// Obs, if set before the client is used, receives connection-failure
+	// logs (a nil Obs discards them).
+	Obs *obs.Obs
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -156,11 +160,18 @@ func (c *Client) failPending(err error) {
 	c.mu.Lock()
 	pending := c.pending
 	c.pending = make(map[uint64]chan wire.Envelope)
+	closed := c.closed
 	c.mu.Unlock()
 	for _, ch := range pending {
 		close(ch)
 	}
-	_ = err
+	// Recv errors during an orderly Close are expected; anything else is a
+	// dropped peer worth surfacing (the failed calls only report
+	// ErrClientClosed, not the cause).
+	if !closed {
+		c.Obs.Log().Warn("remote connection lost",
+			"peer", c.conn.Peer().ID().Short(), "pending", len(pending), "error", err)
+	}
 }
 
 // call sends one request and waits for the matching response.
@@ -242,11 +253,19 @@ func (c *Client) Publish(d *core.Delegation, support []*core.Proof, ttl time.Dur
 
 // QueryDirect asks the remote wallet for a proof subject ⇒ object.
 func (c *Client) QueryDirect(subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
+	return c.QueryDirectTraced("", subject, object, constraints, direction)
+}
+
+// QueryDirectTraced is QueryDirect carrying a trace ID: the serving wallet
+// logs the request (and runs its query) under the caller's trace, so a
+// multi-wallet discovery reads as one trace across every wallet it touched.
+func (c *Client) QueryDirectTraced(traceID string, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
 	env, err := c.call(wire.TQueryDirect, wire.QueryReq{
 		Subject:     subject,
 		Object:      object,
 		Constraints: constraints,
 		Direction:   direction,
+		TraceID:     traceID,
 	})
 	if err != nil {
 		return nil, err
@@ -260,7 +279,12 @@ func (c *Client) QueryDirect(subject core.Subject, object core.Role, constraints
 
 // QuerySubject asks for all sub-proofs subject ⇒ *.
 func (c *Client) QuerySubject(subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints})
+	return c.QuerySubjectTraced("", subject, constraints)
+}
+
+// QuerySubjectTraced is QuerySubject carrying a trace ID.
+func (c *Client) QuerySubjectTraced(traceID string, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints, TraceID: traceID})
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +297,12 @@ func (c *Client) QuerySubject(subject core.Subject, constraints []core.Constrain
 
 // QueryObject asks for all sub-proofs * ⇒ object.
 func (c *Client) QueryObject(object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints})
+	return c.QueryObjectTraced("", object, constraints)
+}
+
+// QueryObjectTraced is QueryObject carrying a trace ID.
+func (c *Client) QueryObjectTraced(traceID string, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints, TraceID: traceID})
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +311,20 @@ func (c *Client) QueryObject(object core.Role, constraints []core.Constraint) ([
 		return nil, err
 	}
 	return resp.Proofs, nil
+}
+
+// Stats fetches the remote wallet's state summary and metrics snapshot —
+// what `drbac stats` renders.
+func (c *Client) Stats() (wire.StatsResp, error) {
+	env, err := c.call(wire.TStats, struct{}{})
+	if err != nil {
+		return wire.StatsResp{}, err
+	}
+	var resp wire.StatsResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.StatsResp{}, err
+	}
+	return resp, nil
 }
 
 // Subscribe registers for push notifications about one delegation (§4.2.2)

@@ -1,0 +1,213 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"drbac/internal/obs"
+	"drbac/internal/subs"
+	"drbac/internal/wallet"
+)
+
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) Bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, s.b.Len())
+	copy(out, s.b.Bytes())
+	return out
+}
+
+// serveInstrumented starts a served wallet with a metrics registry and a
+// debug JSON logger.
+func serveInstrumented(e *env, addr, ownerName string) (*wallet.Wallet, *obs.Registry, *syncBuf) {
+	e.t.Helper()
+	buf := &syncBuf{}
+	reg := obs.NewRegistry()
+	o := obs.New(obs.NewLogger(buf, slog.LevelDebug, true), reg)
+	w := wallet.New(wallet.Config{Owner: e.id(ownerName), Clock: e.clk, Directory: e.dir, Obs: o})
+	ln, err := e.net.Listen(addr, e.id(ownerName))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	s := Serve(w, ln)
+	e.t.Cleanup(s.Close)
+	return w, reg, buf
+}
+
+// TestStatsMessage publishes and queries against an instrumented served
+// wallet, then fetches the stats snapshot remotely — the wire path behind
+// `drbac stats`.
+func TestStatsMessage(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	srvW, _, _ := serveInstrumented(e, "wallet.main", "BigISP")
+	d := e.deleg("[Mark -> BigISP.memberServices] BigISP")
+	if err := srvW.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	// One remote hit and one remote no-proof, so counters move.
+	if _, err := c.QueryDirect(e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.memberServices"), nil, 0); err == nil {
+		t.Fatal("expected no proof")
+	}
+
+	resp, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Delegations != 1 {
+		t.Errorf("delegations = %d, want 1", resp.Delegations)
+	}
+	// 2 queries + the stats request itself have been served by now.
+	if got := resp.Metrics.Counters["drbac_server_requests_total"]; got < 2 {
+		t.Errorf("server requests = %d, want >= 2", got)
+	}
+	if got := resp.Metrics.Counters["drbac_server_noproof_total"]; got != 1 {
+		t.Errorf("server noproof = %d, want 1", got)
+	}
+	if got := resp.Metrics.Counters["drbac_wallet_query_direct_total"]; got != 2 {
+		t.Errorf("wallet direct queries = %d, want 2", got)
+	}
+	if got := resp.Metrics.Gauges["drbac_wallet_delegations"]; got != 1 {
+		t.Errorf("delegations gauge = %d, want 1", got)
+	}
+	if h := resp.Metrics.Histograms["drbac_server_request_seconds"]; h.Count < 2 {
+		t.Errorf("request latency observations = %d, want >= 2", h.Count)
+	}
+	if len(resp.Metrics.Histograms["drbac_server_request_seconds"].Buckets) == 0 {
+		t.Error("histogram buckets lost on the wire")
+	}
+}
+
+// TestStatsOnUninstrumentedServer checks the stats message still answers
+// (wallet summary only, empty metrics) when the server has no Obs.
+func TestStatsOnUninstrumentedServer(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	_, w := e.serve("wallet.bigisp", "BigISP")
+	if err := w.Publish(e.deleg("[Mark -> BigISP.memberServices] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	c := e.dial("wallet.bigisp", "Maria")
+	resp, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Delegations != 1 {
+		t.Errorf("delegations = %d, want 1", resp.Delegations)
+	}
+	if len(resp.Metrics.Counters) != 0 || len(resp.Metrics.Histograms) != 0 {
+		t.Errorf("uninstrumented server exported metrics: %+v", resp.Metrics)
+	}
+}
+
+// TestServerAuditLog checks every request type leaves a structured audit
+// record naming the peer and the outcome.
+func TestServerAuditLog(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	w, _, buf := serveInstrumented(e, "wallet.bigisp", "BigISP")
+	if err := w.Publish(e.deleg("[Mark -> BigISP.memberServices] BigISP")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.QueryDirect(e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The audit record is written after the response is sent; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var got map[string]any
+		for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+			if len(line) == 0 {
+				continue
+			}
+			var rec map[string]any
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("bad log line %q: %v", line, err)
+			}
+			if rec["msg"] == "request" && rec["type"] == "query-direct" {
+				got = rec
+			}
+		}
+		if got != nil {
+			if got["peer"] != e.id("Maria").ID().Short() {
+				t.Errorf("audit peer = %v, want %s", got["peer"], e.id("Maria").ID().Short())
+			}
+			if got["found"] != true {
+				t.Errorf("audit found = %v, want true", got["found"])
+			}
+			if _, ok := got["duration_ms"]; !ok {
+				t.Error("audit record missing duration_ms")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no query-direct audit record in logs:\n%s", buf.Bytes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPushMetrics checks notification pushes are counted.
+func TestPushMetrics(t *testing.T) {
+	e := newEnv(t, "BigISP", "Mark", "Maria")
+	w, reg, _ := serveInstrumented(e, "wallet.bigisp", "BigISP")
+	d := e.deleg("[Mark -> BigISP.memberServices] BigISP")
+	if err := w.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	got := make(chan struct{}, 1)
+	cancel, err := c.Subscribe(d.ID(), func(subs.Event) { got <- struct{}{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if err := w.Revoke(d.ID(), e.id("BigISP").ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("push not delivered")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Snapshot().Counters["drbac_server_pushes_total"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("push not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

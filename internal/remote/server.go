@@ -1,7 +1,8 @@
 // Package remote serves a wallet over the authenticated transport and
 // provides the client stubs used by distributed discovery (§4.2): remote
 // publication, the three query kinds, delegation subscriptions with push
-// notifications, revocation, and home-wallet authorization proofs.
+// notifications, revocation, home-wallet authorization proofs, and metrics
+// snapshots.
 package remote
 
 import (
@@ -11,16 +12,48 @@ import (
 	"time"
 
 	"drbac/internal/core"
+	"drbac/internal/obs"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
 	"drbac/internal/wallet"
 	"drbac/internal/wire"
 )
 
+// serverMetrics holds the server's pre-resolved instruments; the zero
+// value is inert (nil instruments no-op).
+type serverMetrics struct {
+	requests    *obs.Counter
+	errors      *obs.Counter
+	noProof     *obs.Counter
+	pushes      *obs.Counter
+	pushErrors  *obs.Counter
+	connections *obs.Counter
+	activeConns *obs.Gauge
+	latency     *obs.Histogram
+}
+
+func newServerMetrics(o *obs.Obs) serverMetrics {
+	if o.Registry() == nil {
+		return serverMetrics{}
+	}
+	return serverMetrics{
+		requests:    o.Counter("drbac_server_requests_total"),
+		errors:      o.Counter("drbac_server_errors_total"),
+		noProof:     o.Counter("drbac_server_noproof_total"),
+		pushes:      o.Counter("drbac_server_pushes_total"),
+		pushErrors:  o.Counter("drbac_server_push_errors_total"),
+		connections: o.Counter("drbac_server_connections_total"),
+		activeConns: o.Registry().Gauge("drbac_server_active_connections"),
+		latency:     o.Histogram("drbac_server_request_seconds"),
+	}
+}
+
 // Server exposes one wallet to the network.
 type Server struct {
-	w  *wallet.Wallet
-	ln transport.Listener
+	w   *wallet.Wallet
+	ln  transport.Listener
+	obs *obs.Obs
+	m   serverMetrics
 	// directFallback, when set, is consulted after a direct query misses
 	// the wallet — the hook hierarchical caching proxies use to pull
 	// credentials through from an upstream wallet (§6).
@@ -38,11 +71,18 @@ type Options struct {
 	// non-nil proof it returns is served to the client. Used by
 	// pull-through caches.
 	DirectFallback func(wallet.Query) (*core.Proof, error)
+	// Obs, if non-nil, receives the server's structured request/audit log
+	// (who published/queried/revoked what, proof found or not, latency)
+	// and request/push/connection metrics. Share the wallet's Obs so one
+	// registry exports the whole daemon.
+	Obs *obs.Obs
 }
 
 // Serve starts accepting connections for w on ln. Close shuts it down.
+// The served wallet's own Obs (if any) also observes the server, so a
+// wallet-plus-server daemon needs a single bundle.
 func Serve(w *wallet.Wallet, ln transport.Listener) *Server {
-	return ServeOptions(w, ln, Options{})
+	return ServeOptions(w, ln, Options{Obs: w.Obs()})
 }
 
 // ServeOptions is Serve with customization.
@@ -50,6 +90,8 @@ func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server
 	s := &Server{
 		w:              w,
 		ln:             ln,
+		obs:            opts.Obs,
+		m:              newServerMetrics(opts.Obs),
 		directFallback: opts.DirectFallback,
 		conns:          make(map[transport.Conn]bool),
 	}
@@ -79,9 +121,13 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 
-	_ = s.ln.Close()
+	if err := s.ln.Close(); err != nil {
+		s.obs.Log().Debug("server listener close", "error", err)
+	}
 	for _, c := range conns {
-		_ = c.Close()
+		if err := c.Close(); err != nil {
+			s.obs.Log().Debug("server connection close", "error", err)
+		}
 	}
 	s.wg.Wait()
 }
@@ -91,6 +137,12 @@ func (s *Server) acceptLoop() {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.obs.Log().Warn("server accept failed", "error", err)
+			}
 			return
 		}
 		s.mu.Lock()
@@ -101,6 +153,9 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
+		s.m.connections.Inc()
+		s.m.activeConns.Add(1)
+		s.obs.Log().Debug("connection open", "peer", conn.Peer().ID().Short())
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
@@ -138,6 +193,7 @@ const maxInflightPerConn = 64
 
 func (s *Server) handleConn(conn transport.Conn) {
 	defer s.wg.Done()
+	peer := conn.Peer().ID().Short()
 	cs := &connState{conn: conn, cancels: make(map[core.DelegationID]func())}
 	var inflight sync.WaitGroup
 	defer func() {
@@ -148,10 +204,14 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		cs.cancels = nil
 		cs.subMu.Unlock()
-		_ = conn.Close()
+		if err := conn.Close(); err != nil {
+			s.obs.Log().Debug("connection close", "peer", peer, "error", err)
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.m.activeConns.Add(-1)
+		s.obs.Log().Debug("connection closed", "peer", peer)
 	}()
 
 	// Requests are served concurrently: slow proof searches must not stall
@@ -165,7 +225,9 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		env, err := wire.Decode(frame)
 		if err != nil {
-			return // protocol violation: drop the connection
+			// Protocol violation: drop the connection.
+			s.obs.Log().Warn("protocol violation", "peer", peer, "error", err)
+			return
 		}
 		sem <- struct{}{}
 		inflight.Add(1)
@@ -179,16 +241,52 @@ func (s *Server) handleConn(conn transport.Conn) {
 	}
 }
 
+// dispatch serves one request, then meters it and emits the audit record:
+// request type, authenticated peer, per-type detail (delegation, query
+// subject/object, proof found), trace ID when the caller sent one, outcome,
+// and latency.
 func (s *Server) dispatch(cs *connState, env wire.Envelope) {
+	start := time.Now()
+	attrs, err := s.handle(cs, env)
+	if err != nil {
+		cs.sendErr(env.ID, err)
+	}
+	s.m.requests.Inc()
+	s.m.latency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if errors.Is(err, core.ErrNoProof) {
+			s.m.noProof.Inc()
+		} else {
+			s.m.errors.Inc()
+		}
+	}
+	if s.obs != nil {
+		rec := make([]any, 0, len(attrs)+8)
+		rec = append(rec, "type", string(env.Type), "peer", cs.conn.Peer().ID().Short())
+		rec = append(rec, attrs...)
+		rec = append(rec, "duration_ms", float64(time.Since(start).Microseconds())/1000)
+		if err != nil {
+			rec = append(rec, "error", err.Error())
+		}
+		s.obs.Log().Info("request", rec...)
+	}
+}
+
+// handle serves one request, sending the success response itself and
+// returning audit-log attributes; a returned error is sent by dispatch.
+func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 	switch env.Type {
 	case wire.TPing:
-		_ = cs.send(wire.TPong, env.ID, nil)
+		return nil, cs.send(wire.TPong, env.ID, nil)
 
 	case wire.TPublish:
 		var req wire.PublishReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
+		}
+		var attrs []any
+		if req.Delegation != nil {
+			attrs = []any{"delegation", req.Delegation.ID().Short(), "ttl_s", req.TTLSeconds}
 		}
 		var err error
 		if req.TTLSeconds > 0 {
@@ -197,65 +295,62 @@ func (s *Server) dispatch(cs *connState, env wire.Envelope) {
 			err = s.w.Publish(req.Delegation, req.Support...)
 		}
 		if err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return attrs, err
 		}
-		_ = cs.send(wire.TOK, env.ID, nil)
+		return attrs, cs.send(wire.TOK, env.ID, nil)
 
 	case wire.TQueryDirect:
 		var req wire.QueryReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
 		q := wallet.Query{
 			Subject:     req.Subject,
 			Object:      req.Object,
 			Constraints: req.Constraints,
 			Direction:   req.Direction,
+			TraceID:     req.TraceID,
 		}
+		attrs := []any{"trace", req.TraceID, "subject", req.Subject.String(), "object", req.Object.String()}
 		p, err := s.w.QueryDirect(q)
 		if err != nil && errors.Is(err, core.ErrNoProof) && s.directFallback != nil {
 			p, err = s.directFallback(q)
 		}
 		if err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return append(attrs, "found", false), err
 		}
-		_ = cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
+		return append(attrs, "found", true), cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
 
 	case wire.TQuerySubject:
 		var req wire.QueryReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
 		proofs := s.w.QuerySubject(req.Subject, req.Constraints)
-		_ = cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
+		attrs := []any{"trace", req.TraceID, "subject", req.Subject.String(), "results", len(proofs)}
+		return attrs, cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
 
 	case wire.TQueryObject:
 		var req wire.QueryReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
 		proofs := s.w.QueryObject(req.Object, req.Constraints)
-		_ = cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
+		attrs := []any{"trace", req.TraceID, "object", req.Object.String(), "results", len(proofs)}
+		return attrs, cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
 
 	case wire.TSubscribe:
 		var req wire.SubscribeReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
 		s.subscribe(cs, req.Delegation)
-		_ = cs.send(wire.TOK, env.ID, nil)
+		return []any{"delegation", req.Delegation.Short()}, cs.send(wire.TOK, env.ID, nil)
 
 	case wire.TUnsubscribe:
 		var req wire.SubscribeReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
 		cs.subMu.Lock()
 		if cancel, ok := cs.cancels[req.Delegation]; ok {
@@ -263,52 +358,70 @@ func (s *Server) dispatch(cs *connState, env wire.Envelope) {
 			delete(cs.cancels, req.Delegation)
 		}
 		cs.subMu.Unlock()
-		_ = cs.send(wire.TOK, env.ID, nil)
+		return []any{"delegation", req.Delegation.Short()}, cs.send(wire.TOK, env.ID, nil)
 
 	case wire.TRevoke:
 		var req wire.RevokeReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
+		attrs := []any{"delegation", req.Delegation.Short()}
 		// Authorization: the authenticated peer must be the issuer.
 		if err := s.w.Revoke(req.Delegation, cs.conn.Peer().ID()); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return attrs, err
 		}
-		_ = cs.send(wire.TOK, env.ID, nil)
+		return attrs, cs.send(wire.TOK, env.ID, nil)
 
 	case wire.THas:
 		var req wire.HasReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
-		_ = cs.send(wire.TOK, env.ID, wire.HasResp{Present: s.w.Contains(req.Delegation)})
+		present := s.w.Contains(req.Delegation)
+		attrs := []any{"delegation", req.Delegation.Short(), "present", present}
+		return attrs, cs.send(wire.TOK, env.ID, wire.HasResp{Present: present})
 
 	case wire.TProveRole:
 		var req wire.ProveRoleReq
 		if err := wire.DecodeBody(env, &req); err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return nil, err
 		}
+		attrs := []any{"role", req.Role.String()}
 		owner := s.w.Owner()
 		if owner == nil {
-			cs.sendErr(env.ID, fmt.Errorf("wallet has no operating identity"))
-			return
+			return attrs, fmt.Errorf("wallet has no operating identity")
 		}
 		p, err := s.w.QueryDirect(wallet.Query{
 			Subject: core.SubjectEntity(owner.ID()),
 			Object:  req.Role,
 		})
 		if err != nil {
-			cs.sendErr(env.ID, err)
-			return
+			return attrs, err
 		}
-		_ = cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
+		return attrs, cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
+
+	case wire.TStats:
+		return nil, cs.send(wire.TOK, env.ID, s.statsResp())
 
 	default:
-		cs.sendErr(env.ID, fmt.Errorf("unknown request type %q", env.Type))
+		return nil, fmt.Errorf("unknown request type %q", env.Type)
+	}
+}
+
+// statsResp snapshots the served wallet and the shared metrics registry.
+func (s *Server) statsResp() wire.StatsResp {
+	ws := s.w.Stats()
+	return wire.StatsResp{
+		Delegations:        ws.Delegations,
+		Revoked:            ws.Revoked,
+		TTLTracked:         ws.TTLTracked,
+		Watches:            ws.Watches,
+		CacheHits:          ws.Cache.Hits,
+		CacheMisses:        ws.Cache.Misses,
+		CacheInvalidations: ws.Cache.Invalidations,
+		CacheEntries:       ws.Cache.Entries,
+		CacheNegatives:     ws.Cache.Negatives,
+		Metrics:            s.obs.Registry().Snapshot(),
 	}
 }
 
@@ -316,11 +429,22 @@ func (s *Server) dispatch(cs *connState, env wire.Envelope) {
 // connection, replacing any previous subscription for the same delegation.
 func (s *Server) subscribe(cs *connState, id core.DelegationID) {
 	handler := func(ev subs.Event) {
-		_ = cs.send(wire.TNotify, 0, wire.NotifyPush{
+		err := cs.send(wire.TNotify, 0, wire.NotifyPush{
 			Delegation: ev.Delegation,
 			Kind:       ev.Kind.String(),
 			At:         ev.At,
 		})
+		if err != nil {
+			// The push is lost (peer gone or write raced teardown); the
+			// subscription dies with the connection, so log, don't retry.
+			s.m.pushErrors.Inc()
+			s.obs.Log().Warn("notify push failed",
+				"delegation", ev.Delegation.Short(), "kind", ev.Kind.String(), "error", err)
+			return
+		}
+		s.m.pushes.Inc()
+		s.obs.Log().Debug("notify push",
+			"delegation", ev.Delegation.Short(), "kind", ev.Kind.String())
 	}
 	cancel := s.w.Subscribe(id, handler)
 	cs.subMu.Lock()

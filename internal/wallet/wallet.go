@@ -21,6 +21,7 @@ import (
 	"drbac/internal/clock"
 	"drbac/internal/core"
 	"drbac/internal/graph"
+	"drbac/internal/obs"
 	"drbac/internal/subs"
 )
 
@@ -51,6 +52,50 @@ type Config struct {
 	// ProofCacheLimit bounds memoized answers; 0 means
 	// DefaultProofCacheLimit.
 	ProofCacheLimit int
+	// Obs, if non-nil, receives structured logs and metrics from every
+	// wallet operation (publish/query/revoke counters, query latency,
+	// search effort, cache outcomes, state gauges). Nil disables
+	// instrumentation at near-zero cost. A registry should back at most one
+	// wallet: state gauges are registered by name at construction.
+	Obs *obs.Obs
+}
+
+// walletMetrics holds the wallet's pre-resolved instruments. The zero
+// value (every field nil) is fully inert: obs instruments no-op on nil
+// receivers, so uninstrumented wallets pay one nil test per event.
+type walletMetrics struct {
+	publish, publishErr    *obs.Counter
+	revocations, revokeErr *obs.Counter
+	queryDirect            *obs.Counter
+	querySubject           *obs.Counter
+	queryObject            *obs.Counter
+	queryNoProof           *obs.Counter
+	searchNodes            *obs.Counter
+	searchEdges            *obs.Counter
+	searchPruned           *obs.Counter
+	events                 *obs.Counter
+	queryLatency           *obs.Histogram
+}
+
+func newWalletMetrics(o *obs.Obs) walletMetrics {
+	if o.Registry() == nil {
+		return walletMetrics{}
+	}
+	return walletMetrics{
+		publish:      o.Counter("drbac_wallet_publish_total"),
+		publishErr:   o.Counter("drbac_wallet_publish_errors_total"),
+		revocations:  o.Counter("drbac_wallet_revocations_total"),
+		revokeErr:    o.Counter("drbac_wallet_revoke_errors_total"),
+		queryDirect:  o.Counter("drbac_wallet_query_direct_total"),
+		querySubject: o.Counter("drbac_wallet_query_subject_total"),
+		queryObject:  o.Counter("drbac_wallet_query_object_total"),
+		queryNoProof: o.Counter("drbac_wallet_query_noproof_total"),
+		searchNodes:  o.Counter("drbac_search_nodes_total"),
+		searchEdges:  o.Counter("drbac_search_edges_total"),
+		searchPruned: o.Counter("drbac_search_pruned_total"),
+		events:       o.Counter("drbac_subs_events_total"),
+		queryLatency: o.Histogram("drbac_wallet_query_seconds"),
+	}
 }
 
 // Wallet is a concurrency-safe dRBAC credential repository.
@@ -60,6 +105,8 @@ type Wallet struct {
 	store Store
 	g     *graph.Graph
 	reg   *subs.Registry
+	obs   *obs.Obs
+	m     walletMetrics
 
 	cache    *ProofCache
 	cacheOff bool
@@ -100,6 +147,8 @@ func New(cfg Config) *Wallet {
 		store:    st,
 		g:        graph.New(),
 		reg:      subs.NewRegistry(),
+		obs:      cfg.Obs,
+		m:        newWalletMetrics(cfg.Obs),
 		cache:    NewProofCache(cfg.ProofCacheLimit),
 		cacheOff: cfg.DisableProofCache,
 		ttl:      make(map[core.DelegationID]time.Time),
@@ -107,8 +156,11 @@ func New(cfg Config) *Wallet {
 	}
 	// The cache invalidation hook registers first so it is the first
 	// wildcard handler: memoized answers die before any other subscriber
-	// (monitors, remote pushes) can re-query and observe them.
+	// (monitors, remote pushes) can re-query and observe them. It doubles
+	// as the subscription-event meter: every status update the wallet
+	// publishes passes through exactly once.
 	w.reg.SubscribeAll(func(ev subs.Event) {
+		w.m.events.Inc()
 		switch ev.Kind {
 		case subs.Published:
 			w.cache.InvalidateNegatives()
@@ -116,6 +168,21 @@ func New(cfg Config) *Wallet {
 			w.cache.InvalidateDelegation(ev.Delegation)
 		}
 	})
+	if reg := cfg.Obs.Registry(); reg != nil {
+		reg.GaugeFunc("drbac_wallet_delegations", func() int64 { return int64(w.g.Len()) })
+		reg.GaugeFunc("drbac_wallet_revoked", func() int64 { return int64(len(w.store.RevokedIDs())) })
+		reg.GaugeFunc("drbac_wallet_ttl_tracked", func() int64 { return int64(w.CachedCount()) })
+		reg.GaugeFunc("drbac_wallet_watches", func() int64 {
+			w.watchMu.Lock()
+			defer w.watchMu.Unlock()
+			return int64(len(w.watches))
+		})
+		reg.GaugeFunc("drbac_wallet_cache_hits", func() int64 { return w.cache.Stats().Hits })
+		reg.GaugeFunc("drbac_wallet_cache_misses", func() int64 { return w.cache.Stats().Misses })
+		reg.GaugeFunc("drbac_wallet_cache_invalidations", func() int64 { return w.cache.Stats().Invalidations })
+		reg.GaugeFunc("drbac_wallet_cache_entries", func() int64 { return int64(w.cache.Stats().Entries) })
+		reg.GaugeFunc("drbac_wallet_cache_negatives", func() int64 { return int64(w.cache.Stats().Negatives) })
+	}
 	for _, b := range st.Bundles() {
 		if b.Delegation == nil || b.Delegation.Verify() != nil {
 			continue
@@ -143,6 +210,9 @@ func (w *Wallet) Now() time.Time { return w.clk.Now() }
 
 // Store returns the wallet's system of record.
 func (w *Wallet) Store() Store { return w.store }
+
+// Obs returns the wallet's observability bundle, which may be nil.
+func (w *Wallet) Obs() *obs.Obs { return w.obs }
 
 // Len returns the number of stored delegations.
 func (w *Wallet) Len() int { return w.g.Len() }
@@ -211,6 +281,20 @@ func (w *Wallet) Stats() Stats {
 // own graph before the publication is rejected. Subscribers receive a
 // Published event once the delegation is stored and indexed.
 func (w *Wallet) Publish(d *core.Delegation, support ...*core.Proof) error {
+	err := w.publish(d, support)
+	w.m.publish.Inc()
+	if err != nil {
+		w.m.publishErr.Inc()
+		w.obs.Log().Debug("wallet publish rejected", "error", err)
+	} else if w.obs.DebugEnabled() {
+		w.obs.Log().Debug("wallet publish",
+			"delegation", d.ID().Short(), "kind", d.Kind().String(),
+			"issuer", d.Issuer.ID().Short())
+	}
+	return err
+}
+
+func (w *Wallet) publish(d *core.Delegation, support []*core.Proof) error {
 	if d == nil {
 		return fmt.Errorf("publish: nil delegation")
 	}
@@ -291,6 +375,18 @@ func (w *Wallet) resolveSupport(d *core.Delegation, provided []*core.Proof, vopt
 // Revoke withdraws a delegation. Only the issuer may revoke; by must be the
 // issuer's entity ID. Subscribers are notified synchronously (§4.2.2).
 func (w *Wallet) Revoke(id core.DelegationID, by core.EntityID) error {
+	err := w.revoke(id, by)
+	if err != nil {
+		w.m.revokeErr.Inc()
+		w.obs.Log().Debug("wallet revoke rejected", "delegation", id.Short(), "by", by.Short(), "error", err)
+	} else {
+		w.m.revocations.Inc()
+		w.obs.Log().Debug("wallet revoke", "delegation", id.Short(), "by", by.Short())
+	}
+	return err
+}
+
+func (w *Wallet) revoke(id core.DelegationID, by core.EntityID) error {
 	d, _, ok := w.g.Get(id)
 	if !ok {
 		return fmt.Errorf("revoke %s: not found", id.Short())
@@ -425,6 +521,10 @@ type Query struct {
 	// Stats, if non-nil, accumulates search effort. Setting Stats bypasses
 	// the proof cache: effort measurements must observe the real search.
 	Stats *graph.Stats
+	// TraceID, if set, tags this query's structured log records so they
+	// join the originating operation's trace (e.g. a cross-wallet
+	// discovery). It does not affect the answer.
+	TraceID string
 }
 
 func (w *Wallet) searchOptions(q Query) graph.Options {
@@ -454,31 +554,79 @@ func (w *Wallet) validateOptions(q Query) core.ValidateOptions {
 // pushes and re-checked against expiry and revocation before being served,
 // so a cached answer is always as fresh as a recomputed one.
 func (w *Wallet) QueryDirect(q Query) (*core.Proof, error) {
+	w.m.queryDirect.Inc()
+	instrumented := w.m.queryLatency != nil
+	debug := w.obs.DebugEnabled()
+	var start time.Time
+	if instrumented || debug {
+		start = time.Now()
+	}
+	p, cacheOutcome, err := w.queryDirect(q)
+	if err != nil && errors.Is(err, core.ErrNoProof) {
+		w.m.queryNoProof.Inc()
+	}
+	if instrumented {
+		w.m.queryLatency.Observe(time.Since(start).Seconds())
+	}
+	if debug {
+		w.obs.Log().Debug("wallet query",
+			"trace", q.TraceID, "subject", q.Subject.String(), "object", q.Object.String(),
+			"cache", cacheOutcome, "found", err == nil,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+	}
+	return p, err
+}
+
+// queryDirect is QueryDirect's answer path; the returned string is the
+// cache outcome ("hit", "negative", "miss", or "bypass") for the audit log.
+func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
 	useCache := q.Stats == nil && !w.cacheOff
 	var key string
 	if useCache {
 		key = CacheKey(q.Subject, q.Object, q.Constraints)
 		if p, negative, ok := w.cache.Lookup(key, w.Now(), w.store.IsRevoked); ok {
 			if negative {
-				return nil, core.ErrNoProof
+				return nil, "negative", core.ErrNoProof
 			}
-			return p, nil
+			return p, "hit", nil
 		}
 	}
-	p, err := w.g.FindDirect(q.Subject, q.Object, w.searchOptions(q))
+	outcome := "miss"
+	if !useCache {
+		outcome = "bypass"
+	}
+	opts := w.searchOptions(q)
+	// Mirror search effort into the metrics registry when the caller did
+	// not bring its own Stats (which would bypass the cache).
+	var gs graph.Stats
+	mirror := q.Stats == nil && w.m.searchNodes != nil
+	if mirror {
+		opts.Stats = &gs
+	}
+	p, err := w.g.FindDirect(q.Subject, q.Object, opts)
+	if mirror {
+		w.mirrorSearch(gs)
+	}
 	if err != nil {
 		if useCache && errors.Is(err, core.ErrNoProof) {
 			w.cache.PutNegative(key)
 		}
-		return nil, err
+		return nil, outcome, err
 	}
 	if err := p.Validate(w.validateOptions(q)); err != nil {
-		return nil, fmt.Errorf("candidate proof failed validation: %w", err)
+		return nil, outcome, fmt.Errorf("candidate proof failed validation: %w", err)
 	}
 	if useCache {
 		w.cache.Put(key, p)
 	}
-	return p, nil
+	return p, outcome, nil
+}
+
+// mirrorSearch folds one search's effort counters into the registry.
+func (w *Wallet) mirrorSearch(gs graph.Stats) {
+	w.m.searchNodes.Add(int64(gs.NodesVisited))
+	w.m.searchEdges.Add(int64(gs.EdgesExplored))
+	w.m.searchPruned.Add(int64(gs.Pruned))
 }
 
 // QueryDirectOptions is QueryDirect with explicit graph search options,
@@ -500,16 +648,36 @@ func (w *Wallet) QueryDirectOptions(q Query, opts graph.Options) (*core.Proof, e
 // QuerySubject enumerates validated sub-proofs Subject ⇒ * (§4.1), the
 // primitive behind forward distributed discovery.
 func (w *Wallet) QuerySubject(subject core.Subject, constraints []core.Constraint) []*core.Proof {
+	w.m.querySubject.Inc()
 	q := Query{Subject: subject, Constraints: constraints}
-	candidates := w.g.EnumerateFrom(subject, w.searchOptions(q))
+	opts := w.searchOptions(q)
+	var gs graph.Stats
+	mirror := w.m.searchNodes != nil
+	if mirror {
+		opts.Stats = &gs
+	}
+	candidates := w.g.EnumerateFrom(subject, opts)
+	if mirror {
+		w.mirrorSearch(gs)
+	}
 	return w.filterValid(candidates, q)
 }
 
 // QueryObject enumerates validated sub-proofs * ⇒ Object (§4.1), the
 // primitive behind reverse distributed discovery.
 func (w *Wallet) QueryObject(object core.Role, constraints []core.Constraint) []*core.Proof {
+	w.m.queryObject.Inc()
 	q := Query{Object: object, Constraints: constraints}
-	candidates := w.g.EnumerateTo(object, w.searchOptions(q))
+	opts := w.searchOptions(q)
+	var gs graph.Stats
+	mirror := w.m.searchNodes != nil
+	if mirror {
+		opts.Stats = &gs
+	}
+	candidates := w.g.EnumerateTo(object, opts)
+	if mirror {
+		w.mirrorSearch(gs)
+	}
 	return w.filterValid(candidates, q)
 }
 

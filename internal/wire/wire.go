@@ -14,6 +14,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/graph"
+	"drbac/internal/obs"
 )
 
 // MsgType discriminates envelope payloads.
@@ -31,6 +32,7 @@ const (
 	TProveRole    MsgType = "prove-role"
 	THas          MsgType = "has"
 	TPing         MsgType = "ping"
+	TStats        MsgType = "stats"
 )
 
 // Response and push types (server → client).
@@ -66,6 +68,11 @@ type QueryReq struct {
 	Object      core.Role         `json:"object,omitempty"`
 	Constraints []core.Constraint `json:"constraints,omitempty"`
 	Direction   graph.Direction   `json:"direction,omitempty"`
+	// TraceID, when set, threads the caller's trace through the serving
+	// wallet: the server logs the request (and runs the wallet query) under
+	// this ID, so one cross-wallet discovery reads as a single trace in
+	// every participating wallet's structured logs.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // ProofResp answers a direct query.
@@ -105,6 +112,23 @@ type HasReq struct {
 // HasResp answers a HasReq.
 type HasResp struct {
 	Present bool `json:"present"`
+}
+
+// StatsResp answers a TStats request (sent with an empty body): a summary
+// of the serving wallet's state plus a full snapshot of its metrics
+// registry — what the `drbac stats` subcommand renders and what the
+// drbacd /metrics endpoint exports locally.
+type StatsResp struct {
+	Delegations        int          `json:"delegations"`
+	Revoked            int          `json:"revoked"`
+	TTLTracked         int          `json:"ttlTracked"`
+	Watches            int          `json:"watches"`
+	CacheHits          int64        `json:"cacheHits"`
+	CacheMisses        int64        `json:"cacheMisses"`
+	CacheInvalidations int64        `json:"cacheInvalidations"`
+	CacheEntries       int          `json:"cacheEntries"`
+	CacheNegatives     int          `json:"cacheNegatives"`
+	Metrics            obs.Snapshot `json:"metrics"`
 }
 
 // NotifyPush is a delegation status update (§4.2.2).

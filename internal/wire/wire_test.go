@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"time"
 
 	"drbac/internal/core"
+	"drbac/internal/obs"
 )
 
 func fixtureProof(t *testing.T) (*core.Proof, *core.MemDirectory, time.Time) {
@@ -206,5 +208,74 @@ func TestNotifyPushRoundTrip(t *testing.T) {
 	}
 	if push.Delegation != "abc" || push.Kind != "revoked" || !push.At.Equal(at) {
 		t.Fatalf("push = %+v", push)
+	}
+}
+
+func TestQueryReqTraceIDRoundTrip(t *testing.T) {
+	frame, err := Encode(TQueryDirect, 7, QueryReq{TraceID: "abc123def4567890"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req QueryReq
+	if err := DecodeBody(env, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.TraceID != "abc123def4567890" {
+		t.Fatalf("trace = %q", req.TraceID)
+	}
+	// An absent trace ID stays empty (and off the wire entirely).
+	frame, err = Encode(TQueryDirect, 8, QueryReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(frame, []byte("traceId")) {
+		t.Fatalf("empty trace serialized: %s", frame)
+	}
+}
+
+func TestStatsRespRoundTrip(t *testing.T) {
+	resp := StatsResp{
+		Delegations: 3,
+		Revoked:     1,
+		TTLTracked:  2,
+		Watches:     4,
+		CacheHits:   10,
+		CacheMisses: 5,
+		Metrics: obs.Snapshot{
+			Counters: map[string]int64{"drbac_server_requests_total": 17},
+			Gauges:   map[string]int64{"drbac_wallet_delegations": 3},
+			Histograms: map[string]obs.HistogramSnapshot{
+				"drbac_wallet_query_seconds": {
+					Count: 2, Sum: 0.5,
+					Buckets: []obs.BucketCount{{UpperBound: 0.001, Count: 1}, {UpperBound: 1, Count: 2}},
+				},
+			},
+		},
+	}
+	frame, err := Encode(TOK, 9, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StatsResp
+	if err := DecodeBody(env, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Delegations != 3 || got.CacheHits != 10 {
+		t.Fatalf("summary = %+v", got)
+	}
+	if got.Metrics.Counters["drbac_server_requests_total"] != 17 {
+		t.Fatalf("counters = %+v", got.Metrics.Counters)
+	}
+	h := got.Metrics.Histograms["drbac_wallet_query_seconds"]
+	if h.Count != 2 || h.Sum != 0.5 || len(h.Buckets) != 2 || h.Buckets[1].Count != 2 {
+		t.Fatalf("histogram = %+v", h)
 	}
 }
