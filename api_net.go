@@ -1,7 +1,10 @@
 package drbac
 
 import (
+	"context"
+
 	"drbac/internal/discovery"
+	"drbac/internal/peer"
 	"drbac/internal/proxy"
 	"drbac/internal/remote"
 	"drbac/internal/transport"
@@ -39,6 +42,28 @@ type (
 	WalletProxy = proxy.Proxy
 	// WalletProxyConfig parameterizes a WalletProxy.
 	WalletProxyConfig = proxy.Config
+	// PeerManager pools remote-wallet connections with lazy redial, capped
+	// exponential backoff, and per-peer circuit breaking.
+	PeerManager = peer.Manager
+	// PeerConfig parameterizes a PeerManager.
+	PeerConfig = peer.Config
+	// PeerHealth snapshots one pooled peer's circuit-breaker standing.
+	PeerHealth = peer.Health
+	// PeerState is a circuit-breaker state (closed, open, half-open).
+	PeerState = peer.State
+	// FaultPlan is a mutable per-address fault-injection plan for tests.
+	FaultPlan = transport.Faults
+	// FaultRule describes the failures injected for one address.
+	FaultRule = transport.Fault
+	// FaultDialer wraps a Dialer with fault injection driven by a FaultPlan.
+	FaultDialer = transport.FaultDialer
+)
+
+// Peer circuit-breaker states.
+const (
+	PeerStateClosed   = peer.StateClosed
+	PeerStateOpen     = peer.StateOpen
+	PeerStateHalfOpen = peer.StateHalfOpen
 )
 
 // Discovery modes.
@@ -48,13 +73,24 @@ const (
 	DiscoverReverseOnly = discovery.ReverseOnly
 )
 
-// Transport errors.
+// Transport and peer-layer errors.
 var (
 	// ErrTransportClosed reports use of a closed connection or listener.
 	ErrTransportClosed = transport.ErrClosed
 	// ErrHandshake reports failed peer authentication.
 	ErrHandshake = transport.ErrHandshake
+	// ErrCircuitOpen reports a fast-failed connection attempt to a peer
+	// whose circuit breaker is open.
+	ErrCircuitOpen = peer.ErrCircuitOpen
+	// ErrFaultInjected marks failures produced by the fault-injection layer.
+	ErrFaultInjected = transport.ErrInjected
 )
+
+// NewPeerManager builds a pooled connection manager over cfg.Dialer.
+func NewPeerManager(cfg PeerConfig) *PeerManager { return peer.NewManager(cfg) }
+
+// NewFaultPlan returns an empty fault-injection plan (no faults anywhere).
+func NewFaultPlan() *FaultPlan { return transport.NewFaults() }
 
 // NewMemNetwork builds an in-process network for tests and simulations.
 func NewMemNetwork() *MemNetwork { return transport.NewMemNetwork() }
@@ -67,22 +103,26 @@ func ListenTCP(addr string, id *Identity) (Listener, error) {
 // ServeWallet exposes w on ln until the returned server is closed.
 func ServeWallet(w *Wallet, ln Listener) *WalletServer { return remote.Serve(w, ln) }
 
-// DialWallet connects to a remote wallet at addr.
-func DialWallet(d Dialer, addr string) (*WalletClient, error) { return remote.Dial(d, addr) }
+// DialWallet connects to a remote wallet at addr. Cancellation of ctx
+// aborts the connect and authentication handshake.
+func DialWallet(ctx context.Context, d Dialer, addr string) (*WalletClient, error) {
+	return remote.Dial(ctx, d, addr)
+}
 
 // NewDiscoveryAgent builds a distributed discovery agent over a local
 // wallet.
 func NewDiscoveryAgent(cfg DiscoveryConfig) *DiscoveryAgent { return discovery.NewAgent(cfg) }
 
 // Discover is a convenience one-shot discovery: it builds a transient
-// agent, registers the given tags, and finds a proof for q.
-func Discover(local *Wallet, d Dialer, q Query, tags map[Subject]DiscoveryTag) (*Proof, error) {
+// agent, registers the given tags, and finds a proof for q. Cancellation of
+// ctx aborts the search mid-flight, including in-flight peer RPCs.
+func Discover(ctx context.Context, local *Wallet, d Dialer, q Query, tags map[Subject]DiscoveryTag) (*Proof, error) {
 	agent := discovery.NewAgent(discovery.Config{Local: local, Dialer: d})
 	defer agent.Close()
 	for node, tag := range tags {
 		agent.RegisterTag(node, tag)
 	}
-	return agent.Discover(q, discovery.Auto, nil)
+	return agent.Discover(ctx, q, discovery.Auto, nil)
 }
 
 // NewWalletProxy builds a hierarchical caching proxy over a local cache

@@ -1,6 +1,7 @@
 package drbac_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -86,7 +87,7 @@ func TestFacadeGuardFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	events := make(chan drbac.SessionEvent, 1)
-	s, err := guard.Authorize(ids["Maria"].ID(), "net", func(ev drbac.SessionEvent) {
+	s, err := guard.Authorize(context.Background(), ids["Maria"].ID(), "net", func(ev drbac.SessionEvent) {
 		events <- ev
 	})
 	if err != nil {
@@ -124,7 +125,7 @@ func TestFacadeProxyFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	up, err := drbac.DialWallet(net.Dialer(ids["Sheila"]), "home")
+	up, err := drbac.DialWallet(context.Background(), net.Dialer(ids["Sheila"]), "home")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFacadeProxyFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer px.Close()
-	if _, err := px.QueryDirect(drbac.Query{
+	if _, err := px.QueryDirect(context.Background(), drbac.Query{
 		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
 		Object:  drbac.NewRole(ids["AirNet"].ID(), "access"),
 	}); err != nil {

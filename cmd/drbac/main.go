@@ -17,16 +17,24 @@
 //	drbac revoke   -key bigisp.key -addr host:port -id <delegation-id>
 //	drbac monitor  -key maria.key -addr host:port -id <delegation-id> [-count 1] [-wait 30s]
 //	drbac stats    -key maria.key -addr host:port [-json]
+//
+// Every network command takes -timeout (default 30s), bounding the whole
+// operation — dial, handshake, and RPCs — via context cancellation. The
+// DRBAC_TIMEOUT environment variable supplies the default when the flag is
+// not given. Ctrl-C cancels an in-flight operation immediately.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"drbac/internal/core"
@@ -49,6 +57,9 @@ func run(args []string) error {
 	if len(args) == 0 {
 		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats> [flags]")
 	}
+	// Ctrl-C / SIGTERM cancels whatever network operation is in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "keygen":
@@ -62,18 +73,60 @@ func run(args []string) error {
 	case "verify":
 		return cmdVerify(rest)
 	case "publish":
-		return cmdPublish(rest)
+		return cmdPublish(ctx, rest)
 	case "query":
-		return cmdQuery(rest)
+		return cmdQuery(ctx, rest)
 	case "revoke":
-		return cmdRevoke(rest)
+		return cmdRevoke(ctx, rest)
 	case "monitor":
-		return cmdMonitor(rest)
+		return cmdMonitor(ctx, rest)
 	case "stats":
-		return cmdStats(rest)
+		return cmdStats(ctx, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// defaultTimeout bounds a network command when neither -timeout nor
+// DRBAC_TIMEOUT says otherwise.
+const defaultTimeout = 30 * time.Second
+
+// timeoutFlag registers -timeout on fs. Resolution order: an explicitly
+// given -timeout wins, then the DRBAC_TIMEOUT environment variable, then
+// the 30s default. Call resolveTimeout after fs.Parse.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", defaultTimeout,
+		"overall deadline for the operation (falls back to $DRBAC_TIMEOUT)")
+}
+
+func resolveTimeout(fs *flag.FlagSet, flagVal time.Duration) (time.Duration, error) {
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return flagVal, nil
+	}
+	if env := os.Getenv("DRBAC_TIMEOUT"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			return 0, fmt.Errorf("invalid DRBAC_TIMEOUT %q: %w", env, err)
+		}
+		return d, nil
+	}
+	return flagVal, nil
+}
+
+// opContext applies the resolved timeout to the command's base context.
+// A zero or negative timeout means no deadline (the signal context still
+// cancels on Ctrl-C).
+func opContext(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 func cmdKeygen(args []string) error {
@@ -224,47 +277,61 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdPublish(args []string) error {
+func cmdPublish(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
 	addr := fs.String("addr", "", "wallet address host:port")
 	in := fs.String("in", "", "bundle file")
 	ttl := fs.Int("ttl", 0, "cache TTL seconds (0 = permanent)")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *key == "" || *addr == "" || *in == "" {
 		return errors.New("publish: -key, -addr, -in are required")
 	}
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opContext(ctx, d)
+	defer cancel()
 	b, err := keyfile.ReadBundle(*in)
 	if err != nil {
 		return err
 	}
-	client, err := dial(*key, *addr)
+	client, err := dial(ctx, *key, *addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	if err := client.Publish(b.Delegation, b.Support, time.Duration(*ttl)*time.Second); err != nil {
+	if err := client.Publish(ctx, b.Delegation, b.Support, time.Duration(*ttl)*time.Second); err != nil {
 		return err
 	}
 	fmt.Printf("published %s to %s\n", b.Delegation.ID().Short(), *addr)
 	return nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
 	addr := fs.String("addr", "", "wallet address host:port")
 	entities := fs.String("entities", "", "directory file")
 	subject := fs.String("subject", "", "entity name or role")
 	object := fs.String("object", "", "role")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *key == "" || *addr == "" || *entities == "" || *subject == "" || *object == "" {
 		return errors.New("query: -key, -addr, -entities, -subject, -object are required")
 	}
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opContext(ctx, d)
+	defer cancel()
 	dir, _, err := keyfile.ReadDirectory(*entities)
 	if err != nil {
 		return err
@@ -277,12 +344,12 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	client, err := dial(*key, *addr)
+	client, err := dial(ctx, *key, *addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	proof, err := client.QueryDirect(subj, obj, nil, 0)
+	proof, err := client.QueryDirect(ctx, subj, obj, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -293,23 +360,30 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
-func cmdRevoke(args []string) error {
+func cmdRevoke(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("revoke", flag.ContinueOnError)
 	key := fs.String("key", "", "issuer identity file")
 	addr := fs.String("addr", "", "wallet address host:port")
 	id := fs.String("id", "", "delegation ID")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *key == "" || *addr == "" || *id == "" {
 		return errors.New("revoke: -key, -addr, -id are required")
 	}
-	client, err := dial(*key, *addr)
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opContext(ctx, d)
+	defer cancel()
+	client, err := dial(ctx, *key, *addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	if err := client.Revoke(core.DelegationID(*id)); err != nil {
+	if err := client.Revoke(ctx, core.DelegationID(*id)); err != nil {
 		return err
 	}
 	fmt.Printf("revoked %s at %s\n", core.DelegationID(*id).Short(), *addr)
@@ -327,33 +401,40 @@ func loadIdentity(path string) (*core.Identity, error) {
 	return f.Identity()
 }
 
-func dial(keyPath, addr string) (*remote.Client, error) {
+func dial(ctx context.Context, keyPath, addr string) (*remote.Client, error) {
 	id, err := loadIdentity(keyPath)
 	if err != nil {
 		return nil, err
 	}
-	return remote.Dial(&transport.TCPDialer{Identity: id}, addr)
+	return remote.Dial(ctx, &transport.TCPDialer{Identity: id}, addr)
 }
 
 // cmdStats fetches a remote wallet's state summary and metrics snapshot
 // over the wire protocol's stats message and renders it.
-func cmdStats(args []string) error {
+func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
 	addr := fs.String("addr", "", "wallet address host:port")
 	asJSON := fs.Bool("json", false, "emit the raw snapshot as JSON")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *key == "" || *addr == "" {
 		return errors.New("stats: -key and -addr are required")
 	}
-	client, err := dial(*key, *addr)
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opContext(ctx, d)
+	defer cancel()
+	client, err := dial(ctx, *key, *addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	resp, err := client.Stats()
+	resp, err := client.Stats(ctx)
 	if err != nil {
 		return err
 	}
@@ -420,27 +501,36 @@ func sortedNames[V any](m map[string]V) []string {
 // cmdMonitor subscribes to a delegation's status at a remote wallet
 // (§4.2.2) and prints pushed updates until count events arrive or the wait
 // deadline passes.
-func cmdMonitor(args []string) error {
+func cmdMonitor(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
 	addr := fs.String("addr", "", "wallet address host:port")
 	id := fs.String("id", "", "delegation ID")
 	count := fs.Int("count", 1, "exit after this many status events")
 	wait := fs.Duration("wait", 30*time.Second, "maximum time to wait")
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *key == "" || *addr == "" || *id == "" {
 		return errors.New("monitor: -key, -addr, -id are required")
 	}
-	client, err := dial(*key, *addr)
+	// -timeout bounds the setup RPCs (dial, subscribe); -wait bounds how
+	// long we then listen for pushes.
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	setupCtx, cancelSetup := opContext(ctx, d)
+	defer cancelSetup()
+	client, err := dial(setupCtx, *key, *addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
 
 	events := make(chan subs.Event, 16)
-	cancel, err := client.Subscribe(core.DelegationID(*id), func(ev subs.Event) {
+	cancel, err := client.Subscribe(setupCtx, core.DelegationID(*id), func(ev subs.Event) {
 		events <- ev
 	})
 	if err != nil {
@@ -459,6 +549,8 @@ func cmdMonitor(args []string) error {
 				ev.At.Format(time.RFC3339), ev.Delegation.Short(), ev.Kind)
 		case <-deadline:
 			return fmt.Errorf("monitor: timed out after %v with %d event(s)", *wait, seen)
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 	return nil

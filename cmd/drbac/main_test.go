@@ -1,7 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"flag"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
@@ -219,5 +223,74 @@ func TestCLIMonitor(t *testing.T) {
 	if err := e.run("monitor", "-key", e.path("Maria.key"), "-addr", ln.Addr(),
 		"-id", "deadbeef", "-count", "1", "-wait", "200ms"); err == nil {
 		t.Fatal("monitor without events should time out")
+	}
+}
+
+// -timeout wins over DRBAC_TIMEOUT, which wins over the 30s default; a
+// malformed environment value is an error rather than a silent fallback.
+func TestCLITimeoutResolution(t *testing.T) {
+	resolve := func(t *testing.T, env string, args ...string) (time.Duration, error) {
+		t.Helper()
+		if env != "" {
+			t.Setenv("DRBAC_TIMEOUT", env)
+		}
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		timeout := timeoutFlag(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return resolveTimeout(fs, *timeout)
+	}
+
+	if d, err := resolve(t, ""); err != nil || d != defaultTimeout {
+		t.Fatalf("default = %v, %v; want %v", d, err, defaultTimeout)
+	}
+	if d, err := resolve(t, "5s"); err != nil || d != 5*time.Second {
+		t.Fatalf("env fallback = %v, %v; want 5s", d, err)
+	}
+	if d, err := resolve(t, "5s", "-timeout", "2s"); err != nil || d != 2*time.Second {
+		t.Fatalf("explicit flag = %v, %v; want 2s over env", d, err)
+	}
+	// An explicitly passed default still beats the environment.
+	if d, err := resolve(t, "5s", "-timeout", "30s"); err != nil || d != 30*time.Second {
+		t.Fatalf("explicit default = %v, %v; want 30s", d, err)
+	}
+	if _, err := resolve(t, "bogus"); err == nil {
+		t.Fatal("malformed DRBAC_TIMEOUT accepted")
+	}
+}
+
+// A network command against a black-hole address aborts at the -timeout
+// deadline instead of hanging for the full dial timeout.
+func TestCLITimeoutBoundsDial(t *testing.T) {
+	e := newCLIEnv(t)
+	e.keygenAll("Maria")
+	// A listener that accepts but never handshakes: the dial blocks until
+	// the operation context fires.
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	go func() {
+		for {
+			conn, err := raw.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	start := time.Now()
+	err = e.run("stats", "-key", e.path("Maria.key"), "-addr", raw.Addr().String(),
+		"-timeout", "200ms")
+	if err == nil {
+		t.Fatal("stats against mute server succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("command took %v, -timeout did not bound the dial", elapsed)
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -120,8 +121,8 @@ func run(args []string) error {
 		logger.Info("debug listener", "addr", dln.Addr().String())
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ticker := time.NewTicker(*sweep)
 	defer ticker.Stop()
 	for {
@@ -133,7 +134,7 @@ func run(args []string) error {
 			if n := w.SweepStaleCache(); n > 0 {
 				logger.Info("swept stale cached delegations", "count", n)
 			}
-		case <-stop:
+		case <-ctx.Done():
 			logger.Info("shutting down")
 			return nil
 		}

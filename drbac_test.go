@@ -1,6 +1,7 @@
 package drbac_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -100,7 +101,7 @@ func TestPublicAPIDistributedCoalitionOverTCP(t *testing.T) {
 	memberRole := drbac.NewRole(ids["BigISP"].ID(), "member")
 	bw := drbac.AttributeRef{Namespace: ids["AirNet"].ID(), Name: "BW"}
 
-	proof, err := drbac.Discover(local, &drbac.TCPDialer{Identity: ids["Maria"]}, drbac.Query{
+	proof, err := drbac.Discover(context.Background(), local, &drbac.TCPDialer{Identity: ids["Maria"]}, drbac.Query{
 		Subject: drbac.SubjectEntity(ids["Maria"].ID()),
 		Object:  drbac.NewRole(ids["AirNet"].ID(), "access"),
 		Constraints: []drbac.Constraint{

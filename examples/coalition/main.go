@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -149,7 +150,7 @@ func run() error {
 		},
 	}
 	var stats drbac.DiscoveryStats
-	proof, err := agent.Discover(query, drbac.DiscoverAuto, &stats)
+	proof, err := agent.Discover(context.Background(), query, drbac.DiscoverAuto, &stats)
 	if err != nil {
 		return fmt.Errorf("discovery: %w", err)
 	}
@@ -176,7 +177,7 @@ func run() error {
 		return err
 	}
 	defer mon.Close()
-	cancel, err := agent.Bridge(proof)
+	cancel, err := agent.Bridge(context.Background(), proof)
 	if err != nil {
 		return err
 	}

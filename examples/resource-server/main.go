@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -100,7 +101,7 @@ func run() error {
 	// Maria connects; the guard runs the dRBAC pipeline and opens a
 	// monitored session with her modulated allocation.
 	down := make(chan drbac.SessionEvent, 1)
-	session, err := guard.Authorize(maria.ID(), "wifi", func(ev drbac.SessionEvent) {
+	session, err := guard.Authorize(context.Background(), maria.ID(), "wifi", func(ev drbac.SessionEvent) {
 		if ev.Kind == drbac.SessionTerminated {
 			down <- ev
 		}

@@ -12,6 +12,7 @@
 package disco
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -176,8 +177,13 @@ func (g *Guard) Close() {
 // Authorize grants principal a session on the named resource if a valid
 // proof exists (locally or via discovery), evaluating its service levels
 // and monitoring it for the session's lifetime. onEvent receives
-// reauthorizations and termination; it may be nil.
-func (g *Guard) Authorize(principal core.EntityID, resourceName string, onEvent func(SessionEvent)) (*Session, error) {
+// reauthorizations and termination; it may be nil. Cancellation of ctx
+// aborts the proof search (including any in-flight discovery); the granted
+// session's lifetime is not bound to ctx.
+func (g *Guard) Authorize(ctx context.Context, principal core.EntityID, resourceName string, onEvent func(SessionEvent)) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -190,6 +196,7 @@ func (g *Guard) Authorize(principal core.EntityID, resourceName string, onEvent 
 	}
 
 	query := wallet.Query{
+		Ctx:         ctx,
 		Subject:     core.SubjectEntity(principal),
 		Object:      r.Role,
 		Constraints: r.constraints(),
@@ -201,7 +208,7 @@ func (g *Guard) Authorize(principal core.EntityID, resourceName string, onEvent 
 		err   error
 	)
 	if g.cfg.Agent != nil {
-		proof, err = g.cfg.Agent.Discover(query, g.cfg.Mode, nil)
+		proof, err = g.cfg.Agent.Discover(ctx, query, g.cfg.Mode, nil)
 	} else {
 		proof, err = g.cfg.Wallet.QueryDirect(query)
 	}
@@ -226,7 +233,7 @@ func (g *Guard) Authorize(principal core.EntityID, resourceName string, onEvent 
 	}
 	s.monitor = mon
 	if g.cfg.Agent != nil {
-		cancel, err := g.cfg.Agent.Bridge(proof)
+		cancel, err := g.cfg.Agent.Bridge(ctx, proof)
 		if err != nil {
 			mon.Close()
 			return nil, fmt.Errorf("disco: bridge subscriptions: %w", err)

@@ -1,6 +1,7 @@
 package disco
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -99,7 +100,7 @@ func TestGuardValidation(t *testing.T) {
 	if err := g.Register(Resource{Name: "x"}); err == nil {
 		t.Fatal("resource without role accepted")
 	}
-	if _, err := g.Authorize("deadbeef", "nope", nil); err == nil {
+	if _, err := g.Authorize(context.Background(), "deadbeef", "nope", nil); err == nil {
 		t.Fatal("unknown resource accepted")
 	}
 }
@@ -134,7 +135,7 @@ func TestAuthorizeSessionLevels(t *testing.T) {
 		t.Fatal("registration lost")
 	}
 
-	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestAuthorizeDeniesBelowMinimum(t *testing.T) {
 	if err := g.Register(e.airNetResource()); err != nil {
 		t.Fatal(err)
 	}
-	_, err = g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	_, err = g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access", nil)
 	if !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("want ErrNoProof, got %v", err)
 	}
@@ -195,7 +196,7 @@ func TestSessionTerminatedOnRevocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	events := make(chan SessionEvent, 2)
-	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access",
 		func(ev SessionEvent) { events <- ev })
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +239,7 @@ func TestSessionReauthorizedWithNewLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	events := make(chan SessionEvent, 2)
-	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access",
 		func(ev SessionEvent) { events <- ev })
 	if err != nil {
 		t.Fatal(err)
@@ -320,7 +321,7 @@ func TestGuardWithDiscovery(t *testing.T) {
 	}
 
 	events := make(chan SessionEvent, 1)
-	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access",
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access",
 		func(ev SessionEvent) { events <- ev })
 	if err != nil {
 		t.Fatal(err)
@@ -361,7 +362,7 @@ func TestGuardCloseTerminatesSessions(t *testing.T) {
 	if err := g.Register(e.airNetResource()); err != nil {
 		t.Fatal(err)
 	}
-	s, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil)
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestGuardCloseTerminatesSessions(t *testing.T) {
 	if s.Active() {
 		t.Fatal("session survived guard close")
 	}
-	if _, err := g.Authorize(e.ids["Maria"].ID(), "internet-access", nil); err == nil {
+	if _, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "internet-access", nil); err == nil {
 		t.Fatal("closed guard authorized")
 	}
 }
@@ -395,7 +396,7 @@ func TestLevelFallsBackToBase(t *testing.T) {
 	if err := g.Register(res); err != nil {
 		t.Fatal(err)
 	}
-	s, err := g.Authorize(e.ids["Maria"].ID(), "open", nil)
+	s, err := g.Authorize(context.Background(), e.ids["Maria"].ID(), "open", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,199 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/peer"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// healingDialer wraps a fault-injecting dialer and heals one address after a
+// fixed number of failed dials, modeling a wallet that flaps: down when the
+// search first reaches it, back up by the time the search retries.
+type healingDialer struct {
+	transport.Dialer
+	plan  *transport.Faults
+	addr  string
+	heal  int32
+	fails atomic.Int32
+}
+
+func (d *healingDialer) Dial(ctx context.Context, addr string) (transport.Conn, error) {
+	conn, err := d.Dialer.Dial(ctx, addr)
+	if err != nil && addr == d.addr {
+		if d.fails.Add(1) >= d.heal {
+			d.plan.Clear(addr)
+		}
+	}
+	return conn, err
+}
+
+// setupChaosTopology builds a three-wallet coalition: the chain
+// Maria -> BigISP.member -> AirNet.member -> AirNet.access spans the local
+// server wallet (holding the first link), BigISP's home (the second), and
+// AirNet's home (the third). The forward frontier needs wallet.bigisp and
+// the reverse frontier wallet.airnet, so a full proof requires both homes.
+func setupChaosTopology(t *testing.T, e *env, d transport.Dialer, tweak func(*Config)) (*Agent, wallet.Query) {
+	t.Helper()
+	bigISPWallet := e.serve("wallet.bigisp", "BigISP")
+	airNetWallet := e.serve("wallet.airnet", "AirNet")
+
+	bigISPMemberTag := e.tag("wallet.bigisp", core.SubjectSearch, core.ObjectNone)
+	airNetAccessTag := e.tag("wallet.airnet", core.SubjectNone, core.ObjectSearch)
+
+	parsed, err := core.ParseDelegation("[Maria -> BigISP.member] BigISP", e.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Template.ObjectTag = &bigISPMemberTag
+	d1, err := core.Issue(e.id("BigISP"), parsed.Template, e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err = core.ParseDelegation("[BigISP.member -> AirNet.member] AirNet", e.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed.Template.SubjectTag = &bigISPMemberTag
+	d2, err := core.Issue(e.id("AirNet"), parsed.Template, e.clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bigISPWallet.Publish(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := airNetWallet.Publish(e.deleg("[AirNet.member -> AirNet.access] AirNet")); err != nil {
+		t.Fatal(err)
+	}
+
+	local := wallet.New(wallet.Config{Owner: e.id("AirNetServer"), Clock: e.clk, Directory: e.dir})
+	cfg := Config{Local: local, Dialer: d}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	a := NewAgent(cfg)
+	t.Cleanup(a.Close)
+	if err := local.Publish(d1); err != nil {
+		t.Fatal(err)
+	}
+	a.Learn(d1)
+	a.RegisterTag(core.SubjectRole(e.role("AirNet.access")), airNetAccessTag)
+	return a, wallet.Query{Subject: e.subject("Maria"), Object: e.role("AirNet.access")}
+}
+
+// A discovery over three wallets survives one home flapping: BigISP's home
+// refuses the round-1 dial, the round still makes progress at AirNet's home,
+// and round 2 retries the healed BigISP home and completes the proof.
+func TestDiscoverySurvivesFlappingHome(t *testing.T) {
+	e := newEnv(t, "BigISP", "AirNet", "Maria", "AirNetServer")
+	plan := transport.NewFaults()
+	plan.Set("wallet.bigisp", transport.Fault{RefuseDial: true})
+	hd := &healingDialer{
+		Dialer: &transport.FaultDialer{Inner: e.net.Dialer(e.id("AirNetServer")), Plan: plan},
+		plan:   plan,
+		addr:   "wallet.bigisp",
+		heal:   1,
+	}
+	a, q := setupChaosTopology(t, e, hd, nil)
+
+	var stats Stats
+	proof, err := a.Discover(context.Background(), q, Auto, &stats)
+	if err != nil {
+		t.Fatalf("discovery across a flapping home: %v", err)
+	}
+	if proof == nil || len(proof.Delegations()) < 3 {
+		t.Fatalf("proof = %v, want the full 3-link chain", proof)
+	}
+	if hd.fails.Load() < 1 {
+		t.Fatal("the injected flap never fired; the test proved nothing")
+	}
+	if stats.Rounds < 2 {
+		t.Fatalf("rounds = %d; the search should have needed a retry round", stats.Rounds)
+	}
+	if stats.WalletsContacted != 2 {
+		t.Fatalf("wallets contacted = %d, want 2", stats.WalletsContacted)
+	}
+	h := a.Peers().HealthOf("wallet.bigisp")
+	if h.State != peer.StateClosed || h.ConsecutiveFailures != 0 || !h.Connected {
+		t.Fatalf("bigisp health after recovery = %+v, want closed/connected", h)
+	}
+}
+
+// A home whose connection dies mid-search (after a fixed number of frames)
+// is retried on a fresh connection once the link heals, and the search
+// completes rather than erroring out.
+func TestDiscoverySurvivesMidSearchConnectionBreak(t *testing.T) {
+	e := newEnv(t, "BigISP", "AirNet", "Maria", "AirNetServer")
+	plan := transport.NewFaults()
+	// The first connection to BigISP's home dies after one frame: the
+	// round-1 query sends but its answer never arrives.
+	plan.Set("wallet.bigisp", transport.Fault{FailAfterFrames: 1})
+	hd := &healingDialer{
+		Dialer: &transport.FaultDialer{Inner: e.net.Dialer(e.id("AirNetServer")), Plan: plan},
+		plan:   plan,
+		addr:   "wallet.bigisp",
+		heal:   0, // never heal via dial failures; heal manually below
+	}
+	a, q := setupChaosTopology(t, e, hd, nil)
+
+	// First attempt: the broken link starves the forward frontier; the
+	// reverse side still fetches AirNet's link, but the chain stays short.
+	// Whether this attempt errors or exhausts progress depends on timing;
+	// either way it must not wedge.
+	if _, err := a.Discover(context.Background(), q, Auto, nil); err == nil {
+		t.Fatal("discovery succeeded while the BigISP link was broken")
+	}
+
+	plan.Clear("wallet.bigisp")
+	var stats Stats
+	proof, err := a.Discover(context.Background(), q, Auto, &stats)
+	if err != nil {
+		t.Fatalf("discovery after the link healed: %v", err)
+	}
+	if proof == nil || len(proof.Delegations()) < 3 {
+		t.Fatalf("proof = %v, want the full 3-link chain", proof)
+	}
+}
+
+// A canceled context aborts discovery mid-flight — while a peer RPC is in
+// the air — promptly and without leaking goroutines.
+func TestDiscoverCanceledContextReturnsPromptly(t *testing.T) {
+	e := newEnv(t, "BigISP", "AirNet", "Maria", "AirNetServer")
+	plan := transport.NewFaults()
+	// AirNet's home answers, but the answer crawls: the in-flight RPC can
+	// only end via context cancellation.
+	plan.Set("wallet.airnet", transport.Fault{FrameDelay: 2 * time.Second})
+	d := &transport.FaultDialer{Inner: e.net.Dialer(e.id("AirNetServer")), Plan: plan}
+	a, q := setupChaosTopology(t, e, d, nil)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.Discover(ctx, q, Auto, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("discover = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("discover took %v after cancellation; should unwind promptly", elapsed)
+	}
+
+	// Tear down the pooled connections and confirm every goroutine the
+	// aborted search spawned unwinds (the delayed read loop needs a moment).
+	a.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines = %d after abort, want <= %d (leak)", n, before)
+	}
+}

@@ -7,6 +7,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +16,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/obs"
+	"drbac/internal/peer"
 	"drbac/internal/remote"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
@@ -38,8 +40,12 @@ const (
 type Config struct {
 	// Local is the trusted wallet fetched credentials are inserted into.
 	Local *wallet.Wallet
-	// Dialer opens authenticated connections to wallet homes.
+	// Dialer opens authenticated connections to wallet homes. Ignored when
+	// Peers is set.
 	Dialer transport.Dialer
+	// Peers, if non-nil, is a shared connection pool the agent uses instead
+	// of building its own over Dialer. The caller owns its lifecycle.
+	Peers *peer.Manager
 	// VerifyHomes requires each home wallet to prove it holds the
 	// discovery tag's authorization role before it is trusted (§4.2.1).
 	VerifyHomes bool
@@ -113,12 +119,17 @@ type Agent struct {
 	cfg Config
 	obs *obs.Obs
 	m   agentMetrics
+	// peers pools connections to wallet homes with backoff and circuit
+	// breaking; ownsPeers records whether Close should tear it down.
+	peers     *peer.Manager
+	ownsPeers bool
 
 	mu sync.Mutex
 	// tags is the agent's tag book: the home and flags for each graph node.
 	tags map[core.Subject]core.DiscoveryTag
-	// clients caches open connections by address.
-	clients map[string]*remote.Client
+	// contacted dedupes the WalletsContacted stat across the agent's
+	// lifetime (the pool may silently redial a flapping home many times).
+	contacted map[string]bool
 	// origin records which home a cached delegation came from, for
 	// coherence subscriptions.
 	origin map[core.DelegationID]string
@@ -132,25 +143,31 @@ func NewAgent(cfg Config) *Agent {
 	if o == nil && cfg.Local != nil {
 		o = cfg.Local.Obs()
 	}
-	return &Agent{
-		cfg:      cfg,
-		obs:      o,
-		m:        newAgentMetrics(o),
-		tags:     make(map[core.Subject]core.DiscoveryTag),
-		clients:  make(map[string]*remote.Client),
-		origin:   make(map[core.DelegationID]string),
-		verified: make(map[string]bool),
+	a := &Agent{
+		cfg:       cfg,
+		obs:       o,
+		m:         newAgentMetrics(o),
+		tags:      make(map[core.Subject]core.DiscoveryTag),
+		contacted: make(map[string]bool),
+		origin:    make(map[core.DelegationID]string),
+		verified:  make(map[string]bool),
 	}
+	if cfg.Peers != nil {
+		a.peers = cfg.Peers
+	} else {
+		a.peers = peer.NewManager(peer.Config{Dialer: cfg.Dialer, Obs: o})
+		a.ownsPeers = true
+	}
+	return a
 }
 
-// Close drops all cached connections.
+// Peers exposes the agent's connection pool, e.g. for health inspection.
+func (a *Agent) Peers() *peer.Manager { return a.peers }
+
+// Close drops all pooled connections (only when the agent owns the pool).
 func (a *Agent) Close() {
-	a.mu.Lock()
-	clients := a.clients
-	a.clients = make(map[string]*remote.Client)
-	a.mu.Unlock()
-	for _, c := range clients {
-		c.Close()
+	if a.ownsPeers {
+		a.peers.Close()
 	}
 }
 
@@ -188,29 +205,22 @@ func (a *Agent) Learn(d *core.Delegation) {
 	}
 }
 
-// client returns a (cached) connection to a wallet home, verifying its
-// authorization role when configured.
-func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, error) {
-	a.mu.Lock()
-	c, ok := a.clients[tag.Home]
-	a.mu.Unlock()
-	if !ok {
-		var err error
-		c, err = remote.Dial(a.cfg.Dialer, tag.Home)
-		if err != nil {
+// client returns a pooled connection to a wallet home, verifying its
+// authorization role when configured. A home whose circuit is open fails
+// fast without a dial attempt.
+func (a *Agent) client(ctx context.Context, tag core.DiscoveryTag, stats *Stats) (*remote.Client, error) {
+	c, err := a.peers.Get(ctx, tag.Home)
+	if err != nil {
+		if !errors.Is(err, peer.ErrCircuitOpen) {
 			a.obs.Log().Warn("discovery dial failed", "home", tag.Home, "error", err)
-			return nil, fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
 		}
-		c.Obs = a.obs
-		a.mu.Lock()
-		if existing, raced := a.clients[tag.Home]; raced {
-			a.mu.Unlock()
-			c.Close()
-			c = existing
-		} else {
-			a.clients[tag.Home] = c
-			a.mu.Unlock()
-		}
+		return nil, fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
+	}
+	a.mu.Lock()
+	first := !a.contacted[tag.Home]
+	a.contacted[tag.Home] = true
+	a.mu.Unlock()
+	if first {
 		a.obs.Log().Debug("discovery dialed home", "home", tag.Home)
 		if stats != nil {
 			stats.WalletsContacted++
@@ -221,7 +231,8 @@ func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, err
 		done := a.verified[tag.Home]
 		a.mu.Unlock()
 		if !done {
-			if _, err := c.ProveRole(tag.AuthRole, a.cfg.Local.Now()); err != nil {
+			if _, err := c.ProveRole(ctx, tag.AuthRole, a.cfg.Local.Now()); err != nil {
+				a.reportIfBroken(tag.Home, c)
 				return nil, fmt.Errorf("discovery: home %s failed authorization: %w", tag.Home, err)
 			}
 			a.mu.Lock()
@@ -230,6 +241,16 @@ func (a *Agent) client(tag core.DiscoveryTag, stats *Stats) (*remote.Client, err
 		}
 	}
 	return c, nil
+}
+
+// reportIfBroken feeds an RPC failure back to the pool, but only when the
+// connection itself is dead: application-level errors (a NoProof response,
+// a rejected revocation) travel over a healthy connection and say nothing
+// about the peer's availability.
+func (a *Agent) reportIfBroken(home string, c *remote.Client) {
+	if c != nil && !c.Healthy() {
+		a.peers.ReportFailure(home, c)
+	}
 }
 
 // insertProofs stores fetched sub-proofs into the local wallet as TTL-
@@ -273,7 +294,14 @@ func (a *Agent) insertProofs(proofs []*core.Proof, from string, ttl time.Duratio
 // Each Discover runs under a trace ID — q.TraceID, or one minted here —
 // that the local wallet logs under and that every remote query carries, so
 // the whole cross-wallet search reads as one trace.
-func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, error) {
+//
+// Cancellation of ctx aborts the search mid-flight: in-flight peer RPCs
+// unwind, no further homes are dialed, and the context error is returned.
+func (a *Agent) Discover(ctx context.Context, q wallet.Query, mode Mode, stats *Stats) (*core.Proof, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.Ctx = ctx
 	if q.TraceID == "" {
 		q.TraceID = obs.NewTraceID()
 	}
@@ -286,7 +314,7 @@ func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, 
 	a.m.discoveries.Inc()
 	sp := a.obs.StartSpan(q.TraceID, "discover",
 		"subject", q.Subject.String(), "object", q.Object.String())
-	p, err := a.discover(q, mode, st, sp)
+	p, err := a.discover(ctx, q, mode, st, sp)
 	d := sp.End("found", err == nil,
 		"rounds", st.Rounds, "remote_queries", st.RemoteQueries, "fetched", st.DelegationsFetched)
 	a.m.latency.Observe(d.Seconds())
@@ -300,11 +328,14 @@ func (a *Agent) Discover(q wallet.Query, mode Mode, stats *Stats) (*core.Proof, 
 	return p, err
 }
 
-func (a *Agent) discover(q wallet.Query, mode Mode, stats *Stats, sp *obs.Span) (*core.Proof, error) {
+func (a *Agent) discover(ctx context.Context, q wallet.Query, mode Mode, stats *Stats, sp *obs.Span) (*core.Proof, error) {
 	// Step: try locally first (Figure 2, step 2).
 	if p, err := a.cfg.Local.QueryDirect(q); err == nil {
 		sp.Event("local hit")
 		return p, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	maxRounds := a.cfg.MaxRounds
@@ -318,23 +349,32 @@ func (a *Agent) discover(q wallet.Query, mode Mode, stats *Stats, sp *obs.Span) 
 		stats.Rounds = round
 		progress := 0
 		if mode == Auto || mode == ForwardOnly {
-			n, found, err := a.forwardRound(q, mode, round, queriedFwd, stats, sp)
-			if err == nil && found != nil {
+			n, found, err := a.forwardRound(ctx, q, mode, round, queriedFwd, stats, sp)
+			progress += n
+			if err != nil {
+				return nil, err
+			}
+			if found != nil {
 				return found, nil
 			}
-			progress += n
 		}
 		if mode == Auto || mode == ReverseOnly {
-			n, found, err := a.reverseRound(q, mode, round, queriedRev, stats, sp)
-			if err == nil && found != nil {
+			n, found, err := a.reverseRound(ctx, q, mode, round, queriedRev, stats, sp)
+			progress += n
+			if err != nil {
+				return nil, err
+			}
+			if found != nil {
 				return found, nil
 			}
-			progress += n
 		}
 		// Re-check locally after each round: the two frontiers may have
 		// met in the middle.
 		if p, err := a.cfg.Local.QueryDirect(q); err == nil {
 			return p, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if progress == 0 {
 			break
@@ -349,7 +389,7 @@ func (a *Agent) discover(q wallet.Query, mode Mode, stats *Stats, sp *obs.Span) 
 // home wallet. Queries carry constraints adjusted by the locally known
 // prefix modifiers (§4.2.3 "modulated attribute ranges"), so remote
 // wallets prune continuations the accumulated chain can no longer afford.
-func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
+func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
 	frontier := []core.Subject{q.Subject}
 	prefixes := make(map[core.Subject][]core.Aggregate)
 	for _, p := range a.cfg.Local.QuerySubject(q.Subject, nil) {
@@ -361,6 +401,9 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 	}
 	progress := 0
 	for _, node := range frontier {
+		if err := ctx.Err(); err != nil {
+			return progress, nil, err
+		}
 		if queried[node] {
 			continue
 		}
@@ -371,11 +414,15 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 		if mode == Auto && tag.Subject != core.SubjectSearch && tag.Subject != core.SubjectStore {
 			continue
 		}
-		queried[node] = true
-		c, err := a.client(tag, stats)
+		c, err := a.client(ctx, tag, stats)
 		if err != nil {
+			// The home is unreachable this round; leave the node unqueried
+			// so a later round retries it once the peer recovers. Progress
+			// elsewhere keeps the search alive meanwhile.
 			continue
 		}
+		// Only a reachable home consumes the node's single query budget.
+		queried[node] = true
 		remaining := q.Constraints
 		if !a.cfg.DisableRangeAdjustment {
 			remaining = looseAdjust(q.Constraints, prefixes[node])
@@ -384,7 +431,7 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirectTraced(q.TraceID, node, q.Object, remaining, 0)
+		p, err := c.QueryDirectTraced(ctx, q.TraceID, node, q.Object, remaining, 0)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
@@ -395,14 +442,18 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 			continue
 		}
 		if !errors.Is(err, core.ErrNoProof) {
+			a.reportIfBroken(tag.Home, c)
+			queried[node] = false // answer never arrived; retry next round
 			continue
 		}
 		// Fall back to a subject query; its results root further search.
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QuerySubjectTraced(q.TraceID, node, remaining)
+		proofs, err := c.QuerySubjectTraced(ctx, q.TraceID, node, remaining)
 		if err != nil {
+			a.reportIfBroken(tag.Home, c)
+			queried[node] = false
 			continue
 		}
 		a.trace(sp, stats, round, tag.Home, "subject", node.String(), len(proofs))
@@ -414,7 +465,7 @@ func (a *Agent) forwardRound(q wallet.Query, mode Mode, round int, queried map[c
 // reverseRound expands the object-side frontier symmetrically: the locally
 // known suffix modifiers adjust the constraints the missing prefix must
 // still satisfy.
-func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
+func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, round int, queried map[core.Subject]bool, stats *Stats, sp *obs.Span) (int, *core.Proof, error) {
 	frontier := []core.Role{q.Object}
 	suffixes := make(map[core.Role][]core.Aggregate)
 	for _, p := range a.cfg.Local.QueryObject(q.Object, nil) {
@@ -427,6 +478,9 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 	}
 	progress := 0
 	for _, role := range frontier {
+		if err := ctx.Err(); err != nil {
+			return progress, nil, err
+		}
 		node := core.SubjectRole(role)
 		if queried[node] {
 			continue
@@ -438,11 +492,11 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 		if mode == Auto && tag.Object != core.ObjectSearch && tag.Object != core.ObjectStore {
 			continue
 		}
-		queried[node] = true
-		c, err := a.client(tag, stats)
+		c, err := a.client(ctx, tag, stats)
 		if err != nil {
-			continue
+			continue // home unreachable: retry the node next round
 		}
+		queried[node] = true
 		remaining := q.Constraints
 		if !a.cfg.DisableRangeAdjustment {
 			remaining = looseAdjust(q.Constraints, suffixes[role])
@@ -450,7 +504,7 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirectTraced(q.TraceID, q.Subject, role, remaining, 0)
+		p, err := c.QueryDirectTraced(ctx, q.TraceID, q.Subject, role, remaining, 0)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
@@ -461,13 +515,17 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 			continue
 		}
 		if !errors.Is(err, core.ErrNoProof) {
+			a.reportIfBroken(tag.Home, c)
+			queried[node] = false
 			continue
 		}
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QueryObjectTraced(q.TraceID, role, remaining)
+		proofs, err := c.QueryObjectTraced(ctx, q.TraceID, role, remaining)
 		if err != nil {
+			a.reportIfBroken(tag.Home, c)
+			queried[node] = false
 			continue
 		}
 		a.trace(sp, stats, round, tag.Home, "object", node.String(), len(proofs))
@@ -482,7 +540,7 @@ func (a *Agent) reverseRound(q wallet.Query, mode Mode, round int, queried map[c
 // revocations and expirations invalidate the local copy, which in turn
 // fires any local proof monitors; renewals extend the local TTL. It
 // returns a cancel function releasing all subscriptions.
-func (a *Agent) Bridge(p *core.Proof) (cancel func(), err error) {
+func (a *Agent) Bridge(ctx context.Context, p *core.Proof) (cancel func(), err error) {
 	var cancels []func()
 	release := func() {
 		for _, c := range cancels {
@@ -498,13 +556,13 @@ func (a *Agent) Bridge(p *core.Proof) (cancel func(), err error) {
 			continue
 		}
 		tag, _ := a.Tag(d.Subject)
-		c, err := a.client(tagWithHome(tag.Normalize(), home), nil)
+		c, err := a.client(ctx, tagWithHome(tag.Normalize(), home), nil)
 		if err != nil {
 			release()
 			return nil, err
 		}
 		ttl := tag.TTL
-		cancelOne, err := c.Subscribe(id, func(ev subs.Event) {
+		cancelOne, err := c.Subscribe(ctx, id, func(ev subs.Event) {
 			switch ev.Kind {
 			case subs.Revoked:
 				a.cfg.Local.AcceptRevocation(ev.Delegation)
@@ -581,11 +639,11 @@ func (a *Agent) refreshOnce() {
 			continue
 		}
 		tag, _ := a.Tag(d.Subject)
-		c, err := a.client(tagWithHome(tag.Normalize(), home), nil)
+		c, err := a.client(context.Background(), tagWithHome(tag.Normalize(), home), nil)
 		if err != nil {
 			continue // home unreachable: let the TTL lapse naturally
 		}
-		present, err := c.Has(id)
+		present, err := c.Has(context.Background(), id)
 		if err != nil {
 			continue
 		}
@@ -626,7 +684,7 @@ type AuditFinding struct {
 // whose object carries a store-required object flag ('o'/'O') must be
 // present in the object's home wallet. Off-registry delegations are the
 // unauditable re-delegations the scheme exists to expose.
-func (a *Agent) AuditRegistry(p *core.Proof) ([]AuditFinding, error) {
+func (a *Agent) AuditRegistry(ctx context.Context, p *core.Proof) ([]AuditFinding, error) {
 	var out []AuditFinding
 	for _, d := range p.Delegations() {
 		finding := AuditFinding{Delegation: d.ID()}
@@ -644,11 +702,11 @@ func (a *Agent) AuditRegistry(p *core.Proof) ([]AuditFinding, error) {
 		}
 		finding.Required = true
 		finding.Home = tag.Home
-		c, err := a.client(tag, nil)
+		c, err := a.client(ctx, tag, nil)
 		if err != nil {
 			return nil, fmt.Errorf("discovery: audit %s: %w", d.ID().Short(), err)
 		}
-		present, err := c.Has(d.ID())
+		present, err := c.Has(ctx, d.ID())
 		if err != nil {
 			return nil, fmt.Errorf("discovery: audit %s: %w", d.ID().Short(), err)
 		}

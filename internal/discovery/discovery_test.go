@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -235,7 +236,7 @@ func TestFigure2Steps(t *testing.T) {
 	cs := setupCaseStudy(t, e)
 
 	var stats Stats
-	proof, err := cs.agent.Discover(cs.query, Auto, &stats)
+	proof, err := cs.agent.Discover(context.Background(), cs.query, Auto, &stats)
 	if err != nil {
 		t.Fatalf("discover: %v", err)
 	}
@@ -293,7 +294,7 @@ func TestFigure2MonitoringAndRevocation(t *testing.T) {
 	e := newEnv(t, "BigISP", "AirNet", "Mark", "Sheila", "Maria", "AirNetServer")
 	cs := setupCaseStudy(t, e)
 
-	proof, err := cs.agent.Discover(cs.query, Auto, nil)
+	proof, err := cs.agent.Discover(context.Background(), cs.query, Auto, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestFigure2MonitoringAndRevocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	cancel, err := cs.agent.Bridge(proof)
+	cancel, err := cs.agent.Bridge(context.Background(), proof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestDiscoverLocalHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats Stats
-	p, err := a.Discover(wallet.Query{
+	p, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("BigISP.member"),
 	}, Auto, &stats)
@@ -352,7 +353,7 @@ func TestDiscoverLocalHit(t *testing.T) {
 func TestDiscoverNoTagsNoProof(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria", "Server")
 	a, _ := e.agent("Server", Config{})
-	_, err := a.Discover(wallet.Query{
+	_, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("BigISP.member"),
 	}, Auto, nil)
@@ -375,7 +376,7 @@ func TestDiscoverReverse(t *testing.T) {
 	// Only an object tag for AirNet.access is known: reverse search.
 	a.RegisterTag(e.subject("AirNet.access"), e.tag("wallet.airnet", core.SubjectNone, core.ObjectSearch))
 	var stats Stats
-	p, err := a.Discover(wallet.Query{
+	p, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("AirNet.access"),
 	}, Auto, &stats)
@@ -407,12 +408,12 @@ func TestDiscoverModeRestriction(t *testing.T) {
 	}
 	q := wallet.Query{Subject: e.subject("Maria"), Object: e.role("AirNet.access")}
 
-	if _, err := build().Discover(q, ForwardOnly, nil); err != nil {
+	if _, err := build().Discover(context.Background(), q, ForwardOnly, nil); err != nil {
 		t.Fatalf("forward-only: %v", err)
 	}
 	// Reverse-only cannot use the subject tag (no object tag known for
 	// AirNet.access), so it must fail.
-	if _, err := build().Discover(q, ReverseOnly, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := build().Discover(context.Background(), q, ReverseOnly, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("reverse-only should fail, got %v", err)
 	}
 }
@@ -427,11 +428,11 @@ func TestDiscoverAutoRespectsTagFlags(t *testing.T) {
 	// Tag present but with '-' subject flag: Auto must not search from it.
 	a.RegisterTag(e.subject("Maria"), e.tag("wallet.airnet", core.SubjectNone, core.ObjectNone))
 	q := wallet.Query{Subject: e.subject("Maria"), Object: e.role("AirNet.access")}
-	if _, err := a.Discover(q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := a.Discover(context.Background(), q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("auto mode should respect '-' flags, got %v", err)
 	}
 	// ForwardOnly overrides the flag (the §4.2.3 experiments rely on this).
-	if _, err := a.Discover(q, ForwardOnly, nil); err != nil {
+	if _, err := a.Discover(context.Background(), q, ForwardOnly, nil); err != nil {
 		t.Fatalf("forward-only override: %v", err)
 	}
 }
@@ -462,7 +463,7 @@ func TestVerifyHomes(t *testing.T) {
 	// Without the authorization grant, a verifying agent refuses the home.
 	a1, _ := e.agent("Server", Config{VerifyHomes: true})
 	a1.RegisterTag(e.subject("Maria"), authTag)
-	if _, err := a1.Discover(q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := a1.Discover(context.Background(), q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("unauthorized home should yield no proof, got %v", err)
 	}
 
@@ -472,7 +473,7 @@ func TestVerifyHomes(t *testing.T) {
 	}
 	a2, _ := e.agent("Server", Config{VerifyHomes: true})
 	a2.RegisterTag(e.subject("Maria"), authTag)
-	if _, err := a2.Discover(q, Auto, nil); err != nil {
+	if _, err := a2.Discover(context.Background(), q, Auto, nil); err != nil {
 		t.Fatalf("authorized home: %v", err)
 	}
 }
@@ -491,7 +492,7 @@ func TestDiscoverWithConstraints(t *testing.T) {
 		Object:      e.role("AirNet.access"),
 		Constraints: []core.Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 50}},
 	}
-	if _, err := a.Discover(q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := a.Discover(context.Background(), q, Auto, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("BW=10 must not satisfy minimum 50, got %v", err)
 	}
 }
@@ -545,7 +546,7 @@ func TestDiscoverMultiHopTagLearning(t *testing.T) {
 	a.Learn(d1)
 
 	var stats Stats
-	p, err := a.Discover(wallet.Query{
+	p, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("M"),
 		Object:  e.role("C.goal"),
 	}, Auto, &stats)
@@ -572,14 +573,14 @@ func TestBridgeRenewKeepsCacheFresh(t *testing.T) {
 	}
 	a, local := e.agent("Server", Config{})
 	a.RegisterTag(e.subject("Maria"), e.tag("wallet.airnet", core.SubjectSearch, core.ObjectNone))
-	p, err := a.Discover(wallet.Query{
+	p, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("AirNet.access"),
 	}, Auto, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cancel, err := a.Bridge(p)
+	cancel, err := a.Bridge(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -689,15 +690,15 @@ func TestDiscoverBidirectionalMeetInMiddle(t *testing.T) {
 
 	// Forward alone stalls at A.y; reverse alone stalls at A.y from the
 	// other side (no subject link for it without the forward half).
-	if _, err := build().Discover(q, ForwardOnly, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := build().Discover(context.Background(), q, ForwardOnly, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("forward-only should stall, got %v", err)
 	}
-	if _, err := build().Discover(q, ReverseOnly, nil); !errors.Is(err, core.ErrNoProof) {
+	if _, err := build().Discover(context.Background(), q, ReverseOnly, nil); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("reverse-only should stall, got %v", err)
 	}
 	// Auto combines both frontiers and completes.
 	var stats Stats
-	p, err := build().Discover(q, Auto, &stats)
+	p, err := build().Discover(context.Background(), q, Auto, &stats)
 	if err != nil {
 		t.Fatalf("bidirectional discovery failed: %v (trace: %s)", err, fmtTrace(stats.Trace))
 	}
@@ -735,7 +736,7 @@ func TestDiscoverModulatedRangesPruneRemoteFetches(t *testing.T) {
 		Constraints: []core.Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 50}},
 	}
 	var stats Stats
-	if _, err := a.Discover(q, Auto, &stats); !errors.Is(err, core.ErrNoProof) {
+	if _, err := a.Discover(context.Background(), q, Auto, &stats); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("combined chain caps BW at 40 < 50; want ErrNoProof, got %v", err)
 	}
 	if stats.DelegationsFetched != 0 {
@@ -749,7 +750,7 @@ func TestDiscoverModulatedRangesPruneRemoteFetches(t *testing.T) {
 		t.Fatal(err)
 	}
 	a2.RegisterTag(e.subject("A.x"), e.tag("wallet.b", core.SubjectSearch, core.ObjectNone))
-	p, err := a2.Discover(q, Auto, nil)
+	p, err := a2.Discover(context.Background(), q, Auto, nil)
 	if err != nil {
 		t.Fatalf("affordable query failed: %v", err)
 	}
@@ -815,7 +816,7 @@ func TestAuditRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	findings, err := a.AuditRegistry(proof)
+	findings, err := a.AuditRegistry(context.Background(), proof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -845,7 +846,7 @@ func TestKeepFresh(t *testing.T) {
 	}
 	a, local := e.agent("Server", Config{})
 	a.RegisterTag(e.subject("Maria"), e.tag("wallet.airnet", core.SubjectSearch, core.ObjectNone))
-	if _, err := a.Discover(wallet.Query{
+	if _, err := a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("AirNet.access"),
 	}, Auto, nil); err != nil {

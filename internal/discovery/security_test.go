@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -80,7 +81,7 @@ func TestDiscoveryRejectsForgedProofs(t *testing.T) {
 	a, local := e.agent("Server", Config{})
 	a.RegisterTag(e.subject("Maria"), e.tag("wallet.evil", core.SubjectSearch, core.ObjectNone))
 
-	_, err = a.Discover(wallet.Query{
+	_, err = a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("AirNet.access"),
 	}, Auto, nil)
@@ -106,7 +107,7 @@ func TestDiscoveryRevalidatesGenuineButIrrelevantProofs(t *testing.T) {
 
 	a, local := e.agent("Server", Config{})
 	a.RegisterTag(e.subject("Maria"), e.tag("wallet.evil", core.SubjectSearch, core.ObjectNone))
-	_, err = a.Discover(wallet.Query{
+	_, err = a.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("AirNet.access"),
 	}, Auto, nil)
@@ -151,7 +152,7 @@ func TestClientSurvivesGarbageResponses(t *testing.T) {
 	a.RegisterTag(e.subject("Server"), e.tag("wallet.garbage", core.SubjectSearch, core.ObjectNone))
 	done := make(chan error, 1)
 	go func() {
-		_, err := a.Discover(wallet.Query{
+		_, err := a.Discover(context.Background(), wallet.Query{
 			Subject: e.subject("Server"),
 			Object:  e.role("Mallory.x"),
 		}, Auto, nil)

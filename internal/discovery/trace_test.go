@@ -2,6 +2,7 @@ package discovery
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"log/slog"
 	"sync"
@@ -134,7 +135,7 @@ func TestTraceIDPropagatesAcrossWallets(t *testing.T) {
 	agent.Learn(d1)
 
 	var stats Stats
-	proof, err := agent.Discover(wallet.Query{
+	proof, err := agent.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("User"),
 		Object:  e.role("B.guest"),
 	}, Auto, &stats)
@@ -191,7 +192,7 @@ func TestDiscoverHonorsCallerTraceID(t *testing.T) {
 		t.Fatal(err)
 	}
 	const want = "feedface00000001"
-	if _, err := agent.Discover(wallet.Query{
+	if _, err := agent.Discover(context.Background(), wallet.Query{
 		Subject: e.subject("Maria"),
 		Object:  e.role("BigISP.member"),
 		TraceID: want,
@@ -219,7 +220,7 @@ func TestDiscoveryMetrics(t *testing.T) {
 	t.Cleanup(agent.Close)
 	agent.Learn(cs.d1)
 
-	if _, err := agent.Discover(cs.query, Auto, nil); err != nil {
+	if _, err := agent.Discover(context.Background(), cs.query, Auto, nil); err != nil {
 		t.Fatalf("discover: %v", err)
 	}
 	s := reg.Snapshot()

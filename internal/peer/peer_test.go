@@ -1,0 +1,309 @@
+package peer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"drbac/internal/clock"
+	"drbac/internal/core"
+	"drbac/internal/obs"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+var testStart = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+type env struct {
+	t   *testing.T
+	clk *clock.Fake
+	net *transport.MemNetwork
+	ids map[string]*core.Identity
+	dir *core.MemDirectory
+}
+
+func newEnv(t *testing.T, names ...string) *env {
+	t.Helper()
+	e := &env{
+		t:   t,
+		clk: clock.NewFake(testStart),
+		net: transport.NewMemNetwork(),
+		ids: make(map[string]*core.Identity),
+		dir: core.NewDirectory(),
+	}
+	for i, name := range names {
+		seed := make([]byte, 32)
+		seed[0] = byte(i + 1)
+		copy(seed[1:], name)
+		id, err := core.IdentityFromSeed(name, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ids[name] = id
+		e.dir.Add(id.Entity())
+	}
+	return e
+}
+
+func (e *env) serve(addr, owner string) *remote.Server {
+	e.t.Helper()
+	w := wallet.New(wallet.Config{Owner: e.ids[owner], Clock: e.clk, Directory: e.dir})
+	ln, err := e.net.Listen(addr, e.ids[owner])
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	s := remote.Serve(w, ln)
+	e.t.Cleanup(s.Close)
+	return s
+}
+
+func (e *env) manager(clientName string, tweak func(*Config)) *Manager {
+	e.t.Helper()
+	cfg := Config{
+		Dialer: e.net.Dialer(e.ids[clientName]),
+		Clock:  e.clk,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	m := NewManager(cfg)
+	e.t.Cleanup(m.Close)
+	return m
+}
+
+func TestGetPoolsConnections(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	m := e.manager("alice", nil)
+
+	ctx := context.Background()
+	c1, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("second Get did not reuse the pooled connection")
+	}
+	if err := c1.Ping(ctx); err != nil {
+		t.Fatalf("ping over pooled conn: %v", err)
+	}
+	h := m.HealthOf("bob.home")
+	if h.State != StateClosed || !h.Connected || h.ConsecutiveFailures != 0 {
+		t.Fatalf("health = %+v, want closed/connected", h)
+	}
+}
+
+func TestGetRedialsAfterBrokenConnection(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	srv := e.serve("bob.home", "bob")
+	m := e.manager("alice", nil)
+
+	ctx := context.Background()
+	c1, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server side; the client's read loop exits.
+	srv.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for c1.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c1.Healthy() {
+		t.Fatal("client did not notice dead server")
+	}
+
+	// Server comes back at the same address.
+	e.serve("bob.home", "bob")
+	c2, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatalf("redial after eviction: %v", err)
+	}
+	if c2 == c1 {
+		t.Fatal("broken connection was not evicted")
+	}
+	if err := c2.Ping(ctx); err != nil {
+		t.Fatalf("ping over redialed conn: %v", err)
+	}
+}
+
+func TestCircuitOpensAndRecovers(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	m := e.manager("alice", func(c *Config) {
+		c.FailureThreshold = 3
+		c.BaseBackoff = 100 * time.Millisecond
+		c.MaxBackoff = time.Second
+	})
+	ctx := context.Background()
+
+	// Nothing listens at the address: three dials fail and open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := m.Get(ctx, "bob.home"); err == nil {
+			t.Fatalf("dial %d to dead address succeeded", i)
+		}
+	}
+	h := m.HealthOf("bob.home")
+	if h.State != StateOpen {
+		t.Fatalf("state after 3 failures = %v, want open", h.State)
+	}
+	if h.ConsecutiveFailures != 3 {
+		t.Fatalf("failures = %d, want 3", h.ConsecutiveFailures)
+	}
+
+	// Inside the backoff window: fast fail, no dial.
+	if _, err := m.Get(ctx, "bob.home"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("get inside window = %v, want ErrCircuitOpen", err)
+	}
+
+	// After the window (max backoff is 1s; jitter keeps it under that):
+	// the probe is admitted, and with the server back it closes the circuit.
+	e.clk.Advance(2 * time.Second)
+	if got := m.HealthOf("bob.home").State; got != StateHalfOpen {
+		t.Fatalf("state after window = %v, want half-open", got)
+	}
+	e.serve("bob.home", "bob")
+	c, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h = m.HealthOf("bob.home")
+	if h.State != StateClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("health after recovery = %+v, want closed/0", h)
+	}
+}
+
+func TestFailedProbeReopensWithLongerWindow(t *testing.T) {
+	e := newEnv(t, "alice")
+	m := e.manager("alice", func(c *Config) {
+		c.FailureThreshold = 1
+		c.BaseBackoff = 100 * time.Millisecond
+		c.MaxBackoff = time.Second
+	})
+	ctx := context.Background()
+	if _, err := m.Get(ctx, "dead"); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	first := m.HealthOf("dead").RetryAt
+	e.clk.Advance(time.Second)
+	if _, err := m.Get(ctx, "dead"); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("probe should have dialed and failed, got %v", err)
+	}
+	second := m.HealthOf("dead").RetryAt
+	if !second.After(first) {
+		t.Fatalf("retry window did not move forward: %v -> %v", first, second)
+	}
+	if m.HealthOf("dead").ConsecutiveFailures != 2 {
+		t.Fatalf("failures = %d, want 2", m.HealthOf("dead").ConsecutiveFailures)
+	}
+}
+
+func TestReportFailureIgnoresStaleClient(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	m := e.manager("alice", nil)
+	ctx := context.Background()
+
+	c1, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReportFailure("bob.home", c1)
+	if h := m.HealthOf("bob.home"); h.Connected || h.ConsecutiveFailures != 1 {
+		t.Fatalf("health after report = %+v, want evicted with 1 failure", h)
+	}
+	c2, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 == c1 {
+		t.Fatal("reported client was not replaced")
+	}
+	// A stale report about the long-gone c1 must not evict c2.
+	m.ReportFailure("bob.home", c1)
+	c3, err := m.Get(ctx, "bob.home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c2 {
+		t.Fatal("stale failure report poisoned the fresh connection")
+	}
+}
+
+func TestOnConnectRejectionCountsAsFailure(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	hookErr := errors.New("not authorized as a home wallet")
+	m := e.manager("alice", func(c *Config) {
+		c.FailureThreshold = 1
+		c.OnConnect = func(ctx context.Context, addr string, cl *remote.Client) error {
+			return hookErr
+		}
+	})
+	if _, err := m.Get(context.Background(), "bob.home"); !errors.Is(err, hookErr) {
+		t.Fatalf("get = %v, want OnConnect error", err)
+	}
+	if h := m.HealthOf("bob.home"); h.State != StateOpen {
+		t.Fatalf("state = %v, want open after rejected connect", h.State)
+	}
+}
+
+func TestGetHonorsCanceledContext(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	m := e.manager("alice", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Get(ctx, "bob.home"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("get = %v, want context.Canceled", err)
+	}
+}
+
+func TestManagerMetrics(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	reg := obs.NewRegistry()
+	o := obs.New(nil, reg)
+	m := e.manager("alice", func(c *Config) {
+		c.Obs = o
+		c.FailureThreshold = 1
+	})
+	ctx := context.Background()
+	if _, err := m.Get(ctx, "bob.home"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(ctx, "dead"); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["drbac_peer_dials_total"] != 2 {
+		t.Fatalf("dials = %d, want 2", snap.Counters["drbac_peer_dials_total"])
+	}
+	if snap.Counters["drbac_peer_dial_failures_total"] != 1 {
+		t.Fatalf("dial failures = %d, want 1", snap.Counters["drbac_peer_dial_failures_total"])
+	}
+	if snap.Counters["drbac_peer_circuit_opens_total"] != 1 {
+		t.Fatalf("circuit opens = %d, want 1", snap.Counters["drbac_peer_circuit_opens_total"])
+	}
+	if snap.Gauges["drbac_peer_connections"] != 1 {
+		t.Fatalf("live connections = %d, want 1", snap.Gauges["drbac_peer_connections"])
+	}
+}
+
+func TestJitterWithinHalfToFull(t *testing.T) {
+	d := 400 * time.Millisecond
+	for i := 1; i <= 10; i++ {
+		j := jitter("addr", i, d)
+		if j < d/2 || j >= d {
+			t.Fatalf("jitter(%d) = %v outside [%v, %v)", i, j, d/2, d)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/obs"
+	"drbac/internal/peer"
 	"drbac/internal/remote"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
@@ -32,8 +34,16 @@ import (
 type Config struct {
 	// Local is the proxy's cache wallet, served to downstream clients.
 	Local *wallet.Wallet
-	// Upstream is the wallet misses are pulled through from.
+	// Upstream is a fixed connection the wallet misses are pulled through
+	// from. Either Upstream or Peers+UpstreamAddr must be set.
 	Upstream *remote.Client
+	// Peers, with UpstreamAddr, pulls misses through a managed pool
+	// instead of a fixed connection: the proxy survives an upstream
+	// restart by redialing lazily and re-establishing its delegation
+	// subscriptions on the fresh connection.
+	Peers *peer.Manager
+	// UpstreamAddr is the upstream wallet's address in Peers.
+	UpstreamAddr string
 	// TTL is the coherence window for pulled credentials; zero caches
 	// permanently (credentials still drop on upstream revocation).
 	TTL time.Duration
@@ -59,17 +69,25 @@ type Proxy struct {
 
 	mu      sync.Mutex
 	cancels map[core.DelegationID]func()
-	closed  bool
+	// lastUpstream is the pooled client the current subscriptions live on;
+	// a different pointer from the pool means the upstream connection was
+	// replaced and every subscription must be re-established.
+	lastUpstream *remote.Client
+	closed       bool
 	// Pulls counts upstream pull-through queries (cache misses).
 	pulls int
 	// Hits counts direct queries answered from the cache.
 	hits int
 }
 
-// New builds a proxy over a local cache wallet and an upstream connection.
+// New builds a proxy over a local cache wallet and an upstream connection
+// (fixed, or pooled via Peers+UpstreamAddr).
 func New(cfg Config) (*Proxy, error) {
-	if cfg.Local == nil || cfg.Upstream == nil {
-		return nil, errors.New("proxy: Local and Upstream are required")
+	if cfg.Local == nil {
+		return nil, errors.New("proxy: Local is required")
+	}
+	if cfg.Upstream == nil && (cfg.Peers == nil || cfg.UpstreamAddr == "") {
+		return nil, errors.New("proxy: either Upstream or Peers+UpstreamAddr is required")
 	}
 	o := cfg.Obs
 	if o == nil {
@@ -115,11 +133,55 @@ func (p *Proxy) Stats() (hits, pulls int) {
 // CacheStats reports the front answer cache's counters.
 func (p *Proxy) CacheStats() wallet.CacheStats { return p.front.Stats() }
 
+// upstream returns the connection pulls and subscriptions ride on. With a
+// pooled upstream it redials through the pool as needed; when the pool
+// hands back a different connection than the subscriptions were created on,
+// every tracked delegation is re-subscribed there first — a push dropped
+// while the upstream was down would otherwise go unnoticed forever.
+func (p *Proxy) upstream(ctx context.Context) (*remote.Client, error) {
+	if p.cfg.Upstream != nil {
+		return p.cfg.Upstream, nil
+	}
+	c, err := p.cfg.Peers.Get(ctx, p.cfg.UpstreamAddr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	replaced := p.lastUpstream != nil && p.lastUpstream != c
+	p.lastUpstream = c
+	var ids []core.DelegationID
+	if replaced {
+		ids = make([]core.DelegationID, 0, len(p.cancels))
+		for id := range p.cancels {
+			ids = append(ids, id)
+		}
+		// The old connection is gone and its cancel funcs with it; the new
+		// subscriptions below repopulate the slots.
+		p.cancels = make(map[core.DelegationID]func())
+	}
+	p.mu.Unlock()
+	if replaced {
+		p.obs.Log().Info("proxy upstream reconnected; re-establishing subscriptions",
+			"addr", p.cfg.UpstreamAddr, "subscriptions", len(ids))
+		for _, id := range ids {
+			if err := p.ensureSubscribed(ctx, c, id); err != nil {
+				p.obs.Log().Warn("proxy resubscribe failed",
+					"delegation", id.Short(), "error", err)
+			}
+		}
+	}
+	return c, nil
+}
+
 // QueryDirect answers from the front answer cache or the cache wallet,
 // pulling through from upstream on a miss. The proxy never memoizes
 // negative answers: an unprovable query must retry upstream, where new
 // credentials may have appeared.
-func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
+func (p *Proxy) QueryDirect(ctx context.Context, q wallet.Query) (*core.Proof, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.Ctx = ctx
 	// Like the wallet, bypass memoization when the caller measures search
 	// effort.
 	useFront := q.Stats == nil
@@ -155,11 +217,15 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 
 	// The pull carries the caller's trace ID upstream, so a downstream
 	// query that misses the whole hierarchy reads as one trace.
-	proof, err := p.cfg.Upstream.QueryDirectTraced(q.TraceID, q.Subject, q.Object, q.Constraints, q.Direction)
+	up, err := p.upstream(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.admit(proof); err != nil {
+	proof, err := up.QueryDirectTraced(ctx, q.TraceID, q.Subject, q.Object, q.Constraints, q.Direction)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.admit(ctx, up, proof); err != nil {
 		return nil, fmt.Errorf("proxy: admit pulled proof: %w", err)
 	}
 	// Serve from the cache so the answer reflects local validation state.
@@ -175,7 +241,7 @@ func (p *Proxy) QueryDirect(q wallet.Query) (*core.Proof, error) {
 
 // admit inserts a pulled proof's delegations into the cache and ensures one
 // upstream subscription per credential.
-func (p *Proxy) admit(proof *core.Proof) error {
+func (p *Proxy) admit(ctx context.Context, up *remote.Client, proof *core.Proof) error {
 	for _, st := range proof.Steps {
 		d := st.Delegation
 		id := d.ID()
@@ -184,15 +250,15 @@ func (p *Proxy) admit(proof *core.Proof) error {
 				return err
 			}
 		}
-		if err := p.ensureSubscribed(id); err != nil {
+		if err := p.ensureSubscribed(ctx, up, id); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ensureSubscribed registers exactly one upstream subscription for id.
-func (p *Proxy) ensureSubscribed(id core.DelegationID) error {
+// ensureSubscribed registers exactly one upstream subscription for id on up.
+func (p *Proxy) ensureSubscribed(ctx context.Context, up *remote.Client, id core.DelegationID) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -207,7 +273,7 @@ func (p *Proxy) ensureSubscribed(id core.DelegationID) error {
 	p.cancels[id] = func() {}
 	p.mu.Unlock()
 
-	cancel, err := p.cfg.Upstream.Subscribe(id, func(ev subs.Event) {
+	cancel, err := up.Subscribe(ctx, id, func(ev subs.Event) {
 		switch ev.Kind {
 		case subs.Revoked:
 			p.cfg.Local.AcceptRevocation(ev.Delegation)

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -90,7 +91,7 @@ func (e *env) query(name string) wallet.Query {
 func (e *env) newProxy(ttl time.Duration) (*Proxy, *wallet.Wallet) {
 	e.t.Helper()
 	local := wallet.New(wallet.Config{Owner: e.ids["ProxyOp"], Clock: e.clk, Directory: e.dir})
-	up, err := remote.Dial(e.net.Dialer(e.ids["ProxyOp"]), "home")
+	up, err := remote.Dial(context.Background(), e.net.Dialer(e.ids["ProxyOp"]), "home")
 	if err != nil {
 		e.t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestPullThroughAndCacheHit(t *testing.T) {
 	}
 	p, local := e.newProxy(time.Minute)
 
-	proof, err := p.QueryDirect(e.query("member"))
+	proof, err := p.QueryDirect(context.Background(), e.query("member"))
 	if err != nil {
 		t.Fatalf("pull-through: %v", err)
 	}
@@ -127,7 +128,7 @@ func TestPullThroughAndCacheHit(t *testing.T) {
 	if !local.Contains(d.ID()) {
 		t.Fatal("credential not cached")
 	}
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatalf("cache hit: %v", err)
 	}
 	hits, pulls := p.Stats()
@@ -139,7 +140,7 @@ func TestPullThroughAndCacheHit(t *testing.T) {
 func TestMissOnBothSides(t *testing.T) {
 	e := newEnv(t)
 	p, _ := e.newProxy(time.Minute)
-	if _, err := p.QueryDirect(e.query("member")); !errors.Is(err, core.ErrNoProof) {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("want ErrNoProof, got %v", err)
 	}
 }
@@ -151,7 +152,7 @@ func TestUpstreamRevocationPropagatesToCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, local := e.newProxy(time.Minute)
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -171,7 +172,7 @@ func TestUpstreamRevocationPropagatesToCache(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("revocation did not reach the cache")
 	}
-	if _, err := p.QueryDirect(e.query("member")); !errors.Is(err, core.ErrNoProof) {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("revoked credential still served: %v", err)
 	}
 }
@@ -187,7 +188,7 @@ func TestIrrelevantUpdatesProduceNoTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, _ := e.newProxy(time.Minute)
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -223,20 +224,20 @@ func TestServeDownstreamPullThroughAndFanout(t *testing.T) {
 	const clients = 4
 	notified := make(chan struct{}, clients)
 	for i := 0; i < clients; i++ {
-		c, err := remote.Dial(e.net.Dialer(e.ids["Client"]), "edge")
+		c, err := remote.Dial(context.Background(), e.net.Dialer(e.ids["Client"]), "edge")
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer c.Close()
 		q := e.query("member")
-		proof, err := c.QueryDirect(q.Subject, q.Object, nil, 0)
+		proof, err := c.QueryDirect(context.Background(), q.Subject, q.Object, nil, 0)
 		if err != nil {
 			t.Fatalf("client %d: %v", i, err)
 		}
 		if err := proof.Validate(core.ValidateOptions{At: e.clk.Now()}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Subscribe(d.ID(), func(ev subs.Event) {
+		if _, err := c.Subscribe(context.Background(), d.ID(), func(ev subs.Event) {
 			if ev.Kind == subs.Revoked {
 				notified <- struct{}{}
 			}
@@ -269,7 +270,7 @@ func TestCacheTTLRenewal(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, local := e.newProxy(30 * time.Second)
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatal(err)
 	}
 	renewed := make(chan struct{}, 1)
@@ -304,14 +305,14 @@ func TestCloseStopsSubscriptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, _ := e.newProxy(time.Minute)
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatal(err)
 	}
 	p.Close()
 	if e.home.Subscribers(d.ID()) != 0 {
 		t.Fatalf("home subscribers = %d after close", e.home.Subscribers(d.ID()))
 	}
-	if _, err := p.QueryDirect(e.query("other")); err == nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("other")); err == nil {
 		t.Fatal("closed proxy should not pull through")
 	}
 }
@@ -337,7 +338,7 @@ func TestTwoLevelHierarchy(t *testing.T) {
 
 	// Level 2: edge proxy over the regional proxy.
 	edgeWallet := wallet.New(wallet.Config{Owner: e.ids["ProxyOp"], Clock: e.clk, Directory: e.dir})
-	up2, err := remote.Dial(e.net.Dialer(e.ids["ProxyOp"]), "regional")
+	up2, err := remote.Dial(context.Background(), e.net.Dialer(e.ids["ProxyOp"]), "regional")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestTwoLevelHierarchy(t *testing.T) {
 	defer edge.Close()
 
 	// The query pulls through edge -> regional -> home.
-	proof, err := edge.QueryDirect(e.query("member"))
+	proof, err := edge.QueryDirect(context.Background(), e.query("member"))
 	if err != nil {
 		t.Fatalf("two-level pull-through: %v", err)
 	}
@@ -375,7 +376,7 @@ func TestTwoLevelHierarchy(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if _, err := edge.QueryDirect(e.query("member")); !errors.Is(err, core.ErrNoProof) {
+	if _, err := edge.QueryDirect(context.Background(), e.query("member")); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("edge still serves revoked credential: %v", err)
 	}
 }
@@ -392,11 +393,11 @@ func TestFrontCacheServesRepeatsAndStaysCoherent(t *testing.T) {
 	}
 	p, _ := e.newProxy(time.Minute)
 
-	if _, err := p.QueryDirect(e.query("member")); err != nil {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 		t.Fatalf("pull-through: %v", err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := p.QueryDirect(e.query("member")); err != nil {
+		if _, err := p.QueryDirect(context.Background(), e.query("member")); err != nil {
 			t.Fatalf("repeat %d: %v", i, err)
 		}
 	}
@@ -417,7 +418,7 @@ func TestFrontCacheServesRepeatsAndStaysCoherent(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := p.QueryDirect(e.query("member")); !errors.Is(err, core.ErrNoProof) {
+	if _, err := p.QueryDirect(context.Background(), e.query("member")); !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("query after revocation = %v, want ErrNoProof", err)
 	}
 }

@@ -1,9 +1,11 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drbac/internal/core"
@@ -42,11 +44,17 @@ type Client struct {
 	pushQueue chan wire.NotifyPush
 	done      chan struct{}
 	wg        sync.WaitGroup
+
+	// broken flips when the read loop exits for any reason; the connection
+	// can never carry another call, so pool managers evict it.
+	broken atomic.Bool
 }
 
-// Dial connects to a remote wallet at addr.
-func Dial(d transport.Dialer, addr string) (*Client, error) {
-	conn, err := d.Dial(addr)
+// Dial connects to a remote wallet at addr. Cancellation of ctx aborts the
+// connect and handshake; it does not bound the lifetime of the returned
+// client (each call carries its own context).
+func Dial(ctx context.Context, d transport.Dialer, addr string) (*Client, error) {
+	conn, err := d.Dial(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +74,10 @@ func Dial(d transport.Dialer, addr string) (*Client, error) {
 // Peer returns the authenticated identity of the remote wallet.
 func (c *Client) Peer() core.Entity { return c.conn.Peer() }
 
+// Healthy reports whether the connection can still carry calls: false once
+// the read loop has exited (peer hung up, protocol error, or Close).
+func (c *Client) Healthy() bool { return !c.broken.Load() }
+
 // Close tears the connection down. Pending calls fail.
 func (c *Client) Close() {
 	c.mu.Lock()
@@ -82,6 +94,7 @@ func (c *Client) Close() {
 
 func (c *Client) readLoop() {
 	defer c.wg.Done()
+	defer c.broken.Store(true)
 	for {
 		frame, err := c.conn.Recv()
 		if err != nil {
@@ -95,12 +108,19 @@ func (c *Client) readLoop() {
 		}
 		if env.Type == wire.TNotify {
 			var push wire.NotifyPush
-			if err := wire.DecodeBody(env, &push); err == nil {
-				select {
-				case c.pushQueue <- push:
-				case <-c.done:
-					return
-				}
+			if err := wire.DecodeBody(env, &push); err != nil {
+				// A malformed push is a server bug or wire corruption; the
+				// subscription it belonged to silently goes quiet, so make
+				// the drop observable instead of discarding it.
+				c.Obs.Counter("drbac_remote_push_decode_errors_total").Inc()
+				c.Obs.Log().Warn("remote push dropped: undecodable body",
+					"peer", c.conn.Peer().ID().Short(), "error", err)
+				continue
+			}
+			select {
+			case c.pushQueue <- push:
+			case <-c.done:
+				return
 			}
 			continue
 		}
@@ -174,8 +194,13 @@ func (c *Client) failPending(err error) {
 	}
 }
 
-// call sends one request and waits for the matching response.
-func (c *Client) call(t wire.MsgType, body any) (wire.Envelope, error) {
+// call sends one request and waits for the matching response. It returns
+// early if ctx is canceled; CallTimeout still applies as an upper bound so a
+// background context cannot hang a call forever.
+func (c *Client) call(ctx context.Context, t wire.MsgType, body any) (wire.Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Envelope{}, fmt.Errorf("remote %s: %w", t, err)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -223,14 +248,19 @@ func (c *Client) call(t wire.MsgType, body any) (wire.Envelope, error) {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return wire.Envelope{}, fmt.Errorf("remote %s: timeout after %v", t, timeout)
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.Envelope{}, fmt.Errorf("remote %s: %w", t, ctx.Err())
 	case <-c.done:
 		return wire.Envelope{}, ErrClientClosed
 	}
 }
 
 // Ping round-trips a liveness probe.
-func (c *Client) Ping() error {
-	env, err := c.call(wire.TPing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	env, err := c.call(ctx, wire.TPing, nil)
 	if err != nil {
 		return err
 	}
@@ -242,8 +272,8 @@ func (c *Client) Ping() error {
 
 // Publish stores a delegation (with support proofs) in the remote wallet.
 // A positive ttl marks it a TTL-coherent cached copy there.
-func (c *Client) Publish(d *core.Delegation, support []*core.Proof, ttl time.Duration) error {
-	_, err := c.call(wire.TPublish, wire.PublishReq{
+func (c *Client) Publish(ctx context.Context, d *core.Delegation, support []*core.Proof, ttl time.Duration) error {
+	_, err := c.call(ctx, wire.TPublish, wire.PublishReq{
 		Delegation: d,
 		Support:    support,
 		TTLSeconds: int(ttl / time.Second),
@@ -252,15 +282,15 @@ func (c *Client) Publish(d *core.Delegation, support []*core.Proof, ttl time.Dur
 }
 
 // QueryDirect asks the remote wallet for a proof subject ⇒ object.
-func (c *Client) QueryDirect(subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
-	return c.QueryDirectTraced("", subject, object, constraints, direction)
+func (c *Client) QueryDirect(ctx context.Context, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
+	return c.QueryDirectTraced(ctx, "", subject, object, constraints, direction)
 }
 
 // QueryDirectTraced is QueryDirect carrying a trace ID: the serving wallet
 // logs the request (and runs its query) under the caller's trace, so a
 // multi-wallet discovery reads as one trace across every wallet it touched.
-func (c *Client) QueryDirectTraced(traceID string, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
-	env, err := c.call(wire.TQueryDirect, wire.QueryReq{
+func (c *Client) QueryDirectTraced(ctx context.Context, traceID string, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
+	env, err := c.call(ctx, wire.TQueryDirect, wire.QueryReq{
 		Subject:     subject,
 		Object:      object,
 		Constraints: constraints,
@@ -278,13 +308,13 @@ func (c *Client) QueryDirectTraced(traceID string, subject core.Subject, object 
 }
 
 // QuerySubject asks for all sub-proofs subject ⇒ *.
-func (c *Client) QuerySubject(subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
-	return c.QuerySubjectTraced("", subject, constraints)
+func (c *Client) QuerySubject(ctx context.Context, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
+	return c.QuerySubjectTraced(ctx, "", subject, constraints)
 }
 
 // QuerySubjectTraced is QuerySubject carrying a trace ID.
-func (c *Client) QuerySubjectTraced(traceID string, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints, TraceID: traceID})
+func (c *Client) QuerySubjectTraced(ctx context.Context, traceID string, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(ctx, wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints, TraceID: traceID})
 	if err != nil {
 		return nil, err
 	}
@@ -296,13 +326,13 @@ func (c *Client) QuerySubjectTraced(traceID string, subject core.Subject, constr
 }
 
 // QueryObject asks for all sub-proofs * ⇒ object.
-func (c *Client) QueryObject(object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
-	return c.QueryObjectTraced("", object, constraints)
+func (c *Client) QueryObject(ctx context.Context, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
+	return c.QueryObjectTraced(ctx, "", object, constraints)
 }
 
 // QueryObjectTraced is QueryObject carrying a trace ID.
-func (c *Client) QueryObjectTraced(traceID string, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints, TraceID: traceID})
+func (c *Client) QueryObjectTraced(ctx context.Context, traceID string, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(ctx, wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints, TraceID: traceID})
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +345,8 @@ func (c *Client) QueryObjectTraced(traceID string, object core.Role, constraints
 
 // Stats fetches the remote wallet's state summary and metrics snapshot —
 // what `drbac stats` renders.
-func (c *Client) Stats() (wire.StatsResp, error) {
-	env, err := c.call(wire.TStats, struct{}{})
+func (c *Client) Stats(ctx context.Context) (wire.StatsResp, error) {
+	env, err := c.call(ctx, wire.TStats, struct{}{})
 	if err != nil {
 		return wire.StatsResp{}, err
 	}
@@ -329,7 +359,7 @@ func (c *Client) Stats() (wire.StatsResp, error) {
 
 // Subscribe registers for push notifications about one delegation (§4.2.2)
 // and returns a cancel function that also unsubscribes remotely.
-func (c *Client) Subscribe(id core.DelegationID, fn func(subs.Event)) (cancel func(), err error) {
+func (c *Client) Subscribe(ctx context.Context, id core.DelegationID, fn func(subs.Event)) (cancel func(), err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -347,7 +377,7 @@ func (c *Client) Subscribe(id core.DelegationID, fn func(subs.Event)) (cancel fu
 	c.mu.Unlock()
 
 	if first {
-		if _, err := c.call(wire.TSubscribe, wire.SubscribeReq{Delegation: id}); err != nil {
+		if _, err := c.call(ctx, wire.TSubscribe, wire.SubscribeReq{Delegation: id}); err != nil {
 			c.mu.Lock()
 			delete(c.notify[id], n)
 			if len(c.notify[id]) == 0 {
@@ -373,7 +403,9 @@ func (c *Client) Subscribe(id core.DelegationID, fn func(subs.Event)) (cancel fu
 			closed := c.closed
 			c.mu.Unlock()
 			if last && !closed {
-				_, _ = c.call(wire.TUnsubscribe, wire.SubscribeReq{Delegation: id})
+				// The subscription's context may be long gone; the
+				// unsubscribe is best-effort cleanup on its own clock.
+				_, _ = c.call(context.Background(), wire.TUnsubscribe, wire.SubscribeReq{Delegation: id})
 			}
 		})
 	}, nil
@@ -381,8 +413,8 @@ func (c *Client) Subscribe(id core.DelegationID, fn func(subs.Event)) (cancel fu
 
 // Has reports whether the remote wallet stores the delegation — the
 // registry-audit primitive (§6).
-func (c *Client) Has(id core.DelegationID) (bool, error) {
-	env, err := c.call(wire.THas, wire.HasReq{Delegation: id})
+func (c *Client) Has(ctx context.Context, id core.DelegationID) (bool, error) {
+	env, err := c.call(ctx, wire.THas, wire.HasReq{Delegation: id})
 	if err != nil {
 		return false, err
 	}
@@ -395,16 +427,16 @@ func (c *Client) Has(id core.DelegationID) (bool, error) {
 
 // Revoke withdraws a delegation at the remote wallet; the server authorizes
 // against this client's authenticated identity.
-func (c *Client) Revoke(id core.DelegationID) error {
-	_, err := c.call(wire.TRevoke, wire.RevokeReq{Delegation: id})
+func (c *Client) Revoke(ctx context.Context, id core.DelegationID) error {
+	_, err := c.call(ctx, wire.TRevoke, wire.RevokeReq{Delegation: id})
 	return err
 }
 
 // ProveRole asks the remote wallet to prove its operating identity holds
 // role, and validates both the proof and that its subject matches the
 // transport-authenticated peer — the §4.2.1 home-wallet authorization check.
-func (c *Client) ProveRole(role core.Role, at time.Time) (*core.Proof, error) {
-	env, err := c.call(wire.TProveRole, wire.ProveRoleReq{Role: role})
+func (c *Client) ProveRole(ctx context.Context, role core.Role, at time.Time) (*core.Proof, error) {
+	env, err := c.call(ctx, wire.TProveRole, wire.ProveRoleReq{Role: role})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"log/slog"
 	"sync"
@@ -10,7 +11,9 @@ import (
 
 	"drbac/internal/obs"
 	"drbac/internal/subs"
+	"drbac/internal/transport"
 	"drbac/internal/wallet"
+	"drbac/internal/wire"
 )
 
 type syncBuf struct {
@@ -60,21 +63,21 @@ func TestStatsMessage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.main")
+	c, err := Dial(context.Background(), e.net.Dialer(e.id("Maria")), "wallet.main")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
 
 	// One remote hit and one remote no-proof, so counters move.
-	if _, err := c.QueryDirect(e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
+	if _, err := c.QueryDirect(context.Background(), e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.memberServices"), nil, 0); err == nil {
+	if _, err := c.QueryDirect(context.Background(), e.subject("Maria"), e.role("BigISP.memberServices"), nil, 0); err == nil {
 		t.Fatal("expected no proof")
 	}
 
-	resp, err := c.Stats()
+	resp, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +114,7 @@ func TestStatsOnUninstrumentedServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := e.dial("wallet.bigisp", "Maria")
-	resp, err := c.Stats()
+	resp, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,12 +134,12 @@ func TestServerAuditLog(t *testing.T) {
 	if err := w.Publish(e.deleg("[Mark -> BigISP.memberServices] BigISP")); err != nil {
 		t.Fatal(err)
 	}
-	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+	c, err := Dial(context.Background(), e.net.Dialer(e.id("Maria")), "wallet.bigisp")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
-	if _, err := c.QueryDirect(e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
+	if _, err := c.QueryDirect(context.Background(), e.subject("Mark"), e.role("BigISP.memberServices"), nil, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -183,14 +186,14 @@ func TestPushMetrics(t *testing.T) {
 	if err := w.Publish(d); err != nil {
 		t.Fatal(err)
 	}
-	c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+	c, err := Dial(context.Background(), e.net.Dialer(e.id("Maria")), "wallet.bigisp")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Close)
 
 	got := make(chan struct{}, 1)
-	cancel, err := c.Subscribe(d.ID(), func(subs.Event) { got <- struct{}{} })
+	cancel, err := c.Subscribe(context.Background(), d.ID(), func(subs.Event) { got <- struct{}{} })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,5 +212,102 @@ func TestPushMetrics(t *testing.T) {
 			t.Fatal("push not counted")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A TNotify push whose body does not decode must not kill the connection or
+// vanish silently: the client counts and logs the drop, and later
+// well-formed pushes still reach their subscriber.
+func TestMalformedPushCountedNotFatal(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	ln, err := e.net.Listen("fake.wallet", e.id("BigISP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	connCh := make(chan transport.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			connCh <- conn
+		}
+	}()
+
+	c, err := Dial(context.Background(), e.net.Dialer(e.id("Maria")), "fake.wallet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := &syncBuf{}
+	reg := obs.NewRegistry()
+	c.Obs = obs.New(obs.NewLogger(buf, slog.LevelDebug, true), reg)
+	server := <-connCh
+	defer server.Close()
+
+	// Subscribe by hand: answer the client's subscribe request with OK.
+	events := make(chan subs.Event, 1)
+	subDone := make(chan error, 1)
+	go func() {
+		frame, err := server.Recv()
+		if err != nil {
+			subDone <- err
+			return
+		}
+		env, err := wire.Decode(frame)
+		if err != nil {
+			subDone <- err
+			return
+		}
+		ok, _ := wire.Encode(wire.TOK, env.ID, nil)
+		subDone <- server.Send(ok)
+	}()
+	cancel, err := c.Subscribe(context.Background(), "d-1", func(ev subs.Event) { events <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the client before canceling: the fake server never answers the
+	// unsubscribe call, and cancel on a closed client returns immediately.
+	defer cancel()
+	defer c.Close()
+	if err := <-subDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// A push whose body is a JSON array cannot decode into NotifyPush.
+	bad, err := json.Marshal(wire.Envelope{
+		Type: wire.TNotify, Body: json.RawMessage(`["not", "a", "push"]`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(bad); err != nil {
+		t.Fatal(err)
+	}
+	good, err := wire.Encode(wire.TNotify, 0, wire.NotifyPush{
+		Delegation: "d-1", Kind: "revoked", At: e.clk.Now(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Send(good); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case ev := <-events:
+		if ev.Delegation != "d-1" {
+			t.Fatalf("event for %q, want d-1", ev.Delegation)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("well-formed push after a malformed one never arrived")
+	}
+	if !c.Healthy() {
+		t.Fatal("malformed push killed the connection")
+	}
+	if n := reg.Snapshot().Counters["drbac_remote_push_decode_errors_total"]; n != 1 {
+		t.Fatalf("decode-error counter = %d, want 1", n)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("undecodable body")) {
+		t.Fatal("malformed push was not logged")
 	}
 }

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -110,7 +111,7 @@ func (e *env) serve(addr, ownerName string) (*Server, *wallet.Wallet) {
 
 func (e *env) dial(addr, clientName string) *Client {
 	e.t.Helper()
-	c, err := Dial(e.net.Dialer(e.id(clientName)), addr)
+	c, err := Dial(context.Background(), e.net.Dialer(e.id(clientName)), addr)
 	if err != nil {
 		e.t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestPingPong(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria")
 	e.serve("wallet.bigisp", "BigISP")
 	c := e.dial("wallet.bigisp", "Maria")
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if c.Peer().ID() != e.id("BigISP").ID() {
@@ -142,20 +143,20 @@ func TestRemotePublishAndQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish(d1, nil, 0); err != nil {
+	if err := c.Publish(context.Background(), d1, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish(d2, nil, 0); err != nil {
+	if err := c.Publish(context.Background(), d2, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish(d3, []*core.Proof{sup}, 0); err != nil {
+	if err := c.Publish(context.Background(), d3, []*core.Proof{sup}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if w.Len() != 3 {
 		t.Fatalf("server wallet has %d delegations", w.Len())
 	}
 
-	p, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	p, err := c.QueryDirect(context.Background(), e.subject("Maria"), e.role("BigISP.member"), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,14 +164,14 @@ func TestRemotePublishAndQuery(t *testing.T) {
 		t.Fatalf("remote proof invalid locally: %v", err)
 	}
 
-	proofs, err := c.QuerySubject(e.subject("Maria"), nil)
+	proofs, err := c.QuerySubject(context.Background(), e.subject("Maria"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(proofs) != 1 {
 		t.Fatalf("subject query = %d proofs", len(proofs))
 	}
-	objProofs, err := c.QueryObject(e.role("BigISP.member"), nil)
+	objProofs, err := c.QueryObject(context.Background(), e.role("BigISP.member"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestRemoteQueryNoProofMapsToErrNoProof(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria")
 	e.serve("wallet.bigisp", "BigISP")
 	c := e.dial("wallet.bigisp", "Maria")
-	_, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	_, err := c.QueryDirect(context.Background(), e.subject("Maria"), e.role("BigISP.member"), nil, 0)
 	if !errors.Is(err, core.ErrNoProof) {
 		t.Fatalf("want ErrNoProof, got %v", err)
 	}
@@ -199,12 +200,12 @@ func TestRemoteRevokeAuthorization(t *testing.T) {
 
 	// Mallory (not the issuer) cannot revoke over the wire.
 	mallory := e.dial("wallet.bigisp", "Mallory")
-	if err := mallory.Revoke(d.ID()); err == nil {
+	if err := mallory.Revoke(context.Background(), d.ID()); err == nil {
 		t.Fatal("non-issuer revocation accepted remotely")
 	}
 	// The issuer can.
 	bigisp := e.dial("wallet.bigisp", "BigISP")
-	if err := bigisp.Revoke(d.ID()); err != nil {
+	if err := bigisp.Revoke(context.Background(), d.ID()); err != nil {
 		t.Fatal(err)
 	}
 	if !w.IsRevoked(d.ID()) {
@@ -222,7 +223,7 @@ func TestRemoteSubscriptionPush(t *testing.T) {
 
 	c := e.dial("wallet.bigisp", "Maria")
 	events := make(chan subs.Event, 4)
-	cancel, err := c.Subscribe(d.ID(), func(ev subs.Event) { events <- ev })
+	cancel, err := c.Subscribe(context.Background(), d.ID(), func(ev subs.Event) { events <- ev })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestRemoteUnsubscribeStopsPush(t *testing.T) {
 	c := e.dial("wallet.bigisp", "Maria")
 	var mu sync.Mutex
 	count := 0
-	cancel, err := c.Subscribe(d.ID(), func(subs.Event) {
+	cancel, err := c.Subscribe(context.Background(), d.ID(), func(subs.Event) {
 		mu.Lock()
 		count++
 		mu.Unlock()
@@ -280,7 +281,7 @@ func TestRemotePublishWithTTLCreatesCacheEntry(t *testing.T) {
 	_, w := e.serve("wallet.bigisp", "BigISP")
 	c := e.dial("wallet.bigisp", "Maria")
 	d := e.deleg("[Maria -> BigISP.member] BigISP")
-	if err := c.Publish(d, nil, 30*time.Second); err != nil {
+	if err := c.Publish(context.Background(), d, nil, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if w.CachedCount() != 1 {
@@ -296,7 +297,7 @@ func TestProveRole(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := e.dial("wallet.airnet", "Maria")
-	p, err := c.ProveRole(e.role("AirNet.wallet"), e.clk.Now())
+	p, err := c.ProveRole(context.Background(), e.role("AirNet.wallet"), e.clk.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestProveRoleFailsWithoutAuthority(t *testing.T) {
 	e := newEnv(t, "AirNet", "WalletOp", "Maria")
 	e.serve("wallet.airnet", "WalletOp") // no AirNet.wallet grant published
 	c := e.dial("wallet.airnet", "Maria")
-	if _, err := c.ProveRole(e.role("AirNet.wallet"), e.clk.Now()); err == nil {
+	if _, err := c.ProveRole(context.Background(), e.role("AirNet.wallet"), e.clk.Now()); err == nil {
 		t.Fatal("prove-role should fail without authority")
 	}
 }
@@ -327,14 +328,14 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := Dial(e.net.Dialer(e.id("Maria")), "wallet.bigisp")
+			c, err := Dial(context.Background(), e.net.Dialer(e.id("Maria")), "wallet.bigisp")
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer c.Close()
 			for j := 0; j < 10; j++ {
-				if _, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0); err != nil {
+				if _, err := c.QueryDirect(context.Background(), e.subject("Maria"), e.role("BigISP.member"), nil, 0); err != nil {
 					errs <- err
 					return
 				}
@@ -353,10 +354,10 @@ func TestClientCloseFailsCalls(t *testing.T) {
 	e.serve("wallet.bigisp", "BigISP")
 	c := e.dial("wallet.bigisp", "Maria")
 	c.Close()
-	if err := c.Ping(); !errors.Is(err, ErrClientClosed) {
+	if err := c.Ping(context.Background()); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Ping after close = %v", err)
 	}
-	if _, err := c.Subscribe("x", func(subs.Event) {}); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.Subscribe(context.Background(), "x", func(subs.Event) {}); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("Subscribe after close = %v", err)
 	}
 }
@@ -365,12 +366,12 @@ func TestServerCloseIsIdempotentAndDropsClients(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria")
 	s, _ := e.serve("wallet.bigisp", "BigISP")
 	c := e.dial("wallet.bigisp", "Maria")
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 	s.Close()
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(context.Background()); err == nil {
 		t.Fatal("ping should fail after server close")
 	}
 }
@@ -389,12 +390,12 @@ func TestRemoteOverTCP(t *testing.T) {
 	if err := w.Publish(d); err != nil {
 		t.Fatal(err)
 	}
-	c, err := Dial(&transport.TCPDialer{Identity: e.id("Maria")}, s.Addr())
+	c, err := Dial(context.Background(), &transport.TCPDialer{Identity: e.id("Maria")}, s.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	p, err := c.QueryDirect(e.subject("Maria"), e.role("BigISP.member"), nil, 0)
+	p, err := c.QueryDirect(context.Background(), e.subject("Maria"), e.role("BigISP.member"), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestServerDropsProtocolViolators(t *testing.T) {
 	e := newEnv(t, "BigISP", "Mallory")
 	e.serve("wallet.bigisp", "BigISP")
 	// Speak raw transport, not the wallet protocol.
-	conn, err := e.net.Dialer(e.id("Mallory")).Dial("wallet.bigisp")
+	conn, err := e.net.Dialer(e.id("Mallory")).Dial(context.Background(), "wallet.bigisp")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,14 +453,14 @@ func TestHas(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := e.dial("wallet.bigisp", "Maria")
-	present, err := c.Has(d.ID())
+	present, err := c.Has(context.Background(), d.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !present {
 		t.Fatal("stored delegation reported absent")
 	}
-	absent, err := c.Has("deadbeef")
+	absent, err := c.Has(context.Background(), "deadbeef")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,7 +487,7 @@ func TestSubscriptionChurn(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 25; j++ {
-				cancel, err := c.Subscribe(d.ID(), func(subs.Event) {})
+				cancel, err := c.Subscribe(context.Background(), d.ID(), func(subs.Event) {})
 				if err != nil {
 					errs <- err
 					return

@@ -6,6 +6,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,7 +58,12 @@ type Server struct {
 	// directFallback, when set, is consulted after a direct query misses
 	// the wallet — the hook hierarchical caching proxies use to pull
 	// credentials through from an upstream wallet (§6).
-	directFallback func(wallet.Query) (*core.Proof, error)
+	directFallback func(context.Context, wallet.Query) (*core.Proof, error)
+
+	// baseCtx parents every request handled by this server; Close cancels
+	// it so in-flight fallback pulls and queries unwind promptly.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[transport.Conn]bool
@@ -69,8 +75,8 @@ type Server struct {
 type Options struct {
 	// DirectFallback runs when a direct query finds no proof locally; a
 	// non-nil proof it returns is served to the client. Used by
-	// pull-through caches.
-	DirectFallback func(wallet.Query) (*core.Proof, error)
+	// pull-through caches. The context is canceled when the server closes.
+	DirectFallback func(context.Context, wallet.Query) (*core.Proof, error)
 	// Obs, if non-nil, receives the server's structured request/audit log
 	// (who published/queried/revoked what, proof found or not, latency)
 	// and request/push/connection metrics. Share the wallet's Obs so one
@@ -87,12 +93,15 @@ func Serve(w *wallet.Wallet, ln transport.Listener) *Server {
 
 // ServeOptions is Serve with customization.
 func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		w:              w,
 		ln:             ln,
 		obs:            opts.Obs,
 		m:              newServerMetrics(opts.Obs),
 		directFallback: opts.DirectFallback,
+		baseCtx:        ctx,
+		cancelAll:      cancel,
 		conns:          make(map[transport.Conn]bool),
 	}
 	s.wg.Add(1)
@@ -115,6 +124,7 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.cancelAll()
 	conns := make([]transport.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -305,6 +315,7 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 			return nil, err
 		}
 		q := wallet.Query{
+			Ctx:         s.baseCtx,
 			Subject:     req.Subject,
 			Object:      req.Object,
 			Constraints: req.Constraints,
@@ -314,7 +325,7 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		attrs := []any{"trace", req.TraceID, "subject", req.Subject.String(), "object", req.Object.String()}
 		p, err := s.w.QueryDirect(q)
 		if err != nil && errors.Is(err, core.ErrNoProof) && s.directFallback != nil {
-			p, err = s.directFallback(q)
+			p, err = s.directFallback(s.baseCtx, q)
 		}
 		if err != nil {
 			return append(attrs, "found", false), err

@@ -10,6 +10,7 @@
 package revocation
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -210,7 +211,7 @@ func runOCSP(p Params) (Result, error) {
 
 	conns := make([]transport.Conn, p.Clients)
 	for i := range conns {
-		c, err := net.Dialer(ids.client).Dial("ocsp.responder")
+		c, err := net.Dialer(ids.client).Dial(context.Background(), "ocsp.responder")
 		if err != nil {
 			return Result{}, err
 		}
@@ -311,7 +312,7 @@ func runCRL(p Params) (Result, error) {
 
 	clientConns := make([]transport.Conn, p.Clients)
 	for i := range clientConns {
-		c, err := net.Dialer(ids.client).Dial("crl.distributor")
+		c, err := net.Dialer(ids.client).Dial(context.Background(), "crl.distributor")
 		if err != nil {
 			return Result{}, err
 		}
@@ -416,13 +417,13 @@ func runSubscription(p Params) (Result, error) {
 
 	clients := make([]*remote.Client, p.Clients)
 	for i := range clients {
-		c, err := remote.Dial(net.Dialer(ids.client), "wallet.home")
+		c, err := remote.Dial(context.Background(), net.Dialer(ids.client), "wallet.home")
 		if err != nil {
 			return Result{}, err
 		}
 		clients[i] = c
 		for _, d := range dels {
-			if _, err := c.Subscribe(d.ID(), func(ev subs.Event) {
+			if _, err := c.Subscribe(context.Background(), d.ID(), func(ev subs.Event) {
 				if ev.Kind == subs.Revoked {
 					mu.Lock()
 					notified++

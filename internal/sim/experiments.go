@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -165,7 +166,7 @@ func RunCaseStudy() (*CaseStudyResult, error) {
 	w.Net.ResetStats()
 
 	var stats discovery.Stats
-	proof, err := cs.Agent.Discover(cs.Query, discovery.Auto, &stats)
+	proof, err := cs.Agent.Discover(context.Background(), cs.Query, discovery.Auto, &stats)
 	if err != nil {
 		return nil, fmt.Errorf("case study discovery: %w", err)
 	}
@@ -280,7 +281,7 @@ func RunChainDiscovery(hops int) (ChainDiscoveryPoint, error) {
 	}
 	w.Net.ResetStats()
 	var stats discovery.Stats
-	if _, err := agent.Discover(wallet.Query{
+	if _, err := agent.Discover(context.Background(), wallet.Query{
 		Subject: core.SubjectEntity(user.ID()),
 		Object:  goal,
 	}, discovery.Auto, &stats); err != nil {

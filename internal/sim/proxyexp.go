@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -90,7 +91,7 @@ func runProxyConfig(clients int, hierarchical bool) (messages, bytes int64, err 
 	clientNet := coreNet
 	if hierarchical {
 		cache := wallet.New(wallet.Config{Owner: w.Identity("ProxyOp"), Clock: w.Clock, Directory: w.Dir})
-		up, err := remote.Dial(coreNet.Dialer(w.Identity("ProxyOp")), "home")
+		up, err := remote.Dial(context.Background(), coreNet.Dialer(w.Identity("ProxyOp")), "home")
 		if err != nil {
 			return 0, 0, err
 		}
@@ -112,16 +113,16 @@ func runProxyConfig(clients int, hierarchical bool) (messages, bytes int64, err 
 	notified := make(chan struct{}, clients)
 	conns := make([]*remote.Client, clients)
 	for i := range conns {
-		c, err := remote.Dial(clientNet.Dialer(w.Identity("Client")), clientAddr)
+		c, err := remote.Dial(context.Background(), clientNet.Dialer(w.Identity("Client")), clientAddr)
 		if err != nil {
 			return 0, 0, err
 		}
 		defer c.Close()
 		conns[i] = c
-		if _, err := c.QueryDirect(subject, object, nil, 0); err != nil {
+		if _, err := c.QueryDirect(context.Background(), subject, object, nil, 0); err != nil {
 			return 0, 0, err
 		}
-		if _, err := c.Subscribe(cred.ID(), func(ev subs.Event) {
+		if _, err := c.Subscribe(context.Background(), cred.ID(), func(ev subs.Event) {
 			if ev.Kind == subs.Revoked {
 				notified <- struct{}{}
 			}

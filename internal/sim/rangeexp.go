@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -105,7 +106,7 @@ func runRangeConfig(fanout int, disable bool) (fetched int, bytes int64, err err
 	}
 	w.Net.ResetStats()
 	var stats discovery.Stats
-	_, derr := agent.Discover(wallet.Query{
+	_, derr := agent.Discover(context.Background(), wallet.Query{
 		Subject:     subjectM,
 		Object:      goal,
 		Constraints: []core.Constraint{{Attr: bw, Base: math.Inf(1), Minimum: 50}},

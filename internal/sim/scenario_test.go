@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestCoalitionLifecycle(t *testing.T) {
 	}
 
 	// Phase 1: establish the session (Figure 2).
-	proof, err := cs.Agent.Discover(cs.Query, discovery.Auto, nil)
+	proof, err := cs.Agent.Discover(context.Background(), cs.Query, discovery.Auto, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestCoalitionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mon.Close()
-	bridgeCancel, err := cs.Agent.Bridge(proof)
+	bridgeCancel, err := cs.Agent.Bridge(context.Background(), proof)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks failures produced by the fault-injection layer so tests
+// can tell deliberate chaos from genuine bugs.
+var ErrInjected = fmt.Errorf("transport: injected fault")
+
+// Fault describes the failure behavior applied to connections to one address.
+// The zero value injects nothing.
+type Fault struct {
+	// RefuseDial makes Dial fail immediately with ErrInjected.
+	RefuseDial bool
+	// DialDelay is slept (under the dial context) before connecting.
+	DialDelay time.Duration
+	// FrameDelay is slept after every Recv, delaying delivery to the
+	// reader. Sends stay fast so a ctx-aware caller blocked on the answer —
+	// not the send — is what cancellation must unwind.
+	FrameDelay time.Duration
+	// DropSends silently discards outgoing frames: Send reports success but
+	// nothing reaches the peer. Models a one-way partition.
+	DropSends bool
+	// FailAfterFrames, when > 0, breaks the connection (both directions)
+	// after that many frames total (sends + receives) have crossed it.
+	FailAfterFrames int64
+}
+
+// Faults is a mutable, concurrency-safe plan mapping address -> Fault. Tests
+// flip entries while connections are live to model a flapping peer; changes
+// to DropSends/FrameDelay take effect on in-flight connections, while
+// RefuseDial/DialDelay apply at the next dial.
+type Faults struct {
+	mu    sync.Mutex
+	rules map[string]Fault
+}
+
+// NewFaults returns an empty plan (no faults injected anywhere).
+func NewFaults() *Faults {
+	return &Faults{rules: make(map[string]Fault)}
+}
+
+// Set installs the fault rule for addr, replacing any previous rule.
+func (f *Faults) Set(addr string, rule Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules[addr] = rule
+}
+
+// Clear removes the rule for addr, healing the address for future dials and
+// in-flight connection behavior.
+func (f *Faults) Clear(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.rules, addr)
+}
+
+// Get returns the current rule for addr (zero value if none).
+func (f *Faults) Get(addr string) Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rules[addr]
+}
+
+// FaultDialer wraps an inner Dialer and applies the Plan's rules per target
+// address: dial-time faults before delegating, and a frame-level wrapper
+// around every connection it returns.
+type FaultDialer struct {
+	Inner Dialer
+	Plan  *Faults
+}
+
+var _ Dialer = (*FaultDialer)(nil)
+
+// Dial applies dial-time faults for addr, then delegates to the inner dialer
+// and wraps the resulting connection for frame-level injection.
+func (d *FaultDialer) Dial(ctx context.Context, addr string) (Conn, error) {
+	rule := d.Plan.Get(addr)
+	if rule.RefuseDial {
+		return nil, fmt.Errorf("dial %s: %w: refused", addr, ErrInjected)
+	}
+	if rule.DialDelay > 0 {
+		select {
+		case <-time.After(rule.DialDelay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("dial %s: %w", addr, ctx.Err())
+		}
+	}
+	conn, err := d.Inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{Conn: conn, plan: d.Plan, addr: addr}, nil
+}
+
+// faultConn applies per-frame faults on top of an authenticated Conn. The
+// frame counter covers both directions so FailAfterFrames models a link that
+// dies after a fixed amount of traffic regardless of who is talking.
+type faultConn struct {
+	Conn
+	plan   *Faults
+	addr   string
+	frames atomic.Int64
+	broken atomic.Bool
+}
+
+func (c *faultConn) countFrame(rule Fault) error {
+	if rule.FailAfterFrames <= 0 {
+		return nil
+	}
+	if c.frames.Add(1) > rule.FailAfterFrames {
+		if c.broken.CompareAndSwap(false, true) {
+			_ = c.Conn.Close()
+		}
+		return fmt.Errorf("%w: connection broke after %d frames", ErrInjected, rule.FailAfterFrames)
+	}
+	return nil
+}
+
+func (c *faultConn) Send(payload []byte) error {
+	rule := c.plan.Get(c.addr)
+	if c.broken.Load() {
+		return fmt.Errorf("%w: connection broken", ErrInjected)
+	}
+	if err := c.countFrame(rule); err != nil {
+		return err
+	}
+	if rule.DropSends {
+		return nil // swallowed: the caller believes it was delivered
+	}
+	return c.Conn.Send(payload)
+}
+
+func (c *faultConn) Recv() ([]byte, error) {
+	p, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	rule := c.plan.Get(c.addr)
+	if rule.FrameDelay > 0 {
+		time.Sleep(rule.FrameDelay)
+	}
+	if err := c.countFrame(rule); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/json"
@@ -86,6 +87,36 @@ func handshake(fc frameConn, id *core.Identity, side string) (core.Entity, error
 		return core.Entity{}, fmt.Errorf("%w: peer %s failed proof of possession", ErrHandshake, peer)
 	}
 	return peer, nil
+}
+
+// handshakeCtx runs the handshake under ctx: cancellation closes the frame
+// conn, which unblocks the in-flight frame reads, so a dial never outlives
+// its caller's deadline. On any failure the conn is closed before returning.
+func handshakeCtx(ctx context.Context, fc frameConn, id *core.Identity, side string) (core.Entity, error) {
+	if err := ctx.Err(); err != nil {
+		_ = fc.close()
+		return core.Entity{}, fmt.Errorf("transport: handshake: %w", err)
+	}
+	type outcome struct {
+		peer core.Entity
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		peer, err := handshake(fc, id, side)
+		done <- outcome{peer, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			_ = fc.close()
+		}
+		return out.peer, out.err
+	case <-ctx.Done():
+		_ = fc.close()
+		<-done // the closed conn fails the pending frame I/O promptly
+		return core.Entity{}, fmt.Errorf("transport: handshake: %w", ctx.Err())
+	}
 }
 
 // transcript builds the bytes a side signs: context, side label, its own

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -83,7 +84,7 @@ type memDialer struct {
 
 var _ Dialer = (*memDialer)(nil)
 
-func (d *memDialer) Dial(addr string) (Conn, error) {
+func (d *memDialer) Dial(ctx context.Context, addr string) (Conn, error) {
 	d.net.mu.Lock()
 	l := d.net.listeners[addr]
 	d.net.mu.Unlock()
@@ -95,10 +96,12 @@ func (d *memDialer) Dial(addr string) (Conn, error) {
 	case l.pending <- serverEnd:
 	case <-l.done:
 		return nil, fmt.Errorf("mem dial %s: %w", addr, ErrClosed)
-	}
-	peer, err := handshake(clientEnd, d.id, sideClient)
-	if err != nil {
+	case <-ctx.Done():
 		_ = clientEnd.close()
+		return nil, fmt.Errorf("mem dial %s: %w", addr, ctx.Err())
+	}
+	peer, err := handshakeCtx(ctx, clientEnd, d.id, sideClient)
+	if err != nil {
 		return nil, err
 	}
 	return &authedConn{fc: clientEnd, peer: peer}, nil

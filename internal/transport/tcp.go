@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -77,16 +78,18 @@ type TCPDialer struct {
 
 var _ Dialer = (*TCPDialer)(nil)
 
-// Dial connects to addr and completes the client-side handshake.
-func (d *TCPDialer) Dial(addr string) (Conn, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to addr and completes the client-side handshake. Both the
+// TCP connect and the handshake abort when ctx is canceled or its deadline
+// passes.
+func (d *TCPDialer) Dial(ctx context.Context, addr string) (Conn, error) {
+	var nd net.Dialer
+	conn, err := nd.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	fc := &tcpFrameConn{conn: conn}
-	peer, err := handshake(fc, d.Identity, sideClient)
+	peer, err := handshakeCtx(ctx, fc, d.Identity, sideClient)
 	if err != nil {
-		_ = conn.Close()
 		return nil, err
 	}
 	return &authedConn{fc: fc, peer: peer}, nil

@@ -10,6 +10,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -49,9 +50,11 @@ type Listener interface {
 	Addr() string
 }
 
-// Dialer opens authenticated connections.
+// Dialer opens authenticated connections. Dial honors ctx: cancellation or
+// deadline expiry aborts both the underlying connect and the authentication
+// handshake.
 type Dialer interface {
-	Dial(addr string) (Conn, error)
+	Dial(ctx context.Context, addr string) (Conn, error)
 }
 
 // frameConn is the unauthenticated substrate both implementations provide:

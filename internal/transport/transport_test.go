@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -37,7 +38,7 @@ func exchange(t *testing.T, ln Listener, d Dialer, wantServer, wantClient core.E
 		acceptCh <- acceptResult{conn, err}
 	}()
 
-	client, err := d.Dial(ln.Addr())
+	client, err := d.Dial(context.Background(), ln.Addr())
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestTCPHandshakeAndExchange(t *testing.T) {
 func TestMemDialUnknownAddress(t *testing.T) {
 	n := NewMemNetwork()
 	cli := mkIdentity(t, "client", 5)
-	if _, err := n.Dialer(cli).Dial("nowhere"); err == nil {
+	if _, err := n.Dialer(cli).Dial(context.Background(), "nowhere"); err == nil {
 		t.Fatal("dial to unknown address should fail")
 	}
 }
@@ -180,7 +181,7 @@ func TestConnCloseUnblocksRecv(t *testing.T) {
 			connCh <- c
 		}
 	}()
-	client, err := n.Dialer(cli).Dial("w")
+	client, err := n.Dialer(cli).Dial(context.Background(), "w")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestConcurrentSends(t *testing.T) {
 			connCh <- c
 		}
 	}()
-	client, err := n.Dialer(cli).Dial("conc")
+	client, err := n.Dialer(cli).Dial(context.Background(), "conc")
 	if err != nil {
 		t.Fatal(err)
 	}

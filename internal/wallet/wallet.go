@@ -13,6 +13,7 @@
 package wallet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -513,6 +514,11 @@ func (w *Wallet) CachedCount() int {
 // Query identifies an authorization question: does Subject hold Object under
 // Constraints (§4.1)?
 type Query struct {
+	// Ctx, if non-nil, gates admission: a query whose context is already
+	// canceled or past its deadline returns the context error instead of
+	// searching. The in-memory graph search itself is fast and runs to
+	// completion once admitted. A nil Ctx means context.Background().
+	Ctx         context.Context
 	Subject     core.Subject
 	Object      core.Role
 	Constraints []core.Constraint
@@ -580,6 +586,11 @@ func (w *Wallet) QueryDirect(q Query) (*core.Proof, error) {
 // queryDirect is QueryDirect's answer path; the returned string is the
 // cache outcome ("hit", "negative", "miss", or "bypass") for the audit log.
 func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
+	if q.Ctx != nil {
+		if err := q.Ctx.Err(); err != nil {
+			return nil, "canceled", err
+		}
+	}
 	useCache := q.Stats == nil && !w.cacheOff
 	var key string
 	if useCache {
