@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet staticcheck test test-race race cover cover-check bench fuzz sim examples clean
+.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke fuzz sim examples clean
 
 # Aggregate coverage floor enforced by cover-check (CI). Raise it as
 # coverage grows; never lower it to admit an under-tested change.
@@ -52,6 +52,12 @@ cover-check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Compile every benchmark and run each for exactly one iteration: catches
+# benchmarks that no longer build or crash immediately, without paying for a
+# real measurement run. CI runs this on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core

@@ -7,6 +7,7 @@ import (
 	"drbac/internal/peer"
 	"drbac/internal/proxy"
 	"drbac/internal/remote"
+	"drbac/internal/replica"
 	"drbac/internal/transport"
 )
 
@@ -57,6 +58,13 @@ type (
 	FaultRule = transport.Fault
 	// FaultDialer wraps a Dialer with fault injection driven by a FaultPlan.
 	FaultDialer = transport.FaultDialer
+	// ReplicaFollower drives a wallet as a read-only follower replica of
+	// an upstream wallet (§9 subscription-driven replication).
+	ReplicaFollower = replica.Follower
+	// ReplicaConfig parameterizes a ReplicaFollower.
+	ReplicaConfig = replica.Config
+	// ReplicaStatus snapshots a follower's replication progress.
+	ReplicaStatus = replica.Status
 )
 
 // Peer circuit-breaker states.
@@ -108,6 +116,19 @@ func ServeWallet(w *Wallet, ln Listener) *WalletServer { return remote.Serve(w, 
 func DialWallet(ctx context.Context, d Dialer, addr string) (*WalletClient, error) {
 	return remote.Dial(ctx, d, addr)
 }
+
+// DialWalletAny connects to the first reachable address of a replica group
+// (the primary and its read replicas), returning the address that answered.
+func DialWalletAny(ctx context.Context, d Dialer, addrs []string) (*WalletClient, string, error) {
+	return remote.DialAny(ctx, d, addrs)
+}
+
+// SplitWalletAddrs parses a comma-separated replica-group address list.
+func SplitWalletAddrs(s string) []string { return remote.SplitAddrs(s) }
+
+// StartReplica launches a follower that replicates an upstream wallet into
+// cfg.Local over the subscription stream (§9). Stop it with Close.
+func StartReplica(cfg ReplicaConfig) (*ReplicaFollower, error) { return replica.Start(cfg) }
 
 // NewDiscoveryAgent builds a distributed discovery agent over a local
 // wallet.

@@ -280,7 +280,7 @@ func cmdVerify(args []string) error {
 func cmdPublish(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("publish", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
-	addr := fs.String("addr", "", "wallet address host:port")
+	addr := fs.String("addr", "", "wallet address host:port[,host:port...] (first reachable wins)")
 	in := fs.String("in", "", "bundle file")
 	ttl := fs.Int("ttl", 0, "cache TTL seconds (0 = permanent)")
 	timeout := timeoutFlag(fs)
@@ -315,7 +315,7 @@ func cmdPublish(ctx context.Context, args []string) error {
 func cmdQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
-	addr := fs.String("addr", "", "wallet address host:port")
+	addr := fs.String("addr", "", "wallet address host:port[,host:port...] (first reachable wins)")
 	entities := fs.String("entities", "", "directory file")
 	subject := fs.String("subject", "", "entity name or role")
 	object := fs.String("object", "", "role")
@@ -363,7 +363,7 @@ func cmdQuery(ctx context.Context, args []string) error {
 func cmdRevoke(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("revoke", flag.ContinueOnError)
 	key := fs.String("key", "", "issuer identity file")
-	addr := fs.String("addr", "", "wallet address host:port")
+	addr := fs.String("addr", "", "wallet address host:port[,host:port...] (first reachable wins)")
 	id := fs.String("id", "", "delegation ID")
 	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -401,12 +401,23 @@ func loadIdentity(path string) (*core.Identity, error) {
 	return f.Identity()
 }
 
+// dial connects to the first reachable address in addr, which may be a
+// comma-separated replica group ("primary,replica1,…"): reads served by any
+// member are as trustworthy as the primary's, since every proof carries its
+// own signatures (§9).
 func dial(ctx context.Context, keyPath, addr string) (*remote.Client, error) {
 	id, err := loadIdentity(keyPath)
 	if err != nil {
 		return nil, err
 	}
-	return remote.Dial(ctx, &transport.TCPDialer{Identity: id}, addr)
+	c, chosen, err := remote.DialAny(ctx, &transport.TCPDialer{Identity: id}, remote.SplitAddrs(addr))
+	if err != nil {
+		return nil, err
+	}
+	if chosen != addr {
+		fmt.Fprintf(os.Stderr, "connected to %s\n", chosen)
+	}
+	return c, nil
 }
 
 // cmdStats fetches a remote wallet's state summary and metrics snapshot
@@ -414,7 +425,7 @@ func dial(ctx context.Context, keyPath, addr string) (*remote.Client, error) {
 func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
-	addr := fs.String("addr", "", "wallet address host:port")
+	addr := fs.String("addr", "", "wallet address host:port[,host:port...] (first reachable wins)")
 	asJSON := fs.Bool("json", false, "emit the raw snapshot as JSON")
 	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -454,6 +465,10 @@ func cmdStats(ctx context.Context, args []string) error {
 // every metric the remote registry holds, names sorted.
 func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 	fmt.Fprintf(w, "wallet %s\n", addr)
+	if resp.Role != "" {
+		fmt.Fprintf(w, "  role         %s\n", resp.Role)
+	}
+	fmt.Fprintf(w, "  seq          %d\n", resp.Seq)
 	fmt.Fprintf(w, "  delegations  %d\n", resp.Delegations)
 	fmt.Fprintf(w, "  revoked      %d\n", resp.Revoked)
 	fmt.Fprintf(w, "  ttl-tracked  %d\n", resp.TTLTracked)
@@ -504,7 +519,7 @@ func sortedNames[V any](m map[string]V) []string {
 func cmdMonitor(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file for transport auth")
-	addr := fs.String("addr", "", "wallet address host:port")
+	addr := fs.String("addr", "", "wallet address host:port[,host:port...] (first reachable wins)")
 	id := fs.String("id", "", "delegation ID")
 	count := fs.Int("count", 1, "exit after this many status events")
 	wait := fs.Duration("wait", 30*time.Second, "maximum time to wait")

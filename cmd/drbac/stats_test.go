@@ -10,6 +10,8 @@ import (
 
 func TestRenderStatsGolden(t *testing.T) {
 	resp := wire.StatsResp{
+		Role:               "replica",
+		Seq:                42,
 		Delegations:        3,
 		Revoked:            1,
 		TTLTracked:         2,
@@ -33,6 +35,8 @@ func TestRenderStatsGolden(t *testing.T) {
 	var buf bytes.Buffer
 	renderStats(&buf, "wallet.example:7100", resp)
 	want := `wallet wallet.example:7100
+  role         replica
+  seq          42
   delegations  3
   revoked      1
   ttl-tracked  2

@@ -19,7 +19,7 @@ func TestDebugMux(t *testing.T) {
 	w := wallet.New(wallet.Config{Obs: o})
 	reg.Counter("drbac_server_requests_total").Add(17)
 
-	srv := httptest.NewServer(newDebugMux(o, w))
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string, string) {
@@ -43,7 +43,7 @@ func TestDebugMux(t *testing.T) {
 	if ctype != "application/json" {
 		t.Errorf("/healthz content-type = %q", ctype)
 	}
-	want := `{"status":"ok","delegations":0,"revoked":0,"ttlTracked":0,"watches":0}` + "\n"
+	want := `{"status":"ok","role":"primary","delegations":0,"revoked":0,"ttlTracked":0,"watches":0,"seq":0}` + "\n"
 	if body != want {
 		t.Errorf("/healthz body = %q, want %q", body, want)
 	}

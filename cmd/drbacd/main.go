@@ -5,7 +5,13 @@
 // Usage:
 //
 //	drbacd -key bigisp.key -listen 127.0.0.1:7100 [-load bundles/] [-strict]
+//	       [-replica-of host:port[,host:port...]]
 //	       [-http 127.0.0.1:7190] [-log-level debug] [-log-json]
+//
+// With -replica-of the daemon runs as a read-only follower replica (§9): it
+// bootstraps from the upstream wallet's snapshot, applies its changelog
+// stream in sequence order, and refuses publish/revoke requests while
+// serving queries — a horizontally scaled read path for a busy home wallet.
 //
 // The -load directory may contain delegation bundle files (as written by
 // `drbac delegate`) that are published into the wallet at startup, in
@@ -37,6 +43,7 @@ import (
 	"drbac/internal/keyfile"
 	"drbac/internal/obs"
 	"drbac/internal/remote"
+	"drbac/internal/replica"
 	"drbac/internal/transport"
 	"drbac/internal/wallet"
 )
@@ -54,6 +61,7 @@ func run(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7100", "listen address")
 	load := fs.String("load", "", "directory of delegation bundles to publish at startup")
 	state := fs.String("state", "", "wallet state file: restored at startup, rewritten on every publication and revocation")
+	replicaOf := fs.String("replica-of", "", "run as a read-only follower replica of the wallet at host:port[,host:port...] (§9); mutations are refused")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
 	httpAddr := fs.String("http", "", "debug listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
@@ -97,21 +105,42 @@ func run(args []string) error {
 		logger.Info("bundles loaded", "delegations", n, "dir", *load)
 	}
 
+	role := "primary"
+	var follower *replica.Follower
+	if *replicaOf != "" {
+		role = "replica"
+		follower, err = replica.Start(replica.Config{
+			Local:  w,
+			Addrs:  remote.SplitAddrs(*replicaOf),
+			Dialer: &transport.TCPDialer{Identity: owner},
+			Obs:    o,
+		})
+		if err != nil {
+			return err
+		}
+		defer follower.Close()
+		logger.Info("replicating", "upstream", *replicaOf)
+	}
+
 	ln, err := transport.ListenTCP(*listen, owner)
 	if err != nil {
 		return err
 	}
-	srv := remote.Serve(w, ln)
+	srv := remote.ServeOptions(w, ln, remote.Options{
+		Obs:      o,
+		Role:     role,
+		ReadOnly: follower != nil,
+	})
 	defer srv.Close()
 	logger.Info("serving",
-		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr())
+		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr(), "role", role)
 
 	if *httpAddr != "" {
 		dln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		hsrv := &http.Server{Handler: newDebugMux(o, w)}
+		hsrv := &http.Server{Handler: newDebugMux(o, w, role, follower)}
 		defer hsrv.Close()
 		go func() {
 			if err := hsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -142,30 +171,49 @@ func run(args []string) error {
 }
 
 // health is the /healthz payload: liveness plus the wallet-state summary an
-// operator checks first.
+// operator checks first. Replication fields appear only on a replica.
 type health struct {
 	Status      string `json:"status"`
+	Role        string `json:"role"`
 	Delegations int    `json:"delegations"`
 	Revoked     int    `json:"revoked"`
 	TTLTracked  int    `json:"ttlTracked"`
 	Watches     int    `json:"watches"`
+	Seq         uint64 `json:"seq"`
+	AppliedSeq  uint64 `json:"appliedSeq,omitempty"`
+	LagSeconds  int64  `json:"lagSeconds,omitempty"`
+	Resyncs     int64  `json:"resyncs,omitempty"`
+	Upstream    string `json:"upstream,omitempty"`
+	Connected   *bool  `json:"upstreamConnected,omitempty"`
 }
 
 // newDebugMux builds the -http endpoint set: Prometheus metrics, a JSON
-// health summary, and the standard pprof handlers.
-func newDebugMux(o *obs.Obs, w *wallet.Wallet) *http.ServeMux {
+// health summary, and the standard pprof handlers. follower is nil on a
+// primary.
+func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Follower) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		st := w.Stats()
-		rw.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(rw).Encode(health{
+		h := health{
 			Status:      "ok",
+			Role:        role,
 			Delegations: st.Delegations,
 			Revoked:     st.Revoked,
 			TTLTracked:  st.TTLTracked,
 			Watches:     st.Watches,
-		})
+			Seq:         w.Seq(),
+		}
+		if follower != nil {
+			rs := follower.Status()
+			h.AppliedSeq = rs.AppliedSeq
+			h.LagSeconds = rs.LagSeconds
+			h.Resyncs = rs.Resyncs
+			h.Upstream = rs.Upstream
+			h.Connected = &rs.Connected
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(h)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

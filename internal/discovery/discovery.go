@@ -206,41 +206,47 @@ func (a *Agent) Learn(d *core.Delegation) {
 }
 
 // client returns a pooled connection to a wallet home, verifying its
-// authorization role when configured. A home whose circuit is open fails
-// fast without a dial attempt.
-func (a *Agent) client(ctx context.Context, tag core.DiscoveryTag, stats *Stats) (*remote.Client, error) {
-	c, err := a.peers.Get(ctx, tag.Home)
+// authorization role when configured. A tag home may be a comma-separated
+// replica group ("primary,replica1,…" — §9); the pool fails over within the
+// group, and the returned address identifies the member actually connected,
+// for failure reporting. A home whose circuit is open fails fast without a
+// dial attempt.
+func (a *Agent) client(ctx context.Context, tag core.DiscoveryTag, stats *Stats) (*remote.Client, string, error) {
+	c, addr, err := a.peers.GetAny(ctx, remote.SplitAddrs(tag.Home))
 	if err != nil {
 		if !errors.Is(err, peer.ErrCircuitOpen) {
 			a.obs.Log().Warn("discovery dial failed", "home", tag.Home, "error", err)
 		}
-		return nil, fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
+		return nil, "", fmt.Errorf("discovery: dial home %s: %w", tag.Home, err)
 	}
 	a.mu.Lock()
-	first := !a.contacted[tag.Home]
-	a.contacted[tag.Home] = true
+	first := !a.contacted[addr]
+	a.contacted[addr] = true
 	a.mu.Unlock()
 	if first {
-		a.obs.Log().Debug("discovery dialed home", "home", tag.Home)
+		a.obs.Log().Debug("discovery dialed home", "home", tag.Home, "addr", addr)
 		if stats != nil {
 			stats.WalletsContacted++
 		}
 	}
 	if a.cfg.VerifyHomes && !tag.AuthRole.IsZero() {
+		// Each group member proves the authorization role independently: a
+		// replica is only trusted as the home's stand-in if the home's
+		// operator delegated the auth role to the replica's identity.
 		a.mu.Lock()
-		done := a.verified[tag.Home]
+		done := a.verified[addr]
 		a.mu.Unlock()
 		if !done {
 			if _, err := c.ProveRole(ctx, tag.AuthRole, a.cfg.Local.Now()); err != nil {
-				a.reportIfBroken(tag.Home, c)
-				return nil, fmt.Errorf("discovery: home %s failed authorization: %w", tag.Home, err)
+				a.reportIfBroken(addr, c)
+				return nil, "", fmt.Errorf("discovery: home %s failed authorization: %w", addr, err)
 			}
 			a.mu.Lock()
-			a.verified[tag.Home] = true
+			a.verified[addr] = true
 			a.mu.Unlock()
 		}
 	}
-	return c, nil
+	return c, addr, nil
 }
 
 // reportIfBroken feeds an RPC failure back to the pool, but only when the
@@ -414,7 +420,7 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if mode == Auto && tag.Subject != core.SubjectSearch && tag.Subject != core.SubjectStore {
 			continue
 		}
-		c, err := a.client(ctx, tag, stats)
+		c, home, err := a.client(ctx, tag, stats)
 		if err != nil {
 			// The home is unreachable this round; leave the node unqueried
 			// so a later round retries it once the peer recovers. Progress
@@ -435,14 +441,14 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
-			a.trace(sp, stats, round, tag.Home, "direct", node.String(), 1)
+			a.trace(sp, stats, round, home, "direct", node.String(), 1)
 			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
 				return progress, full, nil
 			}
 			continue
 		}
 		if !errors.Is(err, core.ErrNoProof) {
-			a.reportIfBroken(tag.Home, c)
+			a.reportIfBroken(home, c)
 			queried[node] = false // answer never arrived; retry next round
 			continue
 		}
@@ -452,11 +458,11 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		}
 		proofs, err := c.QuerySubjectTraced(ctx, q.TraceID, node, remaining)
 		if err != nil {
-			a.reportIfBroken(tag.Home, c)
+			a.reportIfBroken(home, c)
 			queried[node] = false
 			continue
 		}
-		a.trace(sp, stats, round, tag.Home, "subject", node.String(), len(proofs))
+		a.trace(sp, stats, round, home, "subject", node.String(), len(proofs))
 		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
 	}
 	return progress, nil, nil
@@ -492,7 +498,7 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if mode == Auto && tag.Object != core.ObjectSearch && tag.Object != core.ObjectStore {
 			continue
 		}
-		c, err := a.client(ctx, tag, stats)
+		c, home, err := a.client(ctx, tag, stats)
 		if err != nil {
 			continue // home unreachable: retry the node next round
 		}
@@ -508,14 +514,14 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
-			a.trace(sp, stats, round, tag.Home, "direct", node.String(), 1)
+			a.trace(sp, stats, round, home, "direct", node.String(), 1)
 			if full, err := a.cfg.Local.QueryDirect(q); err == nil {
 				return progress, full, nil
 			}
 			continue
 		}
 		if !errors.Is(err, core.ErrNoProof) {
-			a.reportIfBroken(tag.Home, c)
+			a.reportIfBroken(home, c)
 			queried[node] = false
 			continue
 		}
@@ -524,11 +530,11 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		}
 		proofs, err := c.QueryObjectTraced(ctx, q.TraceID, role, remaining)
 		if err != nil {
-			a.reportIfBroken(tag.Home, c)
+			a.reportIfBroken(home, c)
 			queried[node] = false
 			continue
 		}
-		a.trace(sp, stats, round, tag.Home, "object", node.String(), len(proofs))
+		a.trace(sp, stats, round, home, "object", node.String(), len(proofs))
 		progress += a.insertProofs(proofs, tag.Home, tag.TTL, stats)
 	}
 	return progress, nil, nil
@@ -556,7 +562,7 @@ func (a *Agent) Bridge(ctx context.Context, p *core.Proof) (cancel func(), err e
 			continue
 		}
 		tag, _ := a.Tag(d.Subject)
-		c, err := a.client(ctx, tagWithHome(tag.Normalize(), home), nil)
+		c, _, err := a.client(ctx, tagWithHome(tag.Normalize(), home), nil)
 		if err != nil {
 			release()
 			return nil, err
@@ -639,7 +645,7 @@ func (a *Agent) refreshOnce() {
 			continue
 		}
 		tag, _ := a.Tag(d.Subject)
-		c, err := a.client(context.Background(), tagWithHome(tag.Normalize(), home), nil)
+		c, _, err := a.client(context.Background(), tagWithHome(tag.Normalize(), home), nil)
 		if err != nil {
 			continue // home unreachable: let the TTL lapse naturally
 		}
@@ -702,7 +708,7 @@ func (a *Agent) AuditRegistry(ctx context.Context, p *core.Proof) ([]AuditFindin
 		}
 		finding.Required = true
 		finding.Home = tag.Home
-		c, err := a.client(ctx, tag, nil)
+		c, _, err := a.client(ctx, tag, nil)
 		if err != nil {
 			return nil, fmt.Errorf("discovery: audit %s: %w", d.ID().Short(), err)
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drbac/internal/clock"
@@ -101,6 +102,10 @@ type Manager struct {
 
 	mu    sync.Mutex
 	peers map[string]*peerState
+
+	// rr rotates GetAny's dial order across calls so load spreads over a
+	// replica group instead of hammering its first address.
+	rr atomic.Uint64
 
 	mDials     *obs.Counter
 	mDialFails *obs.Counter
@@ -219,6 +224,58 @@ func (m *Manager) Get(ctx context.Context, addr string) (*remote.Client, error) 
 	ps.next = time.Time{}
 	m.mLive.Add(1)
 	return c, nil
+}
+
+// GetAny returns a healthy connection to any address in addrs — a wallet's
+// replica group (§9) — together with the address chosen, so callers can
+// report a later RPC failure against the right pool entry. Already-connected
+// healthy peers are preferred (no dial at all); otherwise addresses are
+// dialed in an order rotated per call, spreading load across the group.
+// Every address failing returns the first error (usually the most
+// informative: later addresses often fast-fail on open circuits).
+func (m *Manager) GetAny(ctx context.Context, addrs []string) (*remote.Client, string, error) {
+	if len(addrs) == 0 {
+		return nil, "", errors.New("peer: GetAny: no addresses")
+	}
+	// Pass 1: reuse a live connection anywhere in the group.
+	for _, addr := range addrs {
+		if m.connected(addr) {
+			if c, err := m.Get(ctx, addr); err == nil {
+				return c, addr, nil
+			}
+		}
+	}
+	// Pass 2: dial, starting from a per-call rotation point.
+	start := int(m.rr.Add(1) % uint64(len(addrs)))
+	var firstErr error
+	for i := range addrs {
+		addr := addrs[(start+i)%len(addrs)]
+		c, err := m.Get(ctx, addr)
+		if err == nil {
+			return c, addr, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, "", fmt.Errorf("peer: no reachable address among %v: %w", addrs, firstErr)
+}
+
+// connected reports whether a healthy pooled connection to addr exists right
+// now, without dialing.
+func (m *Manager) connected(addr string) bool {
+	m.mu.Lock()
+	ps := m.peers[addr]
+	m.mu.Unlock()
+	if ps == nil {
+		return false
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.client != nil && ps.client.Healthy()
 }
 
 // recordFailureLocked advances addr's failure accounting; ps.mu must be held.

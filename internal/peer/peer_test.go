@@ -307,3 +307,59 @@ func TestJitterWithinHalfToFull(t *testing.T) {
 		}
 	}
 }
+
+// TestGetAnyFailsOver drives the replica-group read path: GetAny prefers a
+// live connection anywhere in the group, fails over to another member when
+// one address is dead, and errors only when the whole group is down.
+func TestGetAnyFailsOver(t *testing.T) {
+	e := newEnv(t, "alice", "bob", "carol")
+	bob := e.serve("bob.home", "bob")
+	e.serve("carol.home", "carol")
+	m := e.manager("alice", nil)
+	group := []string{"bob.home", "carol.home", "nobody.home"}
+	ctx := context.Background()
+
+	c1, addr1, err := m.GetAny(ctx, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr1 == "nobody.home" {
+		t.Fatalf("GetAny chose the dead address %q", addr1)
+	}
+
+	// Pass 1 reuse: with a live pooled connection the same client returns,
+	// regardless of the rotation point.
+	for i := 0; i < 4; i++ {
+		c2, addr2, err := m.GetAny(ctx, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 != c1 || addr2 != addr1 {
+			t.Fatalf("GetAny = (%p, %q), want pooled (%p, %q)", c2, addr2, c1, addr1)
+		}
+	}
+
+	// Kill bob entirely: GetAny must answer from carol.
+	bob.Close()
+	if addr1 == "bob.home" {
+		m.ReportFailure("bob.home", c1)
+	}
+	c3, addr3, err := m.GetAny(ctx, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr3 == "bob.home" {
+		t.Fatalf("GetAny chose closed bob.home")
+	}
+	if !c3.Healthy() {
+		t.Fatal("GetAny returned an unhealthy client")
+	}
+
+	// Whole group unreachable: a single wrapped error comes back.
+	if _, _, err := m.GetAny(ctx, []string{"gone.one", "gone.two"}); err == nil {
+		t.Fatal("GetAny succeeded against dead group")
+	}
+	if _, _, err := m.GetAny(ctx, nil); err == nil {
+		t.Fatal("GetAny succeeded with no addresses")
+	}
+}

@@ -42,7 +42,9 @@ type Config struct {
 	// restart by redialing lazily and re-establishing its delegation
 	// subscriptions on the fresh connection.
 	Peers *peer.Manager
-	// UpstreamAddr is the upstream wallet's address in Peers.
+	// UpstreamAddr is the upstream wallet's address in Peers — optionally a
+	// comma-separated replica group ("primary,replica1,…"); pulls and
+	// subscriptions fail over within the group (§9 read scaling).
 	UpstreamAddr string
 	// TTL is the coherence window for pulled credentials; zero caches
 	// permanently (credentials still drop on upstream revocation).
@@ -142,7 +144,7 @@ func (p *Proxy) upstream(ctx context.Context) (*remote.Client, error) {
 	if p.cfg.Upstream != nil {
 		return p.cfg.Upstream, nil
 	}
-	c, err := p.cfg.Peers.Get(ctx, p.cfg.UpstreamAddr)
+	c, addr, err := p.cfg.Peers.GetAny(ctx, remote.SplitAddrs(p.cfg.UpstreamAddr))
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +164,7 @@ func (p *Proxy) upstream(ctx context.Context) (*remote.Client, error) {
 	p.mu.Unlock()
 	if replaced {
 		p.obs.Log().Info("proxy upstream reconnected; re-establishing subscriptions",
-			"addr", p.cfg.UpstreamAddr, "subscriptions", len(ids))
+			"addr", addr, "subscriptions", len(ids))
 		for _, id := range ids {
 			if err := p.ensureSubscribed(ctx, c, id); err != nil {
 				p.obs.Log().Warn("proxy resubscribe failed",

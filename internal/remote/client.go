@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,10 @@ type Client struct {
 	notify  map[core.DelegationID]map[int]func(subs.Event)
 	nextSub int
 	closed  bool
+	// stream, when set, receives every notification push raw (seq and
+	// bundle included) before per-delegation handlers run — the follower
+	// replica's changelog feed (§9). At most one per client.
+	stream func(wire.NotifyPush)
 
 	// pushQueue preserves notification order while keeping the read loop
 	// responsive; a dedicated dispatcher goroutine drains it.
@@ -149,7 +154,13 @@ func (c *Client) pushLoop() {
 }
 
 func (c *Client) dispatchPush(push wire.NotifyPush) {
-	ev := subs.Event{Delegation: push.Delegation, At: push.At}
+	c.mu.Lock()
+	stream := c.stream
+	c.mu.Unlock()
+	if stream != nil {
+		stream(push)
+	}
+	ev := subs.Event{Delegation: push.Delegation, At: push.At, Seq: push.Seq}
 	switch push.Kind {
 	case "revoked":
 		ev.Kind = subs.Revoked
@@ -459,4 +470,102 @@ func (c *Client) ProveRole(ctx context.Context, role core.Role, at time.Time) (*
 		return nil, fmt.Errorf("remote prove-role: %w", err)
 	}
 	return p, nil
+}
+
+// Sync fetches the remote wallet's replicable state — every bundle and
+// revocation — consistent at the returned Seq (§9). Followers bootstrap
+// from it and resync from it after a stream gap.
+func (c *Client) Sync(ctx context.Context) (wire.SyncResp, error) {
+	env, err := c.call(ctx, wire.TSync, struct{}{})
+	if err != nil {
+		return wire.SyncResp{}, err
+	}
+	var resp wire.SyncResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.SyncResp{}, err
+	}
+	return resp, nil
+}
+
+// SubscribeAll registers fn to receive every status push from the remote
+// wallet's changelog stream, raw (seq and bundle included), and returns the
+// server's seq at stream registration: every mutation with a greater seq is
+// guaranteed to be delivered to fn. A client carries at most one stream;
+// re-subscribing replaces the handler. fn runs on the client's push
+// dispatcher goroutine, before any per-delegation handlers for the same
+// push, and may block (blocking backpressures the stream, and a stream
+// backed up past the server's buffer drops pushes, forcing a resync).
+func (c *Client) SubscribeAll(ctx context.Context, fn func(wire.NotifyPush)) (seq uint64, cancel func(), err error) {
+	if fn == nil {
+		return 0, nil, errors.New("remote subscribe-all: nil handler")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, ErrClientClosed
+	}
+	// Install before the request: pushes can race ahead of the response.
+	c.stream = fn
+	c.mu.Unlock()
+
+	env, err := c.call(ctx, wire.TSubscribeAll, struct{}{})
+	if err != nil {
+		c.mu.Lock()
+		c.stream = nil
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	var resp wire.SubscribeAllResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		c.mu.Lock()
+		c.stream = nil
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	var once sync.Once
+	return resp.Seq, func() {
+		once.Do(func() {
+			c.mu.Lock()
+			c.stream = nil
+			c.mu.Unlock()
+		})
+	}, nil
+}
+
+// SplitAddrs parses a comma-separated address list ("primary,replica1,…")
+// into its elements, trimming whitespace and dropping empties. The inverse
+// convention lets one discovery-tag home, proxy upstream, or CLI -addr name
+// a wallet and its replicas together.
+func SplitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// DialAny connects to the first reachable address in addrs, in order, and
+// returns the client together with the address that answered. Read-path
+// callers list the primary first and its replicas after it, so reads fail
+// over when the primary is down; all addresses failing returns the last
+// error.
+func DialAny(ctx context.Context, d transport.Dialer, addrs []string) (*Client, string, error) {
+	if len(addrs) == 0 {
+		return nil, "", errors.New("remote: dial: no addresses")
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		c, err := Dial(ctx, d, addr)
+		if err == nil {
+			return c, addr, nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("remote: no reachable address among %v: %w", addrs, lastErr)
 }

@@ -51,10 +51,12 @@ func newServerMetrics(o *obs.Obs) serverMetrics {
 
 // Server exposes one wallet to the network.
 type Server struct {
-	w   *wallet.Wallet
-	ln  transport.Listener
-	obs *obs.Obs
-	m   serverMetrics
+	w        *wallet.Wallet
+	ln       transport.Listener
+	obs      *obs.Obs
+	m        serverMetrics
+	readOnly bool
+	role     string
 	// directFallback, when set, is consulted after a direct query misses
 	// the wallet — the hook hierarchical caching proxies use to pull
 	// credentials through from an upstream wallet (§6).
@@ -82,7 +84,17 @@ type Options struct {
 	// and request/push/connection metrics. Share the wallet's Obs so one
 	// registry exports the whole daemon.
 	Obs *obs.Obs
+	// ReadOnly rejects state-changing requests (publish, revoke): a
+	// follower replica serves queries, subscriptions, and sync, while
+	// mutations must go to the primary (§9).
+	ReadOnly bool
+	// Role labels this server's replication role in stats responses
+	// ("primary" or "replica"); empty omits the field.
+	Role string
 }
+
+// ErrReadOnly reports a mutation request sent to a read-only replica.
+var ErrReadOnly = errors.New("wallet is a read-only replica; send mutations to the primary")
 
 // Serve starts accepting connections for w on ln. Close shuts it down.
 // The served wallet's own Obs (if any) also observes the server, so a
@@ -99,6 +111,8 @@ func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server
 		ln:             ln,
 		obs:            opts.Obs,
 		m:              newServerMetrics(opts.Obs),
+		readOnly:       opts.ReadOnly,
+		role:           opts.Role,
 		directFallback: opts.DirectFallback,
 		baseCtx:        ctx,
 		cancelAll:      cancel,
@@ -179,6 +193,9 @@ type connState struct {
 	writeMu sync.Mutex
 	subMu   sync.Mutex
 	cancels map[core.DelegationID]func()
+	// streamStop tears down this connection's changelog stream
+	// (subscribe-all), when one is active. Guarded by subMu; idempotent.
+	streamStop func()
 }
 
 func (cs *connState) send(t wire.MsgType, id uint64, body any) error {
@@ -213,7 +230,12 @@ func (s *Server) handleConn(conn transport.Conn) {
 			cancel()
 		}
 		cs.cancels = nil
+		stop := cs.streamStop
+		cs.streamStop = nil
 		cs.subMu.Unlock()
+		if stop != nil {
+			stop()
+		}
 		if err := conn.Close(); err != nil {
 			s.obs.Log().Debug("connection close", "peer", peer, "error", err)
 		}
@@ -298,6 +320,9 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		if req.Delegation != nil {
 			attrs = []any{"delegation", req.Delegation.ID().Short(), "ttl_s", req.TTLSeconds}
 		}
+		if s.readOnly {
+			return attrs, fmt.Errorf("publish: %w", ErrReadOnly)
+		}
 		var err error
 		if req.TTLSeconds > 0 {
 			err = s.w.InsertCached(req.Delegation, req.Support, time.Duration(req.TTLSeconds)*time.Second)
@@ -377,6 +402,9 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 			return nil, err
 		}
 		attrs := []any{"delegation", req.Delegation.Short()}
+		if s.readOnly {
+			return attrs, fmt.Errorf("revoke: %w", ErrReadOnly)
+		}
 		// Authorization: the authenticated peer must be the issuer.
 		if err := s.w.Revoke(req.Delegation, cs.conn.Peer().ID()); err != nil {
 			return attrs, err
@@ -414,6 +442,23 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 	case wire.TStats:
 		return nil, cs.send(wire.TOK, env.ID, s.statsResp())
 
+	case wire.TSync:
+		snap := s.w.Snapshot()
+		resp := wire.SyncResp{Seq: snap.Seq, Revoked: snap.Revoked}
+		resp.Bundles = make([]wire.SyncBundle, 0, len(snap.Bundles))
+		for _, b := range snap.Bundles {
+			resp.Bundles = append(resp.Bundles, wire.SyncBundle{Delegation: b.Delegation, Support: b.Support})
+		}
+		attrs := []any{"seq", snap.Seq, "bundles", len(resp.Bundles), "revoked", len(resp.Revoked)}
+		return attrs, cs.send(wire.TOK, env.ID, resp)
+
+	case wire.TSubscribeAll:
+		seq, err := s.subscribeAll(cs)
+		if err != nil {
+			return nil, err
+		}
+		return []any{"seq", seq}, cs.send(wire.TOK, env.ID, wire.SubscribeAllResp{Seq: seq})
+
 	default:
 		return nil, fmt.Errorf("unknown request type %q", env.Type)
 	}
@@ -423,6 +468,8 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 func (s *Server) statsResp() wire.StatsResp {
 	ws := s.w.Stats()
 	return wire.StatsResp{
+		Role:               s.role,
+		Seq:                s.w.Seq(),
 		Delegations:        ws.Delegations,
 		Revoked:            ws.Revoked,
 		TTLTracked:         ws.TTLTracked,
@@ -468,4 +515,91 @@ func (s *Server) subscribe(cs *connState, id core.DelegationID) {
 		old()
 	}
 	cs.cancels[id] = cancel
+}
+
+// streamBuffer bounds queued changelog pushes per subscribe-all stream.
+// The wallet handler enqueues without blocking: an overflow drops the push
+// (and its seq with it), which the follower's gap detector converts into a
+// resync — a slow replica self-heals at snapshot cost instead of stalling
+// the primary's mutation path.
+const streamBuffer = 1024
+
+// subscribeAll wires the wallet's full changelog onto this connection: a
+// wildcard wallet subscription enqueues every event (Published events carry
+// the full bundle so followers need no read-back) and a writer goroutine
+// drains the queue onto the wire. Returns the wallet seq observed after the
+// stream became live; every mutation with a greater seq will be delivered.
+func (s *Server) subscribeAll(cs *connState) (uint64, error) {
+	ch := make(chan wire.NotifyPush, streamBuffer)
+	quit := make(chan struct{})
+	handler := func(ev subs.Event) {
+		push := wire.NotifyPush{
+			Delegation: ev.Delegation,
+			Kind:       ev.Kind.String(),
+			At:         ev.At,
+			Seq:        ev.Seq,
+		}
+		if ev.Kind == subs.Published {
+			// The handler runs under the wallet's mutation lock, so the
+			// fetched bundle is exactly the state at this seq.
+			if d, support, ok := s.w.Get(ev.Delegation); ok {
+				push.Bundle = &wire.SyncBundle{Delegation: d, Support: support}
+			}
+		}
+		select {
+		case ch <- push:
+		default:
+			s.m.pushErrors.Inc()
+			s.obs.Log().Warn("changelog stream overflow; push dropped",
+				"peer", cs.conn.Peer().ID().Short(),
+				"delegation", ev.Delegation.Short(), "seq", ev.Seq)
+		}
+	}
+	cancelSub := s.w.SubscribeAll(handler)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancelSub()
+			close(quit)
+		})
+	}
+
+	cs.subMu.Lock()
+	if cs.cancels == nil { // connection already torn down
+		cs.subMu.Unlock()
+		stop()
+		return 0, errors.New("connection closed")
+	}
+	old := cs.streamStop
+	cs.streamStop = stop
+	cs.subMu.Unlock()
+	if old != nil {
+		old()
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case push := <-ch:
+				if err := cs.send(wire.TNotify, 0, push); err != nil {
+					// The connection is gone; the stream dies with it and
+					// teardown (or a replacement stream) calls stop.
+					s.m.pushErrors.Inc()
+					s.obs.Log().Debug("changelog push failed",
+						"seq", push.Seq, "error", err)
+					return
+				}
+				s.m.pushes.Inc()
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	// Read after the handler is registered: any mutation sequenced past
+	// this point is guaranteed to reach the stream, so the client can
+	// compare against its bootstrap snapshot for a gap-free handover.
+	return s.w.Seq(), nil
 }

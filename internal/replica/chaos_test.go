@@ -1,0 +1,81 @@
+package replica
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/remote"
+	"drbac/internal/transport"
+)
+
+// TestChaosPrimaryFlap flaps the follower's upstream connection while the
+// primary keeps mutating: the link is repeatedly broken mid-stream (every
+// frame after the first kills the connection), healed, and broken again.
+// Whatever mix of lost pushes, dropped connections, and forced resyncs
+// results, the follower must converge to the primary's exact summary once
+// the network heals — and the whole exercise must not leak goroutines.
+func TestChaosPrimaryFlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	e := newEnv(t, "BigISP", "Maria", "Replica")
+	primary := e.wallet("BigISP", nil)
+	e.serve("primary", "BigISP", primary, remote.Options{Role: "primary"})
+
+	plan := transport.NewFaults()
+	dialer := &transport.FaultDialer{Inner: e.net.Dialer(e.id("Replica")), Plan: plan}
+	// Baseline after the server is up (its accept loop outlives this test's
+	// leak check) but before any follower goroutine starts.
+	before := runtime.NumGoroutine()
+	f, fw := e.follower("Replica", []string{"primary"}, nil, dialer)
+
+	var revokable []core.DelegationID
+	for i := 0; i < 40; i++ {
+		d := e.deleg(fmt.Sprintf("[Maria -> BigISP.r%d] BigISP", i))
+		if err := primary.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 {
+			revokable = append(revokable, d.ID())
+		}
+		switch i % 8 {
+		case 2:
+			// Break the live connection after its next frame.
+			plan.Set("primary", transport.Fault{FailAfterFrames: 1})
+		case 4:
+			// Refuse redials for a beat, then heal.
+			plan.Set("primary", transport.Fault{RefuseDial: true})
+		case 6:
+			plan.Clear("primary")
+		}
+		if i%3 == 0 {
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+	for _, id := range revokable {
+		primary.AcceptRevocation(id)
+	}
+
+	plan.Clear("primary")
+	waitFor(t, "post-chaos convergence", func() bool { return converged(primary, fw, f) })
+
+	ps, fs := primary.Stats(), fw.Stats()
+	if ps.Delegations != fs.Delegations || ps.Revoked != fs.Revoked {
+		t.Fatalf("follower stats %+v diverged from primary %+v", fs, ps)
+	}
+
+	// Tear everything down and verify the goroutine count returns to the
+	// baseline: the follower loop, stream sessions, and pooled connections
+	// all unwound.
+	f.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines = %d after close, want <= %d (leak)", n, before)
+	}
+}

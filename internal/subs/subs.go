@@ -57,6 +57,12 @@ type Event struct {
 	Delegation core.DelegationID
 	Kind       EventKind
 	At         time.Time
+	// Seq is the publishing wallet's changelog sequence number for this
+	// event: 1-based and gapless within one wallet process, assigned in the
+	// order mutations were accepted. Replication (§9) rides on it — a
+	// follower that sees seq jump knows it missed an event and must resync.
+	// Zero marks events that did not originate from a sequenced mutation.
+	Seq uint64
 }
 
 // Handler receives events. Handlers run outside the registry lock and may

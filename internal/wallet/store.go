@@ -2,8 +2,10 @@ package wallet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -139,9 +141,15 @@ type FileStore struct {
 var _ Store = (*FileStore)(nil)
 
 // OpenFileStore opens (or creates on first mutation) the store at path,
-// loading any existing state.
+// loading any existing state. A leftover .tmp file from a persist that
+// crashed before its rename is removed: its contents were never
+// acknowledged to any caller, so the canonical file is authoritative even
+// when the tmp is newer (or truncated garbage).
 func OpenFileStore(path string) (*FileStore, error) {
 	s := &FileStore{path: path, mem: NewMemStore()}
+	if err := os.Remove(path + ".tmp"); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wallet state %s: removing stale tmp: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return s, nil
@@ -223,8 +231,69 @@ func (s *FileStore) persistLocked() error {
 		return err
 	}
 	tmp := s.path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o600); err != nil {
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
+		_ = os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, s.path)
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	// The rename is atomic but not durable until the directory entry is
+	// flushed: without this, a power loss can surface the old (or an empty)
+	// state file even though the mutation was acknowledged. Filesystems that
+	// cannot fsync a directory still got an fsynced temp file, which is the
+	// best available on them.
+	if err := syncDir(filepath.Dir(s.path)); err != nil {
+		return fmt.Errorf("wallet state %s: sync directory: %w", s.path, err)
+	}
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so the
+// bytes are on stable storage before the caller renames the file into
+// place.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory, making a just-renamed file's directory entry
+// durable. Platforms that do not support fsync on directories report the
+// failure as success after a best-effort attempt.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && !supportsDirSync(err) {
+		return nil
+	}
+	return err
+}
+
+// supportsDirSync reports whether a directory-fsync error is a real I/O
+// failure (true) rather than the platform refusing the operation (false).
+func supportsDirSync(err error) bool {
+	var pe *os.PathError
+	if errors.As(err, &pe) {
+		msg := pe.Err.Error()
+		if msg == "invalid argument" || msg == "operation not supported" || msg == "not supported" {
+			return false
+		}
+	}
+	return true
 }

@@ -112,6 +112,20 @@ type Wallet struct {
 	cache    *ProofCache
 	cacheOff bool
 
+	// repMu serializes sequenced mutations. Every accepted mutation —
+	// publish, revoke, expiry sweep, TTL lapse, renewal — updates the store
+	// and the graph index, increments seq, and publishes its subscription
+	// event all under repMu, so subscribers observe events in exactly seq
+	// order and Snapshot captures a state consistent with its seq. Reads
+	// (queries, Stats) never take repMu. Handlers therefore run with repMu
+	// held and must not re-enter the same wallet's mutation methods.
+	repMu sync.Mutex
+	// seq is the changelog sequence number of the last accepted mutation,
+	// 1-based and gapless within this process. It is deliberately not
+	// persisted: a restarted wallet starts a new epoch at 0, and any
+	// follower replica resyncs when its connection drops anyway.
+	seq uint64
+
 	// ttlMu guards ttl, which maps remotely sourced delegations to the
 	// instant their coherence TTL lapses without renewal (§4.2.1).
 	ttlMu sync.Mutex
@@ -320,11 +334,15 @@ func (w *Wallet) publish(d *core.Delegation, support []*core.Proof) error {
 	if err != nil {
 		return fmt.Errorf("publish: %w", err)
 	}
+	w.repMu.Lock()
 	if err := w.store.PutDelegation(d, used); err != nil {
+		w.repMu.Unlock()
 		return fmt.Errorf("publish: persist %s: %w", d.ID().Short(), err)
 	}
 	w.g.Add(d, used)
-	w.reg.Publish(subs.Event{Delegation: d.ID(), Kind: subs.Published, At: now})
+	w.seq++
+	w.reg.Publish(subs.Event{Delegation: d.ID(), Kind: subs.Published, At: now, Seq: w.seq})
+	w.repMu.Unlock()
 	w.fireWatches()
 	return nil
 }
@@ -408,18 +426,22 @@ func (w *Wallet) revoke(id core.DelegationID, by core.EntityID) error {
 // of a durable store.
 func (w *Wallet) forceRevoke(id core.DelegationID) error {
 	now := w.Now()
+	w.repMu.Lock()
 	added, err := w.store.AddRevocation(id, now)
 	w.ttlMu.Lock()
 	delete(w.ttl, id)
 	w.ttlMu.Unlock()
 	if !added {
+		w.repMu.Unlock()
 		return err
 	}
 	if derr := w.store.DeleteDelegation(id); derr != nil && err == nil {
 		err = derr
 	}
 	w.g.Remove(id)
-	w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Revoked, At: now})
+	w.seq++
+	w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Revoked, At: now, Seq: w.seq})
+	w.repMu.Unlock()
 	return err
 }
 
@@ -439,14 +461,17 @@ func (w *Wallet) SweepExpired() int {
 			continue
 		}
 		id := d.ID()
+		w.repMu.Lock()
 		if w.g.Remove(id) {
 			removed++
 			_ = w.store.DeleteDelegation(id)
 			w.ttlMu.Lock()
 			delete(w.ttl, id)
 			w.ttlMu.Unlock()
-			w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Expired, At: now})
+			w.seq++
+			w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Expired, At: now, Seq: w.seq})
 		}
+		w.repMu.Unlock()
 	}
 	return removed
 }
@@ -477,7 +502,10 @@ func (w *Wallet) RenewCached(id core.DelegationID, ttl time.Duration) bool {
 	}
 	w.ttlMu.Unlock()
 	if ok {
-		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Renewed, At: w.Now()})
+		w.repMu.Lock()
+		w.seq++
+		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Renewed, At: w.Now(), Seq: w.seq})
+		w.repMu.Unlock()
 	}
 	return ok
 }
@@ -497,9 +525,12 @@ func (w *Wallet) SweepStaleCache() int {
 	}
 	w.ttlMu.Unlock()
 	for _, id := range stale {
+		w.repMu.Lock()
 		_ = w.store.DeleteDelegation(id)
 		w.g.Remove(id)
-		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Stale, At: now})
+		w.seq++
+		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Stale, At: now, Seq: w.seq})
+		w.repMu.Unlock()
 	}
 	return len(stale)
 }
@@ -509,6 +540,98 @@ func (w *Wallet) CachedCount() int {
 	w.ttlMu.Lock()
 	defer w.ttlMu.Unlock()
 	return len(w.ttl)
+}
+
+// Seq returns the wallet's changelog sequence number: the seq of the last
+// accepted mutation, 0 for a wallet that has not mutated since construction.
+// The counter is per-process (a restart begins a new epoch at 0).
+func (w *Wallet) Seq() uint64 {
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
+	return w.seq
+}
+
+// Snapshot is a consistent point-in-time copy of the wallet's replicable
+// state: every stored bundle and every observed revocation, stamped with
+// the changelog seq of the last mutation it includes. A follower that
+// installs the snapshot and then applies the event stream from Seq+1
+// onward reconstructs the wallet exactly (§9 replication).
+type Snapshot struct {
+	Seq     uint64
+	Bundles []StoredBundle
+	Revoked []core.DelegationID
+}
+
+// Snapshot captures the wallet's replicable state atomically with respect
+// to sequenced mutations: no mutation can land between the seq read and the
+// store reads, so the returned state is exactly the state at Seq.
+func (w *Wallet) Snapshot() Snapshot {
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
+	return Snapshot{
+		Seq:     w.seq,
+		Bundles: w.store.Bundles(),
+		Revoked: w.store.RevokedIDs(),
+	}
+}
+
+// InstallReplicated stores a bundle exactly as received from an upstream
+// primary, skipping support-proof re-derivation: dRBAC credentials are
+// self-certifying, so the delegation's own signature is still verified, but
+// the admission decision (support resolution, strictness policy) is trusted
+// to the primary that already made it. Expired, locally revoked, or already
+// present credentials are skipped without error. Reports whether the bundle
+// was installed. Subscribers receive a sequenced Published event, so a
+// follower is itself a valid replication source.
+func (w *Wallet) InstallReplicated(b StoredBundle) (bool, error) {
+	d := b.Delegation
+	if d == nil {
+		return false, fmt.Errorf("install replicated: nil delegation")
+	}
+	if err := d.Verify(); err != nil {
+		return false, fmt.Errorf("install replicated: %w", err)
+	}
+	now := w.Now()
+	if d.Expired(now) || w.IsRevoked(d.ID()) {
+		return false, nil
+	}
+	w.repMu.Lock()
+	if w.g.Contains(d.ID()) {
+		w.repMu.Unlock()
+		return false, nil
+	}
+	if err := w.store.PutDelegation(d, b.Support); err != nil {
+		w.repMu.Unlock()
+		return false, fmt.Errorf("install replicated: persist %s: %w", d.ID().Short(), err)
+	}
+	w.g.Add(d, b.Support)
+	w.seq++
+	w.reg.Publish(subs.Event{Delegation: d.ID(), Kind: subs.Published, At: now, Seq: w.seq})
+	w.repMu.Unlock()
+	w.fireWatches()
+	return true, nil
+}
+
+// DropReplicated removes a delegation without recording a revocation,
+// mirroring an upstream Expired or Stale event onto a follower replica: the
+// credential leaves the store and the graph index and subscribers are
+// notified with the given kind, but the revocation set is untouched — the
+// upstream never revoked it. Reports whether the delegation was present.
+func (w *Wallet) DropReplicated(id core.DelegationID, kind subs.EventKind) bool {
+	now := w.Now()
+	w.repMu.Lock()
+	if !w.g.Remove(id) {
+		w.repMu.Unlock()
+		return false
+	}
+	_ = w.store.DeleteDelegation(id)
+	w.ttlMu.Lock()
+	delete(w.ttl, id)
+	w.ttlMu.Unlock()
+	w.seq++
+	w.reg.Publish(subs.Event{Delegation: id, Kind: kind, At: now, Seq: w.seq})
+	w.repMu.Unlock()
+	return true
 }
 
 // Query identifies an authorization question: does Subject hold Object under

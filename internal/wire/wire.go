@@ -33,6 +33,15 @@ const (
 	THas          MsgType = "has"
 	TPing         MsgType = "ping"
 	TStats        MsgType = "stats"
+	// TSync asks for a consistent snapshot-at-seq of the wallet's
+	// replicable state (empty body; answered with SyncResp). Follower
+	// replicas bootstrap from it (§9).
+	TSync MsgType = "sync"
+	// TSubscribeAll subscribes this connection to the wallet's full
+	// changelog stream: every status event, for every delegation, carrying
+	// its seq (empty body; answered with SubscribeAllResp). At most one
+	// stream per connection; re-sending replaces the previous one.
+	TSubscribeAll MsgType = "subscribe-all"
 )
 
 // Response and push types (server → client).
@@ -119,6 +128,11 @@ type HasResp struct {
 // registry — what the `drbac stats` subcommand renders and what the
 // drbacd /metrics endpoint exports locally.
 type StatsResp struct {
+	// Role is the serving daemon's replication role ("primary" or
+	// "replica"); empty when the server does not declare one.
+	Role string `json:"role,omitempty"`
+	// Seq is the wallet's changelog sequence number (§9 replication).
+	Seq                uint64       `json:"seq"`
 	Delegations        int          `json:"delegations"`
 	Revoked            int          `json:"revoked"`
 	TTLTracked         int          `json:"ttlTracked"`
@@ -136,6 +150,42 @@ type NotifyPush struct {
 	Delegation core.DelegationID `json:"delegation"`
 	Kind       string            `json:"kind"`
 	At         time.Time         `json:"at"`
+	// Seq is the origin wallet's changelog sequence number for this event.
+	// Always set; a follower replica uses it to detect dropped pushes
+	// (seq gap → resync, §9).
+	Seq uint64 `json:"seq,omitempty"`
+	// Bundle carries the full delegation (with support proofs) on
+	// "published" events of a subscribe-all stream, so a follower installs
+	// the credential without a read-back round trip. Per-delegation
+	// subscriptions omit it.
+	Bundle *SyncBundle `json:"bundle,omitempty"`
+}
+
+// SyncBundle is one stored delegation with the support proofs it was
+// published with — the replication unit of SyncResp and of "published"
+// stream pushes.
+type SyncBundle struct {
+	Delegation *core.Delegation `json:"delegation"`
+	Support    []*core.Proof    `json:"support,omitempty"`
+}
+
+// SyncResp answers a TSync request: the serving wallet's full replicable
+// state — every stored bundle and observed revocation — consistent at
+// changelog sequence number Seq. A follower installs it, then applies
+// stream events with seq > Seq in order.
+type SyncResp struct {
+	Seq     uint64              `json:"seq"`
+	Bundles []SyncBundle        `json:"bundles"`
+	Revoked []core.DelegationID `json:"revoked,omitempty"`
+}
+
+// SubscribeAllResp acknowledges a TSubscribeAll request with the wallet's
+// changelog seq read after the stream became live: every mutation with a
+// greater seq is guaranteed to be delivered on this connection. A follower
+// whose bootstrap snapshot is older than Seq knows a mutation landed in
+// the bootstrap window and resyncs immediately.
+type SubscribeAllResp struct {
+	Seq uint64 `json:"seq"`
 }
 
 // ErrorResp reports a request failure.
