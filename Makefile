@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke fuzz sim examples clean
+.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke bench-json bench-diff fuzz sim examples clean
 
 # Aggregate coverage floor enforced by cover-check (CI). Raise it as
 # coverage grows; never lower it to admit an under-tested change.
@@ -58,6 +58,34 @@ bench:
 # real measurement run. CI runs this on every push.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# --- benchmark-regression gate --------------------------------------------
+#
+# bench-json runs the root-package benchmarks BENCH_COUNT times and distills
+# the output to BENCH_<utc-date>.json via cmd/benchdiff -emit: one record per
+# benchmark holding the minimum ns/op across samples (minima are far less
+# noisy than means on shared CI hosts) plus B/op and allocs/op.
+#
+# bench-diff compares that file against the committed BENCH_baseline.json
+# and exits nonzero when any benchmark present in both regresses more than
+# BENCH_THRESHOLD percent in ns/op. New and removed benchmarks are reported
+# but never fail the gate. CI runs both; the gate is advisory on pull
+# requests and blocking on main. To accept an intended slowdown (or bank an
+# optimization), regenerate the baseline on a quiet machine and commit it:
+#
+#	make bench-json && cp BENCH_$$(date -u +%Y-%m-%d).json BENCH_baseline.json
+BENCH_COUNT ?= 3
+BENCH_THRESHOLD ?= 25
+BENCH_OUT = BENCH_$(shell date -u +%Y-%m-%d).json
+
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchdiff -emit -out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"
+
+bench-diff:
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
+		-current $(BENCH_OUT) -threshold $(BENCH_THRESHOLD)
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core

@@ -5,8 +5,10 @@ import (
 	"log/slog"
 
 	"drbac/internal/clock"
+	"drbac/internal/core"
 	"drbac/internal/graph"
 	"drbac/internal/obs"
+	"drbac/internal/sigcache"
 	"drbac/internal/subs"
 	"drbac/internal/wallet"
 )
@@ -44,6 +46,15 @@ type (
 	WalletStats = wallet.Stats
 	// ProofCacheStats reports proof-cache hit/miss/invalidation counters.
 	ProofCacheStats = wallet.CacheStats
+	// SigCache is a sharded verified-signature memo; wallets, proxies, and
+	// replicas route delegation signature checks through one.
+	SigCache = sigcache.Cache
+	// SigCacheStats reports a signature memo's hit/miss/eviction counters.
+	SigCacheStats = sigcache.Stats
+	// SigVerifier routes signature checks through a verification memo;
+	// set it in ValidateOptions to parallelize and memoize proof
+	// validation. *SigCache implements it.
+	SigVerifier = core.SigVerifier
 	// Obs bundles a structured logger and a metrics registry; components
 	// accept one (nil disables instrumentation).
 	Obs = obs.Obs
@@ -74,6 +85,14 @@ const (
 
 // NewWallet constructs an empty wallet.
 func NewWallet(cfg WalletConfig) *Wallet { return wallet.New(cfg) }
+
+// NewSigCache returns a verified-signature memo bounded to roughly capacity
+// entries; 0 means the default capacity.
+func NewSigCache(capacity int) *SigCache { return sigcache.New(capacity) }
+
+// SharedSigCache returns the process-wide signature memo that wallets use
+// by default. Signatures are immutable, so sharing it is always safe.
+func SharedSigCache() *SigCache { return sigcache.Shared() }
 
 // NewMemStore returns an empty in-memory wallet store, the default system
 // of record.

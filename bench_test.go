@@ -338,6 +338,66 @@ func BenchmarkSeparability(b *testing.B) {
 	})
 }
 
+// BenchmarkProofValidateColdWarm measures EXP-S8: full validation of the
+// Table 3 proof (five Ed25519 signatures: three primary steps plus Sheila's
+// two-step support chain) under the verified-signature memo.
+//
+//	serial  — no memo; every signature verifies inline, the pre-memo cost.
+//	cold    — a fresh memo per iteration: the parallel prime pass verifies
+//	          all five signatures across the worker pool, so this bounds
+//	          the first-ever validation of a proof.
+//	warm    — one memo primed once: every signature check is a sharded
+//	          hash lookup. The steady-state cost of re-validating proofs,
+//	          which is what wallets do on every query and monitor firing.
+func BenchmarkProofValidateColdWarm(b *testing.B) {
+	w := newBenchWorld(b)
+	d1 := w.issue(b, "[Maria -> BigISP.member] BigISP")
+	d3 := w.issue(b, "[Sheila -> AirNet.mktg] AirNet")
+	d4 := w.issue(b, "[AirNet.mktg -> AirNet.member'] AirNet")
+	sup, err := drbac.NewProof(drbac.ProofStep{Delegation: d3}, drbac.ProofStep{Delegation: d4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d2 := w.issue(b, "[BigISP.member -> AirNet.member with AirNet.BW <= 100 and AirNet.storage -= 20] Sheila")
+	d5 := w.issue(b, "[AirNet.member -> AirNet.access with AirNet.BW <= 200] AirNet")
+	proof, err := drbac.NewProof(
+		drbac.ProofStep{Delegation: d1},
+		drbac.ProofStep{Delegation: d2, Support: []*drbac.Proof{sup}},
+		drbac.ProofStep{Delegation: d5},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := proof.Validate(drbac.ValidateOptions{At: w.now}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := drbac.ValidateOptions{At: w.now, SigVerifier: drbac.NewSigCache(0)}
+			if err := proof.Validate(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := drbac.ValidateOptions{At: w.now, SigVerifier: drbac.NewSigCache(0)}
+		if err := proof.Validate(opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := proof.Validate(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- credential primitive micro-benchmarks --------------------------------
 
 func BenchmarkIssueDelegation(b *testing.B) {

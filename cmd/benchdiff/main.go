@@ -1,0 +1,197 @@
+// Command benchdiff is the repo's benchmark-regression gate. It has two
+// modes sharing one JSON format:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 . | benchdiff -emit -out BENCH_2026-08-06.json
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_2026-08-06.json -threshold 25
+//
+// Emit mode parses standard `go test -bench` output and writes one record
+// per benchmark. Repeated samples of the same benchmark (from -count N)
+// collapse to the minimum ns/op: the fastest run is the least polluted by
+// scheduler noise, so minima compare far more stably across CI hosts than
+// means. B/op and allocs/op are deterministic per build and taken from the
+// same fastest sample.
+//
+// Compare mode diffs two emitted files and fails (exit 1) when any
+// benchmark present in both regresses more than -threshold percent in
+// ns/op. Benchmarks that appear only on one side are reported but never
+// fail the gate, so adding or retiring benchmarks doesn't break CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark's figures, named without the -GOMAXPROCS suffix.
+type Result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// File is the emitted JSON document.
+type File struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	emit := fs.Bool("emit", false, "parse `go test -bench` output on stdin and write JSON")
+	out := fs.String("out", "", "emit mode: output file (default stdout)")
+	baseline := fs.String("baseline", "", "compare mode: baseline JSON file")
+	current := fs.String("current", "", "compare mode: current JSON file")
+	threshold := fs.Float64("threshold", 25, "compare mode: max tolerated ns/op regression, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *emit:
+		return runEmit(stdin, stdout, *out)
+	case *baseline != "" && *current != "":
+		return runCompare(stdout, *baseline, *current, *threshold)
+	default:
+		return fmt.Errorf("need -emit, or -baseline and -current")
+	}
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkProofValidate/warm-8  12345  987.6 ns/op  120 B/op  3 allocs/op
+//
+// The -benchmem columns are optional: benchmarks that set bytes reported
+// via b.SetBytes interleave an MB/s column, which the tail pattern skips.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+func parseBench(r io.Reader) ([]Result, error) {
+	best := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], NsOp: ns}
+		if m[3] != "" {
+			res.BOp, _ = strconv.ParseInt(m[3], 10, 64)
+			res.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if prev, ok := best[res.Name]; !ok || res.NsOp < prev.NsOp {
+			best[res.Name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(best))
+	for _, r := range best {
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results, nil
+}
+
+func runEmit(stdin io.Reader, stdout io.Writer, outPath string) error {
+	results, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(File{Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func readFile(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+func runCompare(stdout io.Writer, basePath, curPath string, threshold float64) error {
+	base, err := readFile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readFile(curPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(stdout, "only in baseline: %s\n", name)
+			continue
+		}
+		delta := 0.0
+		if b.NsOp > 0 {
+			delta = (c.NsOp - b.NsOp) / b.NsOp * 100
+		}
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(stdout, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%  %s\n",
+			name, b.NsOp, c.NsOp, delta, status)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(stdout, "new benchmark (not gated): %s\n", name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v",
+			len(regressions), threshold, regressions)
+	}
+	fmt.Fprintf(stdout, "no ns/op regression beyond %.0f%% across %d benchmark(s)\n",
+		threshold, len(names))
+	return nil
+}

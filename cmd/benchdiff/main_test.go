@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: drbac
+cpu: Fake CPU @ 3.00GHz
+BenchmarkProofValidateColdWarm/cold-8         	     100	   52000 ns/op	    4096 B/op	      64 allocs/op
+BenchmarkProofValidateColdWarm/cold-8         	     100	   50000 ns/op	    4096 B/op	      64 allocs/op
+BenchmarkProofValidateColdWarm/warm-8         	   10000	    9000.5 ns/op	     512 B/op	       8 allocs/op
+BenchmarkTable3CaseStudyProof-8               	    5000	   31000 ns/op
+PASS
+ok  	drbac	4.2s
+`
+
+func TestParseBenchCollapsesToMinimum(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	cold, ok := byName["BenchmarkProofValidateColdWarm/cold"]
+	if !ok {
+		t.Fatalf("cold benchmark missing from %v", results)
+	}
+	if cold.NsOp != 50000 {
+		t.Errorf("cold ns/op = %v, want the 50000 minimum of two samples", cold.NsOp)
+	}
+	if cold.BOp != 4096 || cold.AllocsOp != 64 {
+		t.Errorf("cold mem figures = %d B/op, %d allocs/op", cold.BOp, cold.AllocsOp)
+	}
+	warm := byName["BenchmarkProofValidateColdWarm/warm"]
+	if warm.NsOp != 9000.5 {
+		t.Errorf("warm ns/op = %v", warm.NsOp)
+	}
+	// A benchmark without -benchmem columns still parses.
+	if _, ok := byName["BenchmarkTable3CaseStudyProof"]; !ok {
+		t.Error("memless benchmark line not parsed")
+	}
+	// Names are sorted for stable diffs of committed baselines.
+	for i := 1; i < len(results); i++ {
+		if results[i-1].Name >= results[i].Name {
+			t.Errorf("results not sorted: %q before %q", results[i-1].Name, results[i].Name)
+		}
+	}
+}
+
+func writeBenchJSON(t *testing.T, dir, name, ns string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	content := `{"benchmarks":[{"name":"BenchmarkX","ns_op":` + ns + `,"b_op":10,"allocs_op":1}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", "1000")
+	cur := writeBenchJSON(t, dir, "cur.json", "1200")
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-threshold", "25"}, nil, &out); err != nil {
+		t.Fatalf("20%% slowdown under a 25%% threshold failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareBeyondThresholdFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchJSON(t, dir, "base.json", "1000")
+	cur := writeBenchJSON(t, dir, "cur.json", "1300")
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur, "-threshold", "25"}, nil, &out)
+	if err == nil {
+		t.Fatalf("30%% slowdown under a 25%% threshold passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", out.String())
+	}
+}
+
+func TestCompareIgnoresAddedAndRemovedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "cur.json")
+	if err := os.WriteFile(base, []byte(
+		`{"benchmarks":[{"name":"BenchmarkOld","ns_op":100}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(
+		`{"benchmarks":[{"name":"BenchmarkNew","ns_op":99999}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, nil, &out); err != nil {
+		t.Fatalf("disjoint benchmark sets failed the gate: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"only in baseline: BenchmarkOld", "new benchmark (not gated): BenchmarkNew"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestEmitRoundTripsThroughCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-emit", "-out", path},
+		strings.NewReader(sampleBenchOutput), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// A file compared against itself never regresses.
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", path, "-current", path}, nil, &out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestEmitRejectsEmptyInput(t *testing.T) {
+	err := run([]string{"-emit"}, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("emit with no benchmark lines succeeded")
+	}
+}

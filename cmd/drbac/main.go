@@ -479,6 +479,11 @@ func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 	fmt.Fprintf(w, "  invalidated  %d\n", resp.CacheInvalidations)
 	fmt.Fprintf(w, "  entries      %d\n", resp.CacheEntries)
 	fmt.Fprintf(w, "  negatives    %d\n", resp.CacheNegatives)
+	fmt.Fprintf(w, "sig cache\n")
+	fmt.Fprintf(w, "  hits         %d\n", resp.SigCacheHits)
+	fmt.Fprintf(w, "  misses       %d\n", resp.SigCacheMisses)
+	fmt.Fprintf(w, "  evictions    %d\n", resp.SigCacheEvictions)
+	fmt.Fprintf(w, "  size         %d\n", resp.SigCacheSize)
 	if len(resp.Metrics.Counters) > 0 {
 		fmt.Fprintf(w, "counters\n")
 		for _, name := range sortedNames(resp.Metrics.Counters) {

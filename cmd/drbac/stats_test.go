@@ -21,6 +21,10 @@ func TestRenderStatsGolden(t *testing.T) {
 		CacheInvalidations: 1,
 		CacheEntries:       5,
 		CacheNegatives:     2,
+		SigCacheHits:       12,
+		SigCacheMisses:     6,
+		SigCacheEvictions:  1,
+		SigCacheSize:       5,
 		Metrics: obs.Snapshot{
 			Counters: map[string]int64{
 				"drbac_wallet_query_direct_total": 14,
@@ -47,6 +51,11 @@ proof cache
   invalidated  1
   entries      5
   negatives    2
+sig cache
+  hits         12
+  misses       6
+  evictions    1
+  size         5
 counters
   drbac_server_requests_total                  20
   drbac_wallet_query_direct_total              14

@@ -200,12 +200,26 @@ func (d *Delegation) ValidateStructure() error {
 	return nil
 }
 
-// Verify checks structure and the issuer's signature.
-func (d *Delegation) Verify() error {
+// Verify checks structure and the issuer's signature. A failure is a
+// *StructureError (malformed) or a *SignatureError (bad signature), so
+// callers can triage the two.
+func (d *Delegation) Verify() error { return d.VerifyWith(nil) }
+
+// VerifyWith is Verify with signature checks routed through v, typically a
+// process-wide verified-signature memo (internal/sigcache). A nil v
+// verifies directly.
+func (d *Delegation) VerifyWith(v SigVerifier) error {
 	if err := d.ValidateStructure(); err != nil {
-		return err
+		return &StructureError{ID: d.ID(), Err: err}
 	}
-	if !VerifyBytes(d.Issuer, d.SigningBytes(), d.Signature) {
+	msg := d.SigningBytes()
+	ok := false
+	if v != nil {
+		ok = v.VerifySig(d.Issuer.Key, msg, d.Signature)
+	} else {
+		ok = VerifyBytes(d.Issuer, msg, d.Signature)
+	}
+	if !ok {
 		return &SignatureError{ID: d.ID(), Issuer: d.Issuer}
 	}
 	return nil

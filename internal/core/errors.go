@@ -17,6 +17,22 @@ var (
 	ErrProofDepth = errors.New("drbac: support proof recursion too deep")
 )
 
+// StructureError reports a delegation rejected by Verify for
+// well-formedness, as opposed to a failed signature check. Callers that
+// triage invalid credentials (e.g. the wallet's store replay) distinguish
+// the two with errors.As.
+type StructureError struct {
+	ID  DelegationID
+	Err error
+}
+
+func (e *StructureError) Error() string {
+	return fmt.Sprintf("delegation %s: malformed: %v", e.ID.Short(), e.Err)
+}
+
+// Unwrap exposes the underlying well-formedness failure.
+func (e *StructureError) Unwrap() error { return e.Err }
+
 // SignatureError reports a delegation whose signature does not verify.
 type SignatureError struct {
 	ID     DelegationID

@@ -107,6 +107,12 @@ type ValidateOptions struct {
 	// Constraints, if non-empty, must be satisfied by the proof's
 	// aggregated attributes.
 	Constraints []Constraint
+	// SigVerifier, if non-nil, routes every signature check through a
+	// verified-signature memo (internal/sigcache). Cold validation then
+	// batch-collects the proof tree's unmemoized delegations and verifies
+	// them across a GOMAXPROCS-bounded worker pool before the sequential
+	// structural pass, which runs warm.
+	SigVerifier SigVerifier
 }
 
 // DefaultMaxDepth bounds support-proof recursion when ValidateOptions does
@@ -121,6 +127,14 @@ func (p *Proof) Validate(opts ValidateOptions) error {
 	depth := opts.MaxDepth
 	if depth == 0 {
 		depth = DefaultMaxDepth
+	}
+	if opts.SigVerifier != nil {
+		// Warm the memo for the whole tree (primary chain plus recursive
+		// support proofs) in parallel; the sequential pass below then pays a
+		// hash lookup per signature instead of an Ed25519 verification. Any
+		// bad signature re-verifies there and surfaces as *SignatureError at
+		// its exact step.
+		PrimeDelegations(opts.SigVerifier, p.Delegations())
 	}
 	if err := p.validate(opts, depth); err != nil {
 		return err
@@ -192,7 +206,7 @@ func (p *Proof) validate(opts ValidateOptions, depth int) error {
 
 // validateStep checks one delegation plus its support proofs.
 func (p *Proof) validateStep(d *Delegation, support []*Proof, opts ValidateOptions, depth int) error {
-	if err := d.Verify(); err != nil {
+	if err := d.VerifyWith(opts.SigVerifier); err != nil {
 		return err
 	}
 	if !opts.At.IsZero() && d.Expired(opts.At) {

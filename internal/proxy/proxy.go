@@ -244,6 +244,9 @@ func (p *Proxy) QueryDirect(ctx context.Context, q wallet.Query) (*core.Proof, e
 // admit inserts a pulled proof's delegations into the cache and ensures one
 // upstream subscription per credential.
 func (p *Proxy) admit(ctx context.Context, up *remote.Client, proof *core.Proof) error {
+	// Warm the signature memo for the whole pulled proof tree before the
+	// step-by-step InsertCached validations below.
+	core.PrimeDelegations(p.cfg.Local.SigVerifier(), proof.Delegations())
 	for _, st := range proof.Steps {
 		d := st.Delegation
 		id := d.ID()

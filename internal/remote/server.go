@@ -479,6 +479,10 @@ func (s *Server) statsResp() wire.StatsResp {
 		CacheInvalidations: ws.Cache.Invalidations,
 		CacheEntries:       ws.Cache.Entries,
 		CacheNegatives:     ws.Cache.Negatives,
+		SigCacheHits:       ws.SigCache.Hits,
+		SigCacheMisses:     ws.SigCache.Misses,
+		SigCacheEvictions:  ws.SigCache.Evictions,
+		SigCacheSize:       ws.SigCache.Size,
 		Metrics:            s.obs.Registry().Snapshot(),
 	}
 }

@@ -354,6 +354,13 @@ func (f *Follower) syncOnce(ctx context.Context, c *remote.Client) error {
 	for _, id := range resp.Revoked {
 		w.AcceptRevocation(id)
 	}
+	// A snapshot can carry the whole upstream wallet; batch-verify all its
+	// signatures across the worker pool so the per-bundle installs run warm.
+	batch := make([]*core.Delegation, 0, len(resp.Bundles))
+	for _, b := range resp.Bundles {
+		batch = append(batch, b.Delegation)
+	}
+	core.PrimeDelegations(w.SigVerifier(), batch)
 	present := make(map[core.DelegationID]bool, len(resp.Bundles))
 	for _, b := range resp.Bundles {
 		if b.Delegation == nil {

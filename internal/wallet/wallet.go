@@ -23,6 +23,7 @@ import (
 	"drbac/internal/core"
 	"drbac/internal/graph"
 	"drbac/internal/obs"
+	"drbac/internal/sigcache"
 	"drbac/internal/subs"
 )
 
@@ -59,6 +60,13 @@ type Config struct {
 	// instrumentation at near-zero cost. A registry should back at most one
 	// wallet: state gauges are registered by name at construction.
 	Obs *obs.Obs
+	// SigCache memoizes verified delegation signatures across every
+	// validation this wallet runs (publish admission, query proofs, replica
+	// installs). Nil means the process-wide sigcache.Shared() — signatures
+	// are immutable, so sharing one memo across wallets, proxies, and
+	// replicas is free warm-up, never a coherence hazard. Tests and cold
+	// benchmarks pass a private cache to isolate measurements.
+	SigCache *sigcache.Cache
 }
 
 // walletMetrics holds the wallet's pre-resolved instruments. The zero
@@ -71,6 +79,7 @@ type walletMetrics struct {
 	querySubject           *obs.Counter
 	queryObject            *obs.Counter
 	queryNoProof           *obs.Counter
+	replaySkipped          *obs.Counter
 	searchNodes            *obs.Counter
 	searchEdges            *obs.Counter
 	searchPruned           *obs.Counter
@@ -83,19 +92,20 @@ func newWalletMetrics(o *obs.Obs) walletMetrics {
 		return walletMetrics{}
 	}
 	return walletMetrics{
-		publish:      o.Counter("drbac_wallet_publish_total"),
-		publishErr:   o.Counter("drbac_wallet_publish_errors_total"),
-		revocations:  o.Counter("drbac_wallet_revocations_total"),
-		revokeErr:    o.Counter("drbac_wallet_revoke_errors_total"),
-		queryDirect:  o.Counter("drbac_wallet_query_direct_total"),
-		querySubject: o.Counter("drbac_wallet_query_subject_total"),
-		queryObject:  o.Counter("drbac_wallet_query_object_total"),
-		queryNoProof: o.Counter("drbac_wallet_query_noproof_total"),
-		searchNodes:  o.Counter("drbac_search_nodes_total"),
-		searchEdges:  o.Counter("drbac_search_edges_total"),
-		searchPruned: o.Counter("drbac_search_pruned_total"),
-		events:       o.Counter("drbac_subs_events_total"),
-		queryLatency: o.Histogram("drbac_wallet_query_seconds"),
+		publish:       o.Counter("drbac_wallet_publish_total"),
+		publishErr:    o.Counter("drbac_wallet_publish_errors_total"),
+		revocations:   o.Counter("drbac_wallet_revocations_total"),
+		revokeErr:     o.Counter("drbac_wallet_revoke_errors_total"),
+		queryDirect:   o.Counter("drbac_wallet_query_direct_total"),
+		querySubject:  o.Counter("drbac_wallet_query_subject_total"),
+		queryObject:   o.Counter("drbac_wallet_query_object_total"),
+		queryNoProof:  o.Counter("drbac_wallet_query_noproof_total"),
+		replaySkipped: o.Counter("drbac_wallet_replay_skipped_total"),
+		searchNodes:   o.Counter("drbac_search_nodes_total"),
+		searchEdges:   o.Counter("drbac_search_edges_total"),
+		searchPruned:  o.Counter("drbac_search_pruned_total"),
+		events:        o.Counter("drbac_subs_events_total"),
+		queryLatency:  o.Histogram("drbac_wallet_query_seconds"),
 	}
 }
 
@@ -108,6 +118,7 @@ type Wallet struct {
 	reg   *subs.Registry
 	obs   *obs.Obs
 	m     walletMetrics
+	sigv  *sigcache.Cache
 
 	cache    *ProofCache
 	cacheOff bool
@@ -156,10 +167,15 @@ func New(cfg Config) *Wallet {
 	if st == nil {
 		st = NewMemStore()
 	}
+	sigv := cfg.SigCache
+	if sigv == nil {
+		sigv = sigcache.Shared()
+	}
 	w := &Wallet{
 		cfg:      cfg,
 		clk:      clk,
 		store:    st,
+		sigv:     sigv,
 		g:        graph.New(),
 		reg:      subs.NewRegistry(),
 		obs:      cfg.Obs,
@@ -197,9 +213,35 @@ func New(cfg Config) *Wallet {
 		reg.GaugeFunc("drbac_wallet_cache_invalidations", func() int64 { return w.cache.Stats().Invalidations })
 		reg.GaugeFunc("drbac_wallet_cache_entries", func() int64 { return int64(w.cache.Stats().Entries) })
 		reg.GaugeFunc("drbac_wallet_cache_negatives", func() int64 { return int64(w.cache.Stats().Negatives) })
+		// The signature memo may be process-wide (shared across wallets);
+		// its counters are still exported here so a wallet's registry shows
+		// the verification traffic it participates in.
+		reg.GaugeFunc("drbac_sigcache_hits", func() int64 { return w.sigv.Stats().Hits })
+		reg.GaugeFunc("drbac_sigcache_misses", func() int64 { return w.sigv.Stats().Misses })
+		reg.GaugeFunc("drbac_sigcache_evictions", func() int64 { return w.sigv.Stats().Evictions })
+		reg.GaugeFunc("drbac_sigcache_size", func() int64 { return w.sigv.Stats().Size })
 	}
 	for _, b := range st.Bundles() {
-		if b.Delegation == nil || b.Delegation.Verify() != nil {
+		// A durable store can hand back bundles that no longer verify —
+		// truncated writes, post-hoc tampering, or a key format change.
+		// Refusing them is correct, but refusing them silently hid real
+		// corruption; count every skip and log its triage (malformed
+		// structure vs. failed signature) so operators see decay in the
+		// store instead of mysteriously missing credentials.
+		if b.Delegation == nil {
+			w.m.replaySkipped.Inc()
+			w.obs.Log().Warn("wallet replay: skipping bundle with no delegation", "cause", "structure")
+			continue
+		}
+		if err := b.Delegation.VerifyWith(w.sigv); err != nil {
+			w.m.replaySkipped.Inc()
+			cause := "signature"
+			var structErr *core.StructureError
+			if errors.As(err, &structErr) {
+				cause = "structure"
+			}
+			w.obs.Log().Warn("wallet replay: skipping invalid bundle",
+				"delegation", b.Delegation.ID().Short(), "cause", cause, "error", err)
 			continue
 		}
 		if st.IsRevoked(b.Delegation.ID()) {
@@ -228,6 +270,11 @@ func (w *Wallet) Store() Store { return w.store }
 
 // Obs returns the wallet's observability bundle, which may be nil.
 func (w *Wallet) Obs() *obs.Obs { return w.obs }
+
+// SigVerifier exposes the wallet's verified-signature memo so collaborating
+// layers (discovery, proxy, replica sync) can pre-warm it for delegations
+// the wallet is about to validate.
+func (w *Wallet) SigVerifier() core.SigVerifier { return w.sigv }
 
 // Len returns the number of stored delegations.
 func (w *Wallet) Len() int { return w.g.Len() }
@@ -270,6 +317,10 @@ type Stats struct {
 	Watches int
 	// Cache reports proof-cache hit/miss/invalidation counters.
 	Cache CacheStats
+	// SigCache reports the verified-signature memo's counters. When the
+	// wallet uses the process-wide shared cache, these reflect all traffic
+	// through it, not only this wallet's.
+	SigCache sigcache.Stats
 }
 
 // Stats snapshots the wallet's state and proof-cache counters.
@@ -286,6 +337,7 @@ func (w *Wallet) Stats() Stats {
 		TTLTracked:  ttl,
 		Watches:     watches,
 		Cache:       w.cache.Stats(),
+		SigCache:    w.sigv.Stats(),
 	}
 }
 
@@ -313,7 +365,7 @@ func (w *Wallet) publish(d *core.Delegation, support []*core.Proof) error {
 	if d == nil {
 		return fmt.Errorf("publish: nil delegation")
 	}
-	if err := d.Verify(); err != nil {
+	if err := d.VerifyWith(w.sigv); err != nil {
 		return fmt.Errorf("publish: %w", err)
 	}
 	now := w.Now()
@@ -588,7 +640,7 @@ func (w *Wallet) InstallReplicated(b StoredBundle) (bool, error) {
 	if d == nil {
 		return false, fmt.Errorf("install replicated: nil delegation")
 	}
-	if err := d.Verify(); err != nil {
+	if err := d.VerifyWith(w.sigv); err != nil {
 		return false, fmt.Errorf("install replicated: %w", err)
 	}
 	now := w.Now()
@@ -674,6 +726,7 @@ func (w *Wallet) validateOptions(q Query) core.ValidateOptions {
 		StrictAttributes: w.cfg.StrictAttributes,
 		MaxDepth:         w.cfg.MaxDepth,
 		Constraints:      q.Constraints,
+		SigVerifier:      w.sigv,
 	}
 }
 

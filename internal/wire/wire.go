@@ -142,7 +142,14 @@ type StatsResp struct {
 	CacheInvalidations int64        `json:"cacheInvalidations"`
 	CacheEntries       int          `json:"cacheEntries"`
 	CacheNegatives     int          `json:"cacheNegatives"`
-	Metrics            obs.Snapshot `json:"metrics"`
+	// SigCache* report the wallet's verified-signature memo. When the
+	// daemon uses the process-wide shared cache these counters cover every
+	// verification in the process, not only this wallet's.
+	SigCacheHits      int64        `json:"sigCacheHits"`
+	SigCacheMisses    int64        `json:"sigCacheMisses"`
+	SigCacheEvictions int64        `json:"sigCacheEvictions"`
+	SigCacheSize      int64        `json:"sigCacheSize"`
+	Metrics           obs.Snapshot `json:"metrics"`
 }
 
 // NotifyPush is a delegation status update (§4.2.2).
