@@ -89,6 +89,7 @@ bench-diff:
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core
+	$(GO) test -fuzz=FuzzLogRecordDecode -fuzztime=30s ./internal/logstore
 
 # Regenerate every experiment table in EXPERIMENTS.md.
 sim:

@@ -7,6 +7,7 @@ import (
 	"drbac/internal/clock"
 	"drbac/internal/core"
 	"drbac/internal/graph"
+	"drbac/internal/logstore"
 	"drbac/internal/obs"
 	"drbac/internal/sigcache"
 	"drbac/internal/subs"
@@ -102,6 +103,15 @@ func NewMemStore() WalletStore { return wallet.NewMemStore() }
 // Every mutation persists atomically, so a wallet rebuilt on the store after
 // a restart serves the same proofs and keeps refusing revoked credentials.
 func OpenFileStore(path string) (WalletStore, error) { return wallet.OpenFileStore(path) }
+
+// OpenLogStore opens (or creates) a segmented append-only wallet store in
+// the directory at path (SPEC §11): O(one record) disk work per mutation
+// with background compaction, where the file store rewrites all resident
+// state. Close the returned store when done; a wallet does not close its
+// store. The store also ships its segments for replica bootstrap.
+func OpenLogStore(path string) (*logstore.Store, error) {
+	return logstore.Open(path, logstore.Options{})
+}
 
 // SystemClock returns the real wall clock.
 func SystemClock() Clock { return clock.System{} }

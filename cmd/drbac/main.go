@@ -17,6 +17,7 @@
 //	drbac revoke   -key bigisp.key -addr host:port -id <delegation-id>
 //	drbac monitor  -key maria.key -addr host:port -id <delegation-id> [-count 1] [-wait 30s]
 //	drbac stats    -key maria.key -addr host:port [-json]
+//	drbac state    -state /var/lib/drbac/state [-json]   # offline, no daemon
 //
 // Every network command takes -timeout (default 30s), bounding the whole
 // operation — dial, handshake, and RPCs — via context cancellation. The
@@ -55,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats> [flags]")
+		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats|state> [flags]")
 	}
 	// Ctrl-C / SIGTERM cancels whatever network operation is in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +83,8 @@ func run(args []string) error {
 		return cmdMonitor(ctx, rest)
 	case "stats":
 		return cmdStats(ctx, rest)
+	case "state":
+		return cmdState(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/logstore"
+	"drbac/internal/wallet"
+)
+
+func issueTestDelegations(t *testing.T, n int) []*core.Delegation {
+	t.Helper()
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewIdentity("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := core.NewDirectory(org.Entity(), user.Entity())
+	out := make([]*core.Delegation, 0, n)
+	for i := 0; i < n; i++ {
+		text := "[User -> Org.role" + string(rune('a'+i)) + "] Org"
+		parsed, err := core.ParseDelegation(text, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Issue(org, parsed.Template, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestInspectStateJSONFile(t *testing.T) {
+	ds := issueTestDelegations(t, 2)
+	path := filepath.Join(t.TempDir(), "state.json")
+	st, err := wallet.OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutDelegation(1, ds[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutDelegation(2, ds[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddRevocation(3, ds[1].ID(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteDelegation(3, ds[1].ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := inspectState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Store != "json" || info.Bundles != 1 || info.Revocations != 1 || info.Seq != 3 {
+		t.Fatalf("json inspect: %+v", info)
+	}
+	if len(info.Segments) != 0 {
+		t.Fatalf("json store reported segments: %+v", info.Segments)
+	}
+	var buf bytes.Buffer
+	renderState(&buf, info)
+	out := buf.String()
+	for _, want := range []string{"store        json", "seq          3", "bundles      1", "revocations  1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "segments") {
+		t.Errorf("json render shows segment table:\n%s", out)
+	}
+}
+
+func TestInspectStateLogDir(t *testing.T) {
+	ds := issueTestDelegations(t, 4)
+	dir := filepath.Join(t.TempDir(), "state")
+	st, err := logstore.Open(dir, logstore.Options{CompactInterval: -1, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds {
+		if err := st.PutDelegation(uint64(i+1), d, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.AddRevocation(5, ds[0].ID(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DeleteDelegation(5, ds[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := inspectState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Store != "log" || info.Bundles != 3 || info.Revocations != 1 || info.Seq != 5 {
+		t.Fatalf("log inspect: %+v", info)
+	}
+	if len(info.Segments) < 2 {
+		t.Fatalf("1KiB segments over 4 bundles should have rolled: %+v", info.Segments)
+	}
+	if got := info.Segments[len(info.Segments)-1].Status; got != "active" {
+		t.Fatalf("last segment status %q, want active", got)
+	}
+	var buf bytes.Buffer
+	renderState(&buf, info)
+	out := buf.String()
+	for _, want := range []string{"store        log", "segments", "active", "sealed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdStateErrors(t *testing.T) {
+	if err := cmdState(nil); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if err := cmdState([]string{"-state", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("nonexistent path accepted")
+	}
+}

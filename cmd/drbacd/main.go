@@ -41,6 +41,7 @@ import (
 
 	"drbac/internal/core"
 	"drbac/internal/keyfile"
+	"drbac/internal/logstore"
 	"drbac/internal/obs"
 	"drbac/internal/remote"
 	"drbac/internal/replica"
@@ -60,7 +61,8 @@ func run(args []string) error {
 	keyPath := fs.String("key", "", "wallet operator identity file")
 	listen := fs.String("listen", "127.0.0.1:7100", "listen address")
 	load := fs.String("load", "", "directory of delegation bundles to publish at startup")
-	state := fs.String("state", "", "wallet state file: restored at startup, rewritten on every publication and revocation")
+	state := fs.String("state", "", "wallet state path: restored at startup, persisted on every publication and revocation")
+	storeKind := fs.String("store", "json", `durable format for -state: "json" (single-file snapshot, rewritten per mutation) or "log" (segmented append-only log with compaction; a legacy json file at the path is migrated in place once, keeping a .bak)`)
 	replicaOf := fs.String("replica-of", "", "run as a read-only follower replica of the wallet at host:port[,host:port...] (§9); mutations are refused")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
@@ -89,13 +91,15 @@ func run(args []string) error {
 		return err
 	}
 
-	w, err := openWallet(owner, *state, *strict, o)
+	w, closeStore, err := openWallet(owner, *state, *storeKind, *strict, o)
 	if err != nil {
 		return err
 	}
+	defer closeStore()
 	if *state != "" {
 		logger.Info("state restored",
-			"delegations", w.Len(), "revocations", len(w.RevokedIDs()), "path", *state)
+			"delegations", w.Len(), "revocations", len(w.RevokedIDs()),
+			"seq", w.Seq(), "path", *state, "store", *storeKind)
 	}
 	if *load != "" {
 		n, err := loadBundles(w, *load)
@@ -224,20 +228,126 @@ func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Fo
 }
 
 // openWallet builds the daemon's wallet. With a state path the wallet sits
-// on a file-backed store: every publication and revocation persists before
-// the request is acknowledged, and a restarted daemon replays the file —
+// on a durable store: every publication and revocation persists before the
+// request is acknowledged, and a restarted daemon replays the store —
 // including the revocation set, so previously revoked credentials stay
-// refused — at construction. No separate save step exists anymore.
-func openWallet(owner *core.Identity, statePath string, strict bool, o *obs.Obs) (*wallet.Wallet, error) {
+// refused — at construction. storeKind selects the format: "json" is the
+// legacy single-file snapshot, "log" the segmented append-only log. The
+// returned closer flushes and releases the store; call it at shutdown.
+func openWallet(owner *core.Identity, statePath, storeKind string, strict bool, o *obs.Obs) (*wallet.Wallet, func(), error) {
 	cfg := wallet.Config{Owner: owner, StrictAttributes: strict, Obs: o}
-	if statePath != "" {
-		st, err := wallet.OpenFileStore(statePath)
+	closer := func() {}
+	switch storeKind {
+	case "json":
+		if statePath != "" {
+			st, err := wallet.OpenFileStore(statePath)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfg.Store = st
+		}
+	case "log":
+		if statePath == "" {
+			return nil, nil, fmt.Errorf("-store=log requires -state")
+		}
+		st, err := openLogStore(statePath, o.Registry())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg.Store = st
+		closer = func() { _ = st.Close() }
+	default:
+		return nil, nil, fmt.Errorf("unknown -store %q (want json or log)", storeKind)
 	}
-	return wallet.New(cfg), nil
+	return wallet.New(cfg), closer, nil
+}
+
+// openLogStore opens the segmented log store at path, migrating a legacy
+// JSON state file found there first. Migration is crash-safe and idempotent:
+// the log is seeded in a .migrating directory, the original file moves to
+// .bak, and the directory renames into place — reopening after a crash in
+// any window either redoes the seeding from the still-present file or
+// finishes the final rename.
+func openLogStore(path string, reg *obs.Registry) (*logstore.Store, error) {
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil && !fi.IsDir():
+		if err := migrateJSONToLog(path); err != nil {
+			return nil, fmt.Errorf("migrating %s to a log store: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// A crash after the file moved to .bak but before the seeded
+		// directory renamed into place leaves only the .migrating dir:
+		// seeding completed (the rename only happens after a clean close),
+		// so finishing the rename completes the migration.
+		if mfi, merr := os.Stat(path + ".migrating"); merr == nil && mfi.IsDir() {
+			if err := os.Rename(path+".migrating", path); err != nil {
+				return nil, fmt.Errorf("finishing interrupted migration of %s: %w", path, err)
+			}
+			if err := wallet.SyncDir(filepath.Dir(path)); err != nil {
+				return nil, err
+			}
+		}
+	case err != nil:
+		return nil, err
+	}
+	return logstore.Open(path, logstore.Options{Registry: reg})
+}
+
+// migrateJSONToLog seeds a fresh log store from a legacy JSON state file
+// and swaps it into the file's place, leaving the original as .bak.
+func migrateJSONToLog(path string) error {
+	fst, err := wallet.OpenFileStore(path)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".migrating"
+	// A half-seeded directory from an earlier crash is redone from scratch;
+	// the original file is still authoritative.
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	ls, err := logstore.Open(tmp, logstore.Options{CompactInterval: -1})
+	if err != nil {
+		return err
+	}
+	revs := fst.Revocations()
+	sort.Slice(revs, func(i, j int) bool { return revs[i].ID < revs[j].ID })
+	bundles := fst.Bundles()
+	sort.Slice(bundles, func(i, j int) bool {
+		return bundles[i].Delegation.ID() < bundles[j].Delegation.ID()
+	})
+	// Seed seqs end exactly at the old store's high-water mark (or the
+	// mutation count if it never recorded one), so wallet changelog numbers
+	// never regress across the migration.
+	seq := uint64(0)
+	if n := uint64(len(revs) + len(bundles)); fst.Seq() > n {
+		seq = fst.Seq() - n
+	}
+	for _, r := range revs {
+		seq++
+		if _, err := ls.AddRevocation(seq, r.ID, r.At); err != nil {
+			_ = ls.Close()
+			return err
+		}
+	}
+	for _, b := range bundles {
+		seq++
+		if err := ls.PutDelegation(seq, b.Delegation, b.Support); err != nil {
+			_ = ls.Close()
+			return err
+		}
+	}
+	if err := ls.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(path, path+".bak"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return wallet.SyncDir(filepath.Dir(path))
 }
 
 func loadBundles(w *wallet.Wallet, dir string) (int, error) {

@@ -107,7 +107,7 @@ func TestStateSurvivesRestart(t *testing.T) {
 	doomed := issue("[User -> Org.writer] Org")
 
 	statePath := filepath.Join(t.TempDir(), "state.json")
-	w1, err := openWallet(org, statePath, false, nil)
+	w1, close1, err := openWallet(org, statePath, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,13 @@ func TestStateSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No shutdown hook: the store persists every mutation synchronously.
+	close1()
 
-	w2, err := openWallet(org, statePath, false, nil)
+	w2, close2, err := openWallet(org, statePath, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer close2()
 	q := wallet.Query{
 		Subject: core.SubjectEntity(user.ID()),
 		Object:  core.Role{Namespace: org.ID(), Name: "reader"}, // via Org.member
@@ -150,4 +152,158 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-key", filepath.Join(t.TempDir(), "missing.key")}); err == nil {
 		t.Fatal("missing key file accepted")
 	}
+}
+
+// TestMigrateJSONToLogStore drives the one-shot -store=log migration: a
+// daemon's legacy JSON state opens as a log store with identical wallet
+// state and a non-regressing changelog seq, the original file survives as
+// .bak, and re-opening (migration already done) is a no-op — including
+// after the two crash windows the rename scheme leaves.
+func TestMigrateJSONToLogStore(t *testing.T) {
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := core.NewIdentity("User")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entDir := core.NewDirectory(org.Entity(), user.Entity())
+	issue := func(text string) *core.Delegation {
+		parsed, err := core.ParseDelegation(text, entDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.Issue(org, parsed.Template, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	member := issue("[User -> Org.member] Org")
+	doomed := issue("[User -> Org.writer] Org")
+
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	w1, close1, err := openWallet(org, statePath, "json", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*core.Delegation{member, doomed} {
+		if err := w1.Publish(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Revoke(doomed.ID(), org.ID()); err != nil {
+		t.Fatal(err)
+	}
+	seqBefore := w1.Seq()
+	close1()
+
+	// First -store=log open migrates.
+	w2, close2, err := openWallet(org, statePath, "log", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(statePath); err != nil || !fi.IsDir() {
+		t.Fatalf("state path is not a log directory after migration (err=%v)", err)
+	}
+	if _, err := os.Stat(statePath + ".bak"); err != nil {
+		t.Fatalf("original JSON state not kept as .bak: %v", err)
+	}
+	if !w2.Contains(member.ID()) || !w2.IsRevoked(doomed.ID()) {
+		t.Fatal("migrated wallet lost state")
+	}
+	if w2.Seq() < seqBefore {
+		t.Fatalf("migration regressed the changelog seq: %d -> %d", seqBefore, w2.Seq())
+	}
+	if err := w2.Publish(issue("[User -> Org.reader] Org")); err != nil {
+		t.Fatal(err)
+	}
+	postSeq := w2.Seq()
+	close2()
+
+	// Second open: already a log store, no migration, state intact.
+	w3, close3, err := openWallet(org, statePath, "log", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Len() != 2 || !w3.IsRevoked(doomed.ID()) || w3.Seq() != postSeq {
+		t.Fatalf("re-opened log store diverged: len=%d seq=%d want len=2 seq=%d",
+			w3.Len(), w3.Seq(), postSeq)
+	}
+	close3()
+
+	// Crash window A: a half-seeded .migrating directory next to a JSON
+	// file. The file is authoritative; migration redoes the seeding.
+	pathA := filepath.Join(t.TempDir(), "state.json")
+	wA, closeA, err := openWallet(org, pathA, "json", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberA := issue("[User -> Org.a] Org")
+	if err := wA.Publish(memberA); err != nil {
+		t.Fatal(err)
+	}
+	closeA()
+	if err := os.MkdirAll(pathA+".migrating", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pathA+".migrating", "00000001.seg"), []byte("torn"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	wA2, closeA2, err := openWallet(org, pathA, "log", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wA2.Contains(memberA.ID()) {
+		t.Fatal("half-seeded migration leftover corrupted the redo")
+	}
+	closeA2()
+
+	// Crash window B: the rename to .bak happened but the seeded directory
+	// never renamed into place. Opening finishes the rename.
+	pathB := filepath.Join(t.TempDir(), "state.json")
+	wB, closeB, err := openWallet(org, pathB, "json", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberB := issue("[User -> Org.b] Org")
+	if err := wB.Publish(memberB); err != nil {
+		t.Fatal(err)
+	}
+	closeB()
+	if err := migrateJSONToLog(pathB); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the final rename to reconstruct the window.
+	if err := os.Rename(pathB, pathB+".migrating"); err != nil {
+		t.Fatal(err)
+	}
+	wB2, closeB2, err := openWallet(org, pathB, "log", false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wB2.Contains(memberB.ID()) {
+		t.Fatal("interrupted-rename recovery lost state")
+	}
+	closeB2()
+}
+
+// TestOpenWalletStoreKindValidation pins the -store flag contract.
+func TestOpenWalletStoreKindValidation(t *testing.T) {
+	org, err := core.NewIdentity("Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openWallet(org, "", "log", false, nil); err == nil {
+		t.Fatal("-store=log without -state accepted")
+	}
+	if _, _, err := openWallet(org, "", "bolt", false, nil); err == nil {
+		t.Fatal("unknown store kind accepted")
+	}
+	w, closer, err := openWallet(org, "", "json", false, nil)
+	if err != nil || w == nil {
+		t.Fatalf("stateless json wallet: %v", err)
+	}
+	closer()
 }

@@ -487,6 +487,22 @@ func (c *Client) Sync(ctx context.Context) (wire.SyncResp, error) {
 	return resp, nil
 }
 
+// SyncSegments fetches the remote wallet's durable record log as raw
+// segments, shipping only records with seq greater than afterSeq (0 ships
+// the full log). Only log-store-backed wallets answer it; other stores
+// return an error and the caller falls back to Sync.
+func (c *Client) SyncSegments(ctx context.Context, afterSeq uint64) (wire.SyncSegmentsResp, error) {
+	env, err := c.call(ctx, wire.TSyncSegments, wire.SyncSegmentsReq{AfterSeq: afterSeq})
+	if err != nil {
+		return wire.SyncSegmentsResp{}, err
+	}
+	var resp wire.SyncSegmentsResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.SyncSegmentsResp{}, err
+	}
+	return resp, nil
+}
+
 // SubscribeAll registers fn to receive every status push from the remote
 // wallet's changelog stream, raw (seq and bundle included), and returns the
 // server's seq at stream registration: every mutation with a greater seq is

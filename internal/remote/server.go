@@ -452,6 +452,37 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		attrs := []any{"seq", snap.Seq, "bundles", len(resp.Bundles), "revoked", len(resp.Revoked)}
 		return attrs, cs.send(wire.TOK, env.ID, resp)
 
+	case wire.TSyncSegments:
+		var req wire.SyncSegmentsReq
+		if len(env.Body) > 0 {
+			if err := wire.DecodeBody(env, &req); err != nil {
+				return nil, err
+			}
+		}
+		segStore, ok := s.w.Store().(wallet.SegmentStore)
+		if !ok {
+			// Old-style stores cannot ship segments; the caller falls back
+			// to the monolithic TSync snapshot.
+			return nil, fmt.Errorf("wallet store does not ship segments")
+		}
+		// Read the wallet seq BEFORE snapshotting: records that land between
+		// the two reads ship with seq > resp.Seq and are re-applied
+		// idempotently from the stream, whereas the reverse order could
+		// advertise a seq the shipment does not cover.
+		seq0 := s.w.Seq()
+		snap, err := segStore.SnapshotSegments(req.AfterSeq)
+		if err != nil {
+			return []any{"afterSeq", req.AfterSeq}, err
+		}
+		resp := wire.SyncSegmentsResp{Seq: seq0}
+		var bytesShipped int
+		for _, seg := range snap.Segments {
+			bytesShipped += len(seg.Data)
+			resp.Segments = append(resp.Segments, wire.Segment{Name: seg.Name, Sealed: seg.Sealed, Records: seg.Data})
+		}
+		attrs := []any{"afterSeq", req.AfterSeq, "seq", seq0, "segments", len(resp.Segments), "bytes", bytesShipped}
+		return attrs, cs.send(wire.TOK, env.ID, resp)
+
 	case wire.TSubscribeAll:
 		seq, err := s.subscribeAll(cs)
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"drbac/internal/clock"
 	"drbac/internal/core"
+	"drbac/internal/logstore"
 	"drbac/internal/obs"
 	"drbac/internal/peer"
 	"drbac/internal/remote"
@@ -75,6 +76,10 @@ type Status struct {
 	// Resyncs counts snapshot refetches forced by detected gaps (the
 	// bootstrap itself is not a resync).
 	Resyncs int64
+	// SegmentSyncs counts bootstraps and resyncs served over the
+	// segment-shipping path (syncSegments) rather than the monolithic
+	// snapshot.
+	SegmentSyncs int64
 	// Connected reports whether a live upstream stream is attached (true
 	// only once the subscribe-all handshake completed on the current
 	// connection).
@@ -93,17 +98,19 @@ type Follower struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	applied   atomic.Uint64
-	lagSecs   atomic.Int64
-	resyncs   atomic.Int64
-	connected atomic.Bool
+	applied      atomic.Uint64
+	lagSecs      atomic.Int64
+	resyncs      atomic.Int64
+	segmentSyncs atomic.Int64
+	connected    atomic.Bool
 
 	mu       sync.Mutex
 	upstream string
 
-	mApplied *obs.Counter
-	mResyncs *obs.Counter
-	mDrops   *obs.Counter
+	mApplied  *obs.Counter
+	mResyncs  *obs.Counter
+	mDrops    *obs.Counter
+	mSegSyncs *obs.Counter
 }
 
 // Start validates cfg, registers the drbac_replica_* metrics, and launches
@@ -135,6 +142,7 @@ func Start(cfg Config) (*Follower, error) {
 	f.mApplied = cfg.Obs.Counter("drbac_replica_events_applied_total")
 	f.mResyncs = cfg.Obs.Counter("drbac_replica_resyncs_total")
 	f.mDrops = cfg.Obs.Counter("drbac_replica_events_skipped_total")
+	f.mSegSyncs = cfg.Obs.Counter("drbac_replica_segment_syncs_total")
 	if reg := cfg.Obs.Registry(); reg != nil {
 		reg.GaugeFunc("drbac_replica_applied_seq", func() int64 { return int64(f.applied.Load()) })
 		reg.GaugeFunc("drbac_replica_lag_seconds", f.lagSecs.Load)
@@ -171,11 +179,12 @@ func (f *Follower) Status() Status {
 	up := f.upstream
 	f.mu.Unlock()
 	return Status{
-		AppliedSeq: f.applied.Load(),
-		LagSeconds: f.lagSecs.Load(),
-		Resyncs:    f.resyncs.Load(),
-		Connected:  f.connected.Load(),
-		Upstream:   up,
+		AppliedSeq:   f.applied.Load(),
+		LagSeconds:   f.lagSecs.Load(),
+		Resyncs:      f.resyncs.Load(),
+		SegmentSyncs: f.segmentSyncs.Load(),
+		Connected:    f.connected.Load(),
+		Upstream:     up,
 	}
 }
 
@@ -224,7 +233,10 @@ func (f *Follower) run(ctx context.Context) {
 // connection dies, an RPC fails, or ctx is canceled (nil error only in the
 // cancellation case).
 func (f *Follower) serve(ctx context.Context, c *remote.Client) error {
-	if err := f.syncOnce(ctx, c); err != nil {
+	// A fresh connection may be a different upstream entirely, so bootstrap
+	// from seq 0: a delta against this follower's applied seq is only
+	// meaningful against the connection it was built from.
+	if err := f.syncOnce(ctx, c, 0); err != nil {
 		return err
 	}
 	if testHookAfterSync != nil {
@@ -333,19 +345,30 @@ func (f *Follower) apply(ctx context.Context, c *remote.Client, p wire.NotifyPus
 	return nil
 }
 
-// resync refetches the upstream snapshot and reconciles the local wallet to
-// it. Counted in drbac_replica_resyncs_total (the initial bootstrap is not).
+// resync refetches upstream state and reconciles the local wallet to it.
+// Counted in drbac_replica_resyncs_total (the initial bootstrap is not).
+// Because a resync happens on the connection the applied seq was built
+// from, it may fetch a delta — only records newer than the applied seq.
 func (f *Follower) resync(ctx context.Context, c *remote.Client, why string) error {
 	f.resyncs.Add(1)
 	f.mResyncs.Inc()
 	f.cfg.Obs.Log().Info("replica: resyncing", "reason", why)
-	return f.syncOnce(ctx, c)
+	return f.syncOnce(ctx, c, f.applied.Load())
 }
 
-// syncOnce pulls the upstream snapshot and installs it as a diff:
-// revocations first (so newly revoked bundles are refused), then missing
-// bundles, then removal of local delegations the upstream no longer holds.
-func (f *Follower) syncOnce(ctx context.Context, c *remote.Client) error {
+// syncOnce reconciles the local wallet to the upstream, preferring the
+// segment-shipping path (log-store upstreams replay raw records, shipping
+// only those after afterSeq) and falling back to the monolithic snapshot
+// for upstreams that cannot ship segments.
+func (f *Follower) syncOnce(ctx context.Context, c *remote.Client, afterSeq uint64) error {
+	segErr := f.syncSegments(ctx, c, afterSeq)
+	if segErr == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return segErr
+	}
+	f.cfg.Obs.Log().Debug("replica: segment sync unavailable, falling back to snapshot", "error", segErr)
 	resp, err := c.Sync(ctx)
 	if err != nil {
 		return fmt.Errorf("replica: sync: %w", err)
@@ -378,5 +401,77 @@ func (f *Follower) syncOnce(ctx context.Context, c *remote.Client) error {
 		}
 	}
 	f.applied.Store(resp.Seq)
+	return nil
+}
+
+// syncSegments bootstraps (or delta-catches-up) over the segment-shipping
+// path: the upstream ships its raw record log and the follower replays it
+// in seq order. Records at or below afterSeq were already applied on this
+// connection and are skipped — replaying an old delete over a newer
+// re-publish would corrupt the replica.
+func (f *Follower) syncSegments(ctx context.Context, c *remote.Client, afterSeq uint64) error {
+	resp, err := c.SyncSegments(ctx, afterSeq)
+	if err != nil {
+		return fmt.Errorf("replica: sync-segments: %w", err)
+	}
+	w := f.cfg.Local
+	var recs []logstore.Record
+	for _, seg := range resp.Segments {
+		rs, err := logstore.DecodeSegment(seg.Records)
+		if err != nil {
+			return fmt.Errorf("replica: shipped segment %s: %w", seg.Name, err)
+		}
+		recs = append(recs, rs...)
+	}
+	// Batch-verify every shipped bundle's signature across the worker pool
+	// so the per-record installs run warm, as the snapshot path does.
+	var batch []*core.Delegation
+	for _, r := range recs {
+		if r.Kind == logstore.KindPut && r.Seq > afterSeq && r.Bundle != nil && r.Bundle.Delegation != nil {
+			batch = append(batch, r.Bundle.Delegation)
+		}
+	}
+	core.PrimeDelegations(w.SigVerifier(), batch)
+
+	present := make(map[core.DelegationID]bool)
+	for _, r := range recs {
+		if r.Seq <= afterSeq {
+			continue
+		}
+		switch r.Kind {
+		case logstore.KindPut:
+			if r.Bundle == nil || r.Bundle.Delegation == nil {
+				continue
+			}
+			present[r.ID] = true
+			if _, err := w.InstallReplicated(wallet.StoredBundle{
+				Delegation: r.Bundle.Delegation,
+				Support:    r.Bundle.Support,
+			}); err != nil {
+				f.cfg.Obs.Log().Warn("replica: segment install failed",
+					"delegation", r.ID.Short(), "error", err)
+			}
+		case logstore.KindDelete:
+			delete(present, r.ID)
+			w.DropReplicated(r.ID, subs.Stale)
+		case logstore.KindRevoke:
+			w.AcceptRevocation(r.ID)
+		}
+	}
+	if afterSeq == 0 {
+		// Full bootstrap: drop local leftovers the shipped log never puts —
+		// compaction already folded their records out on the upstream. A
+		// delta has no global view, so reconciliation is replay-only there.
+		for _, d := range w.Delegations() {
+			if !present[d.ID()] {
+				w.DropReplicated(d.ID(), subs.Stale)
+			}
+		}
+	}
+	f.applied.Store(resp.Seq)
+	f.segmentSyncs.Add(1)
+	f.mSegSyncs.Inc()
+	f.cfg.Obs.Log().Info("replica: segment sync applied",
+		"afterSeq", afterSeq, "seq", resp.Seq, "segments", len(resp.Segments), "records", len(recs))
 	return nil
 }

@@ -20,7 +20,7 @@ func TestReplaySkipsAreCountedAndTriaged(t *testing.T) {
 	st := NewMemStore()
 
 	good := e.deleg("[Maria -> BigISP.member] BigISP")
-	if err := st.PutDelegation(good, nil); err != nil {
+	if err := st.PutDelegation(1, good, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -29,13 +29,13 @@ func TestReplaySkipsAreCountedAndTriaged(t *testing.T) {
 	badSig := e.deleg("[Mark -> BigISP.member] BigISP")
 	badSig.Signature = append([]byte(nil), badSig.Signature...)
 	badSig.Signature[0] ^= 1
-	if err := st.PutDelegation(badSig, nil); err != nil {
+	if err := st.PutDelegation(2, badSig, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	malformed := e.deleg("[Mark -> BigISP.memberServices] BigISP")
 	malformed.DepthLimit = -1
-	if err := st.PutDelegation(malformed, nil); err != nil {
+	if err := st.PutDelegation(3, malformed, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -70,7 +70,7 @@ func TestReplaySkipsAreCountedAndTriaged(t *testing.T) {
 func TestReplayCleanStoreSkipsNothing(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria")
 	st := NewMemStore()
-	if err := st.PutDelegation(e.deleg("[Maria -> BigISP.member] BigISP"), nil); err != nil {
+	if err := st.PutDelegation(1, e.deleg("[Maria -> BigISP.member] BigISP"), nil); err != nil {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()

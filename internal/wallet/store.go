@@ -20,34 +20,94 @@ type StoredBundle struct {
 	Support    []*core.Proof    `json:"support,omitempty"`
 }
 
+// Revocation records that a delegation was revoked and when. The instant is
+// the wallet's clock reading at revocation time and is persisted by durable
+// stores, so a restarted wallet reports true revocation times instead of
+// restamping them at load.
+type Revocation struct {
+	ID core.DelegationID `json:"id"`
+	At time.Time         `json:"at"`
+}
+
 // Store is the wallet's system of record: delegations with their support
 // proofs plus the set of observed revocations. The graph index and the
 // proof cache are derived views rebuilt from a Store at construction.
+//
+// Every mutation carries the wallet changelog sequence number it was
+// accepted under (the wallet stamps seq under its mutation lock and threads
+// it into the store write), so an append-only store can frame each record
+// with its seq and a reopened store can report the durable high-water mark
+// through Seq. One logical mutation may issue more than one store call with
+// the same seq (a revocation records the tombstone and then deletes the
+// bundle); seqs are therefore non-decreasing, not strictly increasing,
+// across store writes.
 //
 // Implementations must be safe for concurrent use. Read methods do not
 // return errors because every implementation answers them from memory;
 // write methods report persistence failures.
 type Store interface {
-	// PutDelegation durably records d and its support proofs. Re-putting an
-	// existing delegation overwrites its support set.
-	PutDelegation(d *core.Delegation, support []*core.Proof) error
-	// DeleteDelegation removes a delegation from the durable set.
-	DeleteDelegation(id core.DelegationID) error
-	// AddRevocation durably records id as revoked at the given instant,
-	// reporting whether the revocation is new. Revocations are permanent.
-	AddRevocation(id core.DelegationID, at time.Time) (added bool, err error)
+	// PutDelegation durably records d and its support proofs under seq.
+	// Re-putting an existing delegation overwrites its support set.
+	PutDelegation(seq uint64, d *core.Delegation, support []*core.Proof) error
+	// DeleteDelegation removes a delegation from the durable set under seq.
+	DeleteDelegation(seq uint64, id core.DelegationID) error
+	// AddRevocation durably records id as revoked at the given instant under
+	// seq, reporting whether the revocation is new. Revocations are
+	// permanent.
+	AddRevocation(seq uint64, id core.DelegationID, at time.Time) (added bool, err error)
 	// IsRevoked reports whether a revocation has been recorded for id.
 	IsRevoked(id core.DelegationID) bool
 	// RevokedIDs lists every revoked delegation ID in unspecified order.
 	RevokedIDs() []core.DelegationID
+	// Revocations lists every recorded revocation with its instant, in
+	// unspecified order.
+	Revocations() []Revocation
 	// Bundles lists every stored delegation for index replay.
 	Bundles() []StoredBundle
+	// Seq returns the highest mutation seq the store has recorded, 0 for a
+	// fresh store. A wallet built on the store resumes its changelog from
+	// this mark, so sequence numbers stay monotone across restarts of a
+	// durably backed wallet.
+	Seq() uint64
+}
+
+// SegmentData is one log-store segment as shipped to a bootstrapping
+// replica: the raw record frames of a sealed segment file, or the valid
+// prefix of the active segment.
+type SegmentData struct {
+	// Name is the segment's file name (diagnostic only).
+	Name string
+	// Sealed reports whether the segment is immutable on the source.
+	Sealed bool
+	// Data holds length-prefixed, CRC-framed records (see internal/logstore).
+	Data []byte
+}
+
+// SegmentSnapshot is a consistent copy of a segmented store's record log,
+// the payload of the syncSegments wire response.
+type SegmentSnapshot struct {
+	// Seq is the store's record high-water mark at capture.
+	Seq uint64
+	// Segments holds the shipped segments in replay order.
+	Segments []SegmentData
+}
+
+// SegmentStore is implemented by stores that can ship their durable state
+// as raw log segments, letting replicas bootstrap by replaying record
+// frames instead of decoding a monolithic snapshot (O(delta) catch-up).
+type SegmentStore interface {
+	Store
+	// SnapshotSegments captures every segment holding records with seq
+	// greater than afterSeq, consistent with respect to concurrent
+	// mutations. afterSeq 0 captures the full log.
+	SnapshotSegments(afterSeq uint64) (SegmentSnapshot, error)
 }
 
 // MemStore is the default in-memory Store. Reads take a shared lock so the
 // hot revocation-check path never serializes behind other readers.
 type MemStore struct {
 	mu      sync.RWMutex
+	seq     uint64
 	bundles map[core.DelegationID]StoredBundle
 	revoked map[core.DelegationID]time.Time
 }
@@ -63,29 +123,32 @@ func NewMemStore() *MemStore {
 }
 
 // PutDelegation implements Store.
-func (s *MemStore) PutDelegation(d *core.Delegation, support []*core.Proof) error {
+func (s *MemStore) PutDelegation(seq uint64, d *core.Delegation, support []*core.Proof) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bundles[d.ID()] = StoredBundle{Delegation: d, Support: support}
+	s.noteSeqLocked(seq)
 	return nil
 }
 
 // DeleteDelegation implements Store.
-func (s *MemStore) DeleteDelegation(id core.DelegationID) error {
+func (s *MemStore) DeleteDelegation(seq uint64, id core.DelegationID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.bundles, id)
+	s.noteSeqLocked(seq)
 	return nil
 }
 
 // AddRevocation implements Store.
-func (s *MemStore) AddRevocation(id core.DelegationID, at time.Time) (bool, error) {
+func (s *MemStore) AddRevocation(seq uint64, id core.DelegationID, at time.Time) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.revoked[id]; ok {
 		return false, nil
 	}
 	s.revoked[id] = at
+	s.noteSeqLocked(seq)
 	return true, nil
 }
 
@@ -108,6 +171,17 @@ func (s *MemStore) RevokedIDs() []core.DelegationID {
 	return out
 }
 
+// Revocations implements Store.
+func (s *MemStore) Revocations() []Revocation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Revocation, 0, len(s.revoked))
+	for id, at := range s.revoked {
+		out = append(out, Revocation{ID: id, At: at})
+	}
+	return out
+}
+
 // Bundles implements Store.
 func (s *MemStore) Bundles() []StoredBundle {
 	s.mu.RLock()
@@ -119,13 +193,51 @@ func (s *MemStore) Bundles() []StoredBundle {
 	return out
 }
 
-// fileState is the on-disk JSON form of a FileStore, deliberately identical
-// to the keyfile wallet-state format so existing -state files keep loading.
-// Cache TTLs are never persisted: cached copies must be re-confirmed from
-// their home wallets after a restart (§4.2.1).
+// Seq implements Store.
+func (s *MemStore) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// noteSeqLocked raises the store's high-water mark. Callers hold s.mu.
+func (s *MemStore) noteSeqLocked(seq uint64) {
+	if seq > s.seq {
+		s.seq = seq
+	}
+}
+
+// seed installs recovered state without seq bookkeeping side effects; the
+// durable stores use it while replaying their on-disk form.
+func (s *MemStore) seed(seq uint64, bundles []StoredBundle, revs []Revocation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range revs {
+		s.revoked[r.ID] = r.At
+	}
+	for _, b := range bundles {
+		if b.Delegation == nil {
+			continue
+		}
+		s.bundles[b.Delegation.ID()] = b
+	}
+	s.noteSeqLocked(seq)
+}
+
+// fileState is the on-disk JSON form of a FileStore, an extension of the
+// keyfile wallet-state format so existing -state files keep loading: the
+// legacy bundles + revoked fields are still written, and newer files add
+// the revocation instants and the changelog seq high-water mark. Cache TTLs
+// are never persisted: cached copies must be re-confirmed from their home
+// wallets after a restart (§4.2.1).
 type fileState struct {
+	Seq     uint64              `json:"seq,omitempty"`
 	Bundles []StoredBundle      `json:"bundles"`
 	Revoked []core.DelegationID `json:"revoked,omitempty"`
+	// Revocations carries the revocation instants. Files written before
+	// this field carry only Revoked; loading them restamps with load time,
+	// the best available for legacy state.
+	Revocations []Revocation `json:"revocations,omitempty"`
 }
 
 // FileStore is a Store backed by one JSON file. Every mutation rewrites the
@@ -161,16 +273,16 @@ func OpenFileStore(path string) (*FileStore, error) {
 	if err := json.Unmarshal(data, &state); err != nil {
 		return nil, fmt.Errorf("wallet state %s: %w", path, err)
 	}
-	now := time.Now()
-	for _, id := range state.Revoked {
-		_, _ = s.mem.AddRevocation(id, now)
-	}
-	for _, b := range state.Bundles {
-		if b.Delegation == nil {
-			continue
+	revs := state.Revocations
+	if len(revs) == 0 && len(state.Revoked) > 0 {
+		// Legacy file without instants: restamp with load time, once; the
+		// rewritten file persists these stamps so they stop drifting.
+		now := time.Now()
+		for _, id := range state.Revoked {
+			revs = append(revs, Revocation{ID: id, At: now})
 		}
-		_ = s.mem.PutDelegation(b.Delegation, b.Support)
 	}
+	s.mem.seed(state.Seq, state.Bundles, revs)
 	return s, nil
 }
 
@@ -178,28 +290,28 @@ func OpenFileStore(path string) (*FileStore, error) {
 func (s *FileStore) Path() string { return s.path }
 
 // PutDelegation implements Store, persisting before the call returns.
-func (s *FileStore) PutDelegation(d *core.Delegation, support []*core.Proof) error {
+func (s *FileStore) PutDelegation(seq uint64, d *core.Delegation, support []*core.Proof) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.mem.PutDelegation(d, support)
+	_ = s.mem.PutDelegation(seq, d, support)
 	return s.persistLocked()
 }
 
 // DeleteDelegation implements Store, persisting before the call returns.
-func (s *FileStore) DeleteDelegation(id core.DelegationID) error {
+func (s *FileStore) DeleteDelegation(seq uint64, id core.DelegationID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_ = s.mem.DeleteDelegation(id)
+	_ = s.mem.DeleteDelegation(seq, id)
 	return s.persistLocked()
 }
 
 // AddRevocation implements Store. The revocation takes effect in memory
 // even when persistence fails, so the running wallet stays correct; only
 // durability across a restart is at risk, which the error reports.
-func (s *FileStore) AddRevocation(id core.DelegationID, at time.Time) (bool, error) {
+func (s *FileStore) AddRevocation(seq uint64, id core.DelegationID, at time.Time) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	added, _ := s.mem.AddRevocation(id, at)
+	added, _ := s.mem.AddRevocation(seq, id, at)
 	if !added {
 		return false, nil
 	}
@@ -212,20 +324,33 @@ func (s *FileStore) IsRevoked(id core.DelegationID) bool { return s.mem.IsRevoke
 // RevokedIDs implements Store.
 func (s *FileStore) RevokedIDs() []core.DelegationID { return s.mem.RevokedIDs() }
 
+// Revocations implements Store.
+func (s *FileStore) Revocations() []Revocation { return s.mem.Revocations() }
+
 // Bundles implements Store.
 func (s *FileStore) Bundles() []StoredBundle { return s.mem.Bundles() }
+
+// Seq implements Store.
+func (s *FileStore) Seq() uint64 { return s.mem.Seq() }
 
 // persistLocked writes the full state atomically. Callers hold s.mu.
 func (s *FileStore) persistLocked() error {
 	state := fileState{
-		Bundles: s.mem.Bundles(),
-		Revoked: s.mem.RevokedIDs(),
+		Seq:         s.mem.Seq(),
+		Bundles:     s.mem.Bundles(),
+		Revocations: s.mem.Revocations(),
 	}
 	// Deterministic order keeps the file diffable.
 	sort.Slice(state.Bundles, func(i, j int) bool {
 		return state.Bundles[i].Delegation.ID() < state.Bundles[j].Delegation.ID()
 	})
-	sort.Slice(state.Revoked, func(i, j int) bool { return state.Revoked[i] < state.Revoked[j] })
+	sort.Slice(state.Revocations, func(i, j int) bool { return state.Revocations[i].ID < state.Revocations[j].ID })
+	// The legacy revoked list rides along so state files stay readable by
+	// older binaries and by the keyfile wallet-state loader.
+	state.Revoked = make([]core.DelegationID, 0, len(state.Revocations))
+	for _, r := range state.Revocations {
+		state.Revoked = append(state.Revoked, r.ID)
+	}
 	data, err := json.MarshalIndent(state, "", "  ")
 	if err != nil {
 		return err
@@ -243,7 +368,7 @@ func (s *FileStore) persistLocked() error {
 	// state file even though the mutation was acknowledged. Filesystems that
 	// cannot fsync a directory still got an fsynced temp file, which is the
 	// best available on them.
-	if err := syncDir(filepath.Dir(s.path)); err != nil {
+	if err := SyncDir(filepath.Dir(s.path)); err != nil {
 		return fmt.Errorf("wallet state %s: sync directory: %w", s.path, err)
 	}
 	return nil
@@ -267,10 +392,12 @@ func writeFileSync(path string, data []byte) error {
 	return err
 }
 
-// syncDir fsyncs a directory, making a just-renamed file's directory entry
+// SyncDir fsyncs a directory, making a just-renamed file's directory entry
 // durable. Platforms that do not support fsync on directories report the
-// failure as success after a best-effort attempt.
-func syncDir(dir string) error {
+// failure as success after a best-effort attempt. Shared with the segmented
+// log store, whose segment creates and compaction renames need the same
+// durability step.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

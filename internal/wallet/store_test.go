@@ -16,17 +16,17 @@ func TestMemStoreBasics(t *testing.T) {
 	s := NewMemStore()
 	d := e.deleg("[Maria -> BigISP.member] BigISP")
 
-	if err := s.PutDelegation(d, nil); err != nil {
+	if err := s.PutDelegation(1, d, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(s.Bundles()); got != 1 {
 		t.Fatalf("bundles = %d, want 1", got)
 	}
-	added, err := s.AddRevocation(d.ID(), time.Now())
+	added, err := s.AddRevocation(2, d.ID(), time.Now())
 	if err != nil || !added {
 		t.Fatalf("AddRevocation = (%v, %v), want (true, nil)", added, err)
 	}
-	if added, _ := s.AddRevocation(d.ID(), time.Now()); added {
+	if added, _ := s.AddRevocation(3, d.ID(), time.Now()); added {
 		t.Fatal("second AddRevocation reported added")
 	}
 	if !s.IsRevoked(d.ID()) {
@@ -35,11 +35,14 @@ func TestMemStoreBasics(t *testing.T) {
 	if got := s.RevokedIDs(); len(got) != 1 || got[0] != d.ID() {
 		t.Fatalf("RevokedIDs = %v", got)
 	}
-	if err := s.DeleteDelegation(d.ID()); err != nil {
+	if err := s.DeleteDelegation(2, d.ID()); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(s.Bundles()); got != 0 {
 		t.Fatalf("bundles after delete = %d, want 0", got)
+	}
+	if got := s.Seq(); got != 2 {
+		t.Fatalf("Seq = %d, want the high-water mark 2", got)
 	}
 }
 
@@ -53,16 +56,17 @@ func TestFileStorePersistsAcrossReopen(t *testing.T) {
 	}
 	keep := e.deleg("[Maria -> BigISP.member] BigISP")
 	gone := e.deleg("[Mark -> BigISP.memberServices] BigISP")
-	if err := s1.PutDelegation(keep, nil); err != nil {
+	if err := s1.PutDelegation(1, keep, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.PutDelegation(gone, nil); err != nil {
+	if err := s1.PutDelegation(2, gone, nil); err != nil {
 		t.Fatal(err)
 	}
-	if added, err := s1.AddRevocation(gone.ID(), time.Now()); err != nil || !added {
+	revokedAt := time.Now().Add(-time.Hour).Truncate(time.Second)
+	if added, err := s1.AddRevocation(3, gone.ID(), revokedAt); err != nil || !added {
 		t.Fatalf("AddRevocation = (%v, %v)", added, err)
 	}
-	if err := s1.DeleteDelegation(gone.ID()); err != nil {
+	if err := s1.DeleteDelegation(3, gone.ID()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,6 +80,13 @@ func TestFileStorePersistsAcrossReopen(t *testing.T) {
 	}
 	if !s2.IsRevoked(gone.ID()) {
 		t.Fatal("revocation not persisted")
+	}
+	revs := s2.Revocations()
+	if len(revs) != 1 || !revs[0].At.Equal(revokedAt) {
+		t.Fatalf("reopened revocations = %+v, want instant %v preserved", revs, revokedAt)
+	}
+	if got := s2.Seq(); got != 3 {
+		t.Fatalf("reopened Seq = %d, want 3", got)
 	}
 	if s2.Path() != path {
 		t.Fatalf("Path = %q", s2.Path())
@@ -92,10 +103,10 @@ func TestFileStoreFormatIsKeyfileCompatible(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := e.deleg("[Maria -> BigISP.member] BigISP")
-	if err := s.PutDelegation(d, nil); err != nil {
+	if err := s.PutDelegation(1, d, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddRevocation("deadbeef", time.Now()); err != nil {
+	if _, err := s.AddRevocation(2, "deadbeef", time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -111,6 +122,44 @@ func TestFileStoreFormatIsKeyfileCompatible(t *testing.T) {
 	}
 	if len(shape.Bundles) != 1 || len(shape.Revoked) != 1 {
 		t.Fatalf("state shape: %d bundles, %d revoked", len(shape.Bundles), len(shape.Revoked))
+	}
+}
+
+// TestFileStoreLegacyRevokedRestampOnce covers files written before
+// revocation instants were persisted: loading restamps them with load time
+// (the best available), and the first rewrite persists those stamps so they
+// stop drifting across subsequent reopens.
+func TestFileStoreLegacyRevokedRestampOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wallet.json")
+	legacy := `{"bundles":[],"revoked":["deadbeef"]}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	before := time.Now()
+	s1, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revs := s1.Revocations()
+	if len(revs) != 1 || revs[0].ID != "deadbeef" {
+		t.Fatalf("legacy revocations = %+v", revs)
+	}
+	if revs[0].At.Before(before) {
+		t.Fatalf("legacy restamp %v predates load at %v", revs[0].At, before)
+	}
+	stamped := revs[0].At
+	// Any mutation rewrites the file with the instants included.
+	if _, err := s1.AddRevocation(1, "cafef00d", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s2.Revocations() {
+		if r.ID == "deadbeef" && !r.At.Equal(stamped) {
+			t.Fatalf("restamp drifted across reopen: %v != %v", r.At, stamped)
+		}
 	}
 }
 
@@ -181,7 +230,7 @@ func TestFileStoreCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	keep := e.deleg("[Maria -> BigISP.member] BigISP")
-	if err := s1.PutDelegation(keep, nil); err != nil {
+	if err := s1.PutDelegation(1, keep, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -208,10 +257,10 @@ func TestFileStoreCrashRecovery(t *testing.T) {
 				t.Fatalf("stale tmp survived reopen: stat err = %v", err)
 			}
 			// The recovered store keeps persisting normally.
-			if err := s2.DeleteDelegation(keep.ID()); err != nil {
+			if err := s2.DeleteDelegation(2, keep.ID()); err != nil {
 				t.Fatal(err)
 			}
-			if err := s2.PutDelegation(keep, nil); err != nil {
+			if err := s2.PutDelegation(3, keep, nil); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -250,7 +299,7 @@ func BenchmarkFileStoreWriteAmplification(b *testing.B) {
 			}
 			for i := 0; i < size; i++ {
 				d := e.deleg(fmt.Sprintf("[Maria -> BigISP.r%d] BigISP", i))
-				if err := s.PutDelegation(d, nil); err != nil {
+				if err := s.PutDelegation(uint64(i+1), d, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -258,7 +307,7 @@ func BenchmarkFileStoreWriteAmplification(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				// One mutation = one full-state fsynced rewrite.
-				if err := s.PutDelegation(extra, nil); err != nil {
+				if err := s.PutDelegation(uint64(size+i+1), extra, nil); err != nil {
 					b.Fatal(err)
 				}
 			}

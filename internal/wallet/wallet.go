@@ -132,9 +132,11 @@ type Wallet struct {
 	// held and must not re-enter the same wallet's mutation methods.
 	repMu sync.Mutex
 	// seq is the changelog sequence number of the last accepted mutation,
-	// 1-based and gapless within this process. It is deliberately not
-	// persisted: a restarted wallet starts a new epoch at 0, and any
-	// follower replica resyncs when its connection drops anyway.
+	// 1-based and gapless within one store epoch. A wallet on an in-memory
+	// store starts at 0; a wallet on a durable store resumes from the
+	// store's recovered high-water mark (Store.Seq), so sequence numbers
+	// stay monotone across restarts and every store-visible mutation is
+	// stamped with the seq it was accepted under.
 	seq uint64
 
 	// ttlMu guards ttl, which maps remotely sourced delegations to the
@@ -175,6 +177,7 @@ func New(cfg Config) *Wallet {
 		cfg:      cfg,
 		clk:      clk,
 		store:    st,
+		seq:      st.Seq(),
 		sigv:     sigv,
 		g:        graph.New(),
 		reg:      subs.NewRegistry(),
@@ -387,7 +390,7 @@ func (w *Wallet) publish(d *core.Delegation, support []*core.Proof) error {
 		return fmt.Errorf("publish: %w", err)
 	}
 	w.repMu.Lock()
-	if err := w.store.PutDelegation(d, used); err != nil {
+	if err := w.store.PutDelegation(w.seq+1, d, used); err != nil {
 		w.repMu.Unlock()
 		return fmt.Errorf("publish: persist %s: %w", d.ID().Short(), err)
 	}
@@ -479,7 +482,9 @@ func (w *Wallet) revoke(id core.DelegationID, by core.EntityID) error {
 func (w *Wallet) forceRevoke(id core.DelegationID) error {
 	now := w.Now()
 	w.repMu.Lock()
-	added, err := w.store.AddRevocation(id, now)
+	// The tombstone and the bundle removal are one logical mutation and
+	// share one seq.
+	added, err := w.store.AddRevocation(w.seq+1, id, now)
 	w.ttlMu.Lock()
 	delete(w.ttl, id)
 	w.ttlMu.Unlock()
@@ -487,7 +492,7 @@ func (w *Wallet) forceRevoke(id core.DelegationID) error {
 		w.repMu.Unlock()
 		return err
 	}
-	if derr := w.store.DeleteDelegation(id); derr != nil && err == nil {
+	if derr := w.store.DeleteDelegation(w.seq+1, id); derr != nil && err == nil {
 		err = derr
 	}
 	w.g.Remove(id)
@@ -516,7 +521,7 @@ func (w *Wallet) SweepExpired() int {
 		w.repMu.Lock()
 		if w.g.Remove(id) {
 			removed++
-			_ = w.store.DeleteDelegation(id)
+			_ = w.store.DeleteDelegation(w.seq+1, id)
 			w.ttlMu.Lock()
 			delete(w.ttl, id)
 			w.ttlMu.Unlock()
@@ -578,7 +583,7 @@ func (w *Wallet) SweepStaleCache() int {
 	w.ttlMu.Unlock()
 	for _, id := range stale {
 		w.repMu.Lock()
-		_ = w.store.DeleteDelegation(id)
+		_ = w.store.DeleteDelegation(w.seq+1, id)
 		w.g.Remove(id)
 		w.seq++
 		w.reg.Publish(subs.Event{Delegation: id, Kind: subs.Stale, At: now, Seq: w.seq})
@@ -595,8 +600,8 @@ func (w *Wallet) CachedCount() int {
 }
 
 // Seq returns the wallet's changelog sequence number: the seq of the last
-// accepted mutation, 0 for a wallet that has not mutated since construction.
-// The counter is per-process (a restart begins a new epoch at 0).
+// accepted mutation. A wallet on an in-memory store starts at 0; a wallet
+// on a durable store resumes from the store's recovered high-water mark.
 func (w *Wallet) Seq() uint64 {
 	w.repMu.Lock()
 	defer w.repMu.Unlock()
@@ -652,7 +657,7 @@ func (w *Wallet) InstallReplicated(b StoredBundle) (bool, error) {
 		w.repMu.Unlock()
 		return false, nil
 	}
-	if err := w.store.PutDelegation(d, b.Support); err != nil {
+	if err := w.store.PutDelegation(w.seq+1, d, b.Support); err != nil {
 		w.repMu.Unlock()
 		return false, fmt.Errorf("install replicated: persist %s: %w", d.ID().Short(), err)
 	}
@@ -676,7 +681,7 @@ func (w *Wallet) DropReplicated(id core.DelegationID, kind subs.EventKind) bool 
 		w.repMu.Unlock()
 		return false
 	}
-	_ = w.store.DeleteDelegation(id)
+	_ = w.store.DeleteDelegation(w.seq+1, id)
 	w.ttlMu.Lock()
 	delete(w.ttl, id)
 	w.ttlMu.Unlock()
