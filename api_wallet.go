@@ -3,6 +3,7 @@ package drbac
 import (
 	"io"
 	"log/slog"
+	"time"
 
 	"drbac/internal/clock"
 	"drbac/internal/core"
@@ -66,6 +67,21 @@ type (
 	MetricsSnapshot = obs.Snapshot
 	// HistogramSnapshot is a point-in-time copy of one latency histogram.
 	HistogramSnapshot = obs.HistogramSnapshot
+	// TraceCollector retains completed traces in a bounded ring with tail
+	// sampling: slow and erred traces always survive, the rest are
+	// head-sampled. Attach one to an Obs with SetCollector.
+	TraceCollector = obs.Collector
+	// TraceCollectorConfig tunes a TraceCollector (capacity, slow
+	// threshold, head-sampling rate).
+	TraceCollectorConfig = obs.CollectorConfig
+	// TraceSpan is one timed operation within a trace; spans started from
+	// an Obs nest via StartChild and land in the trace collector on End.
+	TraceSpan = obs.Span
+	// SpanRecord is a completed span as retained by the collector.
+	SpanRecord = obs.SpanRecord
+	// LatencySLO tracks a latency objective: windowed p50/p99/p999 gauges
+	// plus total/breach counters and an error-budget burn gauge.
+	LatencySLO = obs.SLO
 )
 
 // Monitor and event constants.
@@ -134,3 +150,19 @@ func NewObsLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
 // NewTraceID mints a trace identifier for a top-level operation; pass it in
 // Query.TraceID so local and remote wallets log under the same trace.
 func NewTraceID() string { return obs.NewTraceID() }
+
+// NewTraceCollector builds a retained-trace collector registering its
+// drbac_trace_* metrics on reg (nil disables them). Attach it with
+// Obs.SetCollector before constructing the components to be traced.
+func NewTraceCollector(reg *MetricsRegistry, cfg TraceCollectorConfig) *TraceCollector {
+	return obs.NewCollector(reg, cfg)
+}
+
+// NewLatencySLO builds a latency SLO named name (drbac_slo_<name>_*) with
+// the given breach threshold, registering its gauges and counters on reg.
+// objective 0 means 99%; window 0 means the last 1024 observations.
+// Register it with Obs.RegisterSLO before constructing the wallet so the
+// wallet resolves it at construction.
+func NewLatencySLO(reg *MetricsRegistry, name string, threshold time.Duration, objective float64, window int) *LatencySLO {
+	return obs.NewSLO(reg, name, threshold, objective, window)
+}

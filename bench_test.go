@@ -607,6 +607,73 @@ func BenchmarkRenderDelegation(b *testing.B) {
 	}
 }
 
+// BenchmarkObservabilityTraced measures EXP-S7b: the serial hot-cache query
+// cost as the observability stack deepens. bare is the uninstrumented
+// wallet (EXP-S7's baseline); metrics adds the registry (counters + latency
+// histogram per query); traced adds the retained-trace collector and the
+// query SLO (per query: one atomic slow-threshold load, one SLO window
+// observe); traced-span additionally runs every query under a root span
+// retained by the collector, pricing the full span lifecycle — start, end,
+// rollup, ring insert — that a discovery pays per hop.
+func BenchmarkObservabilityTraced(b *testing.B) {
+	w := newBenchWorld(b)
+	dAB := w.issue(b, "[Maria -> BigISP.b] BigISP")
+	dBC := w.issue(b, "[BigISP.b -> AirNet.c] AirNet")
+	q := drbac.Query{
+		Subject: drbac.SubjectEntity(w.ids["Maria"].ID()),
+		Object:  drbac.NewRole(w.ids["AirNet"].ID(), "c"),
+	}
+	build := func(b *testing.B, o *drbac.Obs) *drbac.Wallet {
+		b.Helper()
+		wal := drbac.NewWallet(drbac.WalletConfig{Directory: w.dir, Obs: o})
+		if err := wal.Publish(dAB); err != nil {
+			b.Fatal(err)
+		}
+		if err := wal.Publish(dBC); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wal.QueryDirect(q); err != nil {
+			b.Fatal(err)
+		}
+		return wal
+	}
+	traced := func() *drbac.Obs {
+		o := drbac.NewObs(nil, drbac.NewMetricsRegistry())
+		o.SetCollector(drbac.NewTraceCollector(o.Registry(), drbac.TraceCollectorConfig{SampleRate: 1}))
+		o.RegisterSLO(drbac.NewLatencySLO(o.Registry(), "query", 5*time.Millisecond, 0, 0))
+		return o
+	}
+	for _, bench := range []struct {
+		name string
+		obs  func() *drbac.Obs
+		span bool
+	}{
+		{"bare", func() *drbac.Obs { return nil }, false},
+		{"metrics", func() *drbac.Obs { return drbac.NewObs(nil, drbac.NewMetricsRegistry()) }, false},
+		{"traced", traced, false},
+		{"traced-span", traced, true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			o := bench.obs()
+			wal := build(b, o)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bench.span {
+					sp := o.StartSpan(drbac.NewTraceID(), "bench.query")
+					if _, err := wal.QueryDirect(q); err != nil {
+						b.Fatal(err)
+					}
+					sp.End()
+					continue
+				}
+				if _, err := wal.QueryDirect(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWalletParallelQuery measures multi-core direct-query throughput
 // over the same two-delegation wallet as BenchmarkFigure1WalletOps, so
 // ns/op compares directly against the serial query-direct number. hot-cache

@@ -35,11 +35,13 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"drbac/internal/core"
 	"drbac/internal/keyfile"
+	"drbac/internal/obs"
 	"drbac/internal/remote"
 	"drbac/internal/subs"
 	"drbac/internal/transport"
@@ -56,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats|state> [flags]")
+		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats|trace|state> [flags]")
 	}
 	// Ctrl-C / SIGTERM cancels whatever network operation is in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -83,6 +85,8 @@ func run(args []string) error {
 		return cmdMonitor(ctx, rest)
 	case "stats":
 		return cmdStats(ctx, rest)
+	case "trace":
+		return cmdTrace(ctx, rest)
 	case "state":
 		return cmdState(rest)
 	default:
@@ -352,7 +356,9 @@ func cmdQuery(ctx context.Context, args []string) error {
 		return err
 	}
 	defer client.Close()
-	proof, err := client.QueryDirect(ctx, subj, obj, nil, 0)
+	// Mint a trace ID so the serving wallet can retain its spans for this
+	// query — a slow or failed one is then fetchable via `drbac trace`.
+	proof, err := client.QueryDirectTraced(ctx, obs.TraceContext{TraceID: obs.NewTraceID()}, subj, obj, nil, 0)
 	if err != nil {
 		return err
 	}
@@ -510,6 +516,146 @@ func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 			fmt.Fprintf(w, "  %-44s count=%d mean=%.3fms\n", name, h.Count, mean*1000)
 		}
 	}
+	if len(resp.Metrics.Infos) > 0 {
+		fmt.Fprintf(w, "info\n")
+		for _, name := range sortedNames(resp.Metrics.Infos) {
+			labels := resp.Metrics.Infos[name]
+			fmt.Fprintf(w, "  %-44s", name)
+			for _, k := range sortedNames(labels) {
+				fmt.Fprintf(w, " %s=%s", k, labels[k])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// cmdTrace fetches one retained trace's spans from every listed wallet and
+// renders the merged cross-wallet waterfall. A distributed discovery leaves
+// its spans scattered — the originating query span and its rpc children on
+// one wallet, the serve spans on the wallets it contacted — so the CLI
+// re-assembles what no single /debug/traces endpoint can show.
+func cmdTrace(ctx context.Context, args []string) error {
+	// The trace ID is positional (flag parsing stops at the first
+	// non-flag), accepted before or after the flags.
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	key := fs.String("key", "", "identity file for transport auth")
+	addr := fs.String("addr", "", "wallet addresses host:port[,host:port...]; each is queried and the spans merged")
+	asJSON := fs.Bool("json", false, "emit the merged span tree as JSON")
+	timeout := timeoutFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" {
+		id = fs.Arg(0)
+	}
+	if id == "" {
+		return errors.New("trace: usage: drbac trace <trace-id> -key <file> -addr <addr[,addr...]>")
+	}
+	if *key == "" || *addr == "" {
+		return errors.New("trace: -key and -addr are required")
+	}
+	d, err := resolveTimeout(fs, *timeout)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opContext(ctx, d)
+	defer cancel()
+	ident, err := loadIdentity(*key)
+	if err != nil {
+		return err
+	}
+	dialer := &transport.TCPDialer{Identity: ident}
+	var spans []obs.SpanRecord
+	seen := make(map[string]bool)
+	found := 0
+	for _, a := range remote.SplitAddrs(*addr) {
+		c, err := remote.Dial(ctx, dialer, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s unreachable: %v\n", a, err)
+			continue
+		}
+		resp, err := c.Trace(ctx, id)
+		c.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", a, err)
+			continue
+		}
+		if resp.Found {
+			found++
+		}
+		for _, sp := range resp.Spans {
+			if seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			if sp.Attrs == nil {
+				sp.Attrs = make(map[string]string)
+			}
+			sp.Attrs["from"] = a
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %s: not retained by any of the %d wallet(s) — it may have been sampled out or evicted", id, len(remote.SplitAddrs(*addr)))
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(obs.BuildSpanTree(spans), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	renderTrace(os.Stdout, id, found, spans)
+	return nil
+}
+
+// renderTrace prints the merged waterfall: one line per span, offset from
+// the earliest span start, indented by tree depth. Offsets across wallets
+// are subject to clock skew, so a remote serve span can print a slightly
+// earlier offset than its parent rpc span.
+func renderTrace(w io.Writer, id string, wallets int, spans []obs.SpanRecord) {
+	var t0 time.Time
+	var total int64
+	for _, sp := range spans {
+		if t0.IsZero() || sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+	}
+	for _, sp := range spans {
+		if end := sp.Start.Sub(t0).Microseconds() + sp.DurationUS; end > total {
+			total = end
+		}
+	}
+	fmt.Fprintf(w, "trace %s  spans=%d  wallets=%d  duration=%.3fms\n",
+		id, len(spans), wallets, float64(total)/1000)
+	var walk func(nodes []*obs.SpanNode, depth int)
+	walk = func(nodes []*obs.SpanNode, depth int) {
+		for _, n := range nodes {
+			off := float64(n.Start.Sub(t0).Microseconds()) / 1000
+			fmt.Fprintf(w, "  %9.3f  +%9.3f  %s%s", off, float64(n.DurationUS)/1000,
+				strings.Repeat("  ", depth), n.Name)
+			for _, k := range sortedNames(n.Attrs) {
+				if k == "from" {
+					continue
+				}
+				fmt.Fprintf(w, " %s=%s", k, n.Attrs[k])
+			}
+			if from := n.Attrs["from"]; from != "" {
+				fmt.Fprintf(w, "  [%s]", from)
+			}
+			if n.Err != "" {
+				fmt.Fprintf(w, "  ERROR: %s", n.Err)
+			}
+			fmt.Fprintln(w)
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(obs.BuildSpanTree(spans), 0)
 }
 
 func sortedNames[V any](m map[string]V) []string {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"drbac/internal/obs"
+)
+
+// TestRenderTraceGolden renders a merged two-wallet waterfall: the
+// originating discovery span with its rpc child fetched from one wallet,
+// the remote serve span (parented under the rpc span) from another.
+func TestRenderTraceGolden(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	spans := []obs.SpanRecord{
+		{
+			TraceID: "abc", SpanID: "s1", Name: "discovery", Root: true,
+			Start: t0, DurationUS: 12000,
+			Attrs: map[string]string{"from": "a:7100", "subject": "Maria"},
+		},
+		{
+			TraceID: "abc", SpanID: "s2", ParentID: "s1", Name: "rpc:direct",
+			Start: t0.Add(2 * time.Millisecond), DurationUS: 8000,
+			Attrs: map[string]string{"from": "a:7100", "wallet": "BigISP"},
+		},
+		{
+			TraceID: "abc", SpanID: "s3", ParentID: "s2", Name: "serve:query-direct", Root: true,
+			Start: t0.Add(3 * time.Millisecond), DurationUS: 6000,
+			Err:   "no proof",
+			Attrs: map[string]string{"from": "b:7200"},
+		},
+	}
+	var buf bytes.Buffer
+	renderTrace(&buf, "abc", 2, spans)
+	want := `trace abc  spans=3  wallets=2  duration=12.000ms
+      0.000  +   12.000  discovery subject=Maria  [a:7100]
+      2.000  +    8.000    rpc:direct wallet=BigISP  [a:7100]
+      3.000  +    6.000      serve:query-direct  [b:7200]  ERROR: no proof
+`
+	if buf.String() != want {
+		t.Errorf("renderTrace output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRenderTraceOrphan keeps spans whose parent was not retained visible
+// at the top level instead of dropping them.
+func TestRenderTraceOrphan(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	spans := []obs.SpanRecord{
+		{TraceID: "abc", SpanID: "s9", ParentID: "missing", Name: "serve:query-direct",
+			Start: t0, DurationUS: 1000},
+	}
+	var buf bytes.Buffer
+	renderTrace(&buf, "abc", 1, spans)
+	if !strings.Contains(buf.String(), "serve:query-direct") {
+		t.Errorf("orphan span not rendered:\n%s", buf.String())
+	}
+}
+
+// TestCmdTraceUsage rejects a call without a trace ID.
+func TestCmdTraceUsage(t *testing.T) {
+	err := cmdTrace(context.Background(), []string{"-key", "k", "-addr", "a"})
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("cmdTrace without id = %v, want usage error", err)
+	}
+}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"drbac/internal/obs"
 	"drbac/internal/wallet"
@@ -19,7 +22,7 @@ func TestDebugMux(t *testing.T) {
 	w := wallet.New(wallet.Config{Obs: o})
 	reg.Counter("drbac_server_requests_total").Add(17)
 
-	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil))
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0))
 	defer srv.Close()
 
 	get := func(path string) (int, string, string) {
@@ -73,5 +76,98 @@ func TestDebugMux(t *testing.T) {
 	code, _, _ = get("/debug/pprof/")
 	if code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+// TestReadyz drives the readiness probe: ready by default, 503 with a JSON
+// reason once the store reports a durability failure.
+func TestReadyz(t *testing.T) {
+	o := obs.New(nil, obs.NewRegistry())
+	w := wallet.New(wallet.Config{Obs: o})
+
+	var storeErr error
+	health := func() error { return storeErr }
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, health, 30*time.Second))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz status = %d, want 200", resp.StatusCode)
+	}
+	if got, want := string(body), `{"ready":true}`+"\n"; got != want {
+		t.Errorf("/readyz body = %q, want %q", got, want)
+	}
+
+	storeErr = errors.New("commit fsync: disk gone")
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status = %d, want 503", resp.StatusCode)
+	}
+	var r struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Ready || !strings.Contains(r.Reason, "disk gone") {
+		t.Errorf("/readyz = %+v, want not ready with the store reason", r)
+	}
+}
+
+// TestNotReadyNil covers the probe's nil inputs: a primary on a store
+// without failure detection is always ready.
+func TestNotReadyNil(t *testing.T) {
+	if reason := notReady(nil, nil, 0); reason != "" {
+		t.Errorf("notReady(nil, nil, 0) = %q, want ready", reason)
+	}
+}
+
+// TestDebugTracesMounted checks that a collector-enabled daemon serves the
+// retained-trace endpoints and a collector-less one does not.
+func TestDebugTracesMounted(t *testing.T) {
+	o := obs.New(nil, obs.NewRegistry())
+	o.SetCollector(obs.NewCollector(o.Registry(), obs.CollectorConfig{SampleRate: 1}))
+	w := wallet.New(wallet.Config{Obs: o})
+
+	id := obs.NewTraceID()
+	sp := o.StartSpan(id, "discovery")
+	sp.End()
+
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces/%s status = %d: %s", id, resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"root":"discovery"`) {
+		t.Errorf("trace detail missing root span: %s", body)
+	}
+
+	bare := httptest.NewServer(newDebugMux(obs.New(nil, obs.NewRegistry()), w, "primary", nil, nil, 0))
+	defer bare.Close()
+	resp, err = http.Get(bare.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("collector-less /debug/traces status = %d, want 404", resp.StatusCode)
 	}
 }

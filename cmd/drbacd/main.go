@@ -18,9 +18,13 @@
 // filename order, so support proofs can precede their dependents.
 //
 // The optional -http listener serves operational endpoints: /metrics
-// (Prometheus text), /healthz (JSON wallet summary), and /debug/pprof.
-// All logging is structured (log/slog); -log-level debug adds the
-// per-request audit records and proof-search spans.
+// (Prometheus text), /healthz (liveness: JSON wallet summary), /readyz
+// (readiness: 503 with a reason while the store is failing or a replica is
+// disconnected/lagging), /debug/traces (retained trace list and per-trace
+// span trees), and /debug/pprof. All logging is structured (log/slog);
+// -log-level debug adds the per-request audit records and proof-search
+// spans, and queries at or above -trace-slow log at warn regardless of
+// level.
 package main
 
 import (
@@ -66,9 +70,15 @@ func run(args []string) error {
 	replicaOf := fs.String("replica-of", "", "run as a read-only follower replica of the wallet at host:port[,host:port...] (§9); mutations are refused")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
-	httpAddr := fs.String("http", "", "debug listen address serving /metrics, /healthz, /debug/pprof (empty disables)")
+	httpAddr := fs.String("http", "", "debug listen address serving /metrics, /healthz, /readyz, /debug/traces, /debug/pprof (empty disables)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := fs.Bool("log-json", false, "write logs as JSON instead of text")
+	traceRetain := fs.Int("trace-retain", 256, "completed traces retained for /debug/traces; 0 disables the trace collector")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "duration at or above which a trace or query counts as slow: slow traces are always retained and slow queries logged at warn")
+	traceSample := fs.Float64("trace-sample", 1.0, "head-sampling rate (0..1) for traces that are neither slow nor erred; slow and erred traces are retained regardless")
+	sloQueryP99 := fs.Duration("slo-query-p99", 5*time.Millisecond, "query-latency SLO threshold backing the drbac_slo_query_* gauges and burn counters; 0 disables")
+	sloPublishP99 := fs.Duration("slo-publish-p99", 25*time.Millisecond, "publish-latency SLO threshold backing the drbac_slo_publish_* gauges and burn counters; 0 disables")
+	readyMaxLag := fs.Duration("ready-max-lag", 30*time.Second, "replica lag at which /readyz starts reporting 503; 0 disables the lag check")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +91,22 @@ func run(args []string) error {
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 	o := obs.New(logger, obs.NewRegistry())
+	if *traceRetain > 0 {
+		o.SetCollector(obs.NewCollector(o.Registry(), obs.CollectorConfig{
+			Capacity:      *traceRetain,
+			SlowThreshold: *traceSlow,
+			SampleRate:    *traceSample,
+		}))
+	}
+	// SLOs must exist before the wallet is built: the wallet resolves them
+	// once at construction.
+	if *sloQueryP99 > 0 {
+		o.RegisterSLO(obs.NewSLO(o.Registry(), "query", *sloQueryP99, 0, 0))
+	}
+	if *sloPublishP99 > 0 {
+		o.RegisterSLO(obs.NewSLO(o.Registry(), "publish", *sloPublishP99, 0, 0))
+	}
+	build := obs.RegisterBuildInfo(o.Registry())
 
 	f, err := keyfile.ReadIdentity(*keyPath)
 	if err != nil {
@@ -91,7 +117,7 @@ func run(args []string) error {
 		return err
 	}
 
-	w, closeStore, err := openWallet(owner, *state, *storeKind, *strict, o)
+	w, closeStore, storeHealth, err := openWallet(owner, *state, *storeKind, *strict, o)
 	if err != nil {
 		return err
 	}
@@ -137,14 +163,15 @@ func run(args []string) error {
 	})
 	defer srv.Close()
 	logger.Info("serving",
-		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr(), "role", role)
+		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr(), "role", role,
+		"version", build["version"], "go", build["goversion"])
 
 	if *httpAddr != "" {
 		dln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		hsrv := &http.Server{Handler: newDebugMux(o, w, role, follower)}
+		hsrv := &http.Server{Handler: newDebugMux(o, w, role, follower, storeHealth, *readyMaxLag)}
 		defer hsrv.Close()
 		go func() {
 			if err := hsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -191,12 +218,55 @@ type health struct {
 	Connected   *bool  `json:"upstreamConnected,omitempty"`
 }
 
+// readiness is the /readyz payload. Liveness (/healthz) answers "is the
+// process up"; readiness answers "should this wallet be taking traffic" —
+// no while the durable store has failed an fsync or compaction, or while a
+// replica is disconnected from its upstream or lagging beyond maxLag.
+type readiness struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// notReady explains why the daemon should be out of rotation, or "" when it
+// is ready. storeHealth is nil for stores without failure detection.
+func notReady(follower *replica.Follower, storeHealth func() error, maxLag time.Duration) string {
+	if storeHealth != nil {
+		if err := storeHealth(); err != nil {
+			return "store: " + err.Error()
+		}
+	}
+	if follower != nil {
+		rs := follower.Status()
+		if !rs.Connected {
+			return "replica: upstream disconnected"
+		}
+		if maxLag > 0 && rs.LagSeconds > int64(maxLag/time.Second) {
+			return fmt.Sprintf("replica: lag %ds exceeds %s", rs.LagSeconds, maxLag)
+		}
+	}
+	return ""
+}
+
 // newDebugMux builds the -http endpoint set: Prometheus metrics, a JSON
-// health summary, and the standard pprof handlers. follower is nil on a
-// primary.
-func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Follower) *http.ServeMux {
+// health summary, the readiness probe, retained traces, and the standard
+// pprof handlers. follower is nil on a primary; storeHealth is nil when the
+// store has no failure detection (memory, json).
+func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Follower, storeHealth func() error, readyMaxLag time.Duration) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
+	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		reason := notReady(follower, storeHealth, readyMaxLag)
+		rw.Header().Set("Content-Type", "application/json")
+		if reason != "" {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(rw).Encode(readiness{Ready: reason == "", Reason: reason})
+	})
+	if col := o.TraceCollector(); col != nil {
+		th := obs.TracesHandler(col)
+		mux.Handle("/debug/traces", th)
+		mux.Handle("/debug/traces/", th)
+	}
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		st := w.Stats()
 		h := health{
@@ -233,33 +303,37 @@ func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Fo
 // including the revocation set, so previously revoked credentials stay
 // refused — at construction. storeKind selects the format: "json" is the
 // legacy single-file snapshot, "log" the segmented append-only log. The
-// returned closer flushes and releases the store; call it at shutdown.
-func openWallet(owner *core.Identity, statePath, storeKind string, strict bool, o *obs.Obs) (*wallet.Wallet, func(), error) {
+// returned closer flushes and releases the store; call it at shutdown. The
+// returned health func reports store failures (fsync, compaction) for the
+// readiness probe; nil when the store kind has no failure detection.
+func openWallet(owner *core.Identity, statePath, storeKind string, strict bool, o *obs.Obs) (*wallet.Wallet, func(), func() error, error) {
 	cfg := wallet.Config{Owner: owner, StrictAttributes: strict, Obs: o}
 	closer := func() {}
+	var health func() error
 	switch storeKind {
 	case "json":
 		if statePath != "" {
 			st, err := wallet.OpenFileStore(statePath)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			cfg.Store = st
 		}
 	case "log":
 		if statePath == "" {
-			return nil, nil, fmt.Errorf("-store=log requires -state")
+			return nil, nil, nil, fmt.Errorf("-store=log requires -state")
 		}
-		st, err := openLogStore(statePath, o.Registry())
+		st, err := openLogStore(statePath, o)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		cfg.Store = st
 		closer = func() { _ = st.Close() }
+		health = st.Health
 	default:
-		return nil, nil, fmt.Errorf("unknown -store %q (want json or log)", storeKind)
+		return nil, nil, nil, fmt.Errorf("unknown -store %q (want json or log)", storeKind)
 	}
-	return wallet.New(cfg), closer, nil
+	return wallet.New(cfg), closer, health, nil
 }
 
 // openLogStore opens the segmented log store at path, migrating a legacy
@@ -268,7 +342,7 @@ func openWallet(owner *core.Identity, statePath, storeKind string, strict bool, 
 // .bak, and the directory renames into place — reopening after a crash in
 // any window either redoes the seeding from the still-present file or
 // finishes the final rename.
-func openLogStore(path string, reg *obs.Registry) (*logstore.Store, error) {
+func openLogStore(path string, o *obs.Obs) (*logstore.Store, error) {
 	fi, err := os.Stat(path)
 	switch {
 	case err == nil && !fi.IsDir():
@@ -291,7 +365,7 @@ func openLogStore(path string, reg *obs.Registry) (*logstore.Store, error) {
 	case err != nil:
 		return nil, err
 	}
-	return logstore.Open(path, logstore.Options{Registry: reg})
+	return logstore.Open(path, logstore.Options{Obs: o})
 }
 
 // migrateJSONToLog seeds a fresh log store from a legacy JSON state file

@@ -107,7 +107,7 @@ func TestStateSurvivesRestart(t *testing.T) {
 	doomed := issue("[User -> Org.writer] Org")
 
 	statePath := filepath.Join(t.TempDir(), "state.json")
-	w1, close1, err := openWallet(org, statePath, "json", false, nil)
+	w1, close1, _, err := openWallet(org, statePath, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestStateSurvivesRestart(t *testing.T) {
 	// No shutdown hook: the store persists every mutation synchronously.
 	close1()
 
-	w2, close2, err := openWallet(org, statePath, "json", false, nil)
+	w2, close2, _, err := openWallet(org, statePath, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	doomed := issue("[User -> Org.writer] Org")
 
 	statePath := filepath.Join(t.TempDir(), "state.json")
-	w1, close1, err := openWallet(org, statePath, "json", false, nil)
+	w1, close1, _, err := openWallet(org, statePath, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	close1()
 
 	// First -store=log open migrates.
-	w2, close2, err := openWallet(org, statePath, "log", false, nil)
+	w2, close2, _, err := openWallet(org, statePath, "log", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	close2()
 
 	// Second open: already a log store, no migration, state intact.
-	w3, close3, err := openWallet(org, statePath, "log", false, nil)
+	w3, close3, _, err := openWallet(org, statePath, "log", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	// Crash window A: a half-seeded .migrating directory next to a JSON
 	// file. The file is authoritative; migration redoes the seeding.
 	pathA := filepath.Join(t.TempDir(), "state.json")
-	wA, closeA, err := openWallet(org, pathA, "json", false, nil)
+	wA, closeA, _, err := openWallet(org, pathA, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(pathA+".migrating", "00000001.seg"), []byte("torn"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	wA2, closeA2, err := openWallet(org, pathA, "log", false, nil)
+	wA2, closeA2, _, err := openWallet(org, pathA, "log", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	// Crash window B: the rename to .bak happened but the seeded directory
 	// never renamed into place. Opening finishes the rename.
 	pathB := filepath.Join(t.TempDir(), "state.json")
-	wB, closeB, err := openWallet(org, pathB, "json", false, nil)
+	wB, closeB, _, err := openWallet(org, pathB, "json", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestMigrateJSONToLogStore(t *testing.T) {
 	if err := os.Rename(pathB, pathB+".migrating"); err != nil {
 		t.Fatal(err)
 	}
-	wB2, closeB2, err := openWallet(org, pathB, "log", false, nil)
+	wB2, closeB2, _, err := openWallet(org, pathB, "log", false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,13 +295,13 @@ func TestOpenWalletStoreKindValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openWallet(org, "", "log", false, nil); err == nil {
+	if _, _, _, err := openWallet(org, "", "log", false, nil); err == nil {
 		t.Fatal("-store=log without -state accepted")
 	}
-	if _, _, err := openWallet(org, "", "bolt", false, nil); err == nil {
+	if _, _, _, err := openWallet(org, "", "bolt", false, nil); err == nil {
 		t.Fatal("unknown store kind accepted")
 	}
-	w, closer, err := openWallet(org, "", "json", false, nil)
+	w, closer, _, err := openWallet(org, "", "json", false, nil)
 	if err != nil || w == nil {
 		t.Fatalf("stateless json wallet: %v", err)
 	}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"drbac/internal/logstore"
+	"drbac/internal/obs"
+	"drbac/internal/wallet"
+)
+
+// TestPrometheusExpositionLints assembles a registry the way the daemon
+// does — wallet instruments, a durable log store, the trace collector,
+// both SLOs, and the build-info gauge — and runs the exposition through
+// the promlint-style checker: every metric must carry HELP and TYPE,
+// names and labels must be legal, counters must end in _total, and
+// histogram bucket ladders must be ascending, cumulative, and +Inf-capped.
+// This is the golden gate keeping new instruments scrape-clean.
+func TestPrometheusExpositionLints(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := obs.New(nil, reg)
+	o.SetCollector(obs.NewCollector(reg, obs.CollectorConfig{SampleRate: 1}))
+	o.RegisterSLO(obs.NewSLO(reg, "query", 5*time.Millisecond, 0, 0))
+	o.RegisterSLO(obs.NewSLO(reg, "publish", 25*time.Millisecond, 0, 0))
+	obs.RegisterBuildInfo(reg)
+
+	st, err := logstore.Open(t.TempDir(), logstore.Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	w := wallet.New(wallet.Config{Obs: o, Store: st})
+
+	// Drive a little traffic so counters, the latency histogram, the SLO
+	// windows, and the trace collector all have samples.
+	if _, err := w.QueryDirect(wallet.Query{}); err == nil {
+		t.Fatal("empty query should fail")
+	}
+	sp := o.StartSpan(obs.NewTraceID(), "discovery")
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, problem := range obs.LintExposition(buf.Bytes()) {
+		t.Errorf("lint: %s", problem)
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", buf.String())
+	}
+}

@@ -328,9 +328,27 @@ func (a *Agent) Discover(ctx context.Context, q wallet.Query, mode Mode, stats *
 	a.m.discoveries.Inc()
 	sp := a.obs.StartSpan(q.TraceID, "discover",
 		"subject", q.Subject.String(), "object", q.Object.String())
+	// Carry the span in the context so layers below without a span
+	// parameter (peer dials in particular) parent their work under it.
+	ctx = obs.ContextWithSpan(ctx, sp)
+	q.Ctx = ctx
 	p, err := a.discover(ctx, q, mode, st, sp)
 	d := sp.End("found", err == nil,
 		"rounds", st.Rounds, "remote_queries", st.RemoteQueries, "fetched", st.DelegationsFetched)
+	if thr := a.obs.SlowThreshold(); thr > 0 && d >= thr {
+		// Slow-query capture: the trace itself is retained by the
+		// collector's tail sampling; this Warn record makes it visible in
+		// the logs with the search-effort attributes attached.
+		a.obs.Log().Warn("slow discovery",
+			"trace", q.TraceID,
+			"subject", q.Subject.String(), "object", q.Object.String(),
+			"found", err == nil,
+			"rounds", st.Rounds,
+			"remote_queries", st.RemoteQueries,
+			"wallets_contacted", st.WalletsContacted,
+			"fetched", st.DelegationsFetched,
+			"duration_ms", float64(d.Microseconds())/1000)
+	}
 	a.m.latency.Observe(d.Seconds())
 	if err == nil {
 		a.m.found.Inc()
@@ -397,6 +415,28 @@ func (a *Agent) discover(ctx context.Context, q wallet.Query, mode Mode, stats *
 	return nil, core.ErrNoProof
 }
 
+// traceCtx is the wire trace context for one remote query: the rpc child
+// span's position when tracing is on, or just the bare trace ID so remote
+// logs still correlate when the agent has no Obs.
+func traceCtx(rsp *obs.Span, traceID string) obs.TraceContext {
+	if rsp == nil {
+		return obs.TraceContext{TraceID: traceID}
+	}
+	return rsp.Context()
+}
+
+// finishRPC closes an rpc child span, recording transport failures (a
+// no-proof answer is a normal outcome, not a failure).
+func finishRPC(rsp *obs.Span, err error) {
+	if rsp == nil {
+		return
+	}
+	if err != nil && !errors.Is(err, core.ErrNoProof) {
+		rsp.Fail(err)
+	}
+	rsp.End("ok", err == nil)
+}
+
 // forwardRound expands the subject-side frontier: every node currently
 // reachable from the query subject whose tag allows subject-directed
 // search gets one direct query and, failing that, one subject query at its
@@ -445,7 +485,9 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirectTraced(ctx, q.TraceID, node, q.Object, remaining, 0)
+		rsp := sp.StartChild("rpc:direct", "wallet", home, "node", node.String())
+		p, err := c.QueryDirectTraced(ctx, traceCtx(rsp, q.TraceID), node, q.Object, remaining, 0)
+		finishRPC(rsp, err)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
@@ -464,7 +506,9 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QuerySubjectTraced(ctx, q.TraceID, node, remaining)
+		rsp = sp.StartChild("rpc:subject", "wallet", home, "node", node.String())
+		proofs, err := c.QuerySubjectTraced(ctx, traceCtx(rsp, q.TraceID), node, remaining)
+		finishRPC(rsp, err)
 		if err != nil {
 			a.reportIfBroken(home, c)
 			queried[node] = false
@@ -518,7 +562,9 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		p, err := c.QueryDirectTraced(ctx, q.TraceID, q.Subject, role, remaining, 0)
+		rsp := sp.StartChild("rpc:direct", "wallet", home, "node", node.String())
+		p, err := c.QueryDirectTraced(ctx, traceCtx(rsp, q.TraceID), q.Subject, role, remaining, 0)
+		finishRPC(rsp, err)
 		if err == nil {
 			n := a.insertProofs([]*core.Proof{p}, tag.Home, tag.TTL, stats)
 			progress += n
@@ -536,7 +582,9 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if stats != nil {
 			stats.RemoteQueries++
 		}
-		proofs, err := c.QueryObjectTraced(ctx, q.TraceID, role, remaining)
+		rsp = sp.StartChild("rpc:object", "wallet", home, "node", node.String())
+		proofs, err := c.QueryObjectTraced(ctx, traceCtx(rsp, q.TraceID), role, remaining)
+		finishRPC(rsp, err)
 		if err != nil {
 			a.reportIfBroken(home, c)
 			queried[node] = false

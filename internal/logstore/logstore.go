@@ -42,9 +42,15 @@ type Options struct {
 	CompactMinDead int
 	// Registry receives drbac_logstore_* metrics; nil disables them.
 	Registry *obs.Registry
+	// Obs, when set, gives commit batches and compaction passes trace
+	// spans (and supplies Registry when it is nil).
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
+	if o.Registry == nil && o.Obs != nil {
+		o.Registry = o.Obs.Registry()
+	}
 	if o.SegmentBytes == 0 {
 		o.SegmentBytes = 1 << 20
 	}
@@ -112,14 +118,18 @@ type Store struct {
 	mBatches      *obs.Counter
 	mBatchRecords *obs.Counter
 
-	mu       sync.Mutex
-	failed   error // sticky: set when the active file is in an unknown state
-	closed   bool
-	segments []*segment
-	active   *os.File
-	next     int // next segment index
-	putLoc   map[core.DelegationID]recLoc
-	cur      *commitBatch
+	obs *obs.Obs
+
+	mu         sync.Mutex
+	failed     error // sticky: set when the active file is in an unknown state
+	syncErr    error // sticky: first fsync failure; durability is unprovable after it
+	compactErr error // last compaction failure; cleared by a clean pass
+	closed     bool
+	segments   []*segment
+	active     *os.File
+	next       int // next segment index
+	putLoc     map[core.DelegationID]recLoc
+	cur        *commitBatch
 
 	// compactMu serializes Compact passes (background and explicit).
 	compactMu sync.Mutex
@@ -145,6 +155,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		dir:    dir,
+		obs:    opts.Obs,
 		opts:   opts,
 		mem:    wallet.NewMemStore(),
 		putLoc: make(map[core.DelegationID]recLoc),
@@ -474,6 +485,8 @@ func (s *Store) flushBatch() {
 	if b == nil {
 		return
 	}
+	sp := s.obs.StartSpan(obs.NewTraceID(), "logstore.commit",
+		"records", b.records, "files", len(b.files))
 	var err error
 	for f := range b.files {
 		if e := f.Sync(); e != nil && err == nil {
@@ -485,6 +498,17 @@ func (s *Store) flushBatch() {
 	}
 	b.err = err
 	close(b.done)
+	if err != nil {
+		sp.Fail(err)
+		// After a failed fsync the kernel may have dropped the dirty pages,
+		// so retrying cannot prove durability. Stay unhealthy for good.
+		s.mu.Lock()
+		if s.syncErr == nil {
+			s.syncErr = fmt.Errorf("logstore %s: commit fsync: %w", s.dir, err)
+		}
+		s.mu.Unlock()
+	}
+	sp.End("ok", err == nil)
 	s.mBatches.Inc()
 	s.mBatchRecords.Add(int64(b.records))
 }
@@ -591,23 +615,61 @@ func (s *Store) Compact() error {
 		s.mu.Unlock()
 		return errClosed
 	}
-	var cands []*segment
+	type cand struct {
+		seg  *segment
+		dead int
+	}
+	var cands []cand
 	for i, seg := range s.segments {
 		if i == len(s.segments)-1 {
 			break // active segment never compacts
 		}
 		if seg.dead >= s.opts.CompactMinDead {
-			cands = append(cands, seg)
+			cands = append(cands, cand{seg, seg.dead})
 		}
 	}
 	s.mu.Unlock()
 
-	for _, seg := range cands {
-		if err := s.compactSegment(seg); err != nil {
-			return err
+	var err error
+	if len(cands) > 0 {
+		sp := s.obs.StartSpan(obs.NewTraceID(), "logstore.compact", "segments", len(cands))
+		for _, c := range cands {
+			csp := sp.StartChild("logstore.compact-segment", "segment", c.seg.name, "dead", c.dead)
+			err = s.compactSegment(c.seg)
+			if err != nil {
+				csp.Fail(err)
+				csp.End()
+				break
+			}
+			csp.End()
 		}
+		if err != nil {
+			sp.Fail(err)
+		}
+		sp.End("ok", err == nil)
 	}
-	return nil
+	// Compaction failures are retried every pass, so health tracks the most
+	// recent outcome: a clean pass (even a no-op one) clears the condition.
+	s.mu.Lock()
+	s.compactErr = err
+	s.mu.Unlock()
+	return err
+}
+
+// Health reports whether the store can still promise durability: nil while
+// appends, fsyncs, and compactions are all succeeding, else the sticky
+// append/fsync failure or the latest compaction failure. Readiness probes
+// poll it to pull a wallet whose disk has gone bad out of rotation.
+func (s *Store) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.syncErr != nil {
+		return s.syncErr
+	}
+	return s.compactErr
 }
 
 // compactSegment rewrites one sealed segment without its dead put records.

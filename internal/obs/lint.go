@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus data-model name charsets.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// LintExposition checks a Prometheus text-format (0.0.4) exposition for
+// promlint-style conformance and returns one message per problem (empty
+// means clean):
+//
+//   - every metric family has # HELP and # TYPE lines, HELP first, both
+//     before any sample
+//   - metric and label names match the Prometheus charset
+//   - counters end in _total; gauges and histograms do not
+//   - histogram le buckets parse, ascend strictly, are cumulative
+//     (non-decreasing counts), end in +Inf, and the +Inf count equals
+//     the _count sample
+func LintExposition(data []byte) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	type family struct {
+		help      bool
+		typ       string
+		helpFirst bool
+		samples   []expoSample
+	}
+	families := map[string]*family{}
+	var order []string
+	get := func(name string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	// base maps a sample name to its family name: histogram series use
+	// the family's _bucket/_sum/_count suffixes.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					return trimmed
+				}
+			}
+		}
+		return name
+	}
+
+	for i, line := range strings.Split(string(data), "\n") {
+		lno := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				addf("line %d: malformed comment %q", lno, line)
+				continue
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				addf("line %d: invalid metric name %q", lno, name)
+				continue
+			}
+			f := get(name)
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					addf("line %d: duplicate HELP for %q", lno, name)
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					addf("line %d: empty HELP text for %q", lno, name)
+				}
+				f.help = true
+				f.helpFirst = f.typ == "" && len(f.samples) == 0
+			case "TYPE":
+				if f.typ != "" {
+					addf("line %d: duplicate TYPE for %q", lno, name)
+				}
+				if len(f.samples) > 0 {
+					addf("line %d: TYPE for %q after its samples", lno, name)
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("line %d: unknown TYPE %q for %q", lno, typ, name)
+				}
+				f.typ = typ
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lno, err)
+			continue
+		}
+		if !metricNameRE.MatchString(s.name) {
+			addf("line %d: invalid metric name %q", lno, s.name)
+			continue
+		}
+		for _, l := range s.labels {
+			if !labelNameRE.MatchString(l.key) {
+				addf("line %d: invalid label name %q on %q", lno, l.key, s.name)
+			}
+		}
+		get(base(s.name)).samples = append(families[base(s.name)].samples, s)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if len(f.samples) == 0 {
+			if f.typ != "" || f.help {
+				addf("metric %q has metadata but no samples", name)
+			}
+			continue
+		}
+		if !f.help {
+			addf("metric %q has no HELP line", name)
+		}
+		if f.typ == "" {
+			addf("metric %q has no TYPE line", name)
+		} else if f.help && !f.helpFirst {
+			addf("metric %q: HELP must precede TYPE", name)
+		}
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				addf("counter %q should end in _total", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") {
+				addf("gauge %q must not end in _total", name)
+			}
+		case "histogram":
+			problems = append(problems, lintHistogram(name, f.samples)...)
+		}
+	}
+	return problems
+}
+
+type expoLabel struct{ key, value string }
+
+type expoSample struct {
+	name   string
+	labels []expoLabel
+	value  float64
+}
+
+// parseSample parses one `name{k="v",...} value` exposition line. Label
+// values may contain \", \\ and \n escapes.
+func parseSample(line string) (expoSample, error) {
+	var s expoSample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		s.name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuotes := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuotes && rest[i] == '\\':
+				i++
+			case rest[i] == '"':
+				inQuotes = !inQuotes
+			case !inQuotes && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		if s.labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", rest)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parseLabels(in string) ([]expoLabel, error) {
+	var out []expoLabel
+	for in != "" {
+		eq := strings.Index(in, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value")
+		}
+		key := in[:eq]
+		in = in[eq+1:]
+		if !strings.HasPrefix(in, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		end := -1
+		for i := 1; i < len(in); i++ {
+			if in[i] == '\\' {
+				i++
+				continue
+			}
+			if in[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		val, err := strconv.Unquote(in[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value %s", in[:end+1])
+		}
+		out = append(out, expoLabel{key: key, value: val})
+		in = strings.TrimPrefix(in[end+1:], ",")
+	}
+	return out, nil
+}
+
+// lintHistogram validates the bucket ladder of one histogram family.
+func lintHistogram(name string, samples []expoSample) []string {
+	var problems []string
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	var count float64
+	hasCount := false
+	for _, s := range samples {
+		switch s.name {
+		case name + "_bucket":
+			leStr := ""
+			for _, l := range s.labels {
+				if l.key == "le" {
+					leStr = l.value
+				}
+			}
+			if leStr == "" {
+				problems = append(problems, fmt.Sprintf("histogram %q: bucket without le label", name))
+				continue
+			}
+			le, err := parseLE(leStr)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("histogram %q: bad le %q", name, leStr))
+				continue
+			}
+			buckets = append(buckets, bucket{le: le, count: s.value})
+		case name + "_count":
+			count = s.value
+			hasCount = true
+		}
+	}
+	if len(buckets) == 0 {
+		return append(problems, fmt.Sprintf("histogram %q has no buckets", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].le <= buckets[i-1].le {
+			problems = append(problems, fmt.Sprintf("histogram %q: le buckets not strictly ascending at %g", name, buckets[i].le))
+		}
+		if buckets[i].count < buckets[i-1].count {
+			problems = append(problems, fmt.Sprintf("histogram %q: bucket counts not cumulative at le=%g", name, buckets[i].le))
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		problems = append(problems, fmt.Sprintf("histogram %q: last bucket is not +Inf", name))
+	} else if hasCount && last.count != count {
+		problems = append(problems, fmt.Sprintf("histogram %q: +Inf bucket %g != _count %g", name, last.count, count))
+	}
+	if !hasCount {
+		problems = append(problems, fmt.Sprintf("histogram %q has no _count sample", name))
+	}
+	return problems
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

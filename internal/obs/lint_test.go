@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintCleanExposition checks a well-formed registry export lints
+// clean, including histograms and labeled info gauges.
+func TestLintCleanExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("drbac_wallet_publish_total").Add(3)
+	reg.Gauge("drbac_wallet_delegations").Set(2)
+	h := reg.Histogram("drbac_wallet_query_seconds", 0.001, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	RegisterBuildInfo(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintExposition([]byte(b.String())); len(problems) != 0 {
+		t.Errorf("clean exposition flagged: %v", problems)
+	}
+}
+
+func lintOf(t *testing.T, text string) []string {
+	t.Helper()
+	return LintExposition([]byte(text))
+}
+
+func wantProblem(t *testing.T, problems []string, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("no problem containing %q in %v", substr, problems)
+}
+
+// TestLintCatchesViolations feeds known-bad expositions and checks each
+// rule fires.
+func TestLintCatchesViolations(t *testing.T) {
+	// Missing HELP.
+	wantProblem(t, lintOf(t, "# TYPE x_total counter\nx_total 1\n"), "no HELP")
+
+	// Missing TYPE.
+	wantProblem(t, lintOf(t, "# HELP x_total ops\nx_total 1\n"), "no TYPE")
+
+	// HELP after TYPE.
+	wantProblem(t, lintOf(t,
+		"# TYPE x_total counter\n# HELP x_total ops\nx_total 1\n"), "HELP must precede TYPE")
+
+	// Counter not ending in _total.
+	wantProblem(t, lintOf(t, "# HELP x ops\n# TYPE x counter\nx 1\n"), "should end in _total")
+
+	// Gauge ending in _total.
+	wantProblem(t, lintOf(t, "# HELP g_total g\n# TYPE g_total gauge\ng_total 1\n"), "must not end in _total")
+
+	// Invalid metric name.
+	wantProblem(t, lintOf(t, "# HELP 9bad x\n# TYPE 9bad gauge\n9bad 1\n"), "invalid metric name")
+
+	// Invalid label name.
+	wantProblem(t, lintOf(t,
+		"# HELP ok_gauge x\n# TYPE ok_gauge gauge\nok_gauge{9bad=\"v\"} 1\n"), "invalid label name")
+
+	// Unknown type.
+	wantProblem(t, lintOf(t, "# HELP x y\n# TYPE x sparkline\nx 1\n"), "unknown TYPE")
+
+	// Histogram: buckets not ascending.
+	wantProblem(t, lintOf(t, `# HELP h seconds
+# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_bucket{le="0.01"} 2
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`), "not strictly ascending")
+
+	// Histogram: counts not cumulative.
+	wantProblem(t, lintOf(t, `# HELP h seconds
+# TYPE h histogram
+h_bucket{le="0.01"} 5
+h_bucket{le="0.1"} 2
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`), "not cumulative")
+
+	// Histogram: missing +Inf bucket.
+	wantProblem(t, lintOf(t, `# HELP h seconds
+# TYPE h histogram
+h_bucket{le="0.01"} 1
+h_sum 1
+h_count 1
+`), "not +Inf")
+
+	// Histogram: +Inf disagrees with _count.
+	wantProblem(t, lintOf(t, `# HELP h seconds
+# TYPE h histogram
+h_bucket{le="0.01"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 3
+`), "!= _count")
+
+	// Metadata without samples.
+	wantProblem(t, lintOf(t, "# HELP ghost x\n# TYPE ghost gauge\n"), "no samples")
+}

@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -156,6 +157,9 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Infos are constant labeled gauges (value always 1) — build/version
+	// identity in the drbac_build_info style.
+	Infos map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // Registry is a concurrency-safe, name-keyed collection of instruments.
@@ -168,6 +172,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
+	infos      map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -177,7 +182,24 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]func() int64),
 		hists:      make(map[string]*Histogram),
+		infos:      make(map[string]map[string]string),
 	}
+}
+
+// SetInfo registers a constant labeled gauge (exported with value 1, in
+// the drbac_build_info style). Re-setting a name replaces its labels. Safe
+// on a nil receiver.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = cp
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -279,12 +301,24 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, h := range r.hists {
 		hists[n] = h
 	}
+	var infos map[string]map[string]string
+	if len(r.infos) > 0 {
+		infos = make(map[string]map[string]string, len(r.infos))
+		for n, labels := range r.infos {
+			cp := make(map[string]string, len(labels))
+			for k, v := range labels {
+				cp[k] = v
+			}
+			infos[n] = cp
+		}
+	}
 	r.mu.RUnlock()
 
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(counters)),
 		Gauges:     make(map[string]int64, len(gauges)+len(funcs)),
 		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Infos:      infos,
 	}
 	for n, c := range counters {
 		s.Counters[n] = c.Value()
@@ -302,21 +336,40 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4), names sorted for deterministic output.
+// format (version 0.0.4), names sorted for deterministic output. Metrics
+// with registered help text (see SetHelp) get a # HELP line before their
+// # TYPE line, as promlint expects.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	for _, name := range sortedKeys(s.Counters) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Infos) {
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s 1\n", name, name, formatLabels(s.Infos[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
+		if err := writeHelp(w, name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
@@ -332,6 +385,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeHelp emits the # HELP line for name when help text is registered.
+func writeHelp(w io.Writer, name string) error {
+	h := helpFor(name)
+	if h == "" {
+		return nil
+	}
+	h = strings.ReplaceAll(strings.ReplaceAll(h, `\`, `\\`), "\n", `\n`)
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h)
+	return err
+}
+
+// formatLabels renders a label set as {k="v",...}, keys sorted.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range sortedKeys(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func sortedKeys[V any](m map[string]V) []string {

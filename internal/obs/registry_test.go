@@ -92,10 +92,13 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := `# TYPE drbac_wallet_publish_total counter
+	want := `# HELP drbac_wallet_publish_total Delegations accepted by Publish.
+# TYPE drbac_wallet_publish_total counter
 drbac_wallet_publish_total 3
+# HELP drbac_wallet_delegations Live delegations resident in the wallet.
 # TYPE drbac_wallet_delegations gauge
 drbac_wallet_delegations 2
+# HELP drbac_wallet_query_seconds Proof-query latency in seconds.
 # TYPE drbac_wallet_query_seconds histogram
 drbac_wallet_query_seconds_bucket{le="0.001"} 1
 drbac_wallet_query_seconds_bucket{le="0.1"} 2

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLO tracks one latency objective ("p99 of query under 5ms") as a
+// windowed quantile tracker plus error-budget accounting:
+//
+//	drbac_slo_<name>_p50_us / _p99_us / _p999_us   windowed latency quantiles
+//	drbac_slo_<name>_total                         observations
+//	drbac_slo_<name>_breaches_total                observations over threshold
+//	drbac_slo_<name>_burn_pct                      windowed burn rate: the
+//	    fraction of the window over threshold divided by the error budget
+//	    (1 - objective), as a percentage. 100 means burning exactly at
+//	    budget; above 100 the objective is being missed.
+//
+// A nil *SLO is safe to Observe (no-op), so components resolve their SLOs
+// once and call unconditionally.
+type SLO struct {
+	name      string
+	threshold time.Duration
+	objective float64
+
+	total    *Counter
+	breaches *Counter
+
+	mu       sync.Mutex
+	window   []float64 // seconds, ring
+	breachW  []bool
+	next     int
+	filled   int
+	breached int // breaches currently inside the window
+}
+
+// NewSLO registers a latency SLO on reg. objective <= 0 defaults to 0.99
+// and window <= 0 to 1024 observations. The quantile gauges report in
+// microseconds (the registry's gauges are integral).
+func NewSLO(reg *Registry, name string, threshold time.Duration, objective float64, window int) *SLO {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = 1024
+	}
+	s := &SLO{
+		name:      name,
+		threshold: threshold,
+		objective: objective,
+		window:    make([]float64, window),
+		breachW:   make([]bool, window),
+		total:     reg.Counter("drbac_slo_" + name + "_total"),
+		breaches:  reg.Counter("drbac_slo_" + name + "_breaches_total"),
+	}
+	prefix := "drbac_slo_" + name
+	SetHelp(prefix+"_total", fmt.Sprintf("Operations observed against the %s latency SLO.", name))
+	SetHelp(prefix+"_breaches_total", fmt.Sprintf("Operations over the %s SLO threshold (%s).", name, threshold))
+	SetHelp(prefix+"_p50_us", fmt.Sprintf("Windowed p50 %s latency in microseconds.", name))
+	SetHelp(prefix+"_p99_us", fmt.Sprintf("Windowed p99 %s latency in microseconds.", name))
+	SetHelp(prefix+"_p999_us", fmt.Sprintf("Windowed p99.9 %s latency in microseconds.", name))
+	SetHelp(prefix+"_burn_pct", fmt.Sprintf("Windowed %s error-budget burn rate in percent (100 = at budget).", name))
+	if reg != nil {
+		reg.GaugeFunc(prefix+"_p50_us", func() int64 { return s.quantileUS(0.5) })
+		reg.GaugeFunc(prefix+"_p99_us", func() int64 { return s.quantileUS(0.99) })
+		reg.GaugeFunc(prefix+"_p999_us", func() int64 { return s.quantileUS(0.999) })
+		reg.GaugeFunc(prefix+"_burn_pct", func() int64 { return s.burnPct() })
+	}
+	return s
+}
+
+// Name returns the SLO's name ("" on nil).
+func (s *SLO) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Threshold returns the SLO latency threshold (0 on nil).
+func (s *SLO) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Observe records one operation's latency.
+func (s *SLO) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.total.Inc()
+	breach := d > s.threshold
+	if breach {
+		s.breaches.Inc()
+	}
+	s.mu.Lock()
+	if s.filled == len(s.window) && s.breachW[s.next] {
+		s.breached--
+	}
+	s.window[s.next] = d.Seconds()
+	s.breachW[s.next] = breach
+	if breach {
+		s.breached++
+	}
+	s.next = (s.next + 1) % len(s.window)
+	if s.filled < len(s.window) {
+		s.filled++
+	}
+	s.mu.Unlock()
+}
+
+// quantileUS returns the q-quantile of the window in microseconds
+// (nearest-rank on a sorted copy), 0 while empty.
+func (s *SLO) quantileUS(q float64) int64 {
+	s.mu.Lock()
+	n := s.filled
+	buf := make([]float64, n)
+	copy(buf, s.window[:n])
+	s.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(buf)
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return int64(buf[i] * 1e6)
+}
+
+// burnPct returns the windowed burn rate as a percentage of the error
+// budget: breachFraction / (1 - objective) * 100.
+func (s *SLO) burnPct() int64 {
+	s.mu.Lock()
+	n, b := s.filled, s.breached
+	s.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	budget := 1 - s.objective
+	return int64(math.Round(float64(b) / float64(n) / budget * 100))
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSLOQuantilesAndBurn feeds a known latency distribution and checks
+// the quantile gauges and burn accounting.
+func TestSLOQuantilesAndBurn(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, "query", 5*time.Millisecond, 0.99, 100)
+
+	// 99 fast observations and 1 slow one: exactly at the 1% error budget.
+	for i := 0; i < 99; i++ {
+		s.Observe(time.Millisecond)
+	}
+	s.Observe(20 * time.Millisecond)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["drbac_slo_query_total"]; got != 100 {
+		t.Errorf("total = %d, want 100", got)
+	}
+	if got := snap.Counters["drbac_slo_query_breaches_total"]; got != 1 {
+		t.Errorf("breaches = %d, want 1", got)
+	}
+	if got := snap.Gauges["drbac_slo_query_p50_us"]; got != 1000 {
+		t.Errorf("p50 = %dus, want 1000", got)
+	}
+	if got := snap.Gauges["drbac_slo_query_p99_us"]; got != 1000 {
+		t.Errorf("p99 = %dus, want 1000 (99th of 100 sorted is still fast)", got)
+	}
+	if got := snap.Gauges["drbac_slo_query_p999_us"]; got != 20000 {
+		t.Errorf("p99.9 = %dus, want 20000", got)
+	}
+	if got := snap.Gauges["drbac_slo_query_burn_pct"]; got != 100 {
+		t.Errorf("burn = %d%%, want 100 (exactly at budget)", got)
+	}
+
+	// Ten more breaches push the p99 up and the burn rate over budget.
+	for i := 0; i < 10; i++ {
+		s.Observe(30 * time.Millisecond)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Gauges["drbac_slo_query_p99_us"]; got != 30000 {
+		t.Errorf("p99 after breaches = %dus, want 30000", got)
+	}
+	if got := snap.Gauges["drbac_slo_query_burn_pct"]; got <= 100 {
+		t.Errorf("burn = %d%%, want > 100", got)
+	}
+	if got := snap.Counters["drbac_slo_query_breaches_total"]; got != 11 {
+		t.Errorf("breaches = %d, want 11", got)
+	}
+}
+
+// TestSLOWindowSlides checks old observations fall out of the window.
+func TestSLOWindowSlides(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, "publish", time.Millisecond, 0.9, 4)
+	for i := 0; i < 4; i++ {
+		s.Observe(10 * time.Millisecond) // all breaching
+	}
+	if got := s.burnPct(); got != 1000 {
+		t.Fatalf("burn = %d%%, want 1000 (window all breaches, 10%% budget)", got)
+	}
+	for i := 0; i < 4; i++ {
+		s.Observe(time.Microsecond) // window refills clean
+	}
+	if got := s.burnPct(); got != 0 {
+		t.Errorf("burn after clean refill = %d%%, want 0", got)
+	}
+	if got := s.quantileUS(0.5); got != 1 {
+		t.Errorf("p50 = %dus, want 1", got)
+	}
+}
+
+// TestSLONilAndResolution checks nil-safety and Obs registration.
+func TestSLONilAndResolution(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second) // must not panic
+	if s.Name() != "" || s.Threshold() != 0 {
+		t.Error("nil SLO leaked values")
+	}
+
+	o := New(nil, NewRegistry())
+	if o.SLO("query") != nil {
+		t.Error("unregistered SLO resolved")
+	}
+	slo := NewSLO(o.Registry(), "query", 5*time.Millisecond, 0, 0)
+	o.RegisterSLO(slo)
+	if got := o.SLO("query"); got != slo {
+		t.Error("registered SLO did not resolve")
+	}
+	if slo.Threshold() != 5*time.Millisecond {
+		t.Error("threshold lost")
+	}
+	var nilObs *Obs
+	nilObs.RegisterSLO(slo) // must not panic
+	if nilObs.SLO("query") != nil {
+		t.Error("nil obs resolved an SLO")
+	}
+}
+
+// TestSLOExpositionLints checks the dynamically named SLO metrics pass the
+// exposition lint (help registered, names valid).
+func TestSLOExpositionLints(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, "query", 5*time.Millisecond, 0.99, 16)
+	s.Observe(time.Millisecond)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if problems := LintExposition([]byte(b.String())); len(problems) != 0 {
+		t.Errorf("lint problems: %v", problems)
+	}
+}

@@ -199,6 +199,9 @@ func (m *Manager) Get(ctx context.Context, addr string) (*remote.Client, error) 
 	}
 
 	m.mDials.Inc()
+	// A (re)dial inside a traced operation shows up as its own span, so a
+	// discovery waterfall explains time spent establishing connections.
+	dsp := obs.SpanFromContext(ctx).StartChild("peer.dial", "addr", addr)
 	c, err := remote.Dial(ctx, m.cfg.Dialer, addr)
 	if err == nil {
 		c.CallTimeout = m.cfg.CallTimeout
@@ -211,10 +214,13 @@ func (m *Manager) Get(ctx context.Context, addr string) (*remote.Client, error) 
 		}
 	}
 	if err != nil {
+		dsp.Fail(err)
+		dsp.End("ok", false)
 		m.mDialFails.Inc()
 		m.recordFailureLocked(ps, addr, err)
 		return nil, err
 	}
+	dsp.End("ok", true)
 	if ps.failures >= m.cfg.FailureThreshold {
 		m.cfg.Obs.Log().Info("peer circuit closed", "addr", addr, "after_failures", ps.failures)
 	}

@@ -217,19 +217,37 @@ func (p *Proxy) QueryDirect(ctx context.Context, q wallet.Query) (*core.Proof, e
 	p.obs.Log().Debug("proxy pull-through",
 		"trace", q.TraceID, "subject", q.Subject.String(), "object", q.Object.String())
 
-	// The pull carries the caller's trace ID upstream, so a downstream
-	// query that misses the whole hierarchy reads as one trace.
+	// The pull carries the caller's trace and span IDs upstream, so a
+	// downstream query that misses the whole hierarchy reads as one trace
+	// with the upstream serve span nested under this pull.
+	psp := obs.SpanFromContext(ctx).StartChild("proxy.pull",
+		"subject", q.Subject.String(), "object", q.Object.String())
+	tc := psp.Context()
+	if tc.TraceID == "" {
+		tc.TraceID = q.TraceID
+	}
 	up, err := p.upstream(ctx)
 	if err != nil {
+		psp.Fail(err)
+		psp.End("ok", false)
 		return nil, err
 	}
-	proof, err := up.QueryDirectTraced(ctx, q.TraceID, q.Subject, q.Object, q.Constraints, q.Direction)
+	proof, err := up.QueryDirectTraced(ctx, tc, q.Subject, q.Object, q.Constraints, q.Direction)
 	if err != nil {
+		if !errors.Is(err, core.ErrNoProof) {
+			psp.Fail(err)
+		}
+		psp.End("ok", false)
 		return nil, err
 	}
+	psp.End("ok", true, "steps", len(proof.Steps))
+	asp := obs.SpanFromContext(ctx).StartChild("proxy.admit", "steps", len(proof.Steps))
 	if err := p.admit(ctx, up, proof); err != nil {
+		asp.Fail(err)
+		asp.End()
 		return nil, fmt.Errorf("proxy: admit pulled proof: %w", err)
 	}
+	asp.End()
 	// Serve from the cache so the answer reflects local validation state.
 	served, err := p.cfg.Local.QueryDirect(q)
 	if err != nil {

@@ -294,19 +294,22 @@ func (c *Client) Publish(ctx context.Context, d *core.Delegation, support []*cor
 
 // QueryDirect asks the remote wallet for a proof subject ⇒ object.
 func (c *Client) QueryDirect(ctx context.Context, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
-	return c.QueryDirectTraced(ctx, "", subject, object, constraints, direction)
+	return c.QueryDirectTraced(ctx, obs.TraceContext{}, subject, object, constraints, direction)
 }
 
-// QueryDirectTraced is QueryDirect carrying a trace ID: the serving wallet
-// logs the request (and runs its query) under the caller's trace, so a
-// multi-wallet discovery reads as one trace across every wallet it touched.
-func (c *Client) QueryDirectTraced(ctx context.Context, traceID string, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
+// QueryDirectTraced is QueryDirect carrying the caller's trace context: the
+// serving wallet logs the request (and runs its query) under the caller's
+// trace and parents its serve span under the caller's span, so a
+// multi-wallet discovery reads as one nested trace across every wallet it
+// touched.
+func (c *Client) QueryDirectTraced(ctx context.Context, tc obs.TraceContext, subject core.Subject, object core.Role, constraints []core.Constraint, direction graph.Direction) (*core.Proof, error) {
 	env, err := c.call(ctx, wire.TQueryDirect, wire.QueryReq{
 		Subject:     subject,
 		Object:      object,
 		Constraints: constraints,
 		Direction:   direction,
-		TraceID:     traceID,
+		TraceID:     tc.TraceID,
+		SpanID:      tc.SpanID,
 	})
 	if err != nil {
 		return nil, err
@@ -320,12 +323,12 @@ func (c *Client) QueryDirectTraced(ctx context.Context, traceID string, subject 
 
 // QuerySubject asks for all sub-proofs subject ⇒ *.
 func (c *Client) QuerySubject(ctx context.Context, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
-	return c.QuerySubjectTraced(ctx, "", subject, constraints)
+	return c.QuerySubjectTraced(ctx, obs.TraceContext{}, subject, constraints)
 }
 
-// QuerySubjectTraced is QuerySubject carrying a trace ID.
-func (c *Client) QuerySubjectTraced(ctx context.Context, traceID string, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(ctx, wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints, TraceID: traceID})
+// QuerySubjectTraced is QuerySubject carrying the caller's trace context.
+func (c *Client) QuerySubjectTraced(ctx context.Context, tc obs.TraceContext, subject core.Subject, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(ctx, wire.TQuerySubject, wire.QueryReq{Subject: subject, Constraints: constraints, TraceID: tc.TraceID, SpanID: tc.SpanID})
 	if err != nil {
 		return nil, err
 	}
@@ -338,12 +341,12 @@ func (c *Client) QuerySubjectTraced(ctx context.Context, traceID string, subject
 
 // QueryObject asks for all sub-proofs * ⇒ object.
 func (c *Client) QueryObject(ctx context.Context, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
-	return c.QueryObjectTraced(ctx, "", object, constraints)
+	return c.QueryObjectTraced(ctx, obs.TraceContext{}, object, constraints)
 }
 
-// QueryObjectTraced is QueryObject carrying a trace ID.
-func (c *Client) QueryObjectTraced(ctx context.Context, traceID string, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
-	env, err := c.call(ctx, wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints, TraceID: traceID})
+// QueryObjectTraced is QueryObject carrying the caller's trace context.
+func (c *Client) QueryObjectTraced(ctx context.Context, tc obs.TraceContext, object core.Role, constraints []core.Constraint) ([]*core.Proof, error) {
+	env, err := c.call(ctx, wire.TQueryObject, wire.QueryReq{Object: object, Constraints: constraints, TraceID: tc.TraceID, SpanID: tc.SpanID})
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +367,20 @@ func (c *Client) Stats(ctx context.Context) (wire.StatsResp, error) {
 	var resp wire.StatsResp
 	if err := wire.DecodeBody(env, &resp); err != nil {
 		return wire.StatsResp{}, err
+	}
+	return resp, nil
+}
+
+// Trace fetches the remote wallet's retained spans for one trace ID —
+// what `drbac trace` merges across wallets into a waterfall.
+func (c *Client) Trace(ctx context.Context, id string) (wire.TraceResp, error) {
+	env, err := c.call(ctx, wire.TTrace, wire.TraceReq{TraceID: id})
+	if err != nil {
+		return wire.TraceResp{}, err
+	}
+	var resp wire.TraceResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.TraceResp{}, err
 	}
 	return resp, nil
 }

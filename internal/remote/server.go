@@ -304,6 +304,19 @@ func (s *Server) dispatch(cs *connState, env wire.Envelope) {
 	}
 }
 
+// serveSpan opens the server-side span for a traced query: a local root
+// continuing the caller's trace, parented under the caller's span ID so a
+// merged cross-wallet trace nests this hop below the query that caused it.
+// The returned context carries the span down into the wallet (and the
+// proxy fallback). Untraced requests get a nil span and the base context.
+func (s *Server) serveSpan(req wire.QueryReq, name string, args ...any) (context.Context, *obs.Span) {
+	if s.obs == nil || req.TraceID == "" {
+		return s.baseCtx, nil
+	}
+	sp := s.obs.StartServerSpan(req.TraceID, req.SpanID, name, args...)
+	return obs.ContextWithSpan(s.baseCtx, sp), sp
+}
+
 // handle serves one request, sending the success response itself and
 // returning audit-log attributes; a returned error is sent by dispatch.
 func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
@@ -339,8 +352,10 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		if err := wire.DecodeBody(env, &req); err != nil {
 			return nil, err
 		}
+		ctx, sp := s.serveSpan(req, "serve:query-direct",
+			"subject", req.Subject.String(), "object", req.Object.String())
 		q := wallet.Query{
-			Ctx:         s.baseCtx,
+			Ctx:         ctx,
 			Subject:     req.Subject,
 			Object:      req.Object,
 			Constraints: req.Constraints,
@@ -350,8 +365,12 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		attrs := []any{"trace", req.TraceID, "subject", req.Subject.String(), "object", req.Object.String()}
 		p, err := s.w.QueryDirect(q)
 		if err != nil && errors.Is(err, core.ErrNoProof) && s.directFallback != nil {
-			p, err = s.directFallback(s.baseCtx, q)
+			p, err = s.directFallback(ctx, q)
 		}
+		if err != nil && !errors.Is(err, core.ErrNoProof) {
+			sp.Fail(err)
+		}
+		sp.End("found", err == nil)
 		if err != nil {
 			return append(attrs, "found", false), err
 		}
@@ -362,7 +381,9 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		if err := wire.DecodeBody(env, &req); err != nil {
 			return nil, err
 		}
+		_, sp := s.serveSpan(req, "serve:query-subject", "subject", req.Subject.String())
 		proofs := s.w.QuerySubject(req.Subject, req.Constraints)
+		sp.End("results", len(proofs))
 		attrs := []any{"trace", req.TraceID, "subject", req.Subject.String(), "results", len(proofs)}
 		return attrs, cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
 
@@ -371,9 +392,20 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		if err := wire.DecodeBody(env, &req); err != nil {
 			return nil, err
 		}
+		_, sp := s.serveSpan(req, "serve:query-object", "object", req.Object.String())
 		proofs := s.w.QueryObject(req.Object, req.Constraints)
+		sp.End("results", len(proofs))
 		attrs := []any{"trace", req.TraceID, "object", req.Object.String(), "results", len(proofs)}
 		return attrs, cs.send(wire.TProofs, env.ID, wire.ProofsResp{Proofs: proofs})
+
+	case wire.TTrace:
+		var req wire.TraceReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		spans := s.obs.TraceCollector().Spans(req.TraceID)
+		attrs := []any{"trace", req.TraceID, "spans", len(spans)}
+		return attrs, cs.send(wire.TOK, env.ID, wire.TraceResp{Found: len(spans) > 0, Spans: spans})
 
 	case wire.TSubscribe:
 		var req wire.SubscribeReq

@@ -361,18 +361,41 @@ func (f *Follower) resync(ctx context.Context, c *remote.Client, why string) err
 // only those after afterSeq) and falling back to the monolithic snapshot
 // for upstreams that cannot ship segments.
 func (f *Follower) syncOnce(ctx context.Context, c *remote.Client, afterSeq uint64) error {
+	// Each bootstrap/catch-up runs as its own trace so a slow or failing
+	// replica sync is retained and explains itself (segment vs snapshot
+	// path, records replayed).
+	sp := f.cfg.Obs.StartSpan(obs.NewTraceID(), "replica.sync", "afterSeq", afterSeq)
+	err := f.syncOnceSpanned(ctx, c, afterSeq, sp)
+	if err != nil {
+		sp.Fail(err)
+	}
+	sp.End("ok", err == nil, "applied", f.applied.Load())
+	return err
+}
+
+func (f *Follower) syncOnceSpanned(ctx context.Context, c *remote.Client, afterSeq uint64, sp *obs.Span) error {
+	ssp := sp.StartChild("replica.sync-segments")
 	segErr := f.syncSegments(ctx, c, afterSeq)
 	if segErr == nil {
+		ssp.End("ok", true)
 		return nil
 	}
+	// Not a span failure: upstreams on non-log stores legitimately cannot
+	// ship segments and the snapshot path below is the designed fallback.
+	ssp.End("ok", false, "error", segErr.Error())
 	if ctx.Err() != nil {
 		return segErr
 	}
 	f.cfg.Obs.Log().Debug("replica: segment sync unavailable, falling back to snapshot", "error", segErr)
+	csp := sp.StartChild("replica.snapshot")
 	resp, err := c.Sync(ctx)
 	if err != nil {
-		return fmt.Errorf("replica: sync: %w", err)
+		err = fmt.Errorf("replica: sync: %w", err)
+		csp.Fail(err)
+		csp.End()
+		return err
 	}
+	defer func() { csp.End("bundles", len(resp.Bundles), "seq", resp.Seq) }()
 	w := f.cfg.Local
 	for _, id := range resp.Revoked {
 		w.AcceptRevocation(id)

@@ -120,6 +120,11 @@ type Wallet struct {
 	m     walletMetrics
 	sigv  *sigcache.Cache
 
+	// SLOs resolved once at construction (registering them later misses
+	// this wallet); nil when the process defined none.
+	sloQuery   *obs.SLO
+	sloPublish *obs.SLO
+
 	cache    *ProofCache
 	cacheOff bool
 
@@ -174,19 +179,21 @@ func New(cfg Config) *Wallet {
 		sigv = sigcache.Shared()
 	}
 	w := &Wallet{
-		cfg:      cfg,
-		clk:      clk,
-		store:    st,
-		seq:      st.Seq(),
-		sigv:     sigv,
-		g:        graph.New(),
-		reg:      subs.NewRegistry(),
-		obs:      cfg.Obs,
-		m:        newWalletMetrics(cfg.Obs),
-		cache:    NewProofCache(cfg.ProofCacheLimit),
-		cacheOff: cfg.DisableProofCache,
-		ttl:      make(map[core.DelegationID]time.Time),
-		watches:  make(map[int]*watch),
+		cfg:        cfg,
+		clk:        clk,
+		store:      st,
+		seq:        st.Seq(),
+		sigv:       sigv,
+		g:          graph.New(),
+		reg:        subs.NewRegistry(),
+		obs:        cfg.Obs,
+		m:          newWalletMetrics(cfg.Obs),
+		sloQuery:   cfg.Obs.SLO("query"),
+		sloPublish: cfg.Obs.SLO("publish"),
+		cache:      NewProofCache(cfg.ProofCacheLimit),
+		cacheOff:   cfg.DisableProofCache,
+		ttl:        make(map[core.DelegationID]time.Time),
+		watches:    make(map[int]*watch),
 	}
 	// The cache invalidation hook registers first so it is the first
 	// wildcard handler: memoized answers die before any other subscriber
@@ -351,7 +358,14 @@ func (w *Wallet) Stats() Stats {
 // own graph before the publication is rejected. Subscribers receive a
 // Published event once the delegation is stored and indexed.
 func (w *Wallet) Publish(d *core.Delegation, support ...*core.Proof) error {
+	var start time.Time
+	if w.sloPublish != nil {
+		start = time.Now()
+	}
 	err := w.publish(d, support)
+	if w.sloPublish != nil {
+		w.sloPublish.Observe(time.Since(start))
+	}
 	w.m.publish.Inc()
 	if err != nil {
 		w.m.publishErr.Inc()
@@ -744,32 +758,57 @@ func (w *Wallet) QueryDirect(q Query) (*core.Proof, error) {
 	w.m.queryDirect.Inc()
 	instrumented := w.m.queryLatency != nil
 	debug := w.obs.DebugEnabled()
+	slowThr := w.obs.SlowThreshold()
+	timed := instrumented || debug || w.sloQuery != nil || slowThr > 0
 	var start time.Time
-	if instrumented || debug {
+	if timed {
 		start = time.Now()
 	}
-	p, cacheOutcome, err := w.queryDirect(q)
+	p, cacheOutcome, gs, err := w.queryDirect(q)
 	if err != nil && errors.Is(err, core.ErrNoProof) {
 		w.m.queryNoProof.Inc()
 	}
-	if instrumented {
-		w.m.queryLatency.Observe(time.Since(start).Seconds())
+	if !timed {
+		return p, err
 	}
+	dur := time.Since(start)
+	if instrumented {
+		w.m.queryLatency.Observe(dur.Seconds())
+	}
+	w.sloQuery.Observe(dur)
 	if debug {
 		w.obs.Log().Debug("wallet query",
 			"trace", q.TraceID, "subject", q.Subject.String(), "object", q.Object.String(),
 			"cache", cacheOutcome, "found", err == nil,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000)
+			"duration_ms", float64(dur.Microseconds())/1000)
+	}
+	// The slow-query record carries the trace ID (the matching trace is
+	// tail-retained by the collector) plus the search effort that explains
+	// where the time went, so one Warn line is enough to start triage.
+	if slowThr > 0 && dur >= slowThr {
+		steps := 0
+		if p != nil {
+			steps = len(p.Steps)
+		}
+		w.obs.Log().Warn("slow query",
+			"trace", q.TraceID, "subject", q.Subject.String(), "object", q.Object.String(),
+			"cache", cacheOutcome, "found", err == nil, "proof_steps", steps,
+			"search_nodes", gs.NodesVisited, "search_edges", gs.EdgesExplored,
+			"search_pruned", gs.Pruned,
+			"duration_ms", float64(dur.Microseconds())/1000)
 	}
 	return p, err
 }
 
 // queryDirect is QueryDirect's answer path; the returned string is the
-// cache outcome ("hit", "negative", "miss", or "bypass") for the audit log.
-func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
+// cache outcome ("hit", "negative", "miss", or "bypass") for the audit log,
+// and the returned graph.Stats is the search effort (zero for cache
+// answers) for the slow-query record.
+func (w *Wallet) queryDirect(q Query) (*core.Proof, string, graph.Stats, error) {
+	var gs graph.Stats
 	if q.Ctx != nil {
 		if err := q.Ctx.Err(); err != nil {
-			return nil, "canceled", err
+			return nil, "canceled", gs, err
 		}
 	}
 	useCache := q.Stats == nil && !w.cacheOff
@@ -778,9 +817,9 @@ func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
 		key = CacheKey(q.Subject, q.Object, q.Constraints)
 		if p, negative, ok := w.cache.Lookup(key, w.Now(), w.store.IsRevoked); ok {
 			if negative {
-				return nil, "negative", core.ErrNoProof
+				return nil, "negative", gs, core.ErrNoProof
 			}
-			return p, "hit", nil
+			return p, "hit", gs, nil
 		}
 	}
 	outcome := "miss"
@@ -790,7 +829,6 @@ func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
 	opts := w.searchOptions(q)
 	// Mirror search effort into the metrics registry when the caller did
 	// not bring its own Stats (which would bypass the cache).
-	var gs graph.Stats
 	mirror := q.Stats == nil && w.m.searchNodes != nil
 	if mirror {
 		opts.Stats = &gs
@@ -798,20 +836,22 @@ func (w *Wallet) queryDirect(q Query) (*core.Proof, string, error) {
 	p, err := w.g.FindDirect(q.Subject, q.Object, opts)
 	if mirror {
 		w.mirrorSearch(gs)
+	} else if q.Stats != nil {
+		gs = *q.Stats
 	}
 	if err != nil {
 		if useCache && errors.Is(err, core.ErrNoProof) {
 			w.cache.PutNegative(key)
 		}
-		return nil, outcome, err
+		return nil, outcome, gs, err
 	}
 	if err := p.Validate(w.validateOptions(q)); err != nil {
-		return nil, outcome, fmt.Errorf("candidate proof failed validation: %w", err)
+		return nil, outcome, gs, fmt.Errorf("candidate proof failed validation: %w", err)
 	}
 	if useCache {
 		w.cache.Put(key, p)
 	}
-	return p, outcome, nil
+	return p, outcome, gs, nil
 }
 
 // mirrorSearch folds one search's effort counters into the registry.

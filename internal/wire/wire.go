@@ -49,6 +49,10 @@ const (
 	// catch-up instead of the monolithic TSync snapshot. Wallets on other
 	// stores answer with an error and the caller falls back to TSync.
 	TSyncSegments MsgType = "sync-segments"
+	// TTrace fetches the serving wallet's retained spans for one trace ID
+	// (TraceReq; answered with TraceResp). `drbac trace` merges the
+	// answers from several wallets into one cross-wallet waterfall.
+	TTrace MsgType = "trace"
 )
 
 // Response and push types (server → client).
@@ -89,6 +93,22 @@ type QueryReq struct {
 	// this ID, so one cross-wallet discovery reads as a single trace in
 	// every participating wallet's structured logs.
 	TraceID string `json:"traceId,omitempty"`
+	// SpanID is the caller's span: the serving wallet parents its own
+	// span under it so merged cross-wallet traces nest remote hops below
+	// the query that caused them.
+	SpanID string `json:"spanId,omitempty"`
+}
+
+// TraceReq asks the serving wallet for its retained spans of one trace.
+type TraceReq struct {
+	TraceID string `json:"traceId"`
+}
+
+// TraceResp answers a TTrace request. Found is false when the trace was
+// never retained (sampled out, expired from the ring, or unknown).
+type TraceResp struct {
+	Found bool             `json:"found"`
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // ProofResp answers a direct query.
@@ -139,16 +159,16 @@ type StatsResp struct {
 	// "replica"); empty when the server does not declare one.
 	Role string `json:"role,omitempty"`
 	// Seq is the wallet's changelog sequence number (§9 replication).
-	Seq                uint64       `json:"seq"`
-	Delegations        int          `json:"delegations"`
-	Revoked            int          `json:"revoked"`
-	TTLTracked         int          `json:"ttlTracked"`
-	Watches            int          `json:"watches"`
-	CacheHits          int64        `json:"cacheHits"`
-	CacheMisses        int64        `json:"cacheMisses"`
-	CacheInvalidations int64        `json:"cacheInvalidations"`
-	CacheEntries       int          `json:"cacheEntries"`
-	CacheNegatives     int          `json:"cacheNegatives"`
+	Seq                uint64 `json:"seq"`
+	Delegations        int    `json:"delegations"`
+	Revoked            int    `json:"revoked"`
+	TTLTracked         int    `json:"ttlTracked"`
+	Watches            int    `json:"watches"`
+	CacheHits          int64  `json:"cacheHits"`
+	CacheMisses        int64  `json:"cacheMisses"`
+	CacheInvalidations int64  `json:"cacheInvalidations"`
+	CacheEntries       int    `json:"cacheEntries"`
+	CacheNegatives     int    `json:"cacheNegatives"`
 	// SigCache* report the wallet's verified-signature memo. When the
 	// daemon uses the process-wide shared cache these counters cover every
 	// verification in the process, not only this wallet's.
