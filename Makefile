@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke bench-json bench-diff fuzz sim examples clean
+.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke bench-json bench-diff fuzz sim sim-cluster-smoke examples clean
 
 # Aggregate coverage floor enforced by cover-check (CI). Raise it as
 # coverage grows; never lower it to admit an under-tested change.
@@ -10,9 +10,9 @@ COVER_FLOOR ?= 70.0
 
 all: build vet test
 
-# The default verification gate: build, vet, staticcheck, tests, and the
-# race detector.
-check: build vet staticcheck test test-race
+# The default verification gate: build, vet, staticcheck, tests, the
+# race detector, and the bounded cluster scatter-gather smoke.
+check: build vet staticcheck test test-race sim-cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,13 @@ fuzz:
 # Regenerate every experiment table in EXPERIMENTS.md.
 sim:
 	$(GO) run ./cmd/coalition-sim -exp all
+
+# Bounded-time end-to-end smoke over a 4-shard cluster (§12): routed
+# publishes, a scatter-gather object query, a cross-shard proof, and a
+# mid-traffic split. The runner self-bounds at 60s; finishes in well
+# under a second on a healthy build.
+sim-cluster-smoke:
+	$(GO) run ./cmd/coalition-sim -exp clustersmoke
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -166,3 +166,93 @@ func TestFacadeErrorsAndFakeClockAliases(t *testing.T) {
 	var _ drbac.SearchDirection = drbac.SearchBidirectional
 	var _ drbac.DiscoveryMode = drbac.DiscoverForwardOnly
 }
+
+// TestFacadeClusterFlow drives the sharded-cluster facade end to end: a
+// two-shard cluster behind a gateway, a mutation routed by consistent
+// hash, a cross-shard query, and a live split to a third shard.
+func TestFacadeClusterFlow(t *testing.T) {
+	ids, dir := newCoalition(t)
+	net := drbac.NewMemNetwork()
+
+	m, err := drbac.NewShardMap([][]string{{"shard0"}, {"shard1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallets := make(map[int]*drbac.Wallet)
+	for _, s := range m.Shards {
+		w := drbac.NewWallet(drbac.WalletConfig{Owner: ids["BigISP"], Directory: dir})
+		node, err := drbac.NewClusterNode(s.ID, m, w.Obs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen(s.Addrs[0], ids["BigISP"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := drbac.ServeWalletCluster(w, ln, node)
+		defer srv.Close()
+		wallets[s.ID] = w
+	}
+
+	gw, err := drbac.NewClusterWallet(drbac.ClusterWalletConfig{
+		Map:      m,
+		Dialer:   net.Dialer(ids["Maria"]),
+		Identity: ids["Maria"],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	d := issue(t, ids, dir, "[Maria -> BigISP.member] BigISP")
+	if err := gw.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	owner := m.OwnerOf(d)
+	if !wallets[owner.ID].Contains(d.ID()) {
+		t.Fatalf("delegation not at owner shard %d", owner.ID)
+	}
+	if drbac.ShardRouteKey(d.Subject) == "" {
+		t.Fatal("empty route key")
+	}
+
+	subj, err := drbac.ParseSubject("Maria", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role, err := drbac.ParseRole("BigISP.member", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := gw.QueryDirect(drbac.Query{Subject: subj, Object: role})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Validate(drbac.ValidateOptions{At: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live split via the facade: shard 2 carved out of shard 0.
+	target := drbac.NewWallet(drbac.WalletConfig{Owner: ids["BigISP"], Directory: dir})
+	split, err := drbac.StartShardSplit(drbac.ShardSplitConfig{
+		Current:  m,
+		SourceID: 0,
+		NewID:    2,
+		NewAddrs: []string{"shard2"},
+		Target:   target,
+		Dialer:   net.Dialer(ids["BigISP"]),
+		Peers:    drbac.NewPeerManager(drbac.PeerConfig{Dialer: net.Dialer(ids["BigISP"])}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := split.WaitCaughtUp(ctx, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	split.Finish()
+	if split.NewMap.Epoch != m.Epoch+1 {
+		t.Fatalf("split epoch %d, want %d", split.NewMap.Epoch, m.Epoch+1)
+	}
+}

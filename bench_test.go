@@ -16,6 +16,7 @@ package drbac_test
 //	go test -bench=. -benchmem
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -28,10 +29,14 @@ import (
 
 	"drbac"
 	"drbac/internal/baseline"
+	"drbac/internal/clock"
+	"drbac/internal/cluster"
 	"drbac/internal/core"
 	"drbac/internal/logstore"
+	"drbac/internal/remote"
 	"drbac/internal/revocation"
 	"drbac/internal/sim"
+	"drbac/internal/transport"
 	"drbac/internal/wallet"
 )
 
@@ -732,4 +737,186 @@ func BenchmarkWalletParallelQuery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// shardedBench is an N-shard wallet cluster on an in-memory network for
+// the §12 benchmarks: one served shard wallet per map entry behind a
+// routing gateway.
+type shardedBench struct {
+	b   *testing.B
+	dir *core.MemDirectory
+	clk *clock.Fake
+	net *transport.MemNetwork
+	ids map[string]*core.Identity
+	m   *cluster.Map
+	gw  *cluster.Wallet
+}
+
+func newShardedBench(b *testing.B, shards int) *shardedBench {
+	b.Helper()
+	sc := &shardedBench{
+		b:   b,
+		dir: core.NewDirectory(),
+		clk: clock.NewFake(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)),
+		net: transport.NewMemNetwork(),
+		ids: make(map[string]*core.Identity),
+	}
+	groups := make([][]string, shards)
+	for i := range groups {
+		groups[i] = []string{fmt.Sprintf("shard%d", i)}
+	}
+	m, err := cluster.Uniform(groups)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.m = m
+	for _, s := range m.Shards {
+		owner := sc.ident(fmt.Sprintf("shard%d-owner", s.ID))
+		w := wallet.New(wallet.Config{Owner: owner, Clock: sc.clk, Directory: sc.dir})
+		node, err := cluster.NewNode(s.ID, m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := sc.net.Listen(s.Addrs[0], owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := remote.ServeOptions(w, ln, remote.Options{Cluster: node})
+		b.Cleanup(srv.Close)
+	}
+	sc.gw = sc.newGateway()
+	return sc
+}
+
+// newGateway builds an extra gateway over the cluster (cold assembly
+// cache); the caller owns its Close.
+func (sc *shardedBench) newGateway() *cluster.Wallet {
+	sc.b.Helper()
+	gate := sc.ident("gate")
+	gw, err := cluster.NewWallet(cluster.WalletConfig{
+		Map:      sc.m,
+		Dialer:   sc.net.Dialer(gate),
+		Identity: gate,
+		Clock:    sc.clk,
+	})
+	if err != nil {
+		sc.b.Fatal(err)
+	}
+	sc.b.Cleanup(gw.Close)
+	return gw
+}
+
+func (sc *shardedBench) ident(name string) *core.Identity {
+	if id, ok := sc.ids[name]; ok {
+		return id
+	}
+	seed := sha256.Sum256([]byte("drbac-bench:" + name))
+	id, err := core.IdentityFromSeed(name, seed[:])
+	if err != nil {
+		sc.b.Fatal(err)
+	}
+	sc.ids[name] = id
+	sc.dir.Add(id.Entity())
+	return id
+}
+
+func (sc *shardedBench) deleg(text string) *core.Delegation {
+	sc.b.Helper()
+	parsed, err := core.ParseDelegation(text, sc.dir)
+	if err != nil {
+		sc.b.Fatal(err)
+	}
+	var issuer *core.Identity
+	for _, id := range sc.ids {
+		if id.ID() == parsed.Issuer.ID() {
+			issuer = id
+		}
+	}
+	if issuer == nil {
+		sc.b.Fatalf("no identity for issuer of %q", text)
+	}
+	d, err := core.Issue(issuer, parsed.Template, sc.clk.Now())
+	if err != nil {
+		sc.b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkShardedPublish measures the routed publish path (§12): hash
+// the subject, pick the owning shard, one wire round trip, admission at
+// the shard. The shard count varies only the routing fan-out, so the
+// per-op numbers should be near-flat; aggregate scaling under a durable
+// commit is EXP-C1's job (coalition-sim -exp cluster).
+func BenchmarkShardedPublish(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc := newShardedBench(b, shards)
+			sc.ident("Org")
+			delegs := make([]*core.Delegation, b.N)
+			for i := range delegs {
+				user := fmt.Sprintf("user%d", i)
+				sc.ident(user)
+				delegs[i] = sc.deleg(fmt.Sprintf("[%s -> Org.member] Org", user))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sc.gw.Publish(delegs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossShardProof measures end-to-end proof assembly for a
+// three-link chain spanning shards: cold pays the scatter/fetch rounds,
+// warm answers from the gateway's TTL-coherent assembly cache.
+func BenchmarkCrossShardProof(b *testing.B) {
+	sc := newShardedBench(b, 4)
+	for _, name := range []string{"A", "B", "C", "Maria"} {
+		sc.ident(name)
+	}
+	for _, text := range []string{
+		"[Maria -> A.member] A",
+		"[A.member -> B.guest] B",
+		"[B.guest -> C.vip] C",
+	} {
+		if err := sc.gw.Publish(sc.deleg(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	subject, err := core.ParseSubject("Maria", sc.dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	object, err := core.ParseRole("C.vip", sc.dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := wallet.Query{Subject: subject, Object: object}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gw := sc.newGateway()
+			b.StartTimer()
+			if _, err := gw.QueryDirect(q); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			gw.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := sc.gw.QueryDirect(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.gw.QueryDirect(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -58,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats|trace|state> [flags]")
+		return errors.New("usage: drbac <keygen|export|delegate|show|verify|publish|query|revoke|monitor|stats|trace|state|shardmap> [flags]")
 	}
 	// Ctrl-C / SIGTERM cancels whatever network operation is in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,6 +89,8 @@ func run(args []string) error {
 		return cmdTrace(ctx, rest)
 	case "state":
 		return cmdState(rest)
+	case "shardmap":
+		return cmdShardmap(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -307,15 +309,13 @@ func cmdPublish(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	client, err := dial(ctx, *key, *addr)
+	at, err := withRedirects(ctx, *key, *addr, func(client *remote.Client) error {
+		return client.Publish(ctx, b.Delegation, b.Support, time.Duration(*ttl)*time.Second)
+	})
 	if err != nil {
 		return err
 	}
-	defer client.Close()
-	if err := client.Publish(ctx, b.Delegation, b.Support, time.Duration(*ttl)*time.Second); err != nil {
-		return err
-	}
-	fmt.Printf("published %s to %s\n", b.Delegation.ID().Short(), *addr)
+	fmt.Printf("published %s to %s\n", b.Delegation.ID().Short(), at)
 	return nil
 }
 
@@ -387,15 +387,13 @@ func cmdRevoke(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := opContext(ctx, d)
 	defer cancel()
-	client, err := dial(ctx, *key, *addr)
+	at, err := withRedirects(ctx, *key, *addr, func(client *remote.Client) error {
+		return client.Revoke(ctx, core.DelegationID(*id))
+	})
 	if err != nil {
 		return err
 	}
-	defer client.Close()
-	if err := client.Revoke(ctx, core.DelegationID(*id)); err != nil {
-		return err
-	}
-	fmt.Printf("revoked %s at %s\n", core.DelegationID(*id).Short(), *addr)
+	fmt.Printf("revoked %s at %s\n", core.DelegationID(*id).Short(), at)
 	return nil
 }
 
@@ -408,6 +406,35 @@ func loadIdentity(path string) (*core.Identity, error) {
 		return nil, err
 	}
 	return f.Identity()
+}
+
+// withRedirects dials addr and runs op against it, following shard-cluster
+// redirects: a mis-routed mutation is refused with the owning shard's
+// replica group, so the CLI re-dials there and retries — self-healing
+// against a stale shard address without any cluster configuration. Hops
+// are bounded; each redirect is reported on stderr. Returns the address
+// group the operation finally ran against.
+func withRedirects(ctx context.Context, keyPath, addr string, op func(*remote.Client) error) (string, error) {
+	client, err := dial(ctx, keyPath, addr)
+	if err != nil {
+		return addr, err
+	}
+	defer func() { client.Close() }()
+	for hop := 0; ; hop++ {
+		err = op(client)
+		var rd *remote.RedirectError
+		if err == nil || !errors.As(err, &rd) || hop >= 3 || len(rd.Redirect.Addrs) == 0 {
+			return addr, err
+		}
+		next := strings.Join(rd.Redirect.Addrs, ",")
+		fmt.Fprintf(os.Stderr, "redirected to shard %d (%s)\n", rd.Redirect.Shard, next)
+		client.Close()
+		client, err = dial(ctx, keyPath, next)
+		if err != nil {
+			return next, err
+		}
+		addr = next
+	}
 }
 
 // dial connects to the first reachable address in addr, which may be a
@@ -493,6 +520,21 @@ func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 	fmt.Fprintf(w, "  misses       %d\n", resp.SigCacheMisses)
 	fmt.Fprintf(w, "  evictions    %d\n", resp.SigCacheEvictions)
 	fmt.Fprintf(w, "  size         %d\n", resp.SigCacheSize)
+	if c := resp.Cluster; c != nil {
+		fmt.Fprintf(w, "cluster\n")
+		fmt.Fprintf(w, "  epoch        %d\n", c.Epoch)
+		if c.Shard < 0 {
+			fmt.Fprintf(w, "  shard        gateway\n")
+		} else {
+			fmt.Fprintf(w, "  shard        %d\n", c.Shard)
+		}
+		fmt.Fprintf(w, "  shards       %d\n", c.Shards)
+		fmt.Fprintf(w, "  redirects    %d\n", c.Redirects)
+		fmt.Fprintf(w, "  scatters     %d\n", c.Scatters)
+		for _, name := range sortedNames(c.Routes) {
+			fmt.Fprintf(w, "  routed->%-4s %d\n", name, c.Routes[name])
+		}
+	}
 	if len(resp.Metrics.Counters) > 0 {
 		fmt.Fprintf(w, "counters\n")
 		for _, name := range sortedNames(resp.Metrics.Counters) {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drbac/internal/cluster"
+)
+
+func TestShardmapInitSplitShow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map.json")
+
+	if err := cmdShardmap([]string{"init", "-group", "s0a,s0b", "-group", "s1", "-out", path}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	m, err := readShardMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 1 || len(m.Shards) != 2 {
+		t.Fatalf("init wrote epoch %d / %d shards, want 1 / 2", m.Epoch, len(m.Shards))
+	}
+	if s, ok := m.ShardByID(0); !ok || len(s.Addrs) != 2 {
+		t.Fatalf("shard 0 = %+v, want a two-member replica group", s)
+	}
+
+	path2 := filepath.Join(dir, "map2.json")
+	if err := cmdShardmap([]string{"split", "-in", path, "-shard", "0", "-new-id", "2", "-group", "s2", "-out", path2}); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	m2, err := readShardMap(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch != m.Epoch+1 || len(m2.Shards) != 3 {
+		t.Fatalf("split wrote epoch %d / %d shards, want %d / 3", m2.Epoch, len(m2.Shards), m.Epoch+1)
+	}
+	// Untouched shards keep their exact ring points across the split.
+	pointsOf := func(m *cluster.Map, id int) map[uint64]bool {
+		out := make(map[uint64]bool)
+		for _, p := range m.Points {
+			if p.Shard == id {
+				out[p.Hash] = true
+			}
+		}
+		return out
+	}
+	for h := range pointsOf(m2, 1) {
+		if !pointsOf(m, 1)[h] {
+			t.Fatalf("split moved a point (%d) of the untouched shard 1", h)
+		}
+	}
+
+	if err := cmdShardmap([]string{"show", "-in", path2}); err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if err := cmdShardmap([]string{"bogus"}); err == nil || !strings.Contains(err.Error(), "unknown action") {
+		t.Errorf("bogus action: %v, want unknown-action error", err)
+	}
+}

@@ -79,3 +79,46 @@ func TestRenderStatsOmitsEmptySections(t *testing.T) {
 		}
 	}
 }
+
+func TestRenderStatsClusterSection(t *testing.T) {
+	resp := wire.StatsResp{
+		Cluster: &wire.ClusterStats{
+			Epoch:     3,
+			Shard:     -1,
+			Shards:    4,
+			Routes:    map[string]int64{"0": 7, "1": 5, "2": 9},
+			Redirects: 2,
+			Scatters:  11,
+		},
+	}
+	var buf bytes.Buffer
+	renderStats(&buf, "gw.example:7100", resp)
+	want := `cluster
+  epoch        3
+  shard        gateway
+  shards       4
+  redirects    2
+  scatters     11
+  routed->0    7
+  routed->1    5
+  routed->2    9
+`
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Errorf("renderStats cluster section:\n%s\nwant to contain:\n%s", buf.String(), want)
+	}
+
+	// A member renders its numeric shard ID.
+	resp.Cluster.Shard = 2
+	buf.Reset()
+	renderStats(&buf, "shard2.example:7100", resp)
+	if !bytes.Contains(buf.Bytes(), []byte("  shard        2\n")) {
+		t.Errorf("member stats lack the shard line:\n%s", buf.String())
+	}
+
+	// No cluster section outside a cluster.
+	buf.Reset()
+	renderStats(&buf, "w", wire.StatsResp{})
+	if bytes.Contains(buf.Bytes(), []byte("cluster")) {
+		t.Errorf("non-cluster stats rendered a cluster section:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,162 @@
+// Shard-cluster membership for drbacd: -shard-of names a shard map file
+// and -shard-id this member's shard. The daemon then serves under a
+// cluster guard (epoch advertised on connect, mis-routed or stale-epoch
+// mutations refused with redirects) and re-reads the map file whenever its
+// mtime changes, adopting newer epochs live — resharding is a map-file
+// rollout, not a restart.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"drbac/internal/cluster"
+	"drbac/internal/core"
+	"drbac/internal/obs"
+	"drbac/internal/transport"
+)
+
+// mapAdopter is the piece of cluster state a map-file rollout feeds:
+// both a member's *cluster.Node and a gateway's *cluster.Router adopt
+// strictly-newer maps and expose the one they serve under.
+type mapAdopter interface {
+	Adopt(*cluster.Map) bool
+	Current() *cluster.Map
+}
+
+// shardMapWatcher tracks the on-disk shard map backing a cluster
+// participant. Its poll runs on the daemon's sweep ticker; its health
+// feeds /readyz — a participant whose map file is unreadable,
+// unparsable, or ahead of what it could adopt (e.g. the new map dropped
+// this member's shard) should be out of rotation until an operator
+// intervenes.
+type shardMapWatcher struct {
+	path    string
+	adopter mapAdopter
+
+	mu        sync.Mutex
+	mtime     time.Time
+	fileEpoch uint64 // epoch last seen in the file, adopted or not
+	err       error  // last read/parse failure, nil when healthy
+}
+
+// readMapFile loads and validates the shard map at path.
+func readMapFile(flagName, path string) (*cluster.Map, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", flagName, err)
+	}
+	m, err := cluster.ParseMap(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %w", flagName, path, err)
+	}
+	return m, nil
+}
+
+// newMapWatcher builds a watcher over path feeding the given adopter.
+func newMapWatcher(path string, epoch uint64, adopter mapAdopter) *shardMapWatcher {
+	sw := &shardMapWatcher{path: path, adopter: adopter, fileEpoch: epoch}
+	if fi, err := os.Stat(path); err == nil {
+		sw.mtime = fi.ModTime()
+	}
+	return sw
+}
+
+// newShardMember loads the map file and builds the member's cluster node
+// plus its file watcher.
+func newShardMember(path string, id int, o *obs.Obs) (*cluster.Node, *shardMapWatcher, error) {
+	m, err := readMapFile("-shard-of", path)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, err := cluster.NewNode(id, m, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, newMapWatcher(path, m.Epoch, node), nil
+}
+
+// newClusterGateway loads the map file and builds a routing gateway over
+// the cluster plus its file watcher. The gateway dials shards as the
+// daemon's own identity.
+func newClusterGateway(path string, owner *core.Identity, o *obs.Obs) (*cluster.Wallet, *shardMapWatcher, error) {
+	m, err := readMapFile("-gateway-of", path)
+	if err != nil {
+		return nil, nil, err
+	}
+	gw, err := cluster.NewWallet(cluster.WalletConfig{
+		Map:      m,
+		Dialer:   &transport.TCPDialer{Identity: owner},
+		Identity: owner,
+		Obs:      o,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return gw, newMapWatcher(path, m.Epoch, gw.Router()), nil
+}
+
+// poll re-reads the map file when its mtime moved and adopts strictly
+// newer maps. Failures are recorded for the readiness probe, not fatal:
+// the member keeps serving under its installed map.
+func (sw *shardMapWatcher) poll(o *obs.Obs) {
+	fi, err := os.Stat(sw.path)
+	if err != nil {
+		sw.setErr(fmt.Errorf("stat: %w", err))
+		return
+	}
+	sw.mu.Lock()
+	unchanged := fi.ModTime().Equal(sw.mtime)
+	sw.mu.Unlock()
+	if unchanged {
+		return
+	}
+	raw, err := os.ReadFile(sw.path)
+	if err != nil {
+		sw.setErr(fmt.Errorf("read: %w", err))
+		return
+	}
+	m, err := cluster.ParseMap(raw)
+	if err != nil {
+		sw.setErr(fmt.Errorf("parse: %w", err))
+		return
+	}
+	adopted := sw.adopter.Adopt(m)
+	sw.mu.Lock()
+	sw.mtime = fi.ModTime()
+	sw.fileEpoch = m.Epoch
+	sw.err = nil
+	sw.mu.Unlock()
+	if adopted {
+		o.Log().Info("shard map adopted from file",
+			"path", sw.path, "epoch", m.Epoch, "shards", len(m.Shards))
+	}
+}
+
+func (sw *shardMapWatcher) setErr(err error) {
+	sw.mu.Lock()
+	sw.err = err
+	sw.mu.Unlock()
+}
+
+// notReady reports why this member should be out of rotation, "" when
+// healthy: the map file failed its last poll, or the file carries an epoch
+// the member could not adopt (a rolled-out map that no longer names this
+// shard), leaving it serving stale routing state.
+func (sw *shardMapWatcher) notReady() string {
+	if sw == nil {
+		return ""
+	}
+	sw.mu.Lock()
+	err, fileEpoch := sw.err, sw.fileEpoch
+	sw.mu.Unlock()
+	if err != nil {
+		return fmt.Sprintf("cluster: shard map %s unfetchable: %v", sw.path, err)
+	}
+	if cur := sw.adopter.Current().Epoch; fileEpoch > cur {
+		return fmt.Sprintf("cluster: shard map stale: file epoch %d not adopted (serving %d)", fileEpoch, cur)
+	}
+	return ""
+}

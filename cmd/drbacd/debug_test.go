@@ -22,7 +22,7 @@ func TestDebugMux(t *testing.T) {
 	w := wallet.New(wallet.Config{Obs: o})
 	reg.Counter("drbac_server_requests_total").Add(17)
 
-	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0))
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string, string) {
@@ -87,7 +87,7 @@ func TestReadyz(t *testing.T) {
 
 	var storeErr error
 	health := func() error { return storeErr }
-	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, health, 30*time.Second))
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, health, 30*time.Second, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/readyz")
@@ -128,8 +128,8 @@ func TestReadyz(t *testing.T) {
 // TestNotReadyNil covers the probe's nil inputs: a primary on a store
 // without failure detection is always ready.
 func TestNotReadyNil(t *testing.T) {
-	if reason := notReady(nil, nil, 0); reason != "" {
-		t.Errorf("notReady(nil, nil, 0) = %q, want ready", reason)
+	if reason := notReady(nil, nil, 0, nil); reason != "" {
+		t.Errorf("notReady(nil, nil, 0, nil) = %q, want ready", reason)
 	}
 }
 
@@ -144,7 +144,7 @@ func TestDebugTracesMounted(t *testing.T) {
 	sp := o.StartSpan(id, "discovery")
 	sp.End()
 
-	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0))
+	srv := httptest.NewServer(newDebugMux(o, w, "primary", nil, nil, 0, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/traces/" + id)
@@ -160,7 +160,7 @@ func TestDebugTracesMounted(t *testing.T) {
 		t.Errorf("trace detail missing root span: %s", body)
 	}
 
-	bare := httptest.NewServer(newDebugMux(obs.New(nil, obs.NewRegistry()), w, "primary", nil, nil, 0))
+	bare := httptest.NewServer(newDebugMux(obs.New(nil, obs.NewRegistry()), w, "primary", nil, nil, 0, nil))
 	defer bare.Close()
 	resp, err = http.Get(bare.URL + "/debug/traces")
 	if err != nil {

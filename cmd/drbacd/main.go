@@ -6,12 +6,30 @@
 //
 //	drbacd -key bigisp.key -listen 127.0.0.1:7100 [-load bundles/] [-strict]
 //	       [-replica-of host:port[,host:port...]]
+//	       [-shard-of map.json -shard-id 0]
+//	       [-gateway-of map.json]
 //	       [-http 127.0.0.1:7190] [-log-level debug] [-log-json]
 //
 // With -replica-of the daemon runs as a read-only follower replica (§9): it
 // bootstraps from the upstream wallet's snapshot, applies its changelog
 // stream in sequence order, and refuses publish/revoke requests while
 // serving queries — a horizontally scaled read path for a busy home wallet.
+//
+// With -shard-of the daemon serves one shard of a consistent-hash wallet
+// cluster (§12): the map file names every shard's replica group, -shard-id
+// this member's shard. The server advertises the map epoch on connect and
+// refuses mis-routed or stale-epoch mutations with redirects carrying the
+// fresh map. The file is re-read when its mtime changes (on the -sweep
+// cadence) and newer epochs adopted live, so a reshard is a map-file
+// rollout; /readyz reports an unreadable or unadoptable map as not-ready.
+//
+// With -gateway-of the daemon serves the whole cluster as one logical
+// wallet (§12.3): mutations route to the owning shard, object queries
+// scatter-gather across shards, and direct queries assemble cross-shard
+// proof chains. The gateway holds no durable state of its own — only a
+// TTL-coherent assembly cache — so -state, -load, -replica-of, and
+// -shard-of are rejected alongside it. The map file is watched exactly
+// like a member's.
 //
 // The -load directory may contain delegation bundle files (as written by
 // `drbac delegate`) that are published into the wallet at startup, in
@@ -43,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"drbac/internal/cluster"
 	"drbac/internal/core"
 	"drbac/internal/keyfile"
 	"drbac/internal/logstore"
@@ -68,6 +87,9 @@ func run(args []string) error {
 	state := fs.String("state", "", "wallet state path: restored at startup, persisted on every publication and revocation")
 	storeKind := fs.String("store", "json", `durable format for -state: "json" (single-file snapshot, rewritten per mutation) or "log" (segmented append-only log with compaction; a legacy json file at the path is migrated in place once, keeping a .bak)`)
 	replicaOf := fs.String("replica-of", "", "run as a read-only follower replica of the wallet at host:port[,host:port...] (§9); mutations are refused")
+	shardOf := fs.String("shard-of", "", "serve one shard of a wallet cluster: path of the shard map file (JSON, re-read on mtime change); requires -shard-id")
+	shardID := fs.Int("shard-id", -1, "this member's shard ID in the -shard-of map")
+	gatewayOf := fs.String("gateway-of", "", "serve a routing gateway over the whole wallet cluster in the given shard map file (JSON, re-read on mtime change); excludes -shard-of, -replica-of, -load, -state")
 	strict := fs.Bool("strict", false, "require attribute-assignment rights")
 	sweep := fs.Duration("sweep", 10*time.Second, "expiry/staleness sweep interval")
 	httpAddr := fs.String("http", "", "debug listen address serving /metrics, /healthz, /readyz, /debug/traces, /debug/pprof (empty disables)")
@@ -84,6 +106,15 @@ func run(args []string) error {
 	}
 	if *keyPath == "" {
 		return fmt.Errorf("-key is required")
+	}
+	if *shardOf != "" && *shardID < 0 {
+		return fmt.Errorf("-shard-of requires -shard-id")
+	}
+	if *shardOf == "" && *shardID >= 0 {
+		return fmt.Errorf("-shard-id requires -shard-of")
+	}
+	if *gatewayOf != "" && (*shardOf != "" || *replicaOf != "" || *load != "" || *state != "") {
+		return fmt.Errorf("-gateway-of cannot be combined with -shard-of, -replica-of, -load, or -state")
 	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -117,23 +148,32 @@ func run(args []string) error {
 		return err
 	}
 
-	w, closeStore, storeHealth, err := openWallet(owner, *state, *storeKind, *strict, o)
-	if err != nil {
-		return err
-	}
-	defer closeStore()
-	if *state != "" {
-		logger.Info("state restored",
-			"delegations", w.Len(), "revocations", len(w.RevokedIDs()),
-			"seq", w.Seq(), "path", *state, "store", *storeKind)
-	}
-	if *load != "" {
-		n, err := loadBundles(w, *load)
+	var (
+		w           *wallet.Wallet
+		closeStore  = func() {}
+		storeHealth func() error
+		gw          *cluster.Wallet
+		shardWatch  *shardMapWatcher
+	)
+	if *gatewayOf == "" {
+		w, closeStore, storeHealth, err = openWallet(owner, *state, *storeKind, *strict, o)
 		if err != nil {
 			return err
 		}
-		logger.Info("bundles loaded", "delegations", n, "dir", *load)
+		if *state != "" {
+			logger.Info("state restored",
+				"delegations", w.Len(), "revocations", len(w.RevokedIDs()),
+				"seq", w.Seq(), "path", *state, "store", *storeKind)
+		}
+		if *load != "" {
+			n, err := loadBundles(w, *load)
+			if err != nil {
+				return err
+			}
+			logger.Info("bundles loaded", "delegations", n, "dir", *load)
+		}
 	}
+	defer closeStore()
 
 	role := "primary"
 	var follower *replica.Follower
@@ -152,14 +192,51 @@ func run(args []string) error {
 		logger.Info("replicating", "upstream", *replicaOf)
 	}
 
+	var node *cluster.Node
+	if *shardOf != "" {
+		node, shardWatch, err = newShardMember(*shardOf, *shardID, o)
+		if err != nil {
+			return err
+		}
+		role = fmt.Sprintf("shard-%d", *shardID)
+		logger.Info("cluster member",
+			"shard", *shardID, "epoch", node.Current().Epoch,
+			"shards", len(node.Current().Shards), "map", *shardOf)
+	}
+	if *gatewayOf != "" {
+		gw, shardWatch, err = newClusterGateway(*gatewayOf, owner, o)
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		role = "gateway"
+		// The gateway's local wallet is its TTL-coherent assembly cache:
+		// it backs /healthz and the staleness sweeps below.
+		w = gw.Local()
+		logger.Info("cluster gateway",
+			"epoch", gw.Router().Epoch(), "shards", len(gw.Router().Current().Shards),
+			"map", *gatewayOf)
+	}
+
 	ln, err := transport.ListenTCP(*listen, owner)
 	if err != nil {
 		return err
 	}
-	srv := remote.ServeOptions(w, ln, remote.Options{
+	var (
+		guard remote.ClusterGuard
+		svc   wallet.Service = w
+	)
+	if node != nil {
+		guard = node
+	}
+	if gw != nil {
+		guard, svc = gw.Guard(), gw
+	}
+	srv := remote.ServeOptions(svc, ln, remote.Options{
 		Obs:      o,
 		Role:     role,
 		ReadOnly: follower != nil,
+		Cluster:  guard,
 	})
 	defer srv.Close()
 	logger.Info("serving",
@@ -171,7 +248,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("debug listener: %w", err)
 		}
-		hsrv := &http.Server{Handler: newDebugMux(o, w, role, follower, storeHealth, *readyMaxLag)}
+		hsrv := &http.Server{Handler: newDebugMux(o, w, role, follower, storeHealth, *readyMaxLag, shardWatch)}
 		defer hsrv.Close()
 		go func() {
 			if err := hsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -193,6 +270,9 @@ func run(args []string) error {
 			}
 			if n := w.SweepStaleCache(); n > 0 {
 				logger.Info("swept stale cached delegations", "count", n)
+			}
+			if shardWatch != nil {
+				shardWatch.poll(o)
 			}
 		case <-ctx.Done():
 			logger.Info("shutting down")
@@ -228,8 +308,9 @@ type readiness struct {
 }
 
 // notReady explains why the daemon should be out of rotation, or "" when it
-// is ready. storeHealth is nil for stores without failure detection.
-func notReady(follower *replica.Follower, storeHealth func() error, maxLag time.Duration) string {
+// is ready. storeHealth is nil for stores without failure detection;
+// shardWatch is nil outside a cluster.
+func notReady(follower *replica.Follower, storeHealth func() error, maxLag time.Duration, shardWatch *shardMapWatcher) string {
 	if storeHealth != nil {
 		if err := storeHealth(); err != nil {
 			return "store: " + err.Error()
@@ -244,6 +325,9 @@ func notReady(follower *replica.Follower, storeHealth func() error, maxLag time.
 			return fmt.Sprintf("replica: lag %ds exceeds %s", rs.LagSeconds, maxLag)
 		}
 	}
+	if reason := shardWatch.notReady(); reason != "" {
+		return reason
+	}
 	return ""
 }
 
@@ -251,11 +335,11 @@ func notReady(follower *replica.Follower, storeHealth func() error, maxLag time.
 // health summary, the readiness probe, retained traces, and the standard
 // pprof handlers. follower is nil on a primary; storeHealth is nil when the
 // store has no failure detection (memory, json).
-func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Follower, storeHealth func() error, readyMaxLag time.Duration) *http.ServeMux {
+func newDebugMux(o *obs.Obs, w *wallet.Wallet, role string, follower *replica.Follower, storeHealth func() error, readyMaxLag time.Duration, shardWatch *shardMapWatcher) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(o.Registry()))
 	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
-		reason := notReady(follower, storeHealth, readyMaxLag)
+		reason := notReady(follower, storeHealth, readyMaxLag, shardWatch)
 		rw.Header().Set("Content-Type", "application/json")
 		if reason != "" {
 			rw.WriteHeader(http.StatusServiceUnavailable)

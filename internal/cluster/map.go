@@ -1,0 +1,271 @@
+// Package cluster shards one logical dRBAC wallet across N nodes.
+//
+// The unit of partitioning is the delegation's subject node: every
+// delegation [S → O] I lives on the shard that owns S's routing key, so a
+// forward edge expansion (QuerySubject at S) is always answerable by a
+// single shard, and a k-shard proof chain is assembled by the same
+// parallel breadth-first machinery internal/discovery uses across wallet
+// homes — a k-shard proof is a k-home discovery with zero-latency tags.
+//
+// Ownership is decided by a versioned consistent-hash shard map: a ring
+// of explicitly serialized virtual-node points (FNV-64a of the routing
+// key, matched to the nearest clockwise point). Storing the points in the
+// map — rather than re-deriving them from shard IDs — is what makes a
+// split cheap: Split reassigns half of one shard's points to the new
+// shard and bumps the epoch, so only the source shard's changelog needs
+// replay and every other shard's ownership is untouched.
+//
+// The map travels in the wire protocol (see internal/wire): servers
+// advertise their epoch on connect, answer `shardmap` requests with the
+// full map, and refuse stale-epoch mutations with a redirect carrying the
+// fresh map, so clients and peers self-heal their routing.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"drbac/internal/core"
+)
+
+// DefaultPointsPerShard is the virtual-node count Uniform gives each
+// shard. 32 points keeps key skew under ~20% while keeping the serialized
+// map small enough to carry in a redirect frame.
+const DefaultPointsPerShard = 32
+
+// Shard is one partition of the delegation space: a stable ID and the
+// replica group (primary first) serving it.
+type Shard struct {
+	ID int `json:"id"`
+	// Addrs is the shard's replica group; any member can answer reads,
+	// writes go through whichever member accepts them (the primary).
+	Addrs []string `json:"addrs"`
+}
+
+// Point is one virtual node on the hash ring: keys hash to the nearest
+// clockwise point and belong to that point's shard.
+type Point struct {
+	Hash  uint64 `json:"hash"`
+	Shard int    `json:"shard"`
+}
+
+// Map is a versioned consistent-hash shard map. It is immutable once
+// built: mutations (Split) return a new map with a bumped epoch.
+type Map struct {
+	// Epoch versions the map; a higher epoch always supersedes a lower
+	// one. Requests stamped with a stale epoch are refused with a
+	// redirect carrying the current map.
+	Epoch  uint64  `json:"epoch"`
+	Shards []Shard `json:"shards"`
+	// Points is the serialized ring, sorted by Hash ascending.
+	Points []Point `json:"points"`
+}
+
+// RouteKey returns the canonical routing key of a subject node: the full
+// entity fingerprint for entity subjects, the printed role for role
+// subjects. The delegation [S → O] I routes by RouteKey(S).
+func RouteKey(s core.Subject) string {
+	if s.IsEntity() {
+		return string(s.Entity)
+	}
+	return s.Role.String()
+}
+
+// HashKey is the ring position of a routing key: FNV-64a finalized with
+// mix64, so near-identical keys (role names sharing a namespace prefix)
+// still spread across the ring.
+func HashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// pointHash derives a ring point for (shard, index): FNV-64a over a
+// printed label, then a splitmix64 finalizer. The finalizer matters —
+// raw FNV of near-identical labels clusters tightly (weak high-bit
+// avalanche), which would collapse each shard's virtual nodes into one
+// arc and defeat the load spreading. Deterministic across processes.
+func pointHash(shard, idx int) uint64 {
+	return mix64(HashKey(fmt.Sprintf("shard:%d:point:%d", shard, idx)))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap invertible bit mixer that
+// spreads clustered inputs across the full 64-bit range.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Uniform builds an epoch-1 map with one Shard per address group and
+// DefaultPointsPerShard ring points each. groups[i] is shard i's replica
+// group (comma-separation is the caller's concern; pass split addresses).
+func Uniform(groups [][]string) (*Map, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: uniform map needs at least one shard")
+	}
+	m := &Map{Epoch: 1}
+	for i, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no addresses", i)
+		}
+		m.Shards = append(m.Shards, Shard{ID: i, Addrs: append([]string(nil), g...)})
+		for p := 0; p < DefaultPointsPerShard; p++ {
+			m.Points = append(m.Points, Point{Hash: pointHash(i, p), Shard: i})
+		}
+	}
+	m.normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// normalize sorts the ring.
+func (m *Map) normalize() {
+	sort.Slice(m.Points, func(i, j int) bool { return m.Points[i].Hash < m.Points[j].Hash })
+}
+
+// Validate checks structural invariants: at least one shard, unique shard
+// IDs, every shard addressed, every point owned by a known shard, every
+// shard owning at least one point, ring sorted with unique hashes.
+func (m *Map) Validate() error {
+	if m == nil || len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: map has no shards")
+	}
+	if m.Epoch == 0 {
+		return fmt.Errorf("cluster: map epoch 0 is reserved")
+	}
+	owned := make(map[int]int, len(m.Shards))
+	for _, s := range m.Shards {
+		if _, dup := owned[s.ID]; dup {
+			return fmt.Errorf("cluster: duplicate shard id %d", s.ID)
+		}
+		if len(s.Addrs) == 0 {
+			return fmt.Errorf("cluster: shard %d has no addresses", s.ID)
+		}
+		owned[s.ID] = 0
+	}
+	if len(m.Points) == 0 {
+		return fmt.Errorf("cluster: map has no ring points")
+	}
+	for i, p := range m.Points {
+		if _, ok := owned[p.Shard]; !ok {
+			return fmt.Errorf("cluster: point %d owned by unknown shard %d", i, p.Shard)
+		}
+		owned[p.Shard]++
+		if i > 0 && m.Points[i-1].Hash >= p.Hash {
+			return fmt.Errorf("cluster: ring unsorted or duplicate hash at point %d", i)
+		}
+	}
+	for id, n := range owned {
+		if n == 0 {
+			return fmt.Errorf("cluster: shard %d owns no ring points", id)
+		}
+	}
+	return nil
+}
+
+// OwnerID returns the shard ID owning a routing key: the nearest
+// clockwise ring point (wrapping past the top).
+func (m *Map) OwnerID(key string) int {
+	h := HashKey(key)
+	i := sort.Search(len(m.Points), func(i int) bool { return m.Points[i].Hash >= h })
+	if i == len(m.Points) {
+		i = 0
+	}
+	return m.Points[i].Shard
+}
+
+// Owner returns the shard owning a routing key.
+func (m *Map) Owner(key string) Shard {
+	id := m.OwnerID(key)
+	s, _ := m.ShardByID(id)
+	return s
+}
+
+// OwnerOf returns the shard owning a delegation (by its subject node).
+func (m *Map) OwnerOf(d *core.Delegation) Shard { return m.Owner(RouteKey(d.Subject)) }
+
+// ShardByID looks a shard up by ID.
+func (m *Map) ShardByID(id int) (Shard, bool) {
+	for _, s := range m.Shards {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Shard{}, false
+}
+
+// Owns reports whether shard id owns the routing key under this map.
+func (m *Map) Owns(id int, key string) bool { return m.OwnerID(key) == id }
+
+// Split carves a new shard out of src: half of src's ring points (every
+// other one, so the stolen arc interleaves) move to a new shard with the
+// given replica group, and the epoch bumps. Only keys previously owned by
+// src can change owner, which is what lets resharding replay just the
+// source shard's changelog. Returns the new map; the receiver is
+// unchanged.
+func (m *Map) Split(srcID, newID int, addrs []string) (*Map, error) {
+	if _, ok := m.ShardByID(srcID); !ok {
+		return nil, fmt.Errorf("cluster: split source shard %d not in map", srcID)
+	}
+	if _, dup := m.ShardByID(newID); dup {
+		return nil, fmt.Errorf("cluster: split target shard id %d already in map", newID)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: split target shard needs addresses")
+	}
+	next := &Map{
+		Epoch:  m.Epoch + 1,
+		Shards: append(append([]Shard(nil), m.Shards...), Shard{ID: newID, Addrs: append([]string(nil), addrs...)}),
+		Points: append([]Point(nil), m.Points...),
+	}
+	moved, seen := 0, 0
+	for i := range next.Points {
+		if next.Points[i].Shard != srcID {
+			continue
+		}
+		if seen%2 == 1 {
+			next.Points[i].Shard = newID
+			moved++
+		}
+		seen++
+	}
+	if moved == 0 {
+		return nil, fmt.Errorf("cluster: split source shard %d has too few points (%d) to split", srcID, seen)
+	}
+	if err := next.Validate(); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	c := &Map{Epoch: m.Epoch, Points: append([]Point(nil), m.Points...)}
+	for _, s := range m.Shards {
+		c.Shards = append(c.Shards, Shard{ID: s.ID, Addrs: append([]string(nil), s.Addrs...)})
+	}
+	return c
+}
+
+// Marshal serializes the map (canonical JSON).
+func (m *Map) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// ParseMap deserializes and validates a map.
+func ParseMap(data []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parse map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

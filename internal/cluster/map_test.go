@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"drbac/internal/core"
+)
+
+func groups(n int) [][]string {
+	var g [][]string
+	for i := 0; i < n; i++ {
+		g = append(g, []string{fmt.Sprintf("shard-%d:1", i)})
+	}
+	return g
+}
+
+func TestUniformMapValidatesAndRoutes(t *testing.T) {
+	m, err := Uniform(groups(4))
+	if err != nil {
+		t.Fatalf("uniform: %v", err)
+	}
+	if m.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", m.Epoch)
+	}
+	if len(m.Points) != 4*DefaultPointsPerShard {
+		t.Fatalf("points = %d", len(m.Points))
+	}
+	// Routing is deterministic and lands on a known shard.
+	counts := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("entity-%d", i)
+		id := m.OwnerID(key)
+		if id != m.OwnerID(key) {
+			t.Fatalf("nondeterministic routing for %q", key)
+		}
+		if _, ok := m.ShardByID(id); !ok {
+			t.Fatalf("key %q routed to unknown shard %d", key, id)
+		}
+		counts[id]++
+	}
+	// Every shard owns a reasonable slice of keyspace (skew bound is
+	// loose: vnodes make the worst shard hold at least ~1/4 of fair
+	// share on 1000 keys).
+	for id, n := range counts {
+		if n < 1000/len(m.Shards)/4 {
+			t.Fatalf("shard %d owns only %d/1000 keys — ring badly skewed: %v", id, n, counts)
+		}
+	}
+}
+
+func TestUniformRejectsEmpty(t *testing.T) {
+	if _, err := Uniform(nil); err == nil {
+		t.Fatal("want error for zero shards")
+	}
+	if _, err := Uniform([][]string{{}}); err == nil {
+		t.Fatal("want error for addressless shard")
+	}
+}
+
+func TestSplitMovesOnlySourceKeys(t *testing.T) {
+	m, err := Uniform(groups(2))
+	if err != nil {
+		t.Fatalf("uniform: %v", err)
+	}
+	next, err := m.Split(1, 2, []string{"shard-2:1"})
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if next.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", next.Epoch, m.Epoch+1)
+	}
+	if len(next.Shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(next.Shards))
+	}
+	// The old map is untouched.
+	if len(m.Shards) != 2 || m.Epoch != 1 {
+		t.Fatal("split mutated receiver")
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := m.OwnerID(key), next.OwnerID(key)
+		if before == after {
+			continue
+		}
+		// Every moved key must come from the split source and land on
+		// the new shard — shard 0's ownership is untouched.
+		if before != 1 || after != 2 {
+			t.Fatalf("key %q moved %d→%d; only 1→2 moves are legal", key, before, after)
+		}
+		moved++
+		_ = kept
+	}
+	if moved == 0 {
+		t.Fatal("split moved no keys")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	m, _ := Uniform(groups(2))
+	if _, err := m.Split(9, 2, []string{"x:1"}); err == nil {
+		t.Fatal("want error for unknown source")
+	}
+	if _, err := m.Split(0, 1, []string{"x:1"}); err == nil {
+		t.Fatal("want error for duplicate target id")
+	}
+	if _, err := m.Split(0, 2, nil); err == nil {
+		t.Fatal("want error for addressless target")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m, _ := Uniform(groups(3))
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseMap(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("rt-%d", i)
+		if m.OwnerID(key) != back.OwnerID(key) {
+			t.Fatalf("round-trip changed routing for %q", key)
+		}
+	}
+	if _, err := ParseMap([]byte(`{"epoch":0,"shards":[]}`)); err == nil {
+		t.Fatal("want error for invalid map")
+	}
+	if _, err := ParseMap([]byte(`not json`)); err == nil {
+		t.Fatal("want error for bad json")
+	}
+}
+
+func TestRouteKey(t *testing.T) {
+	ent := core.SubjectEntity("abcdef0123456789abcdef0123456789abcdef0123456789abcdef0123456789")
+	if RouteKey(ent) != string(ent.Entity) {
+		t.Fatalf("entity route key = %q", RouteKey(ent))
+	}
+	role := core.SubjectRole(core.Role{Namespace: "ns", Name: "admin"})
+	if RouteKey(role) != role.Role.String() {
+		t.Fatalf("role route key = %q", RouteKey(role))
+	}
+	if RouteKey(ent) == RouteKey(role) {
+		t.Fatal("distinct subjects share a route key")
+	}
+}

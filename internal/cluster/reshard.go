@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"drbac/internal/clock"
+	"drbac/internal/core"
+	"drbac/internal/obs"
+	"drbac/internal/peer"
+	"drbac/internal/replica"
+	"drbac/internal/subs"
+	"drbac/internal/transport"
+	"drbac/internal/wallet"
+)
+
+// Split is a live shard split in flight. It rides the changelog: the new
+// shard's wallet runs as a filtered follower of the source shard,
+// replaying only the delegations the new map assigns to it, while the
+// source keeps serving traffic. Once the follower converges, adopt the
+// new map on the new shard, then the source, then every router — the
+// stream keeps draining mutations the source accepted before its
+// adoption, so a mid-traffic split loses nothing. Finish stops the
+// stream; PruneMoved reclaims the moved keys from the source at leisure.
+type Split struct {
+	// NewMap is the bumped-epoch map the cluster converges to.
+	NewMap *Map
+	// NewID is the shard carved out of the source.
+	NewID int
+
+	follower *replica.Follower
+	srcAddrs []string
+	peers    *peer.Manager
+	obs      *obs.Obs
+	clk      clock.Clock
+}
+
+// SplitConfig configures StartSplit.
+type SplitConfig struct {
+	// Current is the map being split; required.
+	Current *Map
+	// SourceID is the shard being split; NewID/NewAddrs describe the
+	// shard carved out of it.
+	SourceID int
+	NewID    int
+	NewAddrs []string
+	// Target is the new shard's local wallet, populated by filtered
+	// replay; required. It should serve read-only until the split
+	// finishes.
+	Target *wallet.Wallet
+	// Dialer/Peers connect to the source shard (same contract as
+	// replica.Config).
+	Dialer transport.Dialer
+	Peers  *peer.Manager
+	// Obs receives replay logs and metrics.
+	Obs *obs.Obs
+	// Clock is the time source; nil means the system clock.
+	Clock clock.Clock
+}
+
+// StartSplit computes the post-split map and starts the filtered
+// changelog replay of the source shard into the target wallet.
+func StartSplit(cfg SplitConfig) (*Split, error) {
+	if cfg.Current == nil {
+		return nil, errors.New("cluster: SplitConfig.Current is required")
+	}
+	if cfg.Target == nil {
+		return nil, errors.New("cluster: SplitConfig.Target is required")
+	}
+	next, err := cfg.Current.Split(cfg.SourceID, cfg.NewID, cfg.NewAddrs)
+	if err != nil {
+		return nil, err
+	}
+	src, _ := cfg.Current.ShardByID(cfg.SourceID)
+	newID := cfg.NewID
+	f, err := replica.Start(replica.Config{
+		Local:  cfg.Target,
+		Addrs:  src.Addrs,
+		Dialer: cfg.Dialer,
+		Peers:  cfg.Peers,
+		Obs:    cfg.Obs,
+		Clock:  cfg.Clock,
+		Filter: func(d *core.Delegation) bool {
+			return next.OwnerID(RouteKey(d.Subject)) == newID
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Split{
+		NewMap:   next,
+		NewID:    cfg.NewID,
+		follower: f,
+		srcAddrs: src.Addrs,
+		peers:    cfg.Peers,
+		obs:      cfg.Obs,
+		clk:      clk,
+	}, nil
+}
+
+// Status exposes the underlying follower's replication progress.
+func (s *Split) Status() replica.Status { return s.follower.Status() }
+
+// Lag asks the source shard for its changelog seq and returns how far the
+// filtered replay trails it (0 when caught up).
+func (s *Split) Lag(ctx context.Context) (uint64, error) {
+	if s.peers == nil {
+		return 0, errors.New("cluster: split lag check needs a peer pool")
+	}
+	c, _, err := s.peers.GetAny(ctx, s.srcAddrs)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return 0, err
+	}
+	applied := s.follower.Status().AppliedSeq
+	if stats.Seq <= applied {
+		return 0, nil
+	}
+	return stats.Seq - applied, nil
+}
+
+// WaitCaughtUp polls until the replay is connected with zero lag, or ctx
+// expires. The caller then adopts NewMap (new shard first, then source,
+// then routers) while the stream is still attached, so mutations accepted
+// by the source up to its adoption still flow over.
+func (s *Split) WaitCaughtUp(ctx context.Context, poll time.Duration) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		if s.follower.Status().Connected {
+			lag, err := s.Lag(ctx)
+			if err == nil && lag == 0 {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: split catch-up: %w", ctx.Err())
+		case <-s.clk.After(poll):
+		}
+	}
+}
+
+// Finish stops the filtered replay stream. Call it only after every
+// writer has adopted NewMap: from then on no mutation for a moved key can
+// land on the source, so the stream has nothing left to carry.
+func (s *Split) Finish() { s.follower.Close() }
+
+// PruneMoved drops from w (serving shard id under m) every delegation m
+// assigns elsewhere — the source shard's post-split cleanup. Returns how
+// many delegations were dropped. Safe to run while serving: drops are
+// sequenced like any other mutation.
+func PruneMoved(w *wallet.Wallet, m *Map, id int) int {
+	dropped := 0
+	for _, d := range w.Delegations() {
+		if m.OwnerID(RouteKey(d.Subject)) != id {
+			w.DropReplicated(d.ID(), subs.Stale)
+			dropped++
+		}
+	}
+	return dropped
+}

@@ -55,6 +55,13 @@ type Config struct {
 	// optimization (remote queries then carry the original constraints).
 	// Ablation switch for EXP-S2b.
 	DisableRangeAdjustment bool
+	// Resolver, if non-nil, computes a discovery tag for nodes the tag
+	// book has no entry for. A sharded cluster gateway uses it to point
+	// every node at its owning shard's replica group — "zero-latency
+	// tags": a k-shard proof assembly becomes a k-home discovery without
+	// any tag ever having been published. Learned tags still win; the
+	// resolver is the fallback.
+	Resolver func(core.Subject) (core.DiscoveryTag, bool)
 	// Obs, if non-nil, receives discovery metrics and spans: each Discover
 	// runs under a trace ID (minted here unless the query already carries
 	// one) that also propagates to every wallet home it queries, so one
@@ -179,12 +186,19 @@ func (a *Agent) RegisterTag(node core.Subject, tag core.DiscoveryTag) {
 	a.tags[node] = tag.Normalize()
 }
 
-// Tag returns the known discovery tag for a node.
+// Tag returns the known discovery tag for a node: the tag book first,
+// then the configured Resolver (computed tags) as fallback.
 func (a *Agent) Tag(node core.Subject) (core.DiscoveryTag, bool) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	t, ok := a.tags[node]
-	return t, ok
+	a.mu.Unlock()
+	if ok {
+		return t, true
+	}
+	if a.cfg.Resolver != nil {
+		return a.cfg.Resolver(node)
+	}
+	return core.DiscoveryTag{}, false
 }
 
 // Learn harvests discovery tags from a credential's annotations. The

@@ -83,6 +83,14 @@ var (
 		"drbac_proxy_hits_total":  "Proxy queries answered from the local wallet or front cache.",
 		"drbac_proxy_pulls_total": "Proxy queries that pulled proofs from the upstream wallet.",
 
+		// cluster
+		"drbac_cluster_map_adoptions_total": "Newer shard maps adopted (resharding epoch bumps).",
+		"drbac_cluster_redirects_total":     "Shard redirects issued (member) or followed (router).",
+		"drbac_cluster_routes_total":        "Mutations routed to (router) or served by (member) a shard.",
+		"drbac_cluster_scatter_total":       "Cross-shard scatter-gather operations.",
+		"drbac_cluster_epoch":               "Installed shard map epoch.",
+		"drbac_cluster_shards":              "Shards in the installed map.",
+
 		// logstore
 		"drbac_logstore_appends_total":                 "Records appended to the log store.",
 		"drbac_logstore_seals_total":                   "Segments sealed.",

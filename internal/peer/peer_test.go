@@ -3,6 +3,7 @@ package peer
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -361,5 +362,69 @@ func TestGetAnyFailsOver(t *testing.T) {
 	}
 	if _, _, err := m.GetAny(ctx, nil); err == nil {
 		t.Fatal("GetAny succeeded with no addresses")
+	}
+}
+
+func TestGetAnyEmptyGroup(t *testing.T) {
+	e := newEnv(t, "alice")
+	m := e.manager("alice", nil)
+	for _, group := range [][]string{nil, {}} {
+		if _, _, err := m.GetAny(context.Background(), group); err == nil {
+			t.Errorf("GetAny(%v) succeeded, want an error", group)
+		}
+	}
+}
+
+// GetAny over a group listing the same address twice must not double-pool:
+// both picks return the one pooled connection, and the rotation arithmetic
+// stays in bounds.
+func TestGetAnyDuplicateAddresses(t *testing.T) {
+	e := newEnv(t, "alice", "bob")
+	e.serve("bob.home", "bob")
+	m := e.manager("alice", nil)
+	group := []string{"bob.home", "bob.home", "bob.home"}
+	ctx := context.Background()
+
+	c1, addr1, err := m.GetAny(ctx, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr1 != "bob.home" {
+		t.Fatalf("GetAny answered from %q", addr1)
+	}
+	for i := 0; i < 5; i++ {
+		c2, _, err := m.GetAny(ctx, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2 != c1 {
+			t.Fatal("duplicate addresses produced a second pooled connection")
+		}
+	}
+	if h := m.HealthOf("bob.home"); !h.Connected {
+		t.Fatal("pool reports bob.home not connected")
+	}
+	if n := len(m.Health()); n != 1 {
+		t.Fatalf("pool tracks %d addresses, want 1", n)
+	}
+}
+
+// A fully broken group aggregates into one error that names the group and
+// wraps the first member's failure, so callers can log something useful.
+func TestGetAnyAllBrokenAggregatesError(t *testing.T) {
+	e := newEnv(t, "alice")
+	m := e.manager("alice", nil)
+	group := []string{"dead.one", "dead.two", "dead.three"}
+	_, _, err := m.GetAny(context.Background(), group)
+	if err == nil {
+		t.Fatal("GetAny succeeded against an all-dead group")
+	}
+	for _, addr := range group {
+		if !strings.Contains(err.Error(), addr) {
+			t.Errorf("error %q does not name member %q", err, addr)
+		}
+	}
+	if !strings.Contains(err.Error(), "no reachable address") {
+		t.Errorf("error %q lacks the aggregate marker", err)
 	}
 }

@@ -53,6 +53,13 @@ type Client struct {
 	// broken flips when the read loop exits for any reason; the connection
 	// can never carry another call, so pool managers evict it.
 	broken atomic.Bool
+
+	// clusterEpoch holds the shard map epoch the server advertised in its
+	// cluster-hello push; 0 means the peer never advertised (not a
+	// cluster member, or an older server).
+	clusterEpoch atomic.Uint64
+	// clusterShard holds the advertised shard ID + 1 (so 0 = none).
+	clusterShard atomic.Int64
 }
 
 // Dial connects to a remote wallet at addr. Cancellation of ctx aborts the
@@ -110,6 +117,14 @@ func (c *Client) readLoop() {
 		if err != nil {
 			c.failPending(err)
 			return
+		}
+		if env.Type == wire.TClusterHello {
+			var hello wire.ShardMapResp
+			if err := wire.DecodeBody(env, &hello); err == nil {
+				c.clusterEpoch.Store(hello.Epoch)
+				c.clusterShard.Store(int64(hello.Shard) + 1)
+			}
+			continue
 		}
 		if env.Type == wire.TNotify {
 			var push wire.NotifyPush
@@ -248,6 +263,9 @@ func (c *Client) call(ctx context.Context, t wire.MsgType, body any) (wire.Envel
 			if err := wire.DecodeBody(env, &er); err != nil {
 				return wire.Envelope{}, err
 			}
+			if er.Redirect != nil {
+				return wire.Envelope{}, &RedirectError{Msg: fmt.Sprintf("remote %s: %s", t, er.Message), Redirect: *er.Redirect}
+			}
 			if er.NoProof {
 				return wire.Envelope{}, fmt.Errorf("remote %s: %s: %w", t, er.Message, core.ErrNoProof)
 			}
@@ -290,6 +308,51 @@ func (c *Client) Publish(ctx context.Context, d *core.Delegation, support []*cor
 		TTLSeconds: int(ttl / time.Second),
 	})
 	return err
+}
+
+// PublishSharded is Publish stamped with the caller's shard map epoch: a
+// cluster member refuses the request with a *RedirectError when the
+// epoch is stale or it does not own the delegation's subject key.
+func (c *Client) PublishSharded(ctx context.Context, d *core.Delegation, support []*core.Proof, epoch uint64) error {
+	_, err := c.call(ctx, wire.TPublish, wire.PublishReq{
+		Delegation: d,
+		Support:    support,
+		ShardEpoch: epoch,
+	})
+	return err
+}
+
+// RevokeSharded is Revoke stamped with the caller's shard map epoch.
+func (c *Client) RevokeSharded(ctx context.Context, id core.DelegationID, epoch uint64) error {
+	_, err := c.call(ctx, wire.TRevoke, wire.RevokeReq{Delegation: id, ShardEpoch: epoch})
+	return err
+}
+
+// ShardMap fetches the peer's current shard map (serialized in
+// resp.Map). Non-clustered peers answer with an error.
+func (c *Client) ShardMap(ctx context.Context) (wire.ShardMapResp, error) {
+	env, err := c.call(ctx, wire.TShardMap, struct{}{})
+	if err != nil {
+		return wire.ShardMapResp{}, err
+	}
+	var resp wire.ShardMapResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.ShardMapResp{}, err
+	}
+	return resp, nil
+}
+
+// ClusterEpoch reports the shard map epoch the peer advertised on
+// connect (cluster-hello push); ok is false when the peer is not a
+// cluster member (or predates clustering). The advertisement races the
+// first calls on a fresh connection — treat a false as "unknown yet",
+// not "definitely unclustered", until some response has round-tripped.
+func (c *Client) ClusterEpoch() (epoch uint64, shard int, ok bool) {
+	s := c.clusterShard.Load()
+	if s == 0 {
+		return 0, 0, false
+	}
+	return c.clusterEpoch.Load(), int(s - 1), true
 }
 
 // QueryDirect asks the remote wallet for a proof subject ⇒ object.

@@ -507,3 +507,33 @@ func TestSubscriptionChurn(t *testing.T) {
 		t.Fatalf("server retains %d subscribers after churn", n)
 	}
 }
+
+func TestSplitAddrsEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{",,,", nil},
+		{"a.home", []string{"a.home"}},
+		{"a.home,b.home", []string{"a.home", "b.home"}},
+		{" a.home , b.home ", []string{"a.home", "b.home"}},
+		{",a.home,,b.home,", []string{"a.home", "b.home"}},
+		// Duplicates are preserved: dedup is the caller's policy, not the
+		// parser's (a replica group listing an address twice is its own bug).
+		{"a.home,a.home", []string{"a.home", "a.home"}},
+	}
+	for _, tc := range cases {
+		got := SplitAddrs(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("SplitAddrs(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("SplitAddrs(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

@@ -49,14 +49,49 @@ func newServerMetrics(o *obs.Obs) serverMetrics {
 	}
 }
 
+// ClusterGuard lets a sharded deployment enforce shard ownership and
+// epoch freshness at the serving edge. remote stays ignorant of ring
+// mechanics: the guard (implemented by internal/cluster) decides, and the
+// server only relays redirects. A nil guard serves unclustered.
+type ClusterGuard interface {
+	// Hello is the advertisement pushed on every accepted connection:
+	// shard ID and current epoch (no map body).
+	Hello() wire.ShardMapResp
+	// MapResp answers a TShardMap request with the full serialized map.
+	MapResp() (wire.ShardMapResp, error)
+	// CheckPublish authorizes a durable publish of a delegation whose
+	// subject node is subject, stamped with the caller's epoch (0 =
+	// unstamped). A non-nil redirect refuses the request.
+	CheckPublish(reqEpoch uint64, subject core.Subject) *wire.Redirect
+	// CheckEpoch authorizes an epoch-stamped mutation that carries no
+	// subject key (revoke). A non-nil redirect refuses the request.
+	CheckEpoch(reqEpoch uint64) *wire.Redirect
+	// Stats reports the cluster section of a stats response.
+	Stats() *wire.ClusterStats
+}
+
+// RedirectError is a shard-routing refusal: the request was stamped with
+// a stale epoch or sent to a shard that does not own its key. It crosses
+// the wire as ErrorResp.Redirect; clients adopt the carried map and retry
+// against the owning shard.
+type RedirectError struct {
+	Msg      string
+	Redirect wire.Redirect
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("%s (owner shard %d, epoch %d)", e.Msg, e.Redirect.Shard, e.Redirect.Epoch)
+}
+
 // Server exposes one wallet to the network.
 type Server struct {
-	w        *wallet.Wallet
+	w        wallet.Service
 	ln       transport.Listener
 	obs      *obs.Obs
 	m        serverMetrics
 	readOnly bool
 	role     string
+	guard    ClusterGuard
 	// directFallback, when set, is consulted after a direct query misses
 	// the wallet — the hook hierarchical caching proxies use to pull
 	// credentials through from an upstream wallet (§6).
@@ -91,6 +126,11 @@ type Options struct {
 	// Role labels this server's replication role in stats responses
 	// ("primary" or "replica"); empty omits the field.
 	Role string
+	// Cluster, if non-nil, makes this server a shard-cluster member: it
+	// advertises the shard map epoch on connect, answers shardmap
+	// requests, and refuses mis-routed or stale-epoch mutations with
+	// redirects the guard decides.
+	Cluster ClusterGuard
 }
 
 // ErrReadOnly reports a mutation request sent to a read-only replica.
@@ -98,13 +138,14 @@ var ErrReadOnly = errors.New("wallet is a read-only replica; send mutations to t
 
 // Serve starts accepting connections for w on ln. Close shuts it down.
 // The served wallet's own Obs (if any) also observes the server, so a
-// wallet-plus-server daemon needs a single bundle.
-func Serve(w *wallet.Wallet, ln transport.Listener) *Server {
+// wallet-plus-server daemon needs a single bundle. w is usually a
+// *wallet.Wallet; a cluster gateway passes its scatter-gather service.
+func Serve(w wallet.Service, ln transport.Listener) *Server {
 	return ServeOptions(w, ln, Options{Obs: w.Obs()})
 }
 
 // ServeOptions is Serve with customization.
-func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server {
+func ServeOptions(w wallet.Service, ln transport.Listener, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		w:              w,
@@ -113,6 +154,7 @@ func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server
 		m:              newServerMetrics(opts.Obs),
 		readOnly:       opts.ReadOnly,
 		role:           opts.Role,
+		guard:          opts.Cluster,
 		directFallback: opts.DirectFallback,
 		baseCtx:        ctx,
 		cancelAll:      cancel,
@@ -126,8 +168,8 @@ func ServeOptions(w *wallet.Wallet, ln transport.Listener, opts Options) *Server
 // Addr returns the served address.
 func (s *Server) Addr() string { return s.ln.Addr() }
 
-// Wallet returns the served wallet.
-func (s *Server) Wallet() *wallet.Wallet { return s.w }
+// Wallet returns the served wallet service.
+func (s *Server) Wallet() wallet.Service { return s.w }
 
 // Close stops the listener, tears down every connection, and waits for the
 // handler goroutines to exit.
@@ -210,6 +252,11 @@ func (cs *connState) send(t wire.MsgType, id uint64, body any) error {
 
 func (cs *connState) sendErr(id uint64, err error) {
 	resp := wire.ErrorResp{Message: err.Error(), NoProof: errors.Is(err, core.ErrNoProof)}
+	var rd *RedirectError
+	if errors.As(err, &rd) {
+		resp.Message = rd.Msg
+		resp.Redirect = &rd.Redirect
+	}
 	_ = cs.send(wire.TError, id, resp)
 }
 
@@ -245,6 +292,15 @@ func (s *Server) handleConn(conn transport.Conn) {
 		s.m.activeConns.Add(-1)
 		s.obs.Log().Debug("connection closed", "peer", peer)
 	}()
+
+	// A cluster member advertises its shard map epoch before serving
+	// anything, so routing clients learn staleness at connect time
+	// instead of on their first refused mutation.
+	if s.guard != nil {
+		if err := cs.send(wire.TClusterHello, 0, s.guard.Hello()); err != nil {
+			s.obs.Log().Debug("cluster hello failed", "peer", peer, "error", err)
+		}
+	}
 
 	// Requests are served concurrently: slow proof searches must not stall
 	// the pipeline behind them. Clients correlate responses by envelope ID,
@@ -335,6 +391,14 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		}
 		if s.readOnly {
 			return attrs, fmt.Errorf("publish: %w", ErrReadOnly)
+		}
+		// Shard guard: durable publishes must land on the owning shard
+		// under a fresh epoch. TTL-cached copies are exempt — they are a
+		// local caching concern (§4.2.1), not partitioned state.
+		if s.guard != nil && req.TTLSeconds == 0 && req.Delegation != nil {
+			if rd := s.guard.CheckPublish(req.ShardEpoch, req.Delegation.Subject); rd != nil {
+				return attrs, &RedirectError{Msg: "publish refused: wrong shard or stale epoch", Redirect: *rd}
+			}
 		}
 		var err error
 		if req.TTLSeconds > 0 {
@@ -437,6 +501,11 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		if s.readOnly {
 			return attrs, fmt.Errorf("revoke: %w", ErrReadOnly)
 		}
+		if s.guard != nil {
+			if rd := s.guard.CheckEpoch(req.ShardEpoch); rd != nil {
+				return attrs, &RedirectError{Msg: "revoke refused: stale shard map epoch", Redirect: *rd}
+			}
+		}
 		// Authorization: the authenticated peer must be the issuer.
 		if err := s.w.Revoke(req.Delegation, cs.conn.Peer().ID()); err != nil {
 			return attrs, err
@@ -474,8 +543,22 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 	case wire.TStats:
 		return nil, cs.send(wire.TOK, env.ID, s.statsResp())
 
+	case wire.TShardMap:
+		if s.guard == nil {
+			return nil, fmt.Errorf("wallet is not a shard cluster member")
+		}
+		resp, err := s.guard.MapResp()
+		if err != nil {
+			return nil, err
+		}
+		return []any{"epoch", resp.Epoch, "shard", resp.Shard}, cs.send(wire.TOK, env.ID, resp)
+
 	case wire.TSync:
-		snap := s.w.Snapshot()
+		rep, ok := s.w.(wallet.Replicable)
+		if !ok {
+			return nil, fmt.Errorf("wallet does not serve replication; sync its member shards instead")
+		}
+		snap := rep.Snapshot()
 		resp := wire.SyncResp{Seq: snap.Seq, Revoked: snap.Revoked}
 		resp.Bundles = make([]wire.SyncBundle, 0, len(snap.Bundles))
 		for _, b := range snap.Bundles {
@@ -491,7 +574,11 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 				return nil, err
 			}
 		}
-		segStore, ok := s.w.Store().(wallet.SegmentStore)
+		rep, ok := s.w.(wallet.Replicable)
+		if !ok {
+			return nil, fmt.Errorf("wallet does not serve replication; sync its member shards instead")
+		}
+		segStore, ok := rep.Store().(wallet.SegmentStore)
 		if !ok {
 			// Old-style stores cannot ship segments; the caller falls back
 			// to the monolithic TSync snapshot.
@@ -516,7 +603,11 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		return attrs, cs.send(wire.TOK, env.ID, resp)
 
 	case wire.TSubscribeAll:
-		seq, err := s.subscribeAll(cs)
+		rep, ok := s.w.(wallet.Replicable)
+		if !ok {
+			return nil, fmt.Errorf("wallet does not serve replication; stream its member shards instead")
+		}
+		seq, err := s.subscribeAll(cs, rep)
 		if err != nil {
 			return nil, err
 		}
@@ -530,7 +621,7 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 // statsResp snapshots the served wallet and the shared metrics registry.
 func (s *Server) statsResp() wire.StatsResp {
 	ws := s.w.Stats()
-	return wire.StatsResp{
+	resp := wire.StatsResp{
 		Role:               s.role,
 		Seq:                s.w.Seq(),
 		Delegations:        ws.Delegations,
@@ -548,6 +639,10 @@ func (s *Server) statsResp() wire.StatsResp {
 		SigCacheSize:       ws.SigCache.Size,
 		Metrics:            s.obs.Registry().Snapshot(),
 	}
+	if s.guard != nil {
+		resp.Cluster = s.guard.Stats()
+	}
+	return resp
 }
 
 // subscribe wires a wallet subscription to notification pushes on this
@@ -596,7 +691,7 @@ const streamBuffer = 1024
 // the full bundle so followers need no read-back) and a writer goroutine
 // drains the queue onto the wire. Returns the wallet seq observed after the
 // stream became live; every mutation with a greater seq will be delivered.
-func (s *Server) subscribeAll(cs *connState) (uint64, error) {
+func (s *Server) subscribeAll(cs *connState, rep wallet.Replicable) (uint64, error) {
 	ch := make(chan wire.NotifyPush, streamBuffer)
 	quit := make(chan struct{})
 	handler := func(ev subs.Event) {
@@ -609,7 +704,7 @@ func (s *Server) subscribeAll(cs *connState) (uint64, error) {
 		if ev.Kind == subs.Published {
 			// The handler runs under the wallet's mutation lock, so the
 			// fetched bundle is exactly the state at this seq.
-			if d, support, ok := s.w.Get(ev.Delegation); ok {
+			if d, support, ok := rep.Get(ev.Delegation); ok {
 				push.Bundle = &wire.SyncBundle{Delegation: d, Support: support}
 			}
 		}
@@ -622,7 +717,7 @@ func (s *Server) subscribeAll(cs *connState) (uint64, error) {
 				"delegation", ev.Delegation.Short(), "seq", ev.Seq)
 		}
 	}
-	cancelSub := s.w.SubscribeAll(handler)
+	cancelSub := rep.SubscribeAll(handler)
 	var once sync.Once
 	stop := func() {
 		once.Do(func() {

@@ -64,6 +64,12 @@ type Config struct {
 	Obs *obs.Obs
 	// Clock is the time source; nil means the system clock.
 	Clock clock.Clock
+	// Filter, if non-nil, gates which upstream delegations are installed
+	// locally: only those it returns true for. Revocations and drops
+	// always apply (they are no-ops for uninstalled delegations). A shard
+	// split uses it to replay the source shard's changelog filtered to
+	// the keys the new shard owns under the new map.
+	Filter func(*core.Delegation) bool
 }
 
 // Status is a point-in-time view of a follower's replication progress.
@@ -324,6 +330,9 @@ func (f *Follower) apply(ctx context.Context, c *remote.Client, p wire.NotifyPus
 			// still replicates correctly, one snapshot per publish.
 			return f.resync(ctx, c, "published push without bundle")
 		}
+		if f.cfg.Filter != nil && !f.cfg.Filter(p.Bundle.Delegation) {
+			return nil
+		}
 		if _, err := w.InstallReplicated(wallet.StoredBundle{
 			Delegation: p.Bundle.Delegation,
 			Support:    p.Bundle.Support,
@@ -413,6 +422,9 @@ func (f *Follower) syncOnceSpanned(ctx context.Context, c *remote.Client, afterS
 			continue
 		}
 		present[b.Delegation.ID()] = true
+		if f.cfg.Filter != nil && !f.cfg.Filter(b.Delegation) {
+			continue
+		}
 		if _, err := w.InstallReplicated(wallet.StoredBundle{Delegation: b.Delegation, Support: b.Support}); err != nil {
 			f.cfg.Obs.Log().Warn("replica: snapshot install failed",
 				"delegation", b.Delegation.ID().Short(), "error", err)
@@ -467,6 +479,9 @@ func (f *Follower) syncSegments(ctx context.Context, c *remote.Client, afterSeq 
 				continue
 			}
 			present[r.ID] = true
+			if f.cfg.Filter != nil && !f.cfg.Filter(r.Bundle.Delegation) {
+				continue
+			}
 			if _, err := w.InstallReplicated(wallet.StoredBundle{
 				Delegation: r.Bundle.Delegation,
 				Support:    r.Bundle.Support,

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunShardScalingStoresEverything(t *testing.T) {
+	pt, err := RunShardScaling(2, 40, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Throughput <= 0 {
+		t.Errorf("throughput %v, want > 0", pt.Throughput)
+	}
+	if pt.Shards != 2 || pt.Publishes != 40 {
+		t.Errorf("point %+v, want shards=2 publishes=40", pt)
+	}
+}
+
+func TestRunCrossShardProofEquivalence(t *testing.T) {
+	pt, err := RunCrossShardProof(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.HomeShards < 2 {
+		t.Fatalf("chain collapsed onto %d shard(s); experiment is not cross-shard", pt.HomeShards)
+	}
+	if !pt.Identical || !pt.Valid {
+		t.Errorf("cross-shard proof point %+v, want identical and valid", pt)
+	}
+}
+
+func TestRunClusterSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := RunClusterSmoke(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Split.Lost != 0 {
+		t.Errorf("smoke split lost %d mutations", res.Split.Lost)
+	}
+	if res.Split.Moved == 0 {
+		t.Log("split re-homed nothing (legal but weak; grow the smoke population)")
+	}
+}

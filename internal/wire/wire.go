@@ -53,6 +53,11 @@ const (
 	// (TraceReq; answered with TraceResp). `drbac trace` merges the
 	// answers from several wallets into one cross-wallet waterfall.
 	TTrace MsgType = "trace"
+	// TShardMap asks a cluster member for its current shard map (empty
+	// body; answered with ShardMapResp carrying the serialized map).
+	// Non-clustered wallets answer with an error. Clients refresh their
+	// routing table from it after a redirect or an epoch advertisement.
+	TShardMap MsgType = "shardmap"
 )
 
 // Response and push types (server → client).
@@ -63,6 +68,12 @@ const (
 	TError  MsgType = "error"
 	TNotify MsgType = "notify"
 	TPong   MsgType = "pong"
+	// TClusterHello is pushed (ID 0) by a cluster member on every
+	// accepted connection, advertising its shard ID and shard map epoch
+	// (ShardMapResp body, map omitted to keep the hello small). A client
+	// holding an older map knows to refresh with TShardMap; clients that
+	// predate clustering drop the unknown push harmlessly.
+	TClusterHello MsgType = "cluster-hello"
 )
 
 // Envelope is one frame on the wire.
@@ -80,6 +91,11 @@ type PublishReq struct {
 	// TTL, if positive, asks the receiving wallet to treat the delegation
 	// as a TTL-coherent cached copy (§4.2.1).
 	TTLSeconds int `json:"ttlSeconds,omitempty"`
+	// ShardEpoch stamps the shard map epoch the sender routed by. A
+	// cluster member refuses a mismatched epoch with a redirect carrying
+	// the fresh map; 0 (unstamped) skips the epoch check but is still
+	// subject to the ownership check.
+	ShardEpoch uint64 `json:"shardEpoch,omitempty"`
 }
 
 // QueryReq carries any of the three query kinds; unused fields stay zero.
@@ -130,6 +146,11 @@ type SubscribeReq struct {
 // authenticated peer identity.
 type RevokeReq struct {
 	Delegation core.DelegationID `json:"delegation"`
+	// ShardEpoch stamps the sender's shard map epoch (see
+	// PublishReq.ShardEpoch). Revokes carry no subject key, so only the
+	// epoch is checked; ownership is the router's concern (it locates
+	// the owner by scattering Has).
+	ShardEpoch uint64 `json:"shardEpoch,omitempty"`
 }
 
 // ProveRoleReq asks the serving wallet to prove that its operating identity
@@ -177,6 +198,9 @@ type StatsResp struct {
 	SigCacheEvictions int64        `json:"sigCacheEvictions"`
 	SigCacheSize      int64        `json:"sigCacheSize"`
 	Metrics           obs.Snapshot `json:"metrics"`
+	// Cluster describes the answering member's shard cluster view; nil
+	// outside sharded deployments.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // NotifyPush is a delegation status update (§4.2.2).
@@ -248,11 +272,61 @@ type SubscribeAllResp struct {
 	Seq uint64 `json:"seq"`
 }
 
+// ShardMapResp answers a TShardMap request and, with Map omitted, is the
+// body of the TClusterHello push.
+type ShardMapResp struct {
+	// Epoch is the serving member's current shard map epoch.
+	Epoch uint64 `json:"epoch"`
+	// Shard is the serving member's shard ID; -1 marks a routing gateway
+	// that serves the whole cluster rather than one shard.
+	Shard int `json:"shard"`
+	// Map is the serialized cluster map (internal/cluster.Map JSON),
+	// opaque at the wire layer.
+	Map json.RawMessage `json:"map,omitempty"`
+}
+
+// Redirect tells a client its routing was wrong or stale: the request
+// belongs to another shard or was stamped with an old epoch. The client
+// adopts the fresh map and retries against the owning shard.
+type Redirect struct {
+	// Epoch is the refusing member's current epoch.
+	Epoch uint64 `json:"epoch"`
+	// Shard is the owning shard's ID (the refusing member's own ID on a
+	// pure epoch mismatch).
+	Shard int `json:"shard"`
+	// Addrs is the owning shard's replica group, when known.
+	Addrs []string `json:"addrs,omitempty"`
+	// Map is the refusing member's full serialized map, so one redirect
+	// heals the client's entire routing table.
+	Map json.RawMessage `json:"map,omitempty"`
+}
+
+// ClusterStats is the cluster section of a StatsResp, present when the
+// answering process is a shard member or gateway.
+type ClusterStats struct {
+	Epoch uint64 `json:"epoch"`
+	// Shard is the answering member's shard ID; -1 for a gateway.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Routes counts mutations routed per shard ID (gateway view) or
+	// served locally (member view), keyed by decimal shard ID.
+	Routes map[string]int64 `json:"routes,omitempty"`
+	// Redirects counts requests refused with a redirect (member) or
+	// redirects followed (gateway).
+	Redirects int64 `json:"redirects,omitempty"`
+	// Scatters counts cross-shard scatter-gather queries (gateway).
+	Scatters int64 `json:"scatters,omitempty"`
+}
+
 // ErrorResp reports a request failure.
 type ErrorResp struct {
 	Message string `json:"message"`
 	// NoProof marks core.ErrNoProof so clients can map it back.
 	NoProof bool `json:"noProof,omitempty"`
+	// Redirect, when set, carries shard re-routing info (stale epoch or
+	// wrong shard); clients retry against Redirect.Addrs under
+	// Redirect.Epoch.
+	Redirect *Redirect `json:"redirect,omitempty"`
 }
 
 // Encode marshals an envelope with a typed body.
