@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke bench-json bench-diff fuzz sim sim-cluster-smoke examples clean
+.PHONY: all check build vet staticcheck test test-race race cover cover-check bench bench-smoke bench-json bench-diff fuzz sim sim-cluster-smoke sim-dht-smoke examples clean
 
 # Aggregate coverage floor enforced by cover-check (CI). Raise it as
 # coverage grows; never lower it to admit an under-tested change.
@@ -11,8 +11,8 @@ COVER_FLOOR ?= 70.0
 all: build vet test
 
 # The default verification gate: build, vet, staticcheck, tests, the
-# race detector, and the bounded cluster scatter-gather smoke.
-check: build vet staticcheck test test-race sim-cluster-smoke
+# race detector, and the bounded cluster and DHT smokes.
+check: build vet staticcheck test test-race sim-cluster-smoke sim-dht-smoke
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,9 @@ bench-diff:
 fuzz:
 	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzLogRecordDecode -fuzztime=30s ./internal/logstore
+	$(GO) test -fuzz=FuzzDHTMessageDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzGossipMessageDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzRecordVerify -fuzztime=30s ./internal/dht
 
 # Regenerate every experiment table in EXPERIMENTS.md.
 sim:
@@ -101,6 +104,13 @@ sim:
 # under a second on a healthy build.
 sim-cluster-smoke:
 	$(GO) run ./cmd/coalition-sim -exp clustersmoke
+
+# Bounded-time end-to-end smoke over a 6-wallet DHT coalition (§13):
+# bootstrap off one seed, announce, resolve a three-wallet chain with no
+# static addresses, survive the seed dying and a home moving. The runner
+# self-bounds at 120s; finishes in well under a second on a healthy build.
+sim-dht-smoke:
+	$(GO) run ./cmd/coalition-sim -exp dhtsmoke
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -16,6 +16,7 @@ package drbac_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -32,7 +33,9 @@ import (
 	"drbac/internal/clock"
 	"drbac/internal/cluster"
 	"drbac/internal/core"
+	"drbac/internal/dht"
 	"drbac/internal/logstore"
+	"drbac/internal/peer"
 	"drbac/internal/remote"
 	"drbac/internal/revocation"
 	"drbac/internal/sim"
@@ -915,6 +918,118 @@ func BenchmarkCrossShardProof(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := sc.gw.QueryDirect(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// dhtBenchNode is one DHT participant for BenchmarkDHTResolve: a served
+// wallet answering dht-* plus the node and pool behind it.
+type dhtBenchNode struct {
+	node  *dht.Node
+	peers *peer.Manager
+	owner *core.Identity
+	addr  string
+}
+
+func newDHTBenchNode(b *testing.B, net *transport.MemNetwork, clk *clock.Fake, name, addr string, serve bool) *dhtBenchNode {
+	b.Helper()
+	seed := sha256.Sum256([]byte("drbac-bench-dht:" + name))
+	owner, err := core.IdentityFromSeed(name, seed[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := peer.NewManager(peer.Config{
+		Dialer:      net.Dialer(owner),
+		Clock:       clk,
+		CallTimeout: 5 * time.Second,
+	})
+	node, err := dht.NewNode(dht.Config{Identity: owner, Addr: addr, Peers: peers, Clock: clk, K: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if serve {
+		ln, err := net.Listen(addr, owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := wallet.New(wallet.Config{Owner: owner, Clock: clk})
+		srv := remote.ServeOptions(w, ln, remote.Options{DHT: node})
+		b.Cleanup(srv.Close)
+	}
+	b.Cleanup(peers.Close)
+	return &dhtBenchNode{node: node, peers: peers, owner: owner, addr: addr}
+}
+
+// BenchmarkDHTResolve prices entity→wallet resolution through the DHT
+// (§13) against the static address book it replaces. static is the
+// baseline map lookup; dht/cached hits the client's verified-record
+// cache (the steady-state path between TTL expiries); dht/miss resolves
+// a never-before-seen entity — a full iterative find-value across the
+// coalition with warm routing buckets.
+func BenchmarkDHTResolve(b *testing.B) {
+	ctx := context.Background()
+	clk := clock.NewFake(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC))
+	net := transport.NewMemNetwork()
+	coalition := make([]*dhtBenchNode, 4)
+	for i := range coalition {
+		coalition[i] = newDHTBenchNode(b, net, clk, fmt.Sprintf("member%d", i), fmt.Sprintf("wallet.m%d", i), true)
+	}
+	seedAddr := coalition[0].addr
+	for _, m := range coalition[1:] {
+		if err := m.node.Bootstrap(ctx, []string{seedAddr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	home := coalition[1]
+	if err := home.node.Announce(ctx, home.owner, []string{home.addr}); err != nil {
+		b.Fatal(err)
+	}
+	client := newDHTBenchNode(b, net, clk, "client", "wallet.client.unreachable", false)
+	if err := client.node.Bootstrap(ctx, []string{seedAddr}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("static", func(b *testing.B) {
+		book := map[core.EntityID][]string{home.owner.ID(): {home.addr}}
+		for i := 0; i < b.N; i++ {
+			addrs, ok := book[home.owner.ID()]
+			if !ok || len(addrs) == 0 {
+				b.Fatal("static book miss")
+			}
+		}
+	})
+
+	b.Run("dht/cached", func(b *testing.B) {
+		if _, err := client.node.Resolve(ctx, home.owner.ID()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.node.Resolve(ctx, home.owner.ID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("dht/miss", func(b *testing.B) {
+		ents := make([]core.EntityID, b.N)
+		for i := range ents {
+			name := fmt.Sprintf("bench-user-%d", i)
+			seed := sha256.Sum256([]byte("drbac-bench-dht:" + name))
+			id, err := core.IdentityFromSeed(name, seed[:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := home.node.Announce(ctx, id, []string{home.addr}); err != nil {
+				b.Fatal(err)
+			}
+			ents[i] = id.ID()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.node.Resolve(ctx, ents[i]); err != nil {
 				b.Fatal(err)
 			}
 		}

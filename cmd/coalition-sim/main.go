@@ -9,6 +9,7 @@
 //	coalition-sim -exp casestudy|search|pruning|revocation|separability|chain
 //	coalition-sim -exp cluster       # EXP-C1 shard-scaling sweep (§12)
 //	coalition-sim -exp clustersmoke  # bounded 4-shard scatter-gather smoke (CI)
+//	coalition-sim -exp dhtsmoke      # bounded 6-wallet DHT bootstrap/churn smoke (CI)
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("coalition-sim", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, casestudy, search, pruning, revocation, separability, chain, proxy, ranges, cache, cluster, clustersmoke")
+	exp := fs.String("exp", "all", "experiment: all, casestudy, search, pruning, revocation, separability, chain, proxy, ranges, cache, cluster, clustersmoke, dhtsmoke")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +49,7 @@ func run(args []string) error {
 		"cache":        runCache,
 		"cluster":      runCluster,
 		"clustersmoke": runClusterSmoke,
+		"dhtsmoke":     runDHTSmoke,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"casestudy", "search", "pruning", "revocation", "separability", "chain", "proxy", "ranges", "cache", "cluster"} {
@@ -297,6 +299,25 @@ func runClusterSmoke() error {
 		res.Published, res.Shards, res.ObjectProofs)
 	fmt.Printf("cross-shard proof identical=%v valid=%v; split re-homed %d, lost %d; %v total\n",
 		res.Proof.Identical, res.Proof.Valid, res.Split.Moved, res.Split.Lost, time.Since(startAt).Round(time.Millisecond))
+	fmt.Println("PASS")
+	return nil
+}
+
+func runDHTSmoke() error {
+	fmt.Println("== DHT smoke: 6-member bootstrap, resolve, churn (bounded) ==")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	startAt := time.Now()
+	res, err := sim.RunDHTSmoke(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d members bootstrapped off one seed, %d provider records announced;\n",
+		res.Members, res.Announced)
+	fmt.Printf("resolved %d-link chain via %d DHT-found wallets with zero static addresses;\n",
+		res.ChainLen, res.WalletsContacted)
+	fmt.Printf("after seed death + home move, late joiner resolved %d-link chain at %s; %v total\n",
+		res.RejoinChainLen, res.RejoinAddr, time.Since(startAt).Round(time.Millisecond))
 	fmt.Println("PASS")
 	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drbac/internal/keyfile"
+)
+
+// TestExportFingerprint pins the -fingerprint output: exactly the full
+// lowercase-hex entity fingerprint, the form dht:<fingerprint> shard-map
+// entries take.
+func TestExportFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "id.key")
+	f, err := keyfile.GenerateIdentity("Exportee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := keyfile.WriteIdentity(path, f); err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Identity()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := cmdExport([]string{"-key", path, "-fingerprint"})
+	os.Stdout = old
+	w.Close()
+	out := make([]byte, 256)
+	n, _ := r.Read(out)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	got := strings.TrimSpace(string(out[:n]))
+	if got != string(id.ID()) {
+		t.Errorf("export -fingerprint printed %q, want %q", got, id.ID())
+	}
+	if len(got) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex digits", len(got))
+	}
+}

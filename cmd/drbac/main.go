@@ -166,12 +166,17 @@ func cmdKeygen(args []string) error {
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	key := fs.String("key", "", "identity file")
+	fp := fs.Bool("fingerprint", false, "print only the full hex entity fingerprint (e.g. for dht:<fingerprint> shard-map entries)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	id, err := loadIdentity(*key)
 	if err != nil {
 		return err
+	}
+	if *fp {
+		fmt.Println(id.ID())
+		return nil
 	}
 	entry := keyfile.DirectoryEntry{Name: id.Name(), Key: id.Entity().Key}
 	data, err := json.MarshalIndent(entry, "", "  ")
@@ -534,6 +539,20 @@ func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 		for _, name := range sortedNames(c.Routes) {
 			fmt.Fprintf(w, "  routed->%-4s %d\n", name, c.Routes[name])
 		}
+	}
+	if d := resp.DHT; d != nil {
+		fmt.Fprintf(w, "dht\n")
+		fmt.Fprintf(w, "  id           %s\n", d.ID)
+		fmt.Fprintf(w, "  bucket-peers %d\n", d.BucketPeers)
+		fmt.Fprintf(w, "  records      %d\n", d.ProviderRecords)
+		fmt.Fprintf(w, "  announced    %d\n", d.Announced)
+		fmt.Fprintf(w, "  lookups      %d\n", d.Lookups)
+		fmt.Fprintf(w, "  stores       %d\n", d.Stores)
+		fmt.Fprintf(w, "  refused      %d\n", d.StoresRefused)
+		fmt.Fprintf(w, "gossip\n")
+		fmt.Fprintf(w, "  alive        %d\n", d.GossipAlive)
+		fmt.Fprintf(w, "  suspect      %d\n", d.GossipSuspect)
+		fmt.Fprintf(w, "  dead         %d\n", d.GossipDead)
 	}
 	if len(resp.Metrics.Counters) > 0 {
 		fmt.Fprintf(w, "counters\n")

@@ -122,3 +122,45 @@ func TestRenderStatsClusterSection(t *testing.T) {
 		t.Errorf("non-cluster stats rendered a cluster section:\n%s", buf.String())
 	}
 }
+
+func TestRenderStatsDHTSection(t *testing.T) {
+	resp := wire.StatsResp{
+		DHT: &wire.DHTStats{
+			ID:              "8b2f1c44",
+			BucketPeers:     5,
+			ProviderRecords: 2,
+			Lookups:         17,
+			Stores:          9,
+			StoresRefused:   1,
+			Announced:       1,
+			GossipAlive:     4,
+			GossipSuspect:   1,
+			GossipDead:      2,
+		},
+	}
+	var buf bytes.Buffer
+	renderStats(&buf, "seed.example:7100", resp)
+	want := `dht
+  id           8b2f1c44
+  bucket-peers 5
+  records      2
+  announced    1
+  lookups      17
+  stores       9
+  refused      1
+gossip
+  alive        4
+  suspect      1
+  dead         2
+`
+	if !bytes.Contains(buf.Bytes(), []byte(want)) {
+		t.Errorf("renderStats dht section:\n%s\nwant to contain:\n%s", buf.String(), want)
+	}
+
+	// No dht section when the wallet doesn't serve the DHT.
+	buf.Reset()
+	renderStats(&buf, "w", wire.StatsResp{})
+	if bytes.Contains(buf.Bytes(), []byte("dht")) {
+		t.Errorf("non-dht stats rendered a dht section:\n%s", buf.String())
+	}
+}

@@ -35,6 +35,9 @@ type mapAdopter interface {
 type shardMapWatcher struct {
 	path    string
 	adopter mapAdopter
+	// onAdopt, if set, fires after a newer map is adopted from the file —
+	// the DHT re-announce hook (set once before the sweep loop starts).
+	onAdopt func()
 
 	mu        sync.Mutex
 	mtime     time.Time
@@ -81,17 +84,24 @@ func newShardMember(path string, id int, o *obs.Obs) (*cluster.Node, *shardMapWa
 // newClusterGateway loads the map file and builds a routing gateway over
 // the cluster plus its file watcher. The gateway dials shards as the
 // daemon's own identity.
-func newClusterGateway(path string, owner *core.Identity, o *obs.Obs) (*cluster.Wallet, *shardMapWatcher, error) {
+func newClusterGateway(path string, owner *core.Identity, o *obs.Obs, rt *dhtRuntime) (*cluster.Wallet, *shardMapWatcher, error) {
 	m, err := readMapFile("-gateway-of", path)
 	if err != nil {
 		return nil, nil, err
 	}
-	gw, err := cluster.NewWallet(cluster.WalletConfig{
+	cfg := cluster.WalletConfig{
 		Map:      m,
 		Dialer:   &transport.TCPDialer{Identity: owner},
 		Identity: owner,
 		Obs:      o,
-	})
+	}
+	if rt != nil {
+		// dht:<fingerprint> replica-group members resolve through the
+		// daemon's DHT node. Guarded so a nil runtime never becomes a
+		// typed-nil interface.
+		cfg.Directory = rt.node
+	}
+	gw, err := cluster.NewWallet(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -132,6 +142,9 @@ func (sw *shardMapWatcher) poll(o *obs.Obs) {
 	if adopted {
 		o.Log().Info("shard map adopted from file",
 			"path", sw.path, "epoch", m.Epoch, "shards", len(m.Shards))
+		if sw.onAdopt != nil {
+			sw.onAdopt()
+		}
 	}
 }
 

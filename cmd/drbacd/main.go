@@ -8,6 +8,7 @@
 //	       [-replica-of host:port[,host:port...]]
 //	       [-shard-of map.json -shard-id 0]
 //	       [-gateway-of map.json]
+//	       [-dht [-bootstrap host:port[,host:port]] [-announce host:port[,host:port]]]
 //	       [-http 127.0.0.1:7190] [-log-level debug] [-log-json]
 //
 // With -replica-of the daemon runs as a read-only follower replica (§9): it
@@ -30,6 +31,16 @@
 // TTL-coherent assembly cache — so -state, -load, -replica-of, and
 // -shard-of are rejected alongside it. The map file is watched exactly
 // like a member's.
+//
+// With -dht the daemon joins the coalition's decentralized discovery and
+// membership layer (§13): it serves dht-*/gossip-* requests, announces a
+// signed provider record for its owner entity (the -announce addresses,
+// defaulting to -listen) on startup and on shard-map adoption, bootstraps
+// through the -bootstrap seed wallets (none starts a lone seed), and fans
+// gossip liveness verdicts into every peer pool so a dead member trips
+// circuit breakers coalition-wide. A gateway's shard map may then name
+// members as dht:<entity-fingerprint> instead of host:port; such entries
+// are resolved through the DHT at dial time.
 //
 // The -load directory may contain delegation bundle files (as written by
 // `drbac delegate`) that are published into the wallet at startup, in
@@ -101,11 +112,17 @@ func run(args []string) error {
 	sloQueryP99 := fs.Duration("slo-query-p99", 5*time.Millisecond, "query-latency SLO threshold backing the drbac_slo_query_* gauges and burn counters; 0 disables")
 	sloPublishP99 := fs.Duration("slo-publish-p99", 25*time.Millisecond, "publish-latency SLO threshold backing the drbac_slo_publish_* gauges and burn counters; 0 disables")
 	readyMaxLag := fs.Duration("ready-max-lag", 30*time.Second, "replica lag at which /readyz starts reporting 503; 0 disables the lag check")
+	dhtOn := fs.Bool("dht", false, "participate in the coalition DHT and gossip membership: serve dht-*/gossip-* requests, announce this wallet's provider record, and gate peer pools on gossip liveness verdicts")
+	bootstrap := fs.String("bootstrap", "", "comma-separated seed wallet addresses to join the DHT and gossip ring through (requires -dht; empty starts a lone seed)")
+	announce := fs.String("announce", "", "comma-separated addresses published in this wallet's DHT provider record (requires -dht; default: the -listen address)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *keyPath == "" {
 		return fmt.Errorf("-key is required")
+	}
+	if !*dhtOn && (*bootstrap != "" || *announce != "") {
+		return fmt.Errorf("-bootstrap and -announce require -dht")
 	}
 	if *shardOf != "" && *shardID < 0 {
 		return fmt.Errorf("-shard-of requires -shard-id")
@@ -154,7 +171,19 @@ func run(args []string) error {
 		storeHealth func() error
 		gw          *cluster.Wallet
 		shardWatch  *shardMapWatcher
+		rt          *dhtRuntime
 	)
+	if *dhtOn {
+		// Before the cluster pieces: a gateway resolves dht:<fingerprint>
+		// shard members through this node.
+		rt, err = startDHT(owner, *listen, *announce, *bootstrap, o)
+		if err != nil {
+			return err
+		}
+		defer rt.close()
+		logger.Info("dht member", "id", rt.node.Self().ID.Short(),
+			"announce", rt.addrs, "bootstrap", rt.seeds)
+	}
 	if *gatewayOf == "" {
 		w, closeStore, storeHealth, err = openWallet(owner, *state, *storeKind, *strict, o)
 		if err != nil {
@@ -204,11 +233,14 @@ func run(args []string) error {
 			"shards", len(node.Current().Shards), "map", *shardOf)
 	}
 	if *gatewayOf != "" {
-		gw, shardWatch, err = newClusterGateway(*gatewayOf, owner, o)
+		gw, shardWatch, err = newClusterGateway(*gatewayOf, owner, o, rt)
 		if err != nil {
 			return err
 		}
 		defer gw.Close()
+		if rt != nil {
+			rt.addVerdictPool(gw.Router().Peers())
+		}
 		role = "gateway"
 		// The gateway's local wallet is its TTL-coherent assembly cache:
 		// it backs /healthz and the staleness sweeps below.
@@ -232,13 +264,27 @@ func run(args []string) error {
 	if gw != nil {
 		guard, svc = gw.Guard(), gw
 	}
-	srv := remote.ServeOptions(svc, ln, remote.Options{
+	opts := remote.Options{
 		Obs:      o,
 		Role:     role,
 		ReadOnly: follower != nil,
 		Cluster:  guard,
-	})
+	}
+	if rt != nil {
+		opts.DHT = rt.node
+		opts.Gossip = rt.gossip
+		opts.DHTStats = rt.stats
+	}
+	srv := remote.ServeOptions(svc, ln, opts)
 	defer srv.Close()
+	if rt != nil {
+		// Join and announce once the server answers dht-* requests, so
+		// peers contacted during bootstrap can immediately query us back.
+		rt.join()
+		if shardWatch != nil {
+			shardWatch.onAdopt = rt.reannounce
+		}
+	}
 	logger.Info("serving",
 		"owner", owner.Name(), "id", owner.ID().Short(), "addr", ln.Addr(), "role", role,
 		"version", build["version"], "go", build["goversion"])

@@ -4,16 +4,43 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"drbac/internal/core"
+	"drbac/internal/discovery"
 	"drbac/internal/obs"
 	"drbac/internal/peer"
 	"drbac/internal/remote"
 	"drbac/internal/transport"
 	"drbac/internal/wire"
 )
+
+// DHTAddrPrefix marks a shard-member entry as an entity fingerprint to be
+// resolved through the DHT at dial time ("dht:<64-hex>") rather than a
+// dialable address. A shard map can then name replica-group members by
+// identity alone: the member's own signed provider record — republished as
+// it moves — supplies the current addresses, and a map rewrite is no longer
+// needed when a member changes address.
+const DHTAddrPrefix = "dht:"
+
+// DHTAddr renders an entity fingerprint in the dht:<fingerprint> shard-
+// member form.
+func DHTAddr(entity core.EntityID) string { return DHTAddrPrefix + string(entity) }
+
+// parseDHTAddr recognizes a dht:<fingerprint> entry, validating the
+// fingerprint shape.
+func parseDHTAddr(addr string) (core.EntityID, bool) {
+	if !strings.HasPrefix(addr, DHTAddrPrefix) {
+		return "", false
+	}
+	id := core.EntityID(addr[len(DHTAddrPrefix):])
+	if !id.Valid() {
+		return "", false
+	}
+	return id, true
+}
 
 // maxRedirectHops bounds how many redirects one routed mutation follows
 // before giving up — each hop adopts a strictly newer map, so in practice
@@ -31,6 +58,10 @@ type RouterConfig struct {
 	Peers *peer.Manager
 	// Obs receives routing logs and drbac_cluster_* metrics.
 	Obs *obs.Obs
+	// Directory, if non-nil, resolves dht:<fingerprint> shard-member
+	// entries to dialable addresses at dial time. Without it such entries
+	// are skipped (plain addresses in the same group still work).
+	Directory discovery.HomeDirectory
 }
 
 // Router routes mutations to owning shards by consistent hash and
@@ -41,6 +72,7 @@ type Router struct {
 	obs       *obs.Obs
 	peers     *peer.Manager
 	ownsPeers bool
+	dir       discovery.HomeDirectory
 
 	mAdoptions *obs.Counter
 	mRedirects *obs.Counter
@@ -69,6 +101,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r := &Router{
 		obs:        cfg.Obs,
 		peers:      cfg.Peers,
+		dir:        cfg.Directory,
 		m:          cfg.Map,
 		routes:     make(map[int]int64),
 		mAdoptions: cfg.Obs.Counter("drbac_cluster_map_adoptions_total"),
@@ -139,7 +172,7 @@ func (r *Router) Refresh(ctx context.Context) error {
 	cur := r.Current()
 	var lastErr error
 	for _, s := range cur.Shards {
-		c, addr, err := r.peers.GetAny(ctx, s.Addrs)
+		c, addr, err := r.peers.GetAny(ctx, r.resolveAddrs(ctx, s.Addrs))
 		if err != nil {
 			lastErr = err
 			continue
@@ -159,6 +192,33 @@ func (r *Router) Refresh(ctx context.Context) error {
 		return nil
 	}
 	return fmt.Errorf("cluster: shard map refresh failed: %w", lastErr)
+}
+
+// resolveAddrs maps dht:<fingerprint> entries in a replica group to the
+// addresses their entity's signed provider record names, passing plain
+// addresses through untouched. An unresolvable fingerprint (no directory,
+// lookup failure) is dropped rather than handed to the dialer — the rest
+// of the group still gets its chance.
+func (r *Router) resolveAddrs(ctx context.Context, addrs []string) []string {
+	out := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		eid, ok := parseDHTAddr(a)
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		if r.dir == nil {
+			r.obs.Log().Warn("cluster: dht shard member but no directory configured", "member", a)
+			continue
+		}
+		resolved, err := r.dir.Resolve(ctx, eid)
+		if err != nil {
+			r.obs.Log().Warn("cluster: dht shard member unresolvable", "member", eid.Short(), "error", err)
+			continue
+		}
+		out = append(out, resolved...)
+	}
+	return out
 }
 
 func (r *Router) reportIfBroken(addr string, c *remote.Client) {
@@ -181,7 +241,7 @@ func (r *Router) ShardClient(ctx context.Context, id int) (*remote.Client, strin
 	if !ok {
 		return nil, "", fmt.Errorf("cluster: shard %d not in map", id)
 	}
-	return r.peers.GetAny(ctx, s.Addrs)
+	return r.peers.GetAny(ctx, r.resolveAddrs(ctx, s.Addrs))
 }
 
 // OwnerClient returns a connection to the shard owning key, plus the
@@ -189,7 +249,7 @@ func (r *Router) ShardClient(ctx context.Context, id int) (*remote.Client, strin
 func (r *Router) OwnerClient(ctx context.Context, key string) (*remote.Client, string, Shard, uint64, error) {
 	cur := r.Current()
 	s := cur.Owner(key)
-	c, addr, err := r.peers.GetAny(ctx, s.Addrs)
+	c, addr, err := r.peers.GetAny(ctx, r.resolveAddrs(ctx, s.Addrs))
 	return c, addr, s, cur.Epoch, err
 }
 
@@ -241,7 +301,7 @@ func (r *Router) tryShard(ctx context.Context, s Shard, fn func(*remote.Client) 
 			c    *remote.Client
 			addr string
 		)
-		c, addr, err = r.peers.GetAny(ctx, s.Addrs)
+		c, addr, err = r.peers.GetAny(ctx, r.resolveAddrs(ctx, s.Addrs))
 		if err != nil {
 			return err
 		}

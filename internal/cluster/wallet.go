@@ -45,7 +45,16 @@ type WalletConfig struct {
 	// MaxDepth caps proof chain depth in assembled proofs (0 = wallet
 	// default).
 	MaxDepth int
+	// Directory, if non-nil, resolves dht:<fingerprint> replica-group
+	// members through the DHT — both when the router dials shards and when
+	// the gateway's discovery resolver computes tags.
+	Directory discovery.HomeDirectory
 }
+
+// dhtResolveTimeout bounds a synchronous dht:<fingerprint> resolution
+// inside the gateway's tag resolver; warm lookups answer from the local
+// record cache well inside it.
+const dhtResolveTimeout = 5 * time.Second
 
 // Wallet presents an N-shard cluster as one logical wallet: it satisfies
 // wallet.Service, so remote.Server, the proxy, and the CLI run on top of
@@ -69,7 +78,7 @@ type Wallet struct {
 
 // NewWallet builds a cluster gateway over the given shard map.
 func NewWallet(cfg WalletConfig) (*Wallet, error) {
-	router, err := NewRouter(RouterConfig{Map: cfg.Map, Dialer: cfg.Dialer, Peers: cfg.Peers, Obs: cfg.Obs})
+	router, err := NewRouter(RouterConfig{Map: cfg.Map, Dialer: cfg.Dialer, Peers: cfg.Peers, Obs: cfg.Obs, Directory: cfg.Directory})
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +132,20 @@ func (w *Wallet) Guard() remote.ClusterGuard { return gatewayGuard{w} }
 // through published 'S'/'O' tags; the TTL bounds assembly-cache staleness.
 func (w *Wallet) resolve(node core.Subject) (core.DiscoveryTag, bool) {
 	s := w.router.Current().Owner(RouteKey(node))
+	addrs := s.Addrs
+	if w.cfg.Directory != nil {
+		// Replica-group members named by fingerprint resolve through the
+		// DHT here, so the tag the discovery rounds dial is always
+		// concrete. Warm resolutions hit the local record cache.
+		ctx, cancel := context.WithTimeout(context.Background(), dhtResolveTimeout)
+		addrs = w.router.resolveAddrs(ctx, s.Addrs)
+		cancel()
+	}
+	if len(addrs) == 0 {
+		return core.DiscoveryTag{}, false
+	}
 	return core.DiscoveryTag{
-		Home:    strings.Join(s.Addrs, ","),
+		Home:    strings.Join(addrs, ","),
 		TTL:     w.ttl,
 		Subject: core.SubjectSearch,
 		Object:  core.ObjectSearch,

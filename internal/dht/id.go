@@ -1,0 +1,115 @@
+// Package dht implements Kademlia-flavored decentralized discovery for
+// dRBAC coalitions: every wallet carries a 160-bit node ID derived from
+// its ed25519 entity key, maintains XOR-distance k-buckets of coalition
+// peers, and stores signed provider records mapping entity → home-wallet
+// address(es). Chain discovery resolves the home of an entity named in a
+// delegation with an iterative lookup instead of a static address book,
+// which is what the paper's "dynamic coalition" (§1) actually requires:
+// members join and leave continuously, so resolution itself must be
+// distributed, authenticated, and churn-tolerant.
+//
+// Identity is self-certifying: a node's ID is SHA-256 of its public key
+// truncated to 160 bits, and the transport authenticates that key on every
+// connection, so a node cannot occupy an ID it does not own. Provider
+// records are signed by the entity they name and verified against the
+// embedded key before acceptance — an unsigned or mis-keyed record is
+// refused, never stored, and never served.
+package dht
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/bits"
+
+	"drbac/internal/core"
+)
+
+// IDLen is the node ID length in bytes (160 bits, Kademlia's key size).
+const IDLen = 20
+
+// ID is a 160-bit DHT identifier: a node's self-certifying identity or a
+// record key. Both are SHA-256 truncations, so node and record IDs share
+// one XOR metric.
+type ID [IDLen]byte
+
+// IDFromKey derives the self-certifying ID of an ed25519 public key: the
+// first 20 bytes of its SHA-256 — i.e. the first 20 bytes of the entity's
+// fingerprint, so an EntityID's hex prefix is its owner's DHT ID.
+func IDFromKey(key ed25519.PublicKey) ID {
+	sum := sha256.Sum256(key)
+	var id ID
+	copy(id[:], sum[:IDLen])
+	return id
+}
+
+// IDFromEntity derives the DHT ID of an entity (by its public key).
+func IDFromEntity(e core.Entity) ID { return IDFromKey(e.Key) }
+
+// IDFromEntityID converts a hex entity fingerprint to its DHT ID — the
+// fingerprint's first 40 hex digits decoded. It fails on malformed
+// fingerprints.
+func IDFromEntityID(eid core.EntityID) (ID, error) {
+	if !eid.Valid() {
+		return ID{}, fmt.Errorf("dht: malformed entity fingerprint %q", eid)
+	}
+	raw, err := hex.DecodeString(string(eid[:IDLen*2]))
+	if err != nil {
+		return ID{}, fmt.Errorf("dht: malformed entity fingerprint %q: %w", eid, err)
+	}
+	var id ID
+	copy(id[:], raw)
+	return id, nil
+}
+
+// IDFromBytes validates and converts raw wire bytes to an ID.
+func IDFromBytes(b []byte) (ID, error) {
+	if len(b) != IDLen {
+		return ID{}, fmt.Errorf("dht: ID must be %d bytes, got %d", IDLen, len(b))
+	}
+	var id ID
+	copy(id[:], b)
+	return id, nil
+}
+
+// String renders the ID as lowercase hex.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short abbreviates the ID for logs.
+func (id ID) Short() string { return hex.EncodeToString(id[:4]) }
+
+// Distance is the XOR metric between two IDs.
+func Distance(a, b ID) ID {
+	var d ID
+	for i := range d {
+		d[i] = a[i] ^ b[i]
+	}
+	return d
+}
+
+// Less reports whether a is numerically (big-endian) less than b — used to
+// order contacts by distance to a target.
+func Less(a, b ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// BucketIndex maps the distance self→other to a k-bucket index: the
+// position of the highest set bit of the XOR distance (0…159), so bucket i
+// covers peers sharing exactly 159-i leading prefix bits with self. The
+// second return is false for the zero distance (self), which lives in no
+// bucket.
+func BucketIndex(self, other ID) (int, bool) {
+	d := Distance(self, other)
+	for i, by := range d {
+		if by != 0 {
+			return (IDLen-1-i)*8 + (7 - bits.LeadingZeros8(by)), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,143 @@
+package dht
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"drbac/internal/core"
+	"drbac/internal/wire"
+)
+
+// recordContext domain-separates record signatures from every other
+// signature the entity key makes (delegations, transport handshakes).
+const recordContext = "drbac-dht-record-v1"
+
+// Record signing and verification errors, distinguished so refusal tests
+// can pin the exact reason.
+var (
+	ErrRecordUnsigned    = errors.New("dht: record is unsigned")
+	ErrRecordBadKey      = errors.New("dht: record public key is not a valid ed25519 key")
+	ErrRecordBadSig      = errors.New("dht: record signature does not verify against its entity key")
+	ErrRecordNoAddrs     = errors.New("dht: record names no addresses")
+	ErrRecordExpired     = errors.New("dht: record expired")
+	ErrRecordKeyMismatch = errors.New("dht: record key does not match the requested target")
+)
+
+// MaxRecordAddrs bounds the addresses one record may carry; a larger list
+// is refused as malformed (it would let one signer bloat every replica).
+const MaxRecordAddrs = 16
+
+// recordSigningBytes builds the canonical, length-framed byte string a
+// record's signature covers: context, public key, addresses, seq, issue
+// instant (UnixNano), and TTL. Length framing makes the encoding
+// injective, so no two distinct records share signing bytes.
+func recordSigningBytes(r *wire.DHTRecord) []byte {
+	n := len(recordContext) + 8 + len(r.PublicKey) + 8
+	for _, a := range r.Addrs {
+		n += 8 + len(a)
+	}
+	n += 8 + 8 + 8
+	buf := make([]byte, 0, n)
+	appendFramed := func(b []byte) {
+		var l [8]byte
+		binary.BigEndian.PutUint64(l[:], uint64(len(b)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, b...)
+	}
+	buf = append(buf, recordContext...)
+	appendFramed(r.PublicKey)
+	var c [8]byte
+	binary.BigEndian.PutUint64(c[:], uint64(len(r.Addrs)))
+	buf = append(buf, c[:]...)
+	for _, a := range r.Addrs {
+		appendFramed([]byte(a))
+	}
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], r.Seq)
+	buf = append(buf, u[:]...)
+	binary.BigEndian.PutUint64(u[:], uint64(r.IssuedAt.UnixNano()))
+	buf = append(buf, u[:]...)
+	binary.BigEndian.PutUint64(u[:], uint64(r.TTLSeconds))
+	buf = append(buf, u[:]...)
+	return buf
+}
+
+// SignRecord issues a provider record: id asserts its home wallet(s)
+// listen at addrs, valid for ttl from now.
+func SignRecord(id *core.Identity, addrs []string, seq uint64, now time.Time, ttl time.Duration) (wire.DHTRecord, error) {
+	if len(addrs) == 0 {
+		return wire.DHTRecord{}, ErrRecordNoAddrs
+	}
+	if len(addrs) > MaxRecordAddrs {
+		return wire.DHTRecord{}, fmt.Errorf("dht: record names %d addresses, max %d", len(addrs), MaxRecordAddrs)
+	}
+	r := wire.DHTRecord{
+		PublicKey:  append([]byte(nil), id.Entity().Key...),
+		Addrs:      append([]string(nil), addrs...),
+		Seq:        seq,
+		IssuedAt:   now,
+		TTLSeconds: int(ttl / time.Second),
+	}
+	if r.TTLSeconds <= 0 {
+		return wire.DHTRecord{}, fmt.Errorf("dht: record TTL must be at least 1s, got %v", ttl)
+	}
+	r.Sig = id.SignBytes(recordSigningBytes(&r))
+	return r, nil
+}
+
+// VerifyRecord checks a record's shape, signature, and freshness at now.
+// It is the single gate every record passes on every path — a store
+// request, a fetched lookup result, a republished refresh — so nothing
+// unsigned, mis-signed, oversized, or expired is ever held or served.
+func VerifyRecord(r *wire.DHTRecord, now time.Time) error {
+	if r == nil {
+		return errors.New("dht: nil record")
+	}
+	if len(r.PublicKey) != ed25519.PublicKeySize {
+		return ErrRecordBadKey
+	}
+	if len(r.Addrs) == 0 {
+		return ErrRecordNoAddrs
+	}
+	if len(r.Addrs) > MaxRecordAddrs {
+		return fmt.Errorf("dht: record names %d addresses, max %d", len(r.Addrs), MaxRecordAddrs)
+	}
+	if r.TTLSeconds <= 0 {
+		return ErrRecordExpired
+	}
+	if len(r.Sig) == 0 {
+		return ErrRecordUnsigned
+	}
+	ent := core.Entity{Key: ed25519.PublicKey(r.PublicKey)}
+	if !core.VerifyBytes(ent, recordSigningBytes(r), r.Sig) {
+		return ErrRecordBadSig
+	}
+	if !now.Before(r.IssuedAt.Add(time.Duration(r.TTLSeconds) * time.Second)) {
+		return ErrRecordExpired
+	}
+	return nil
+}
+
+// RecordKey derives the DHT key a record is stored under: the ID of its
+// own embedded public key. Deriving from the record (never from the
+// request) means a store cannot file a valid record under someone else's
+// key.
+func RecordKey(r *wire.DHTRecord) ID {
+	return IDFromKey(ed25519.PublicKey(r.PublicKey))
+}
+
+// Fresher reports whether candidate should replace current: a greater
+// Seq always wins, an equal Seq wins when issued no earlier. Republished
+// records advance Seq, so stale copies never claw back.
+func Fresher(candidate, current *wire.DHTRecord) bool {
+	if current == nil {
+		return true
+	}
+	if candidate.Seq != current.Seq {
+		return candidate.Seq > current.Seq
+	}
+	return !candidate.IssuedAt.Before(current.IssuedAt)
+}

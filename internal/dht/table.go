@@ -1,0 +1,144 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+)
+
+// Contact names one DHT peer: its self-certifying ID and wallet address.
+type Contact struct {
+	ID   ID
+	Addr string
+}
+
+// Table is a node's Kademlia routing table: 160 k-buckets of contacts
+// ordered least-recently-seen first. Bucket i holds peers whose XOR
+// distance to self has its highest bit at position i, so nearby buckets
+// are sparse and the table as a whole holds O(k·log n) contacts.
+//
+// Insertion is LRU-with-probation: a full bucket never admits a new
+// contact directly — Update hands back the least-recently-seen occupant
+// and the node pings it; only if that ping fails does Replace swap the
+// newcomer in. Kademlia's insight (kept here) is that the longest-lived
+// peers are the most likely to stay, so old contacts are never displaced
+// by unproven ones — which also blunts table-takeover flooding.
+type Table struct {
+	mu      sync.Mutex
+	self    ID
+	k       int
+	buckets [IDLen * 8][]Contact
+}
+
+// NewTable builds a routing table for self with bucket capacity k.
+func NewTable(self ID, k int) *Table {
+	if k <= 0 {
+		k = DefaultK
+	}
+	return &Table{self: self, k: k}
+}
+
+// Self returns the table owner's ID.
+func (t *Table) Self() ID { return t.self }
+
+// Update records that c was seen live. A seen contact moves to
+// most-recently-seen; a new contact is appended when its bucket has room.
+// When the bucket is full, Update does not insert: it returns the bucket's
+// least-recently-seen occupant and full=true, and the caller decides by
+// pinging it (Replace on failure, nothing on success — the newcomer is
+// dropped). Self and address-less contacts are ignored.
+func (t *Table) Update(c Contact) (evictCandidate Contact, full bool) {
+	if c.Addr == "" {
+		return Contact{}, false
+	}
+	i, ok := BucketIndex(t.self, c.ID)
+	if !ok {
+		return Contact{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[i]
+	for j, existing := range b {
+		if existing.ID == c.ID {
+			copy(b[j:], b[j+1:])
+			b[len(b)-1] = c
+			return Contact{}, false
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[i] = append(b, c)
+		return Contact{}, false
+	}
+	return b[0], true
+}
+
+// Replace removes old (if still present) and inserts c in its bucket —
+// the ping-before-evict resolution when the probation ping failed.
+func (t *Table) Replace(old, c Contact) {
+	t.Remove(old.ID)
+	t.Update(c)
+}
+
+// Remove drops a contact (dead peer, or identity mismatch on dial).
+func (t *Table) Remove(id ID) {
+	i, ok := BucketIndex(t.self, id)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buckets[i]
+	for j, existing := range b {
+		if existing.ID == id {
+			t.buckets[i] = append(b[:j:j], b[j+1:]...)
+			return
+		}
+	}
+}
+
+// Closest returns up to n contacts ordered by XOR distance to target.
+func (t *Table) Closest(target ID, n int) []Contact {
+	t.mu.Lock()
+	all := make([]Contact, 0, t.sizeLocked())
+	for _, b := range t.buckets {
+		all = append(all, b...)
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		return Less(Distance(all[i].ID, target), Distance(all[j].ID, target))
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Contains reports whether id is in the table.
+func (t *Table) Contains(id ID) bool {
+	i, ok := BucketIndex(t.self, id)
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, existing := range t.buckets[i] {
+		if existing.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Len counts contacts across all buckets.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sizeLocked()
+}
+
+func (t *Table) sizeLocked() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}

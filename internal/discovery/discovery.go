@@ -62,6 +62,14 @@ type Config struct {
 	// any tag ever having been published. Learned tags still win; the
 	// resolver is the fallback.
 	Resolver func(core.Subject) (core.DiscoveryTag, bool)
+	// Directory, if non-nil, resolves the home wallet of nodes neither the
+	// tag book nor the Resolver can place — the DHT. It is the last
+	// fallback, so statically configured addresses keep working unchanged
+	// and the DHT only fields genuinely unknown homes.
+	Directory HomeDirectory
+	// DirectoryTTL is the cache TTL stamped on tags synthesized from
+	// Directory answers; 0 means DefaultDirectoryTagTTL.
+	DirectoryTTL time.Duration
 	// Obs, if non-nil, receives discovery metrics and spans: each Discover
 	// runs under a trace ID (minted here unless the query already carries
 	// one) that also propagates to every wallet home it queries, so one
@@ -72,6 +80,20 @@ type Config struct {
 
 // DefaultMaxRounds bounds the breadth-first rounds of a discovery.
 const DefaultMaxRounds = 16
+
+// DefaultDirectoryTagTTL is the cache TTL for credentials fetched from
+// homes the DHT located. Kept short: a DHT answer is only as fresh as its
+// provider record, so cached copies re-confirm sooner than statically
+// configured homes would.
+const DefaultDirectoryTagTTL = 30 * time.Second
+
+// HomeDirectory locates an entity's home-wallet addresses at discovery
+// time. *dht.Node implements it: the entity's ID keys a signed provider
+// record published by the home itself, so an answer is self-certifying
+// rather than operator-configured.
+type HomeDirectory interface {
+	Resolve(ctx context.Context, entity core.EntityID) ([]string, error)
+}
 
 // TraceEvent records one remote interaction for tests and experiments.
 type TraceEvent struct {
@@ -199,6 +221,40 @@ func (a *Agent) Tag(node core.Subject) (core.DiscoveryTag, bool) {
 		return a.cfg.Resolver(node)
 	}
 	return core.DiscoveryTag{}, false
+}
+
+// tagFor resolves a node's discovery tag for a search round: the tag book
+// and Resolver first (Tag), then the DHT directory. A directory hit
+// synthesizes a searchable tag pointing at the addresses the entity's own
+// signed provider record names — no static address book required. The
+// record itself was verified inside the DHT layer before it was ever
+// served, so a forged home cannot be planted here.
+func (a *Agent) tagFor(ctx context.Context, node core.Subject) (core.DiscoveryTag, bool) {
+	if t, ok := a.Tag(node); ok {
+		return t, true
+	}
+	if a.cfg.Directory == nil {
+		return core.DiscoveryTag{}, false
+	}
+	ent := node.Entity
+	if !node.IsEntity() {
+		// A role lives in its namespace entity's wallet.
+		ent = node.Role.Namespace
+	}
+	addrs, err := a.cfg.Directory.Resolve(ctx, ent)
+	if err != nil || len(addrs) == 0 {
+		return core.DiscoveryTag{}, false
+	}
+	ttl := a.cfg.DirectoryTTL
+	if ttl <= 0 {
+		ttl = DefaultDirectoryTagTTL
+	}
+	return core.DiscoveryTag{
+		Home:    remote.JoinAddrs(addrs),
+		TTL:     ttl,
+		Subject: core.SubjectSearch,
+		Object:  core.ObjectSearch,
+	}, true
 }
 
 // Learn harvests discovery tags from a credential's annotations. The
@@ -475,7 +531,7 @@ func (a *Agent) forwardRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if queried[node] {
 			continue
 		}
-		tag, ok := a.Tag(node)
+		tag, ok := a.tagFor(ctx, node)
 		if !ok {
 			continue
 		}
@@ -557,7 +613,7 @@ func (a *Agent) reverseRound(ctx context.Context, q wallet.Query, mode Mode, rou
 		if queried[node] {
 			continue
 		}
-		tag, ok := a.Tag(node)
+		tag, ok := a.tagFor(ctx, node)
 		if !ok {
 			continue
 		}

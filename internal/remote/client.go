@@ -628,6 +628,61 @@ func (c *Client) SubscribeAll(ctx context.Context, fn func(wire.NotifyPush)) (se
 	}, nil
 }
 
+// DHTFindNode asks the peer for its closest known contacts to target.
+func (c *Client) DHTFindNode(ctx context.Context, req wire.DHTFindReq) (wire.DHTFindResp, error) {
+	env, err := c.call(ctx, wire.TDHTFindNode, req)
+	if err != nil {
+		return wire.DHTFindResp{}, err
+	}
+	var resp wire.DHTFindResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.DHTFindResp{}, err
+	}
+	return resp, nil
+}
+
+// DHTFindValue asks the peer for the provider record under req.Target,
+// falling back to its closest contacts on a miss. The caller must verify
+// any returned record (dht.Record verification) — the transport
+// authenticates the serving node, not the record's publisher.
+func (c *Client) DHTFindValue(ctx context.Context, req wire.DHTFindReq) (wire.DHTFindResp, error) {
+	env, err := c.call(ctx, wire.TDHTFindValue, req)
+	if err != nil {
+		return wire.DHTFindResp{}, err
+	}
+	var resp wire.DHTFindResp
+	if err := wire.DecodeBody(env, &resp); err != nil {
+		return wire.DHTFindResp{}, err
+	}
+	return resp, nil
+}
+
+// DHTStore offers a signed provider record to the peer for storage. The
+// peer verifies it against the embedded entity key; refusals come back as
+// errors.
+func (c *Client) DHTStore(ctx context.Context, req wire.DHTStoreReq) error {
+	_, err := c.call(ctx, wire.TDHTStore, req)
+	return err
+}
+
+// GossipPing sends a SWIM probe (direct when body.Target is empty) and
+// returns the peer's ack with its piggybacked membership updates.
+func (c *Client) GossipPing(ctx context.Context, body wire.GossipPingBody) (wire.GossipAck, error) {
+	t := wire.TGossipPing
+	if body.Target != "" {
+		t = wire.TGossipPingReq
+	}
+	env, err := c.call(ctx, t, body)
+	if err != nil {
+		return wire.GossipAck{}, err
+	}
+	var ack wire.GossipAck
+	if err := wire.DecodeBody(env, &ack); err != nil {
+		return wire.GossipAck{}, err
+	}
+	return ack, nil
+}
+
 // SplitAddrs parses a comma-separated address list ("primary,replica1,…")
 // into its elements, trimming whitespace and dropping empties. The inverse
 // convention lets one discovery-tag home, proxy upstream, or CLI -addr name
@@ -641,6 +696,12 @@ func SplitAddrs(s string) []string {
 		}
 	}
 	return out
+}
+
+// JoinAddrs renders an address list back into the comma-separated form
+// SplitAddrs parses — the shape a discovery-tag home expects.
+func JoinAddrs(addrs []string) string {
+	return strings.Join(addrs, ",")
 }
 
 // DialAny connects to the first reachable address in addrs, in order, and

@@ -70,6 +70,31 @@ type ClusterGuard interface {
 	Stats() *wire.ClusterStats
 }
 
+// DHTHandler serves the DHT side of the protocol (find-node, find-value,
+// store). Like ClusterGuard it keeps remote ignorant of routing mechanics:
+// internal/dht implements it, remote only relays. The caller's identity is
+// the transport-authenticated peer entity — handlers derive the requester's
+// contact ID from it, never from bytes claimed in the request body.
+type DHTHandler interface {
+	// HandleFindNode answers with the closest known contacts to the target.
+	HandleFindNode(from core.Entity, req wire.DHTFindReq) (wire.DHTFindResp, error)
+	// HandleFindValue answers with the held record for the target key, or
+	// the closest contacts when the node does not hold it.
+	HandleFindValue(from core.Entity, req wire.DHTFindReq) (wire.DHTFindResp, error)
+	// HandleStore verifies and stores an offered provider record. An error
+	// refuses the record (and is reported to the caller).
+	HandleStore(from core.Entity, req wire.DHTStoreReq) error
+}
+
+// GossipHandler serves SWIM membership probes; internal/gossip implements
+// it. HandlePingReq relays a probe to a third member and may block up to
+// its probe timeout, so the server runs it like any other request — on the
+// per-request goroutine, under the connection's inflight bound.
+type GossipHandler interface {
+	HandlePing(ctx context.Context, from core.Entity, req wire.GossipPingBody) (wire.GossipAck, error)
+	HandlePingReq(ctx context.Context, from core.Entity, req wire.GossipPingBody) (wire.GossipAck, error)
+}
+
 // RedirectError is a shard-routing refusal: the request was stamped with
 // a stale epoch or sent to a shard that does not own its key. It crosses
 // the wire as ErrorResp.Redirect; clients adopt the carried map and retry
@@ -92,6 +117,9 @@ type Server struct {
 	readOnly bool
 	role     string
 	guard    ClusterGuard
+	dht      DHTHandler
+	gossip   GossipHandler
+	dhtStats func() *wire.DHTStats
 	// directFallback, when set, is consulted after a direct query misses
 	// the wallet — the hook hierarchical caching proxies use to pull
 	// credentials through from an upstream wallet (§6).
@@ -131,6 +159,14 @@ type Options struct {
 	// requests, and refuses mis-routed or stale-epoch mutations with
 	// redirects the guard decides.
 	Cluster ClusterGuard
+	// DHT, if non-nil, serves dht-find-node/find-value/store requests.
+	// Daemons without `-dht` answer those with an error.
+	DHT DHTHandler
+	// Gossip, if non-nil, serves gossip-ping/ping-req probes.
+	Gossip GossipHandler
+	// DHTStats, if non-nil, supplies the dht section of stats responses
+	// (the daemon composes DHT table counts with gossip member counts).
+	DHTStats func() *wire.DHTStats
 }
 
 // ErrReadOnly reports a mutation request sent to a read-only replica.
@@ -155,6 +191,9 @@ func ServeOptions(w wallet.Service, ln transport.Listener, opts Options) *Server
 		readOnly:       opts.ReadOnly,
 		role:           opts.Role,
 		guard:          opts.Cluster,
+		dht:            opts.DHT,
+		gossip:         opts.Gossip,
+		dhtStats:       opts.DHTStats,
 		directFallback: opts.DirectFallback,
 		baseCtx:        ctx,
 		cancelAll:      cancel,
@@ -602,6 +641,76 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		attrs := []any{"afterSeq", req.AfterSeq, "seq", seq0, "segments", len(resp.Segments), "bytes", bytesShipped}
 		return attrs, cs.send(wire.TOK, env.ID, resp)
 
+	case wire.TDHTFindNode:
+		if s.dht == nil {
+			return nil, fmt.Errorf("wallet does not serve the DHT (start drbacd with -dht)")
+		}
+		var req wire.DHTFindReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.dht.HandleFindNode(cs.conn.Peer(), req)
+		if err != nil {
+			return nil, err
+		}
+		return []any{"contacts", len(resp.Contacts)}, cs.send(wire.TOK, env.ID, resp)
+
+	case wire.TDHTFindValue:
+		if s.dht == nil {
+			return nil, fmt.Errorf("wallet does not serve the DHT (start drbacd with -dht)")
+		}
+		var req wire.DHTFindReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		resp, err := s.dht.HandleFindValue(cs.conn.Peer(), req)
+		if err != nil {
+			return nil, err
+		}
+		return []any{"hit", resp.Record != nil, "contacts", len(resp.Contacts)},
+			cs.send(wire.TOK, env.ID, resp)
+
+	case wire.TDHTStore:
+		if s.dht == nil {
+			return nil, fmt.Errorf("wallet does not serve the DHT (start drbacd with -dht)")
+		}
+		var req wire.DHTStoreReq
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		if err := s.dht.HandleStore(cs.conn.Peer(), req); err != nil {
+			return []any{"accepted", false}, err
+		}
+		return []any{"accepted", true}, cs.send(wire.TOK, env.ID, nil)
+
+	case wire.TGossipPing:
+		if s.gossip == nil {
+			return nil, fmt.Errorf("wallet does not serve gossip membership")
+		}
+		var req wire.GossipPingBody
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		ack, err := s.gossip.HandlePing(s.baseCtx, cs.conn.Peer(), req)
+		if err != nil {
+			return nil, err
+		}
+		return nil, cs.send(wire.TOK, env.ID, ack)
+
+	case wire.TGossipPingReq:
+		if s.gossip == nil {
+			return nil, fmt.Errorf("wallet does not serve gossip membership")
+		}
+		var req wire.GossipPingBody
+		if err := wire.DecodeBody(env, &req); err != nil {
+			return nil, err
+		}
+		ack, err := s.gossip.HandlePingReq(s.baseCtx, cs.conn.Peer(), req)
+		if err != nil {
+			return []any{"target", req.Target}, err
+		}
+		return []any{"target", req.Target}, cs.send(wire.TOK, env.ID, ack)
+
 	case wire.TSubscribeAll:
 		rep, ok := s.w.(wallet.Replicable)
 		if !ok {
@@ -641,6 +750,9 @@ func (s *Server) statsResp() wire.StatsResp {
 	}
 	if s.guard != nil {
 		resp.Cluster = s.guard.Stats()
+	}
+	if s.dhtStats != nil {
+		resp.DHT = s.dhtStats()
 	}
 	return resp
 }

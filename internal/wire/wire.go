@@ -58,6 +58,29 @@ const (
 	// Non-clustered wallets answer with an error. Clients refresh their
 	// routing table from it after a redirect or an epoch advertisement.
 	TShardMap MsgType = "shardmap"
+	// TDHTFindNode asks a DHT-enabled wallet for its closest known
+	// contacts to a 160-bit target (DHTFindReq; answered with DHTFindResp,
+	// record always nil). Wallets without a DHT node answer with an error.
+	TDHTFindNode MsgType = "dht-find-node"
+	// TDHTFindValue asks for the provider record stored under a key,
+	// falling back to the closest contacts when the serving node does not
+	// hold it (DHTFindReq; answered with DHTFindResp).
+	TDHTFindValue MsgType = "dht-find-value"
+	// TDHTStore offers a signed provider record for storage
+	// (DHTStoreReq; answered with OK). The serving node verifies the
+	// record against its embedded entity key before accepting: unsigned,
+	// mis-signed, key-mismatched, or expired records are refused with an
+	// error and never stored or served.
+	TDHTStore MsgType = "dht-store"
+	// TGossipPing is a SWIM membership probe (GossipPingBody; answered
+	// with OK carrying GossipAck). Membership updates piggyback both ways.
+	TGossipPing MsgType = "gossip-ping"
+	// TGossipPingReq asks the serving node to probe a third member on the
+	// caller's behalf — SWIM's indirect probe, which distinguishes "the
+	// target is dead" from "my link to the target is bad"
+	// (GossipPingBody with Target set; answered with OK carrying
+	// GossipAck, or an error when the target did not answer the relay).
+	TGossipPingReq MsgType = "gossip-ping-req"
 )
 
 // Response and push types (server → client).
@@ -201,6 +224,9 @@ type StatsResp struct {
 	// Cluster describes the answering member's shard cluster view; nil
 	// outside sharded deployments.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// DHT describes the answering wallet's DHT/gossip state; nil when the
+	// daemon runs without `-dht`.
+	DHT *DHTStats `json:"dht,omitempty"`
 }
 
 // NotifyPush is a delegation status update (§4.2.2).
@@ -316,6 +342,117 @@ type ClusterStats struct {
 	Redirects int64 `json:"redirects,omitempty"`
 	// Scatters counts cross-shard scatter-gather queries (gateway).
 	Scatters int64 `json:"scatters,omitempty"`
+}
+
+// DHTContact names one DHT node: its 160-bit self-certifying ID (the
+// first 20 bytes of SHA-256 over the node's ed25519 entity key) and the
+// address its wallet listens on. JSON base64-encodes ID.
+type DHTContact struct {
+	ID   []byte `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// DHTFindReq asks for the closest contacts to Target (find-node) or for
+// the provider record stored under Target (find-value). From advertises
+// the caller's own listen address so the serving node can learn it; the
+// caller's contact ID is always derived from the authenticated transport
+// identity, never from the request.
+type DHTFindReq struct {
+	From   DHTContact `json:"from"`
+	Target []byte     `json:"target"`
+}
+
+// DHTFindResp answers find-node and find-value. Record is set only on a
+// find-value hit; Contacts carries the serving node's closest known
+// contacts to the target (always on find-node, on find-value misses as
+// the lookup's next hops).
+type DHTFindResp struct {
+	Record   *DHTRecord   `json:"record,omitempty"`
+	Contacts []DHTContact `json:"contacts,omitempty"`
+}
+
+// DHTRecord is a signed provider record: the entity named by PublicKey
+// asserts that its home wallet(s) listen at Addrs. The record key is
+// derived from PublicKey itself, so possession of the matching private
+// key is the only way to publish under a key — a store or a fetched
+// record whose signature does not verify against PublicKey is refused.
+type DHTRecord struct {
+	// PublicKey is the raw ed25519 entity key (32 bytes, base64 in JSON).
+	PublicKey []byte `json:"publicKey"`
+	// Addrs lists the entity's home wallet address(es), most preferred
+	// first.
+	Addrs []string `json:"addrs"`
+	// Seq orders republications: a node replaces a held record only with
+	// one bearing a greater Seq (or an equal Seq issued no earlier).
+	Seq uint64 `json:"seq"`
+	// IssuedAt is the signer's clock at signing time.
+	IssuedAt time.Time `json:"issuedAt"`
+	// TTLSeconds bounds the record's life; nodes drop it at
+	// IssuedAt+TTL and the publisher republishes well before that.
+	TTLSeconds int `json:"ttlSeconds"`
+	// Sig is the entity's ed25519 signature over the canonical record
+	// bytes (everything above, length-framed).
+	Sig []byte `json:"sig"`
+}
+
+// DHTStoreReq offers a record for storage at the serving node.
+type DHTStoreReq struct {
+	From   DHTContact `json:"from"`
+	Record DHTRecord  `json:"record"`
+}
+
+// GossipUpdate is one piggybacked SWIM membership event: Addr's status
+// claim at Incarnation. Higher incarnations win; at equal incarnation
+// dead beats suspect beats alive.
+type GossipUpdate struct {
+	Addr string `json:"addr"`
+	// Status is "alive", "suspect", or "dead".
+	Status string `json:"status"`
+	// Incarnation is the member's self-asserted version; only the member
+	// itself bumps it (to refute a suspicion).
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// GossipPingBody carries a direct probe (Target empty) or an indirect
+// probe request (Target set: "probe this address for me"). From is the
+// caller's own gossip address; Updates piggyback pending membership
+// events.
+type GossipPingBody struct {
+	From    string         `json:"from"`
+	Target  string         `json:"target,omitempty"`
+	Updates []GossipUpdate `json:"updates,omitempty"`
+}
+
+// GossipAck answers a gossip probe, piggybacking the responder's pending
+// membership events.
+type GossipAck struct {
+	From    string         `json:"from"`
+	Updates []GossipUpdate `json:"updates,omitempty"`
+}
+
+// DHTStats is the dht section of a StatsResp, present when the answering
+// daemon runs a DHT node.
+type DHTStats struct {
+	// ID is the node's 160-bit DHT ID, lowercase hex.
+	ID string `json:"id"`
+	// BucketPeers counts contacts across all k-buckets.
+	BucketPeers int `json:"bucketPeers"`
+	// ProviderRecords counts verified records currently held.
+	ProviderRecords int `json:"providerRecords"`
+	// Lookups counts iterative lookups started by this node.
+	Lookups int64 `json:"lookups"`
+	// Stores counts store RPCs accepted by this node.
+	Stores int64 `json:"stores"`
+	// StoresRefused counts store RPCs refused (bad signature, key
+	// mismatch, expired, malformed).
+	StoresRefused int64 `json:"storesRefused,omitempty"`
+	// Announced counts entities this node republishes records for.
+	Announced int `json:"announced,omitempty"`
+	// GossipAlive/GossipSuspect/GossipDead count members per SWIM state;
+	// all zero when gossip is disabled.
+	GossipAlive   int `json:"gossipAlive"`
+	GossipSuspect int `json:"gossipSuspect"`
+	GossipDead    int `json:"gossipDead"`
 }
 
 // ErrorResp reports a request failure.
