@@ -68,14 +68,18 @@ bench-smoke:
 #
 # bench-diff compares that file against the committed BENCH_baseline.json
 # and exits nonzero when any benchmark present in both regresses more than
-# BENCH_THRESHOLD percent in ns/op. New and removed benchmarks are reported
-# but never fail the gate. CI runs both; the gate is advisory on pull
-# requests and blocking on main. To accept an intended slowdown (or bank an
-# optimization), regenerate the baseline on a quiet machine and commit it:
+# BENCH_THRESHOLD percent in ns/op, or more than BENCH_ALLOC_THRESHOLD
+# percent in allocs/op (allocation counts are deterministic per build, so
+# that gate is far tighter than the timing one). New and removed benchmarks
+# are reported but never fail the gate. CI runs both; the gate is advisory
+# on pull requests and blocking on main. To accept an intended slowdown (or
+# bank an optimization), regenerate the baseline on a quiet machine and
+# commit it:
 #
 #	make bench-json && cp BENCH_$$(date -u +%Y-%m-%d).json BENCH_baseline.json
 BENCH_COUNT ?= 3
 BENCH_THRESHOLD ?= 25
+BENCH_ALLOC_THRESHOLD ?= 5
 BENCH_OUT = BENCH_$(shell date -u +%Y-%m-%d).json
 
 bench-json:
@@ -85,13 +89,16 @@ bench-json:
 
 bench-diff:
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json \
-		-current $(BENCH_OUT) -threshold $(BENCH_THRESHOLD)
+		-current $(BENCH_OUT) -threshold $(BENCH_THRESHOLD) \
+		-alloc-threshold $(BENCH_ALLOC_THRESHOLD)
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDelegation -fuzztime=30s ./internal/core
 	$(GO) test -fuzz=FuzzLogRecordDecode -fuzztime=30s ./internal/logstore
 	$(GO) test -fuzz=FuzzDHTMessageDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzGossipMessageDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzBinaryCodecRoundTrip -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzBinaryFrameDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzRecordVerify -fuzztime=30s ./internal/dht
 
 # Regenerate every experiment table in EXPERIMENTS.md.

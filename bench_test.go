@@ -742,6 +742,109 @@ func BenchmarkWalletParallelQuery(b *testing.B) {
 	}
 }
 
+// wireBench serves one wallet holding the Figure 1 two-delegation chain and
+// dials it once per codec, for the EXP-W1 remote-path benchmarks.
+type wireBench struct {
+	w       *benchWorld
+	client  *remote.Client
+	subject core.Subject
+	object  core.Role
+	fresh   []*core.Delegation
+}
+
+func newWireBench(b *testing.B, codec string) *wireBench {
+	b.Helper()
+	pol, err := transport.ParseWireMode(codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := newBenchWorld(b)
+	clk := clock.NewFake(w.now)
+	net := transport.NewMemNetwork()
+	owner := w.ids["BigISP"]
+	wal := wallet.New(wallet.Config{Owner: owner, Clock: clk, Directory: w.dir})
+	ln, err := net.ListenCodec("wallet.bigisp", owner, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := remote.Serve(wal, ln)
+	b.Cleanup(srv.Close)
+	wb := &wireBench{w: w}
+	for _, text := range []string{"[Maria -> BigISP.b] BigISP", "[BigISP.b -> AirNet.c] AirNet"} {
+		if err := wal.Publish(w.issue(b, text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wb.subject = core.SubjectEntity(w.ids["Maria"].ID())
+	wb.object = core.NewRole(w.ids["AirNet"].ID(), "c")
+	c, err := remote.Dial(context.Background(), net.DialerCodec(w.ids["Maria"], pol), "wallet.bigisp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	if got := c.WireCodec(); got != codec {
+		b.Fatalf("negotiated %q, want %q", got, codec)
+	}
+	wb.client = c
+	return wb
+}
+
+// mint prepares n distinct publishable delegations ahead of the timer.
+func (wb *wireBench) mint(b *testing.B, n int) {
+	b.Helper()
+	wb.fresh = make([]*core.Delegation, n)
+	for i := range wb.fresh {
+		wb.fresh[i] = wb.w.issue(b, fmt.Sprintf("[Maria -> BigISP.r%d] BigISP", i))
+	}
+}
+
+// BenchmarkQueryDirect prices the full remote query round trip — encode
+// request, transport framing, server decode, wallet lookup, proof encode,
+// client decode — under each wire codec (EXP-W1). The wallet's hot proof
+// cache keeps the graph-search cost constant, so the codec is the variable.
+func BenchmarkQueryDirect(b *testing.B) {
+	for _, codec := range []string{transport.CodecJSON, transport.CodecBinary} {
+		b.Run(codec, func(b *testing.B) {
+			wb := newWireBench(b, codec)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wb.client.QueryDirect(ctx, wb.subject, wb.object, nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublish prices the remote publish round trip per codec (EXP-W1):
+// each iteration ships one signed delegation and waits for the ack. It
+// cycles a pre-published pool so the wallet's verified-signature memo (§PR5,
+// EXP-S8 warm) absorbs the ed25519 verify — steady-state republish, where
+// the wire codec rather than the 56µs signature check is the variable.
+// First-publish cost (memo cold) is BenchmarkVerifyDelegation's job.
+func BenchmarkPublish(b *testing.B) {
+	const pool = 64
+	for _, codec := range []string{transport.CodecJSON, transport.CodecBinary} {
+		b.Run(codec, func(b *testing.B) {
+			wb := newWireBench(b, codec)
+			wb.mint(b, pool)
+			ctx := context.Background()
+			for _, d := range wb.fresh { // prime wallet + signature memo
+				if err := wb.client.Publish(ctx, d, nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := wb.client.Publish(ctx, wb.fresh[i%pool], nil, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // shardedBench is an N-shard wallet cluster on an in-memory network for
 // the §12 benchmarks: one served shard wallet per map entry behind a
 // routing gateway.

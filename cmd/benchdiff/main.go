@@ -13,8 +13,12 @@
 //
 // Compare mode diffs two emitted files and fails (exit 1) when any
 // benchmark present in both regresses more than -threshold percent in
-// ns/op. Benchmarks that appear only on one side are reported but never
-// fail the gate, so adding or retiring benchmarks doesn't break CI.
+// ns/op, or — with -alloc-threshold — more than that many percent in
+// allocs/op. Allocation counts are deterministic per build, so the alloc
+// gate can be far tighter than the timing gate; benchmarks whose baseline
+// reports no allocation data (no -benchmem columns) are exempt from it.
+// Benchmarks that appear only on one side are reported but never fail the
+// gate, so adding or retiring benchmarks doesn't break CI.
 package main
 
 import (
@@ -56,6 +60,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	baseline := fs.String("baseline", "", "compare mode: baseline JSON file")
 	current := fs.String("current", "", "compare mode: current JSON file")
 	threshold := fs.Float64("threshold", 25, "compare mode: max tolerated ns/op regression, percent")
+	allocThreshold := fs.Float64("alloc-threshold", -1, "compare mode: max tolerated allocs/op regression, percent (negative disables the alloc gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +68,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case *emit:
 		return runEmit(stdin, stdout, *out)
 	case *baseline != "" && *current != "":
-		return runCompare(stdout, *baseline, *current, *threshold)
+		return runCompare(stdout, *baseline, *current, *threshold, *allocThreshold)
 	default:
 		return fmt.Errorf("need -emit, or -baseline and -current")
 	}
@@ -147,7 +152,7 @@ func readFile(path string) (map[string]Result, error) {
 	return byName, nil
 }
 
-func runCompare(stdout io.Writer, basePath, curPath string, threshold float64) error {
+func runCompare(stdout io.Writer, basePath, curPath string, threshold, allocThreshold float64) error {
 	base, err := readFile(basePath)
 	if err != nil {
 		return err
@@ -181,6 +186,24 @@ func runCompare(stdout io.Writer, basePath, curPath string, threshold float64) e
 		}
 		fmt.Fprintf(stdout, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%  %s\n",
 			name, b.NsOp, c.NsOp, delta, status)
+		// The alloc gate only applies where the baseline recorded -benchmem
+		// data: a zero-alloc baseline gates on any new allocation at all.
+		if allocThreshold >= 0 && (b.AllocsOp > 0 || b.BOp > 0) {
+			allocDelta := 0.0
+			switch {
+			case b.AllocsOp > 0:
+				allocDelta = float64(c.AllocsOp-b.AllocsOp) / float64(b.AllocsOp) * 100
+			case c.AllocsOp > 0:
+				allocDelta = 100
+			}
+			allocStatus := "ok"
+			if allocDelta > allocThreshold {
+				allocStatus = "ALLOC REGRESSION"
+				regressions = append(regressions, name+" (allocs)")
+			}
+			fmt.Fprintf(stdout, "%-60s %12d -> %12d allocs/op %+6.1f%%  %s\n",
+				"", b.AllocsOp, c.AllocsOp, allocDelta, allocStatus)
+		}
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
@@ -188,10 +211,15 @@ func runCompare(stdout io.Writer, basePath, curPath string, threshold float64) e
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v",
-			len(regressions), threshold, regressions)
+		return fmt.Errorf("%d benchmark(s) regressed beyond the gate: %v",
+			len(regressions), regressions)
 	}
-	fmt.Fprintf(stdout, "no ns/op regression beyond %.0f%% across %d benchmark(s)\n",
-		threshold, len(names))
+	if allocThreshold >= 0 {
+		fmt.Fprintf(stdout, "no ns/op regression beyond %.0f%% or allocs/op regression beyond %.0f%% across %d benchmark(s)\n",
+			threshold, allocThreshold, len(names))
+	} else {
+		fmt.Fprintf(stdout, "no ns/op regression beyond %.0f%% across %d benchmark(s)\n",
+			threshold, len(names))
+	}
 	return nil
 }

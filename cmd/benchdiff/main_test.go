@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,6 +87,74 @@ func TestCompareBeyondThresholdFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("report does not flag the regression:\n%s", out.String())
+	}
+}
+
+func writeAllocJSON(t *testing.T, dir, name string, ns float64, allocs int64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	content := fmt.Sprintf(
+		`{"benchmarks":[{"name":"BenchmarkX","ns_op":%g,"b_op":64,"allocs_op":%d}]}`, ns, allocs)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareAllocGateFailsOnAllocGrowth(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAllocJSON(t, dir, "base.json", 1000, 10)
+	cur := writeAllocJSON(t, dir, "cur.json", 1000, 12) // +20% allocs, ns flat
+	var out bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur,
+		"-threshold", "25", "-alloc-threshold", "10"}, nil, &out)
+	if err == nil {
+		t.Fatalf("20%% alloc growth under a 10%% alloc threshold passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC REGRESSION") {
+		t.Errorf("report does not flag the alloc regression:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocGateWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAllocJSON(t, dir, "base.json", 1000, 10)
+	cur := writeAllocJSON(t, dir, "cur.json", 1000, 11) // +10%, at the limit
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur,
+		"-threshold", "25", "-alloc-threshold", "10"}, nil, &out); err != nil {
+		t.Fatalf("10%% alloc growth at a 10%% alloc threshold failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareAllocGateDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	base := writeAllocJSON(t, dir, "base.json", 1000, 10)
+	cur := writeAllocJSON(t, dir, "cur.json", 1000, 100)
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, nil, &out); err != nil {
+		t.Fatalf("alloc gate fired without -alloc-threshold: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareAllocGateSkipsMemlessBaselines(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "cur.json")
+	// Baseline predates -benchmem: no alloc data, so the gate must not fire
+	// even though the current file reports allocations.
+	if err := os.WriteFile(base, []byte(
+		`{"benchmarks":[{"name":"BenchmarkX","ns_op":1000}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, []byte(
+		`{"benchmarks":[{"name":"BenchmarkX","ns_op":1000,"b_op":64,"allocs_op":50}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur,
+		"-alloc-threshold", "0"}, nil, &out); err != nil {
+		t.Fatalf("alloc gate fired on a memless baseline: %v\n%s", err, out.String())
 	}
 }
 

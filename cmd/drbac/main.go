@@ -554,6 +554,16 @@ func renderStats(w io.Writer, addr string, resp wire.StatsResp) {
 		fmt.Fprintf(w, "  suspect      %d\n", d.GossipSuspect)
 		fmt.Fprintf(w, "  dead         %d\n", d.GossipDead)
 	}
+	if ws := resp.Wire; ws != nil {
+		fmt.Fprintf(w, "wire codec (connection: %s)\n", ws.ConnCodec)
+		fmt.Fprintf(w, "  json frames  %d enc / %d dec (%d / %d bytes)\n",
+			ws.JSONFramesEncoded, ws.JSONFramesDecoded, ws.JSONBytesEncoded, ws.JSONBytesDecoded)
+		fmt.Fprintf(w, "  bin frames   %d enc / %d dec (%d / %d bytes)\n",
+			ws.BinaryFramesEncoded, ws.BinaryFramesDecoded, ws.BinaryBytesEncoded, ws.BinaryBytesDecoded)
+		fmt.Fprintf(w, "  intern       %d hits / %d misses\n", ws.InternHits, ws.InternMisses)
+		fmt.Fprintf(w, "  pool         %d gets / %d puts / %d discards / %d news\n",
+			ws.Pool.Gets, ws.Pool.Puts, ws.Pool.Discards, ws.Pool.News)
+	}
 	if len(resp.Metrics.Counters) > 0 {
 		fmt.Fprintf(w, "counters\n")
 		for _, name := range sortedNames(resp.Metrics.Counters) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	drbacd -key bigisp.key -listen 127.0.0.1:7100 [-load bundles/] [-strict]
+//	       [-wire auto|json|binary]
 //	       [-replica-of host:port[,host:port...]]
 //	       [-shard-of map.json -shard-id 0]
 //	       [-gateway-of map.json]
@@ -112,6 +113,7 @@ func run(args []string) error {
 	sloQueryP99 := fs.Duration("slo-query-p99", 5*time.Millisecond, "query-latency SLO threshold backing the drbac_slo_query_* gauges and burn counters; 0 disables")
 	sloPublishP99 := fs.Duration("slo-publish-p99", 25*time.Millisecond, "publish-latency SLO threshold backing the drbac_slo_publish_* gauges and burn counters; 0 disables")
 	readyMaxLag := fs.Duration("ready-max-lag", 30*time.Second, "replica lag at which /readyz starts reporting 503; 0 disables the lag check")
+	wireMode := fs.String("wire", "auto", `wire codec policy for every connection this daemon serves or dials: "auto" negotiates per peer (binary preferred, JSON fallback for old peers), "json" speaks only JSON, "binary" requires the binary codec and refuses peers without it`)
 	dhtOn := fs.Bool("dht", false, "participate in the coalition DHT and gossip membership: serve dht-*/gossip-* requests, announce this wallet's provider record, and gate peer pools on gossip liveness verdicts")
 	bootstrap := fs.String("bootstrap", "", "comma-separated seed wallet addresses to join the DHT and gossip ring through (requires -dht; empty starts a lone seed)")
 	announce := fs.String("announce", "", "comma-separated addresses published in this wallet's DHT provider record (requires -dht; default: the -listen address)")
@@ -132,6 +134,10 @@ func run(args []string) error {
 	}
 	if *gatewayOf != "" && (*shardOf != "" || *replicaOf != "" || *load != "" || *state != "") {
 		return fmt.Errorf("-gateway-of cannot be combined with -shard-of, -replica-of, -load, or -state")
+	}
+	wirePol, err := transport.ParseWireMode(*wireMode)
+	if err != nil {
+		return err
 	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -176,7 +182,7 @@ func run(args []string) error {
 	if *dhtOn {
 		// Before the cluster pieces: a gateway resolves dht:<fingerprint>
 		// shard members through this node.
-		rt, err = startDHT(owner, *listen, *announce, *bootstrap, o)
+		rt, err = startDHT(owner, *listen, *announce, *bootstrap, wirePol, o)
 		if err != nil {
 			return err
 		}
@@ -211,7 +217,7 @@ func run(args []string) error {
 		follower, err = replica.Start(replica.Config{
 			Local:  w,
 			Addrs:  remote.SplitAddrs(*replicaOf),
-			Dialer: &transport.TCPDialer{Identity: owner},
+			Dialer: &transport.TCPDialer{Identity: owner, Codec: wirePol},
 			Obs:    o,
 		})
 		if err != nil {
@@ -233,7 +239,7 @@ func run(args []string) error {
 			"shards", len(node.Current().Shards), "map", *shardOf)
 	}
 	if *gatewayOf != "" {
-		gw, shardWatch, err = newClusterGateway(*gatewayOf, owner, o, rt)
+		gw, shardWatch, err = newClusterGateway(*gatewayOf, owner, wirePol, o, rt)
 		if err != nil {
 			return err
 		}
@@ -254,6 +260,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	ln.Codec = wirePol
 	var (
 		guard remote.ClusterGuard
 		svc   wallet.Service = w

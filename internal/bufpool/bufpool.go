@@ -1,0 +1,107 @@
+// Package bufpool provides the process-wide frame buffer pool shared by the
+// transport framing layer and the wire codecs. Frames on the hot paths
+// (queries, proofs, publishes, pushes) are built in and read into pooled
+// buffers, so steady-state traffic stops paying one allocation per frame.
+//
+// Ownership discipline: a buffer obtained from Get is owned by the caller
+// until it passes the buffer to Put, after which the caller must not touch
+// it again. Put guards against pool poisoning: buffers are length-reset to
+// zero and oversized backing arrays are dropped instead of re-pooled, so one
+// multi-megabyte proof frame cannot pin its memory for the life of the
+// process.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxRetain caps the capacity of buffers kept by the pool. A returned buffer
+// whose backing array outgrew it (a jumbo sync snapshot, a near-MaxFrame
+// proof) is discarded so the pool holds only steady-state-sized memory.
+const MaxRetain = 64 << 10
+
+// minAlloc is the starting capacity for fresh buffers; typical envelopes
+// (queries, acks, small proofs) fit without growing.
+const minAlloc = 1 << 10
+
+var pool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, minAlloc)
+		news.Add(1)
+		return &buffer{b: b}
+	},
+}
+
+// buffer wraps the slice so the pool stores a pointer-shaped value (storing
+// bare slices makes sync.Pool allocate an interface header per Put).
+type buffer struct{ b []byte }
+
+var (
+	gets     atomic.Uint64
+	puts     atomic.Uint64
+	discards atomic.Uint64
+	news     atomic.Uint64
+)
+
+// Get returns a zero-length buffer with capacity at least n, ready to be
+// appended to or resliced up to n.
+func Get(n int) []byte {
+	gets.Add(1)
+	bp := pool.Get().(*buffer)
+	b := bp.b
+	bp.b = nil
+	putWrapper(bp)
+	if cap(b) < n {
+		// The pooled array is too small for this frame; allocate exactly
+		// what is needed and let the small one go back on the next Put.
+		return make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// wrapperPool recycles the pointer wrappers themselves so Get/Put do not
+// allocate a wrapper per call.
+var wrapperPool = sync.Pool{New: func() any { return new(buffer) }}
+
+func putWrapper(bp *buffer) { wrapperPool.Put(bp) }
+
+// Put returns b's backing array to the pool. Safe for buffers that did not
+// come from Get. The buffer is length-reset before pooling, and backing
+// arrays larger than MaxRetain are dropped — the misuse guard that keeps an
+// oversized frame from living in the pool forever.
+func Put(b []byte) {
+	if b == nil {
+		return
+	}
+	puts.Add(1)
+	if cap(b) > MaxRetain || cap(b) == 0 {
+		discards.Add(1)
+		return
+	}
+	bp := wrapperPool.Get().(*buffer)
+	bp.b = b[:0]
+	pool.Put(bp)
+}
+
+// Stats is a snapshot of the pool's traffic counters.
+type Stats struct {
+	// Gets counts buffers handed out.
+	Gets uint64 `json:"gets"`
+	// Puts counts buffers offered back.
+	Puts uint64 `json:"puts"`
+	// Discards counts offered buffers dropped by the retention guard.
+	Discards uint64 `json:"discards"`
+	// News counts fresh allocations the pool had to make (pool misses).
+	News uint64 `json:"news"`
+}
+
+// Snapshot reads the current counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:     gets.Load(),
+		Puts:     puts.Load(),
+		Discards: discards.Load(),
+		News:     news.Load(),
+	}
+}

@@ -1,0 +1,69 @@
+package bufpool
+
+import "testing"
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("Get(100) = len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, "hello"...)
+	Put(b)
+	c := Get(10)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer not length-reset: len %d", len(c))
+	}
+}
+
+func TestPutNilAndForeignBuffers(t *testing.T) {
+	Put(nil)                    // no-op
+	Put(make([]byte, 0))        // zero-cap: discarded, not pooled
+	Put(make([]byte, 32))       // foreign but well-sized: accepted
+	Put(make([]byte, 0, 1<<20)) // oversized: discarded
+}
+
+// The misuse guard: a jumbo frame (a 15MiB proof, say) passed back to the
+// pool must be dropped, not retained, so one outsized message cannot pin
+// megabytes for the life of the process — and steady-state traffic afterwards
+// still recycles normally.
+func TestOversizedFrameDiscardedThenSteadyStateRecycles(t *testing.T) {
+	const jumbo = 15 << 20
+	before := Snapshot()
+	b := Get(jumbo)
+	if cap(b) < jumbo {
+		t.Fatalf("Get(%d) returned cap %d", jumbo, cap(b))
+	}
+	b = b[:jumbo]
+	b[0], b[jumbo-1] = 1, 2
+	Put(b)
+	after := Snapshot()
+	if got := after.Discards - before.Discards; got != 1 {
+		t.Fatalf("jumbo Put recorded %d discards, want 1", got)
+	}
+
+	// Steady state afterwards: small buffers keep flowing, and nothing the
+	// pool hands out is jumbo-sized (the big array really was dropped).
+	for i := 0; i < 64; i++ {
+		s := Get(512)
+		if cap(s) > MaxRetain {
+			t.Fatalf("pool handed out a retained jumbo buffer: cap %d", cap(s))
+		}
+		s = append(s, byte(i))
+		Put(s)
+	}
+	final := Snapshot()
+	if final.Discards != after.Discards {
+		t.Fatalf("steady-state puts were discarded: %d -> %d", after.Discards, final.Discards)
+	}
+	if final.Gets-after.Gets != 64 || final.Puts-after.Puts != 64 {
+		t.Fatalf("counter drift: %+v -> %+v", after, final)
+	}
+}
+
+func TestGetGrowsBeyondPooledCapacity(t *testing.T) {
+	Put(make([]byte, 0, minAlloc)) // seed a small buffer
+	b := Get(MaxRetain * 2)
+	if cap(b) < MaxRetain*2 {
+		t.Fatalf("Get did not honor requested capacity: cap %d", cap(b))
+	}
+}

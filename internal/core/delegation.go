@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -83,6 +84,13 @@ type Delegation struct {
 	DepthLimit int `json:"depthLimit,omitempty"`
 	// Signature is the issuer's ed25519 signature over SigningBytes.
 	Signature []byte `json:"signature"`
+
+	// id memoizes the content hash. A delegation is immutable once issued
+	// or decoded, so the hash is computed at most once; wallets call ID
+	// many times per operation (admission, store, graph, events, audit).
+	// Code that copies a delegation by value to tamper with it (tests do)
+	// must do so before the first ID call, or the copy inherits the memo.
+	id atomic.Value
 }
 
 // Template carries the caller-controlled fields of a new delegation; Issue
@@ -145,8 +153,16 @@ func (d *Delegation) Kind() Kind {
 func (d *Delegation) IsAssignment() bool { return d.Object.IsAssignment() }
 
 // ID returns the delegation's content hash. The hash covers the signing
-// bytes, which include every semantic field.
-func (d *Delegation) ID() DelegationID { return DelegationID(hashHex(d.SigningBytes())) }
+// bytes, which include every semantic field. The result is memoized; a
+// concurrent first call recomputes the same value harmlessly.
+func (d *Delegation) ID() DelegationID {
+	if v := d.id.Load(); v != nil {
+		return v.(DelegationID)
+	}
+	id := DelegationID(hashHex(d.SigningBytes()))
+	d.id.Store(id)
+	return id
+}
 
 // ValidateStructure checks well-formedness without verifying the signature.
 func (d *Delegation) ValidateStructure() error {

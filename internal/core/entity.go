@@ -17,6 +17,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // EntityID is the stable identity of an entity: the lowercase hex SHA-256
@@ -37,8 +38,13 @@ func (id EntityID) Valid() bool {
 	if len(id) != sha256.Size*2 {
 		return false
 	}
-	_, err := hex.DecodeString(string(id))
-	return err == nil
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
 }
 
 // Entity is a principal or resource: a public key plus a human-readable
@@ -50,10 +56,37 @@ type Entity struct {
 	Key ed25519.PublicKey
 }
 
-// ID returns the entity's fingerprint.
+// idMemoCap bounds the process-wide fingerprint memo; a coalition touches
+// far fewer distinct keys than this, and a pathological flood of principals
+// resets the table wholesale rather than growing without bound.
+const idMemoCap = 4096
+
+// idMemo caches key → fingerprint. Hashing is deterministic, so the memo is
+// sound; it exists because Entity.ID sits on every wallet hot path (graph
+// inserts, admission checks, audit records) and the sha256+hex pair costs an
+// allocation and real time per call.
+var idMemo = struct {
+	sync.RWMutex
+	m map[string]EntityID
+}{m: make(map[string]EntityID, 256)}
+
+// ID returns the entity's fingerprint, memoized process-wide by key.
 func (e Entity) ID() EntityID {
+	idMemo.RLock()
+	id, ok := idMemo.m[string(e.Key)]
+	idMemo.RUnlock()
+	if ok {
+		return id
+	}
 	sum := sha256.Sum256(e.Key)
-	return EntityID(hex.EncodeToString(sum[:]))
+	id = EntityID(hex.EncodeToString(sum[:]))
+	idMemo.Lock()
+	if len(idMemo.m) >= idMemoCap {
+		idMemo.m = make(map[string]EntityID, 256)
+	}
+	idMemo.m[string(e.Key)] = id
+	idMemo.Unlock()
+	return id
 }
 
 // String renders the entity as name(shortid).

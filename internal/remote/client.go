@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drbac/internal/bufpool"
 	"drbac/internal/core"
 	"drbac/internal/graph"
 	"drbac/internal/obs"
@@ -27,6 +28,9 @@ var ErrClientClosed = errors.New("remote: client closed")
 // requests and dispatches subscription pushes to registered handlers.
 type Client struct {
 	conn transport.Conn
+	// codec is the wire codec negotiated for conn during the transport
+	// handshake; every frame on this connection uses it.
+	codec wire.Codec
 	// CallTimeout bounds each request; zero means DefaultCallTimeout.
 	CallTimeout time.Duration
 	// Obs, if set before the client is used, receives connection-failure
@@ -72,6 +76,7 @@ func Dial(ctx context.Context, d transport.Dialer, addr string) (*Client, error)
 	}
 	c := &Client{
 		conn:      conn,
+		codec:     wire.CodecFor(conn.Codec()),
 		pending:   make(map[uint64]chan wire.Envelope),
 		notify:    make(map[core.DelegationID]map[int]func(subs.Event)),
 		pushQueue: make(chan wire.NotifyPush, 256),
@@ -85,6 +90,10 @@ func Dial(ctx context.Context, d transport.Dialer, addr string) (*Client, error)
 
 // Peer returns the authenticated identity of the remote wallet.
 func (c *Client) Peer() core.Entity { return c.conn.Peer() }
+
+// WireCodec names the codec negotiated for this connection ("json" or
+// "binary").
+func (c *Client) WireCodec() string { return c.conn.Codec() }
 
 // Healthy reports whether the connection can still carry calls: false once
 // the read loop has exited (peer hung up, protocol error, or Close).
@@ -113,7 +122,7 @@ func (c *Client) readLoop() {
 			c.failPending(err)
 			return
 		}
-		env, err := wire.Decode(frame)
+		env, err := c.codec.Decode(frame)
 		if err != nil {
 			c.failPending(err)
 			return
@@ -128,7 +137,12 @@ func (c *Client) readLoop() {
 		}
 		if env.Type == wire.TNotify {
 			var push wire.NotifyPush
-			if err := wire.DecodeBody(env, &push); err != nil {
+			err := wire.DecodeBody(env, &push)
+			// The decoded push owns no part of the frame; recycle it. The
+			// replica changelog stream makes this the client's hottest
+			// receive path.
+			bufpool.Put(frame)
+			if err != nil {
 				// A malformed push is a server bug or wire corruption; the
 				// subscription it belonged to silently goes quiet, so make
 				// the drop observable instead of discarding it.
@@ -238,9 +252,12 @@ func (c *Client) call(ctx context.Context, t wire.MsgType, body any) (wire.Envel
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	frame, err := wire.Encode(t, id, body)
+	frame, err := c.codec.Encode(t, id, body)
 	if err == nil {
 		err = c.conn.Send(frame)
+		// Send fully consumes the frame before returning, so the encode
+		// buffer can go straight back to the pool either way.
+		bufpool.Put(frame)
 	}
 	if err != nil {
 		c.mu.Lock()

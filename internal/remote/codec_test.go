@@ -1,0 +1,105 @@
+package remote
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"drbac/internal/transport"
+	"drbac/internal/wire"
+)
+
+// recvWithin waits for one frame, failing the test if nothing happens.
+func recvWithin(t *testing.T, conn transport.Conn, d time.Duration) ([]byte, error) {
+	t.Helper()
+	type res struct {
+		frame []byte
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		f, err := conn.Recv()
+		ch <- res{f, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.frame, r.err
+	case <-time.After(d):
+		t.Fatal("recv timed out")
+		return nil, nil
+	}
+}
+
+// A frame in the wrong codec mid-stream — here raw JSON on a connection that
+// negotiated binary — is a protocol violation: the server answers nothing and
+// drops the connection rather than guessing at the framing.
+func TestMidStreamJSONFrameOnBinaryConnectionDropsIt(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	e.serve("wallet.bigisp", "BigISP")
+	conn, err := e.net.DialerCodec(e.id("Maria"), transport.CodecPolicy{}).
+		Dial(context.Background(), "wallet.bigisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Codec() != transport.CodecBinary {
+		t.Fatalf("negotiated %q, want binary", conn.Codec())
+	}
+	bin := wire.CodecFor(transport.CodecBinary)
+
+	// Prove the connection works first: a binary ping round-trips.
+	frame, err := bin.Encode(wire.TPing, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(frame); err != nil {
+		t.Fatal(err)
+	}
+	respFrame, err := recvWithin(t, conn, 2*time.Second)
+	if err != nil {
+		t.Fatalf("binary ping got no response: %v", err)
+	}
+	env, err := bin.Decode(respFrame)
+	if err != nil || env.Type != wire.TPong {
+		t.Fatalf("ping response = %+v, %v", env, err)
+	}
+
+	// Now a JSON envelope, valid in itself but wrong for this connection.
+	jsonFrame, err := wire.CodecFor(transport.CodecJSON).Encode(wire.TPing, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(jsonFrame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvWithin(t, conn, 2*time.Second); err == nil {
+		t.Fatal("server kept the connection after a wrong-codec frame")
+	}
+}
+
+// The mirror case: a binary-magic frame on a JSON-negotiated connection is
+// equally fatal.
+func TestMidStreamBinaryFrameOnJSONConnectionDropsIt(t *testing.T) {
+	e := newEnv(t, "BigISP", "Maria")
+	e.serve("wallet.bigisp", "BigISP")
+	conn, err := e.net.DialerCodec(e.id("Maria"),
+		transport.CodecPolicy{Advertise: []string{transport.CodecJSON}}).
+		Dial(context.Background(), "wallet.bigisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Codec() != transport.CodecJSON {
+		t.Fatalf("negotiated %q, want json", conn.Codec())
+	}
+	binFrame, err := wire.CodecFor(transport.CodecBinary).Encode(wire.TPing, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(binFrame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvWithin(t, conn, 2*time.Second); err == nil {
+		t.Fatal("server kept the connection after a binary frame on a JSON connection")
+	}
+}

@@ -220,7 +220,10 @@ func TestPushMetrics(t *testing.T) {
 // well-formed pushes still reach their subscriber.
 func TestMalformedPushCountedNotFatal(t *testing.T) {
 	e := newEnv(t, "BigISP", "Maria")
-	ln, err := e.net.Listen("fake.wallet", e.id("BigISP"))
+	// The fake server below speaks hand-rolled JSON envelopes, so pin the
+	// connection to the JSON codec instead of letting it negotiate binary.
+	ln, err := e.net.ListenCodec("fake.wallet", e.id("BigISP"),
+		transport.CodecPolicy{Advertise: []string{transport.CodecJSON}})
 	if err != nil {
 		t.Fatal(err)
 	}

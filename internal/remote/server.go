@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"drbac/internal/bufpool"
 	"drbac/internal/core"
 	"drbac/internal/obs"
 	"drbac/internal/subs"
@@ -29,6 +30,7 @@ type serverMetrics struct {
 	pushes      *obs.Counter
 	pushErrors  *obs.Counter
 	connections *obs.Counter
+	binaryConns *obs.Counter
 	activeConns *obs.Gauge
 	latency     *obs.Histogram
 }
@@ -44,6 +46,7 @@ func newServerMetrics(o *obs.Obs) serverMetrics {
 		pushes:      o.Counter("drbac_server_pushes_total"),
 		pushErrors:  o.Counter("drbac_server_push_errors_total"),
 		connections: o.Counter("drbac_server_connections_total"),
+		binaryConns: o.Counter("drbac_server_binary_connections_total"),
 		activeConns: o.Registry().Gauge("drbac_server_active_connections"),
 		latency:     o.Histogram("drbac_server_request_seconds"),
 	}
@@ -259,8 +262,12 @@ func (s *Server) acceptLoop() {
 		s.conns[conn] = true
 		s.mu.Unlock()
 		s.m.connections.Inc()
+		if conn.Codec() == transport.CodecBinary {
+			s.m.binaryConns.Inc()
+		}
 		s.m.activeConns.Add(1)
-		s.obs.Log().Debug("connection open", "peer", conn.Peer().ID().Short())
+		s.obs.Log().Debug("connection open",
+			"peer", conn.Peer().ID().Short(), "codec", conn.Codec())
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
@@ -270,6 +277,9 @@ func (s *Server) acceptLoop() {
 // writes (responses can interleave with notification pushes).
 type connState struct {
 	conn transport.Conn
+	// codec is the wire codec negotiated during the transport handshake;
+	// every frame in either direction on this connection uses it.
+	codec wire.Codec
 
 	writeMu sync.Mutex
 	subMu   sync.Mutex
@@ -280,13 +290,17 @@ type connState struct {
 }
 
 func (cs *connState) send(t wire.MsgType, id uint64, body any) error {
-	frame, err := wire.Encode(t, id, body)
+	frame, err := cs.codec.Encode(t, id, body)
 	if err != nil {
 		return err
 	}
 	cs.writeMu.Lock()
-	defer cs.writeMu.Unlock()
-	return cs.conn.Send(frame)
+	err = cs.conn.Send(frame)
+	cs.writeMu.Unlock()
+	// Send fully consumes the frame before returning, so the encode buffer
+	// can go straight back to the pool either way.
+	bufpool.Put(frame)
+	return err
 }
 
 func (cs *connState) sendErr(id uint64, err error) {
@@ -307,7 +321,11 @@ const maxInflightPerConn = 64
 func (s *Server) handleConn(conn transport.Conn) {
 	defer s.wg.Done()
 	peer := conn.Peer().ID().Short()
-	cs := &connState{conn: conn, cancels: make(map[core.DelegationID]func())}
+	cs := &connState{
+		conn:    conn,
+		codec:   wire.CodecFor(conn.Codec()),
+		cancels: make(map[core.DelegationID]func()),
+	}
 	var inflight sync.WaitGroup
 	defer func() {
 		inflight.Wait()
@@ -350,7 +368,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		if err != nil {
 			return
 		}
-		env, err := wire.Decode(frame)
+		env, err := cs.codec.Decode(frame)
 		if err != nil {
 			// Protocol violation: drop the connection.
 			s.obs.Log().Warn("protocol violation", "peer", peer, "error", err)
@@ -358,13 +376,17 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		sem <- struct{}{}
 		inflight.Add(1)
-		go func(env wire.Envelope) {
+		go func(env wire.Envelope, frame []byte) {
 			defer func() {
 				<-sem
 				inflight.Done()
 			}()
 			s.dispatch(cs, env)
-		}(env)
+			// dispatch has decoded the body and sent the response; nothing
+			// retains the request frame (DecodeBody copies every field it
+			// keeps), so the receive buffer can be recycled.
+			bufpool.Put(frame)
+		}(env, frame)
 	}
 }
 
@@ -580,7 +602,9 @@ func (s *Server) handle(cs *connState, env wire.Envelope) ([]any, error) {
 		return attrs, cs.send(wire.TProof, env.ID, wire.ProofResp{Proof: p})
 
 	case wire.TStats:
-		return nil, cs.send(wire.TOK, env.ID, s.statsResp())
+		resp := s.statsResp()
+		resp.Wire.ConnCodec = cs.codec.Name()
+		return nil, cs.send(wire.TOK, env.ID, resp)
 
 	case wire.TShardMap:
 		if s.guard == nil {
@@ -754,6 +778,8 @@ func (s *Server) statsResp() wire.StatsResp {
 	if s.dhtStats != nil {
 		resp.DHT = s.dhtStats()
 	}
+	ws2 := wire.StatsSnapshot()
+	resp.Wire = &ws2
 	return resp
 }
 

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wire codec names. The handshake hello advertises the codecs an endpoint
+// speaks; both sides then deterministically agree on one for the life of the
+// connection. JSON is the protocol baseline: every endpoint speaks it, so it
+// is never required in an advertisement and is the fallback whenever the two
+// sides share nothing better. Peers that predate negotiation advertise
+// nothing and are treated as JSON-only.
+const (
+	// CodecJSON is the original JSON envelope encoding — the universal
+	// fallback every endpoint understands.
+	CodecJSON = "json"
+	// CodecBinary is the length-prefixed binary envelope encoding
+	// (internal/wire's binary codec).
+	CodecBinary = "binary"
+)
+
+// defaultAdvertise is what a zero-valued CodecPolicy offers: everything this
+// build speaks, preferring binary.
+var defaultAdvertise = []string{CodecBinary, CodecJSON}
+
+// CodecPolicy is one endpoint's wire-codec stance, configured per listener
+// or dialer. The zero value negotiates automatically: advertise every codec
+// this build supports and accept whatever negotiation lands on.
+type CodecPolicy struct {
+	// Advertise lists the codecs offered in the handshake hello. Nil
+	// advertises every supported codec; an explicit list restricts the
+	// offer (e.g. []string{CodecJSON} forces plain JSON). Unknown names are
+	// carried verbatim — the peer ignores what it does not speak.
+	Advertise []string
+	// Require, when non-empty, fails the handshake unless negotiation
+	// lands on exactly this codec — the fleet-enforcement knob behind
+	// `drbacd -wire=binary`.
+	Require string
+}
+
+// advertised resolves the policy's hello offer.
+func (p CodecPolicy) advertised() []string {
+	if p.Advertise == nil {
+		return defaultAdvertise
+	}
+	return p.Advertise
+}
+
+// ParseWireMode maps a `-wire` flag value to a codec policy:
+//
+//	auto    advertise binary+json, accept the negotiated outcome (default)
+//	json    speak only JSON (also what pre-negotiation peers get)
+//	binary  advertise binary and refuse the connection unless the peer
+//	        negotiates it
+func ParseWireMode(mode string) (CodecPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(mode)) {
+	case "", "auto":
+		return CodecPolicy{}, nil
+	case "json":
+		return CodecPolicy{Advertise: []string{CodecJSON}}, nil
+	case "binary":
+		return CodecPolicy{Require: CodecBinary}, nil
+	default:
+		return CodecPolicy{}, fmt.Errorf("unknown wire mode %q (want auto, json, or binary)", mode)
+	}
+}
+
+// negotiateCodec picks the connection codec from the two advertisements:
+// binary wins iff both sides offered it, otherwise the JSON baseline.
+// Unknown codec names on either side are ignored, so future codecs degrade
+// gracefully against this build.
+func negotiateCodec(local, peer []string) string {
+	if contains(local, CodecBinary) && contains(peer, CodecBinary) {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
+func contains(list []string, name string) bool {
+	for _, s := range list {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

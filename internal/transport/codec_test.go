@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseWireMode(t *testing.T) {
+	cases := []struct {
+		mode string
+		want CodecPolicy
+	}{
+		{"", CodecPolicy{}},
+		{"auto", CodecPolicy{}},
+		{"AUTO", CodecPolicy{}},
+		{" json ", CodecPolicy{Advertise: []string{CodecJSON}}},
+		{"binary", CodecPolicy{Require: CodecBinary}},
+	}
+	for _, c := range cases {
+		got, err := ParseWireMode(c.mode)
+		if err != nil {
+			t.Errorf("ParseWireMode(%q): %v", c.mode, err)
+			continue
+		}
+		if got.Require != c.want.Require || len(got.Advertise) != len(c.want.Advertise) {
+			t.Errorf("ParseWireMode(%q) = %+v, want %+v", c.mode, got, c.want)
+		}
+	}
+	if _, err := ParseWireMode("msgpack"); err == nil {
+		t.Error("unknown wire mode accepted")
+	}
+}
+
+func TestNegotiateCodec(t *testing.T) {
+	bin := []string{CodecBinary, CodecJSON}
+	jsn := []string{CodecJSON}
+	cases := []struct {
+		name        string
+		local, peer []string
+		want        string
+	}{
+		{"both binary", bin, bin, CodecBinary},
+		{"local json-only", jsn, bin, CodecJSON},
+		{"peer json-only", bin, jsn, CodecJSON},
+		{"legacy peer (no advertisement)", bin, nil, CodecJSON},
+		{"unknown names ignored", []string{"zstd-frames", CodecBinary}, bin, CodecBinary},
+		{"only unknown names", []string{"zstd-frames"}, bin, CodecJSON},
+	}
+	for _, c := range cases {
+		if got := negotiateCodec(c.local, c.peer); got != c.want {
+			t.Errorf("%s: negotiated %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// dialPair connects a client and server over a fresh mem network with the
+// given policies and returns both authenticated ends.
+func dialPair(t *testing.T, serverPol, clientPol CodecPolicy) (server, client Conn) {
+	t.Helper()
+	n := NewMemNetwork()
+	srv := mkIdentity(t, "server", 50)
+	cli := mkIdentity(t, "client", 51)
+	ln, err := n.ListenCodec("w", srv, serverPol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	connCh := make(chan Conn, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		connCh <- c
+	}()
+	c, err := n.DialerCodec(cli, clientPol).Dial(context.Background(), "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	select {
+	case s := <-connCh:
+		t.Cleanup(func() { s.Close() })
+		return s, c
+	case err := <-errCh:
+		t.Fatalf("accept: %v", err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return nil, nil
+}
+
+// Both sides of a connection must land on the same codec, and an unknown
+// advertisement entry must not derail negotiation.
+func TestHandshakeNegotiationAgreesBothEnds(t *testing.T) {
+	cases := []struct {
+		name             string
+		serverP, clientP CodecPolicy
+		want             string
+	}{
+		{"auto-auto", CodecPolicy{}, CodecPolicy{}, CodecBinary},
+		{"json-only server downgrades", CodecPolicy{Advertise: []string{CodecJSON}}, CodecPolicy{}, CodecJSON},
+		{"json-only client downgrades", CodecPolicy{}, CodecPolicy{Advertise: []string{CodecJSON}}, CodecJSON},
+		{"unknown codec ignored", CodecPolicy{}, CodecPolicy{Advertise: []string{"zstd-frames", CodecBinary, CodecJSON}}, CodecBinary},
+		{"only unknown falls back to json", CodecPolicy{}, CodecPolicy{Advertise: []string{"zstd-frames"}}, CodecJSON},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, cl := dialPair(t, c.serverP, c.clientP)
+			if s.Codec() != c.want || cl.Codec() != c.want {
+				t.Errorf("negotiated server=%q client=%q, want %q on both",
+					s.Codec(), cl.Codec(), c.want)
+			}
+		})
+	}
+}
+
+// A dialer that requires binary must refuse a JSON-only server with a
+// handshake error that names the codec, not hang or silently downgrade.
+func TestHandshakeRequireBinaryFailsAgainstJSONPeer(t *testing.T) {
+	n := NewMemNetwork()
+	srv := mkIdentity(t, "server", 52)
+	cli := mkIdentity(t, "client", 53)
+	ln, err := n.ListenCodec("w", srv, CodecPolicy{Advertise: []string{CodecJSON}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	d := n.DialerCodec(cli, CodecPolicy{Require: CodecBinary})
+	_, err = d.Dial(context.Background(), "w")
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("dial error = %v, want ErrHandshake", err)
+	}
+	if !strings.Contains(err.Error(), "binary") {
+		t.Errorf("error does not name the required codec: %v", err)
+	}
+}
+
+// The server-side Require knob refuses JSON-only clients at Accept.
+func TestHandshakeServerRequireBinaryRefusesJSONClient(t *testing.T) {
+	n := NewMemNetwork()
+	srv := mkIdentity(t, "server", 54)
+	cli := mkIdentity(t, "client", 55)
+	ln, err := n.ListenCodec("w", srv, CodecPolicy{Require: CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		acceptErr <- err
+	}()
+	// The client side fails too (its peer hangs up), in either order.
+	_, _ = n.DialerCodec(cli, CodecPolicy{Advertise: []string{CodecJSON}}).
+		Dial(context.Background(), "w")
+	select {
+	case err := <-acceptErr:
+		if !errors.Is(err, ErrHandshake) {
+			t.Fatalf("accept error = %v, want ErrHandshake", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept did not reject the JSON-only client")
+	}
+}
+
+// A legacy peer whose hello carries no codec advertisement lands on JSON:
+// mixed-version coalitions keep working. Driven by hand so the hello really
+// has no Codecs field, exactly like a pre-negotiation build.
+func TestHandshakeLegacyPeerDowngradesToJSON(t *testing.T) {
+	n := NewMemNetwork()
+	srv := mkIdentity(t, "server", 56)
+	legacy := mkIdentity(t, "legacy", 57)
+	a, b := newMemPair(n)
+	type result struct {
+		conn *authedConn
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		conn, err := handshake(a, srv, sideServer, CodecPolicy{})
+		resCh <- result{conn, err}
+	}()
+
+	// Legacy client: hello with no Codecs field, then a valid possession proof.
+	nonce := make([]byte, nonceLen)
+	hello, _ := json.Marshal(helloMsg{Name: legacy.Name(), Key: legacy.Entity().Key, Nonce: nonce})
+	if err := b.sendFrame(hello); err != nil {
+		t.Fatal(err)
+	}
+	peerRaw, err := b.recvFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerHello helloMsg
+	if err := json.Unmarshal(peerRaw, &peerHello); err != nil {
+		t.Fatal(err)
+	}
+	sig := legacy.SignBytes(transcript(sideClient, nonce, peerHello.Nonce))
+	auth, _ := json.Marshal(authMsg{Sig: sig})
+	if err := b.sendFrame(auth); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = b.recvFrame() }() // drain the server's auth
+
+	select {
+	case res := <-resCh:
+		if res.err != nil {
+			t.Fatalf("handshake with legacy peer failed: %v", res.err)
+		}
+		if got := res.conn.Codec(); got != CodecJSON {
+			t.Errorf("negotiated %q with a legacy peer, want %q", got, CodecJSON)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handshake with legacy peer wedged")
+	}
+}
+
+// Frames at exactly MaxFrame pass over a binary-negotiated connection;
+// one byte more is refused by the sender before anything hits the wire.
+func TestMaxFrameBoundaryOnBinaryConnection(t *testing.T) {
+	s, c := dialPair(t, CodecPolicy{}, CodecPolicy{})
+	if c.Codec() != CodecBinary {
+		t.Fatalf("negotiated %q, want binary", c.Codec())
+	}
+	big := make([]byte, MaxFrame)
+	big[0], big[len(big)-1] = 0xD7, 0xEE
+	done := make(chan []byte, 1)
+	go func() {
+		got, err := s.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- got
+	}()
+	if err := c.Send(big); err != nil {
+		t.Fatalf("send of MaxFrame bytes failed: %v", err)
+	}
+	select {
+	case got := <-done:
+		if len(got) != MaxFrame || got[0] != 0xD7 || got[len(got)-1] != 0xEE {
+			t.Fatalf("MaxFrame payload corrupted: len=%d", len(got))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("MaxFrame payload never arrived")
+	}
+	if err := c.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("frame one byte over MaxFrame accepted")
+	}
+}

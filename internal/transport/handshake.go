@@ -28,6 +28,11 @@ type helloMsg struct {
 	Name  string `json:"name"`
 	Key   []byte `json:"key"`
 	Nonce []byte `json:"nonce"`
+	// Codecs advertises the wire codecs this endpoint speaks, preference
+	// ordered. Absent on peers that predate negotiation — they are treated
+	// as JSON-only, which every endpoint speaks, so mixed-version
+	// coalitions keep working.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 type authMsg struct {
@@ -35,30 +40,35 @@ type authMsg struct {
 }
 
 // handshake runs the mutual authentication protocol over fc and returns the
-// peer's verified identity.
-func handshake(fc frameConn, id *core.Identity, side string) (core.Entity, error) {
+// authenticated connection: the peer's verified identity plus the wire codec
+// both sides agreed on. The codec advertisement rides in the hello and is
+// not part of the signed transcript — frames carry no integrity protection
+// after the handshake either, and keeping the transcript fixed preserves
+// interoperability with pre-negotiation builds.
+func handshake(fc frameConn, id *core.Identity, side string, pol CodecPolicy) (*authedConn, error) {
 	nonce := make([]byte, nonceLen)
 	if _, err := rand.Read(nonce); err != nil {
-		return core.Entity{}, fmt.Errorf("handshake nonce: %w", err)
+		return nil, fmt.Errorf("handshake nonce: %w", err)
 	}
-	hello := helloMsg{Name: id.Name(), Key: id.Entity().Key, Nonce: nonce}
+	offer := pol.advertised()
+	hello := helloMsg{Name: id.Name(), Key: id.Entity().Key, Nonce: nonce, Codecs: offer}
 	raw, err := json.Marshal(hello)
 	if err != nil {
-		return core.Entity{}, err
+		return nil, err
 	}
 	if err := fc.sendFrame(raw); err != nil {
-		return core.Entity{}, fmt.Errorf("handshake send hello: %w", err)
+		return nil, fmt.Errorf("handshake send hello: %w", err)
 	}
 	peerRaw, err := fc.recvFrame()
 	if err != nil {
-		return core.Entity{}, fmt.Errorf("handshake recv hello: %w", err)
+		return nil, fmt.Errorf("handshake recv hello: %w", err)
 	}
 	var peerHello helloMsg
 	if err := json.Unmarshal(peerRaw, &peerHello); err != nil {
-		return core.Entity{}, fmt.Errorf("%w: bad hello: %v", ErrHandshake, err)
+		return nil, fmt.Errorf("%w: bad hello: %v", ErrHandshake, err)
 	}
 	if len(peerHello.Key) != ed25519.PublicKeySize || len(peerHello.Nonce) != nonceLen {
-		return core.Entity{}, fmt.Errorf("%w: malformed hello", ErrHandshake)
+		return nil, fmt.Errorf("%w: malformed hello", ErrHandshake)
 	}
 	peer := core.Entity{Name: peerHello.Name, Key: peerHello.Key}
 
@@ -66,56 +76,61 @@ func handshake(fc frameConn, id *core.Identity, side string) (core.Entity, error
 	sig := id.SignBytes(transcript(side, nonce, peerHello.Nonce))
 	authRaw, err := json.Marshal(authMsg{Sig: sig})
 	if err != nil {
-		return core.Entity{}, err
+		return nil, err
 	}
 	if err := fc.sendFrame(authRaw); err != nil {
-		return core.Entity{}, fmt.Errorf("handshake send auth: %w", err)
+		return nil, fmt.Errorf("handshake send auth: %w", err)
 	}
 	peerAuthRaw, err := fc.recvFrame()
 	if err != nil {
-		return core.Entity{}, fmt.Errorf("handshake recv auth: %w", err)
+		return nil, fmt.Errorf("handshake recv auth: %w", err)
 	}
 	var peerAuth authMsg
 	if err := json.Unmarshal(peerAuthRaw, &peerAuth); err != nil {
-		return core.Entity{}, fmt.Errorf("%w: bad auth: %v", ErrHandshake, err)
+		return nil, fmt.Errorf("%w: bad auth: %v", ErrHandshake, err)
 	}
 	peerSide := sideServer
 	if side == sideServer {
 		peerSide = sideClient
 	}
 	if !core.VerifyBytes(peer, transcript(peerSide, peerHello.Nonce, nonce), peerAuth.Sig) {
-		return core.Entity{}, fmt.Errorf("%w: peer %s failed proof of possession", ErrHandshake, peer)
+		return nil, fmt.Errorf("%w: peer %s failed proof of possession", ErrHandshake, peer)
 	}
-	return peer, nil
+	codec := negotiateCodec(offer, peerHello.Codecs)
+	if pol.Require != "" && codec != pol.Require {
+		return nil, fmt.Errorf("%w: peer %s does not speak the required %q wire codec (negotiated %q)",
+			ErrHandshake, peer, pol.Require, codec)
+	}
+	return &authedConn{fc: fc, peer: peer, codec: codec}, nil
 }
 
 // handshakeCtx runs the handshake under ctx: cancellation closes the frame
 // conn, which unblocks the in-flight frame reads, so a dial never outlives
 // its caller's deadline. On any failure the conn is closed before returning.
-func handshakeCtx(ctx context.Context, fc frameConn, id *core.Identity, side string) (core.Entity, error) {
+func handshakeCtx(ctx context.Context, fc frameConn, id *core.Identity, side string, pol CodecPolicy) (*authedConn, error) {
 	if err := ctx.Err(); err != nil {
 		_ = fc.close()
-		return core.Entity{}, fmt.Errorf("transport: handshake: %w", err)
+		return nil, fmt.Errorf("transport: handshake: %w", err)
 	}
 	type outcome struct {
-		peer core.Entity
+		conn *authedConn
 		err  error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		peer, err := handshake(fc, id, side)
-		done <- outcome{peer, err}
+		conn, err := handshake(fc, id, side, pol)
+		done <- outcome{conn, err}
 	}()
 	select {
 	case out := <-done:
 		if out.err != nil {
 			_ = fc.close()
 		}
-		return out.peer, out.err
+		return out.conn, out.err
 	case <-ctx.Done():
 		_ = fc.close()
 		<-done // the closed conn fails the pending frame I/O promptly
-		return core.Entity{}, fmt.Errorf("transport: handshake: %w", ctx.Err())
+		return nil, fmt.Errorf("transport: handshake: %w", ctx.Err())
 	}
 }
 
@@ -134,8 +149,9 @@ func transcript(side string, own, peer []byte) []byte {
 
 // authedConn wraps a frameConn after a successful handshake.
 type authedConn struct {
-	fc   frameConn
-	peer core.Entity
+	fc    frameConn
+	peer  core.Entity
+	codec string
 }
 
 var _ Conn = (*authedConn)(nil)
@@ -143,4 +159,5 @@ var _ Conn = (*authedConn)(nil)
 func (c *authedConn) Send(payload []byte) error { return c.fc.sendFrame(payload) }
 func (c *authedConn) Recv() ([]byte, error)     { return c.fc.recvFrame() }
 func (c *authedConn) Peer() core.Entity         { return c.peer }
+func (c *authedConn) Codec() string             { return c.codec }
 func (c *authedConn) Close() error              { return c.fc.close() }

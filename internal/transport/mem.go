@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drbac/internal/bufpool"
 	"drbac/internal/core"
 )
 
@@ -54,8 +55,15 @@ func (n *MemNetwork) account(frame []byte) {
 	n.bytes.Add(int64(len(frame)))
 }
 
-// Listen registers a listener at addr operating as identity id.
+// Listen registers a listener at addr operating as identity id with the
+// automatic codec policy.
 func (n *MemNetwork) Listen(addr string, id *core.Identity) (Listener, error) {
+	return n.ListenCodec(addr, id, CodecPolicy{})
+}
+
+// ListenCodec is Listen with an explicit wire-codec policy — how tests build
+// mixed-codec coalitions on one in-memory network.
+func (n *MemNetwork) ListenCodec(addr string, id *core.Identity, pol CodecPolicy) (Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, taken := n.listeners[addr]; taken {
@@ -64,6 +72,7 @@ func (n *MemNetwork) Listen(addr string, id *core.Identity) (Listener, error) {
 	l := &memListener{
 		net:     n,
 		id:      id,
+		pol:     pol,
 		addr:    addr,
 		pending: make(chan *memFrameConn),
 		done:    make(chan struct{}),
@@ -72,14 +81,21 @@ func (n *MemNetwork) Listen(addr string, id *core.Identity) (Listener, error) {
 	return l, nil
 }
 
-// Dialer returns a Dialer that connects within this network as identity id.
+// Dialer returns a Dialer that connects within this network as identity id
+// with the automatic codec policy.
 func (n *MemNetwork) Dialer(id *core.Identity) Dialer {
-	return &memDialer{net: n, id: id}
+	return n.DialerCodec(id, CodecPolicy{})
+}
+
+// DialerCodec is Dialer with an explicit wire-codec policy.
+func (n *MemNetwork) DialerCodec(id *core.Identity, pol CodecPolicy) Dialer {
+	return &memDialer{net: n, id: id, pol: pol}
 }
 
 type memDialer struct {
 	net *MemNetwork
 	id  *core.Identity
+	pol CodecPolicy
 }
 
 var _ Dialer = (*memDialer)(nil)
@@ -100,16 +116,17 @@ func (d *memDialer) Dial(ctx context.Context, addr string) (Conn, error) {
 		_ = clientEnd.close()
 		return nil, fmt.Errorf("mem dial %s: %w", addr, ctx.Err())
 	}
-	peer, err := handshakeCtx(ctx, clientEnd, d.id, sideClient)
+	ac, err := handshakeCtx(ctx, clientEnd, d.id, sideClient, d.pol)
 	if err != nil {
 		return nil, err
 	}
-	return &authedConn{fc: clientEnd, peer: peer}, nil
+	return ac, nil
 }
 
 type memListener struct {
 	net     *MemNetwork
 	id      *core.Identity
+	pol     CodecPolicy
 	addr    string
 	pending chan *memFrameConn
 	done    chan struct{}
@@ -121,12 +138,12 @@ var _ Listener = (*memListener)(nil)
 func (l *memListener) Accept() (Conn, error) {
 	select {
 	case fc := <-l.pending:
-		peer, err := handshake(fc, l.id, sideServer)
+		ac, err := handshake(fc, l.id, sideServer, l.pol)
 		if err != nil {
 			_ = fc.close()
 			return nil, err
 		}
-		return &authedConn{fc: fc, peer: peer}, nil
+		return ac, nil
 	case <-l.done:
 		return nil, ErrClosed
 	}
@@ -171,7 +188,9 @@ func (c *memFrameConn) sendFrame(p []byte) error {
 	if len(p) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
 	}
-	cp := make([]byte, len(p))
+	// Copy into a pooled buffer: the sender is free to recycle p the moment
+	// sendFrame returns, and the receiver owns (and may re-pool) cp.
+	cp := bufpool.Get(len(p))[:len(p)]
 	copy(cp, p)
 	if c.net.Latency > 0 {
 		time.Sleep(c.net.Latency)

@@ -34,6 +34,11 @@ func (c *tcpFrameConn) close() error { return c.conn.Close() }
 
 // TCPListener accepts authenticated dRBAC connections on a TCP socket.
 type TCPListener struct {
+	// Codec is this endpoint's wire-codec policy. Set it before the first
+	// Accept; the zero value negotiates automatically (binary preferred,
+	// JSON fallback).
+	Codec CodecPolicy
+
 	id *core.Identity
 	ln net.Listener
 }
@@ -56,12 +61,12 @@ func (l *TCPListener) Accept() (Conn, error) {
 		return nil, err
 	}
 	fc := &tcpFrameConn{conn: conn}
-	peer, err := handshake(fc, l.id, sideServer)
+	ac, err := handshake(fc, l.id, sideServer, l.Codec)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
-	return &authedConn{fc: fc, peer: peer}, nil
+	return ac, nil
 }
 
 // Close stops the listener.
@@ -74,6 +79,9 @@ func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
 type TCPDialer struct {
 	// Identity authenticates the dialing side.
 	Identity *core.Identity
+	// Codec is this endpoint's wire-codec policy; the zero value
+	// negotiates automatically (binary preferred, JSON fallback).
+	Codec CodecPolicy
 }
 
 var _ Dialer = (*TCPDialer)(nil)
@@ -88,9 +96,9 @@ func (d *TCPDialer) Dial(ctx context.Context, addr string) (Conn, error) {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	fc := &tcpFrameConn{conn: conn}
-	peer, err := handshakeCtx(ctx, fc, d.Identity, sideClient)
+	ac, err := handshakeCtx(ctx, fc, d.Identity, sideClient, d.Codec)
 	if err != nil {
 		return nil, err
 	}
-	return &authedConn{fc: fc, peer: peer}, nil
+	return ac, nil
 }

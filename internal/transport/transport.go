@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"drbac/internal/bufpool"
 	"drbac/internal/core"
 )
 
@@ -32,12 +33,17 @@ var (
 
 // Conn is an authenticated, framed, bidirectional message channel.
 type Conn interface {
-	// Send writes one message frame.
+	// Send writes one message frame. The frame is fully consumed before
+	// Send returns; the caller may recycle its buffer afterwards.
 	Send(payload []byte) error
-	// Recv reads one message frame, blocking until one arrives.
+	// Recv reads one message frame, blocking until one arrives. Ownership
+	// of the returned buffer passes to the caller.
 	Recv() ([]byte, error)
 	// Peer returns the authenticated identity of the other side.
 	Peer() core.Entity
+	// Codec names the wire codec negotiated during the handshake
+	// (CodecJSON or CodecBinary). Both ends of a connection always agree.
+	Codec() string
 	// Close tears the connection down; pending Recv calls fail.
 	Close() error
 }
@@ -65,13 +71,24 @@ type frameConn interface {
 	close() error
 }
 
-// writeFrame writes a length-prefixed frame to w.
+// writeFrame writes a length-prefixed frame to w. Frames up to MaxRetain are
+// coalesced with their header into one pooled buffer so the common case
+// costs a single write (one syscall on TCP) and no allocation; jumbo frames
+// fall back to two writes rather than copying megabytes.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if len(payload) <= bufpool.MaxRetain {
+		buf := bufpool.Get(4 + len(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+		_, err := w.Write(buf)
+		bufpool.Put(buf)
+		return err
+	}
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -79,7 +96,9 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads a length-prefixed frame from r.
+// readFrame reads a length-prefixed frame from r into a pooled buffer.
+// Ownership passes to the caller; returning it via bufpool.Put when the
+// frame is fully consumed closes the loop.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -89,8 +108,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	payload := bufpool.Get(int(n))[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
+		bufpool.Put(payload)
 		return nil, err
 	}
 	return payload, nil

@@ -296,11 +296,11 @@ func TestHandshakeRejectsWrongTranscript(t *testing.T) {
 
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := handshake(a, idA, sideClient)
+		_, err := handshake(a, idA, sideClient, CodecPolicy{})
 		errCh <- err
 	}()
 	// Wrong: B also claims to be the client side.
-	_, errB := handshake(b, idB, sideClient)
+	_, errB := handshake(b, idB, sideClient, CodecPolicy{})
 	errA := <-errCh
 	if errA == nil && errB == nil {
 		t.Fatal("mirror handshake should fail on at least one side")

@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drbac/internal/bufpool"
+	"drbac/internal/core"
+	"drbac/internal/graph"
+)
+
+// Binary envelope framing (CodecBinary), negotiated in the transport
+// handshake. Layout:
+//
+//	byte 0   magic 0xD7 (never collides with '{', so a frame encoded with
+//	         the wrong codec is detected immediately)
+//	byte 1   version (currently 1)
+//	byte 2   message type code; 0 escapes to a length-prefixed type string
+//	         so future message types survive this framing unchanged
+//	uvarint  envelope ID (0 = unsolicited push)
+//	byte     body kind (bkNone / bkJSON / typed)
+//	rest     body bytes
+//
+// Hot message bodies (queries, proofs, publishes, revokes, notifies, sync)
+// are hand-rolled binary; everything else (stats, DHT, gossip, traces,
+// shard maps, errors) rides as JSON inside the binary envelope — those
+// paths are cold, and keeping them JSON means one fallback covers every
+// future message without a codec bump.
+
+const (
+	binMagic   = 0xD7
+	binVersion = 1
+)
+
+// Body kinds. bkJSON marks a JSON-marshaled body; greater values name
+// hand-rolled binary body layouts. Kinds are protocol constants: never
+// renumber, only append.
+const (
+	bkNone byte = iota
+	bkJSON
+	bkQueryReq
+	bkProofResp
+	bkProofsResp
+	bkPublishReq
+	bkRevokeReq
+	bkNotifyPush
+	bkSubscribeReq
+	bkHasReq
+	bkHasResp
+	bkSyncResp
+	bkSubscribeAllResp
+	bkSyncSegmentsReq
+	bkSyncSegmentsResp
+	bkProveRoleReq
+
+	bkMax = bkProveRoleReq
+)
+
+// msgTypeCodes maps message types to their single-byte wire codes. Codes
+// are protocol constants: never renumber, only append.
+var msgTypeCodes = map[MsgType]byte{
+	TPublish:       1,
+	TQueryDirect:   2,
+	TQuerySubject:  3,
+	TQueryObject:   4,
+	TSubscribe:     5,
+	TUnsubscribe:   6,
+	TRevoke:        7,
+	TProveRole:     8,
+	THas:           9,
+	TPing:          10,
+	TStats:         11,
+	TSync:          12,
+	TSubscribeAll:  13,
+	TSyncSegments:  14,
+	TTrace:         15,
+	TShardMap:      16,
+	TDHTFindNode:   17,
+	TDHTFindValue:  18,
+	TDHTStore:      19,
+	TGossipPing:    20,
+	TGossipPingReq: 21,
+	TOK:            32,
+	TProof:         33,
+	TProofs:        34,
+	TError:         35,
+	TNotify:        36,
+	TPong:          37,
+	TClusterHello:  38,
+}
+
+var msgTypeNames = func() map[byte]MsgType {
+	m := make(map[byte]MsgType, len(msgTypeCodes))
+	for t, c := range msgTypeCodes {
+		m[c] = t
+	}
+	return m
+}()
+
+// binaryCodec implements Codec with the framing above.
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return CodecBinary }
+
+func (binaryCodec) Encode(t MsgType, id uint64, body any) ([]byte, error) {
+	w := bwriter{buf: bufpool.Get(256)}
+	w.u8(binMagic)
+	w.u8(binVersion)
+	if code, ok := msgTypeCodes[t]; ok {
+		w.u8(code)
+	} else {
+		w.u8(0)
+		w.str(string(t))
+	}
+	w.uvarint(id)
+
+	switch b := body.(type) {
+	case nil:
+		w.u8(bkNone)
+	case QueryReq:
+		w.u8(bkQueryReq)
+		w.subject(b.Subject)
+		w.role(b.Object)
+		w.uvarint(uint64(len(b.Constraints)))
+		for _, c := range b.Constraints {
+			w.constraint(c)
+		}
+		w.svarint(int64(b.Direction))
+		w.str(b.TraceID)
+		w.str(b.SpanID)
+	case ProofResp:
+		w.u8(bkProofResp)
+		w.proof(b.Proof)
+	case ProofsResp:
+		w.u8(bkProofsResp)
+		w.proofs(b.Proofs)
+	case PublishReq:
+		w.u8(bkPublishReq)
+		w.delegation(b.Delegation)
+		w.proofs(b.Support)
+		w.svarint(int64(b.TTLSeconds))
+		w.uvarint(b.ShardEpoch)
+	case RevokeReq:
+		w.u8(bkRevokeReq)
+		w.str(string(b.Delegation))
+		w.uvarint(b.ShardEpoch)
+	case NotifyPush:
+		w.u8(bkNotifyPush)
+		w.str(string(b.Delegation))
+		w.str(b.Kind)
+		w.time(b.At)
+		w.uvarint(b.Seq)
+		if b.Bundle == nil {
+			w.bool(false)
+		} else {
+			w.bool(true)
+			w.delegation(b.Bundle.Delegation)
+			w.proofs(b.Bundle.Support)
+		}
+	case SubscribeReq:
+		w.u8(bkSubscribeReq)
+		w.str(string(b.Delegation))
+	case HasReq:
+		w.u8(bkHasReq)
+		w.str(string(b.Delegation))
+	case HasResp:
+		w.u8(bkHasResp)
+		w.bool(b.Present)
+	case SyncResp:
+		w.u8(bkSyncResp)
+		w.uvarint(b.Seq)
+		w.uvarint(uint64(len(b.Bundles)))
+		for _, sb := range b.Bundles {
+			w.delegation(sb.Delegation)
+			w.proofs(sb.Support)
+		}
+		w.uvarint(uint64(len(b.Revoked)))
+		for _, rid := range b.Revoked {
+			w.str(string(rid))
+		}
+	case SubscribeAllResp:
+		w.u8(bkSubscribeAllResp)
+		w.uvarint(b.Seq)
+	case SyncSegmentsReq:
+		w.u8(bkSyncSegmentsReq)
+		w.uvarint(b.AfterSeq)
+	case SyncSegmentsResp:
+		w.u8(bkSyncSegmentsResp)
+		w.uvarint(b.Seq)
+		w.uvarint(uint64(len(b.Segments)))
+		for _, seg := range b.Segments {
+			w.str(seg.Name)
+			w.bool(seg.Sealed)
+			w.bytes(seg.Records)
+		}
+	case ProveRoleReq:
+		w.u8(bkProveRoleReq)
+		w.role(b.Role)
+	default:
+		raw, err := json.Marshal(body)
+		if err != nil {
+			bufpool.Put(w.buf)
+			return nil, fmt.Errorf("wire encode %s: %w", t, err)
+		}
+		w.u8(bkJSON)
+		w.buf = append(w.buf, raw...)
+	}
+
+	stats.binaryFramesEncoded.Add(1)
+	stats.binaryBytesEncoded.Add(uint64(len(w.buf)))
+	return w.buf, nil
+}
+
+func (binaryCodec) Decode(frame []byte) (Envelope, error) {
+	r := breader{buf: frame}
+	if magic := r.u8(); r.err == nil && magic != binMagic {
+		if magic == '{' {
+			return Envelope{}, fmt.Errorf("wire decode: JSON frame on a binary-codec connection")
+		}
+		return Envelope{}, fmt.Errorf("wire decode: bad binary magic 0x%02x", magic)
+	}
+	if v := r.u8(); r.err == nil && v != binVersion {
+		return Envelope{}, fmt.Errorf("wire decode: unsupported binary version %d", v)
+	}
+	var t MsgType
+	if code := r.u8(); code != 0 {
+		name, ok := msgTypeNames[code]
+		if !ok && r.err == nil {
+			return Envelope{}, fmt.Errorf("wire decode: unknown message type code %d", code)
+		}
+		t = name
+	} else {
+		t = MsgType(r.str())
+	}
+	id := r.uvarint()
+	kind := r.u8()
+	if r.err != nil {
+		return Envelope{}, fmt.Errorf("wire decode: %w", r.err)
+	}
+	if t == "" {
+		return Envelope{}, fmt.Errorf("wire decode: missing type")
+	}
+	body := frame[r.off:]
+	env := Envelope{Type: t, ID: id}
+	switch {
+	case kind == bkNone:
+		if len(body) != 0 {
+			return Envelope{}, fmt.Errorf("wire decode: %d trailing bytes after empty body", len(body))
+		}
+	case kind == bkJSON:
+		env.Body = json.RawMessage(body)
+	case kind <= bkMax:
+		env.Body = json.RawMessage(body)
+		env.binKind = kind
+	default:
+		return Envelope{}, fmt.Errorf("wire decode: unknown body kind %d", kind)
+	}
+	stats.binaryFramesDecoded.Add(1)
+	stats.binaryBytesDecoded.Add(uint64(len(frame)))
+	return env, nil
+}
+
+// decodeBinaryBody decodes a typed binary body into out. The body-kind tag
+// recorded at Decode time must match the Go type the caller asked for; a
+// mismatch is a protocol violation, reported before any field is read.
+func decodeBinaryBody(env Envelope, out any) error {
+	want, ok := binKindFor(out)
+	if !ok {
+		return fmt.Errorf("wire %s: binary body cannot decode into %T", env.Type, out)
+	}
+	if want != env.binKind {
+		return fmt.Errorf("wire %s: binary body kind %d does not match requested %T", env.Type, env.binKind, out)
+	}
+	r := breader{buf: []byte(env.Body)}
+	switch out := out.(type) {
+	case *QueryReq:
+		out.Subject = r.subject()
+		out.Object = r.role()
+		if n := r.count(); n > 0 {
+			out.Constraints = make([]core.Constraint, n)
+			for i := range out.Constraints {
+				out.Constraints[i] = r.constraint()
+			}
+		}
+		out.Direction = graph.Direction(r.svarint())
+		out.TraceID = r.str()
+		out.SpanID = r.str()
+	case *ProofResp:
+		out.Proof = r.proof(0)
+	case *ProofsResp:
+		out.Proofs = r.proofsAt(0)
+	case *PublishReq:
+		out.Delegation = r.delegation()
+		out.Support = r.proofsAt(0)
+		out.TTLSeconds = int(r.svarint())
+		out.ShardEpoch = r.uvarint()
+	case *RevokeReq:
+		out.Delegation = core.DelegationID(r.str())
+		out.ShardEpoch = r.uvarint()
+	case *NotifyPush:
+		out.Delegation = core.DelegationID(r.str())
+		out.Kind = r.internedStr()
+		out.At = r.time()
+		out.Seq = r.uvarint()
+		if r.bool() {
+			out.Bundle = &SyncBundle{Delegation: r.delegation(), Support: r.proofsAt(0)}
+		}
+	case *SubscribeReq:
+		out.Delegation = core.DelegationID(r.str())
+	case *HasReq:
+		out.Delegation = core.DelegationID(r.str())
+	case *HasResp:
+		out.Present = r.bool()
+	case *SyncResp:
+		out.Seq = r.uvarint()
+		if n := r.count(); n > 0 {
+			out.Bundles = make([]SyncBundle, n)
+			for i := range out.Bundles {
+				out.Bundles[i] = SyncBundle{Delegation: r.delegation(), Support: r.proofsAt(0)}
+			}
+		}
+		if n := r.count(); n > 0 {
+			out.Revoked = make([]core.DelegationID, n)
+			for i := range out.Revoked {
+				out.Revoked[i] = core.DelegationID(r.str())
+			}
+		}
+	case *SubscribeAllResp:
+		out.Seq = r.uvarint()
+	case *SyncSegmentsReq:
+		out.AfterSeq = r.uvarint()
+	case *SyncSegmentsResp:
+		out.Seq = r.uvarint()
+		if n := r.count(); n > 0 {
+			out.Segments = make([]Segment, n)
+			for i := range out.Segments {
+				out.Segments[i] = Segment{Name: r.str(), Sealed: r.bool(), Records: r.bytes()}
+			}
+		}
+	case *ProveRoleReq:
+		out.Role = r.role()
+	}
+	if err := r.done(); err != nil {
+		return fmt.Errorf("wire %s: bad body: %w", env.Type, err)
+	}
+	return nil
+}
+
+// binKindFor maps a decode target type to its body-kind tag.
+func binKindFor(out any) (byte, bool) {
+	switch out.(type) {
+	case *QueryReq:
+		return bkQueryReq, true
+	case *ProofResp:
+		return bkProofResp, true
+	case *ProofsResp:
+		return bkProofsResp, true
+	case *PublishReq:
+		return bkPublishReq, true
+	case *RevokeReq:
+		return bkRevokeReq, true
+	case *NotifyPush:
+		return bkNotifyPush, true
+	case *SubscribeReq:
+		return bkSubscribeReq, true
+	case *HasReq:
+		return bkHasReq, true
+	case *HasResp:
+		return bkHasResp, true
+	case *SyncResp:
+		return bkSyncResp, true
+	case *SubscribeAllResp:
+		return bkSubscribeAllResp, true
+	case *SyncSegmentsReq:
+		return bkSyncSegmentsReq, true
+	case *SyncSegmentsResp:
+		return bkSyncSegmentsResp, true
+	case *ProveRoleReq:
+		return bkProveRoleReq, true
+	default:
+		return 0, false
+	}
+}

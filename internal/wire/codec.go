@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"drbac/internal/bufpool"
+)
+
+// Codec names, mirroring the transport-level negotiation constants (the two
+// packages deliberately share no imports in that direction; the names are
+// part of the protocol, not of either package).
+const (
+	// CodecJSON is the original JSON envelope encoding.
+	CodecJSON = "json"
+	// CodecBinary is the length-prefixed binary envelope encoding.
+	CodecBinary = "binary"
+)
+
+// Codec encodes and decodes wire envelopes. Implementations must be safe
+// for concurrent use; one codec instance serves a whole process.
+type Codec interface {
+	// Name returns the codec's negotiation name.
+	Name() string
+	// Encode marshals an envelope with a typed body into a frame. The
+	// returned buffer may come from the process buffer pool: the caller
+	// owns it and should bufpool.Put it once the frame is sent.
+	Encode(t MsgType, id uint64, body any) ([]byte, error)
+	// Decode unmarshals a frame. The returned envelope's body may alias
+	// the frame; the frame must stay untouched until the body has been
+	// decoded (DecodeBody) or abandoned.
+	Decode(frame []byte) (Envelope, error)
+}
+
+var (
+	jsonCodecInst   = jsonCodec{}
+	binaryCodecInst = binaryCodec{}
+)
+
+// CodecFor resolves a negotiated codec name to its implementation. Unknown
+// names fall back to JSON, the protocol baseline — negotiation never lands
+// on a name this build does not speak, so the fallback is purely defensive.
+func CodecFor(name string) Codec {
+	if name == CodecBinary {
+		return binaryCodecInst
+	}
+	return jsonCodecInst
+}
+
+// jsonCodec is the original encoding: every frame a JSON Envelope.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string { return CodecJSON }
+
+func (jsonCodec) Encode(t MsgType, id uint64, body any) ([]byte, error) {
+	frame, err := Encode(t, id, body)
+	if err == nil {
+		stats.jsonFramesEncoded.Add(1)
+		stats.jsonBytesEncoded.Add(uint64(len(frame)))
+	}
+	return frame, err
+}
+
+func (jsonCodec) Decode(frame []byte) (Envelope, error) {
+	env, err := Decode(frame)
+	if err == nil {
+		stats.jsonFramesDecoded.Add(1)
+		stats.jsonBytesDecoded.Add(uint64(len(frame)))
+	}
+	return env, err
+}
+
+// codecStats holds the process-wide codec traffic counters surfaced by
+// `drbac stats` (WireStats).
+type codecStats struct {
+	jsonFramesEncoded   atomic.Uint64
+	jsonFramesDecoded   atomic.Uint64
+	jsonBytesEncoded    atomic.Uint64
+	jsonBytesDecoded    atomic.Uint64
+	binaryFramesEncoded atomic.Uint64
+	binaryFramesDecoded atomic.Uint64
+	binaryBytesEncoded  atomic.Uint64
+	binaryBytesDecoded  atomic.Uint64
+}
+
+var stats codecStats
+
+// WireStats is the codec section of a StatsResp: process-wide codec frame
+// and byte counters, entity-interning effectiveness, and frame buffer pool
+// traffic. Like the shared signature cache counters, these cover the whole
+// process, not one wallet.
+type WireStats struct {
+	// ConnCodec is the codec negotiated for the connection that carried the
+	// stats request — the one counter here that is per-connection, not
+	// process-wide. Filled by the server, empty in a bare StatsSnapshot.
+	ConnCodec           string `json:"connCodec,omitempty"`
+	JSONFramesEncoded   uint64 `json:"jsonFramesEncoded"`
+	JSONFramesDecoded   uint64 `json:"jsonFramesDecoded"`
+	JSONBytesEncoded    uint64 `json:"jsonBytesEncoded"`
+	JSONBytesDecoded    uint64 `json:"jsonBytesDecoded"`
+	BinaryFramesEncoded uint64 `json:"binaryFramesEncoded"`
+	BinaryFramesDecoded uint64 `json:"binaryFramesDecoded"`
+	BinaryBytesEncoded  uint64 `json:"binaryBytesEncoded"`
+	BinaryBytesDecoded  uint64 `json:"binaryBytesDecoded"`
+	// InternHits/InternMisses count entity key and fingerprint interning
+	// lookups on the binary decode path.
+	InternHits   uint64 `json:"internHits"`
+	InternMisses uint64 `json:"internMisses"`
+	// Pool reports the frame buffer pool's traffic.
+	Pool bufpool.Stats `json:"pool"`
+}
+
+// StatsSnapshot reads the process-wide codec counters.
+func StatsSnapshot() WireStats {
+	return WireStats{
+		JSONFramesEncoded:   stats.jsonFramesEncoded.Load(),
+		JSONFramesDecoded:   stats.jsonFramesDecoded.Load(),
+		JSONBytesEncoded:    stats.jsonBytesEncoded.Load(),
+		JSONBytesDecoded:    stats.jsonBytesDecoded.Load(),
+		BinaryFramesEncoded: stats.binaryFramesEncoded.Load(),
+		BinaryFramesDecoded: stats.binaryFramesDecoded.Load(),
+		BinaryBytesEncoded:  stats.binaryBytesEncoded.Load(),
+		BinaryBytesDecoded:  stats.binaryBytesDecoded.Load(),
+		InternHits:          interns.hits.Load(),
+		InternMisses:        interns.misses.Load(),
+		Pool:                bufpool.Snapshot(),
+	}
+}

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"crypto/ed25519"
+	"sync"
+	"sync/atomic"
+)
+
+// Entity interning for the binary decode path.
+//
+// Proof chains repeat principals heavily: every delegation re-carries its
+// issuer's 32-byte ed25519 key and the 64-hex-char entity fingerprints of
+// every role namespace. JSON decoding allocates a fresh copy of each
+// occurrence; the binary decoder instead resolves them through a
+// process-wide memo (the same shared-memo treatment the signature cache
+// gives verification results), so a delegation chain quoting one issuer ten
+// times decodes to one shared allocation.
+//
+// Interned values MUST be treated as immutable — keys are by convention
+// (they are public key material), strings are by language. The table is
+// bounded: at capacity it is reset wholesale, which only costs future
+// lookups a miss, never correctness.
+
+// internCap bounds each intern table. Coalitions have bounded principal
+// populations; 4096 distinct keys/fingerprints covers far beyond the paper's
+// scenarios while capping worst-case memory at a few hundred KiB.
+const internCap = 4096
+
+type internTables struct {
+	mu      sync.RWMutex
+	strings map[string]string
+	keys    map[string]ed25519.PublicKey
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+var interns = internTables{
+	strings: make(map[string]string),
+	keys:    make(map[string]ed25519.PublicKey),
+}
+
+// internString returns a shared string equal to string(b), memoizing new
+// values up to the table cap.
+func internString(b []byte) string {
+	t := &interns
+	t.mu.RLock()
+	s, ok := t.strings[string(b)] // compiler avoids allocating for the lookup key
+	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		return s
+	}
+	t.misses.Add(1)
+	s = string(b)
+	t.mu.Lock()
+	if len(t.strings) >= internCap {
+		t.strings = make(map[string]string)
+	}
+	t.strings[s] = s
+	t.mu.Unlock()
+	return s
+}
+
+// internKey returns a shared ed25519 public key equal to b.
+func internKey(b []byte) ed25519.PublicKey {
+	if len(b) == 0 {
+		return nil
+	}
+	t := &interns
+	t.mu.RLock()
+	k, ok := t.keys[string(b)]
+	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		return k
+	}
+	t.misses.Add(1)
+	k = ed25519.PublicKey(append([]byte(nil), b...))
+	t.mu.Lock()
+	if len(t.keys) >= internCap {
+		t.keys = make(map[string]ed25519.PublicKey)
+	}
+	t.keys[string(k)] = k
+	t.mu.Unlock()
+	return k
+}

@@ -105,6 +105,10 @@ type Envelope struct {
 	// ID matches responses to requests; 0 marks unsolicited pushes.
 	ID   uint64          `json:"id,omitempty"`
 	Body json.RawMessage `json:"body,omitempty"`
+	// binKind, when nonzero, marks Body as a hand-rolled binary body of
+	// that kind (set by the binary codec's Decode); DecodeBody dispatches
+	// on it, so callers handle envelopes identically under either codec.
+	binKind byte
 }
 
 // PublishReq asks the wallet to store a delegation with its support proofs.
@@ -227,6 +231,10 @@ type StatsResp struct {
 	// DHT describes the answering wallet's DHT/gossip state; nil when the
 	// daemon runs without `-dht`.
 	DHT *DHTStats `json:"dht,omitempty"`
+	// Wire reports the process-wide codec counters: frames and bytes
+	// encoded/decoded per codec, entity-intern hit rate, and frame-pool
+	// churn. Nil when answered by a server predating codec negotiation.
+	Wire *WireStats `json:"wire,omitempty"`
 }
 
 // NotifyPush is a delegation status update (§4.2.2).
@@ -495,8 +503,12 @@ func Decode(frame []byte) (Envelope, error) {
 	return env, nil
 }
 
-// DecodeBody unmarshals an envelope body into out.
+// DecodeBody unmarshals an envelope body into out, transparently handling
+// both JSON and binary-decoded envelopes.
 func DecodeBody(env Envelope, out any) error {
+	if env.binKind != 0 {
+		return decodeBinaryBody(env, out)
+	}
 	if len(env.Body) == 0 {
 		return fmt.Errorf("wire %s: empty body", env.Type)
 	}

@@ -10,7 +10,7 @@ import (
 	"drbac/internal/obs"
 )
 
-func fixtureProof(t *testing.T) (*core.Proof, *core.MemDirectory, time.Time) {
+func fixtureProof(t testing.TB) (*core.Proof, *core.MemDirectory, time.Time) {
 	t.Helper()
 	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
 	mk := func(name string, b byte) *core.Identity {
